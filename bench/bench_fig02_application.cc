@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Experiments E1/E2 — Fig. 2 b/c: the end-to-end robot application.
+ *
+ * (b) Multi-thread scaling of the MPC iteration: relative time vs
+ *     thread count, saturating well before 12 threads (the workload
+ *     is memory-bound). Single-thread phases are measured on the
+ *     host; the scaling curve is the documented model calibrated to
+ *     the paper's figure (this container exposes one core).
+ * (c) Task breakdown of one iteration: the parallelizable LQ
+ *     approximation (dynamics + derivatives) dominates; the paper
+ *     highlights a 23.61% derivatives-of-dynamics share within it.
+ */
+
+#include "bench_util.h"
+
+#include "app/mpc_workload.h"
+
+using namespace dadu;
+using namespace dadu::bench;
+
+int
+main()
+{
+    const RobotModel robot = model::makeQuadrupedArm();
+    app::MpcConfig cfg;
+    cfg.horizon_points = 64;
+    app::MpcWorkload workload(robot, cfg);
+
+    banner("Fig. 2c — task breakdown of one MPC iteration");
+    const app::MpcBreakdown b = workload.measureCpu();
+    std::printf("LQ approximation (parallelizable): %8.0f us (%.1f%%)\n",
+                b.lq_us, 100.0 * b.lq_us / b.total());
+    std::printf("RK4 rollout w/ sensitivities:      %8.0f us (%.1f%%)\n",
+                b.rollout_us, 100.0 * b.rollout_us / b.total());
+    std::printf("Riccati solver sweep (serial):     %8.0f us (%.1f%%)\n",
+                b.solver_us, 100.0 * b.solver_us / b.total());
+    std::printf("derivatives-of-dynamics share: %.1f%% "
+                "(paper highlights 23.61%% of the whole app)\n",
+                100.0 * b.derivativeShare());
+
+    banner("Fig. 2b — relative iteration time vs thread count");
+    const double t1 = workload.cpuIterationUs(1);
+    std::printf("%8s %14s %10s\n", "threads", "time (us)", "relative");
+    for (int threads : {1, 2, 4, 6, 8, 10, 12}) {
+        const double t = workload.cpuIterationUs(threads);
+        std::printf("%8d %14.0f %10.2f\n", threads, t, t / t1);
+    }
+    std::printf("\nexpected shape: fast drop to ~4 threads, then "
+                "flat (Fig. 2b saturates by ~6-8 threads)\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Experiment E3/E7 — Fig. 15 a/c/e: single-task latency per function
+ * for iiwa, HyQ and Atlas.
+ *
+ * Columns: host CPU (measured, our reference library = the Pinocchio
+ * role), AGX CPU and i9-13900HX (paper-reported models), and
+ * Dadu-RBD (cycle simulation of a small batch, reporting mean task
+ * latency, cross-checked by the analytic estimate).
+ *
+ * The summary rows reproduce the paper's latency-ratio claims:
+ * vs AGX CPU 0.12x-0.55x (avg 0.29x); vs i9 0.34x-1.91x (avg 0.82x).
+ */
+
+#include "bench_util.h"
+
+#include "perf/timing.h"
+
+using namespace dadu;
+using namespace dadu::bench;
+
+int
+main()
+{
+    banner("Fig. 15 a/c/e — latency (us/task), lower is better");
+    double sum_agx_ratio = 0.0, sum_i9_ratio = 0.0;
+    double min_agx = 1e9, max_agx = 0.0;
+    int count = 0;
+
+    for (const auto &entry : evalRobots()) {
+        const RobotModel robot = entry.make();
+        Accelerator accel(robot);
+        std::printf("\n[%s]  (configured: %s)\n", entry.name,
+                    accel.plan().summary().c_str());
+        std::printf("%6s %12s %12s %12s %12s %12s\n", "fn",
+                    "host(meas)", "AGX(model)", "i9(model)",
+                    "Dadu(sim)", "Dadu(analytic)");
+        for (FunctionType fn : fig15Functions()) {
+            const double host = perf::hostLatencyUs(robot, fn, 16, 5);
+            const double agx =
+                perf::paperLatencyUs(perf::Platform::AgxCpu, entry.key,
+                                     fn);
+            const double i9 = perf::paperLatencyUs(
+                perf::Platform::I9Cpu, entry.key, fn);
+            accel::BatchStats stats;
+            accel.run(fn, randomBatch(robot, 16), &stats);
+            const auto est = accel.analytic(fn);
+            std::printf("%6s %12.2f %12.2f %12.2f %12.2f %12.2f\n",
+                        accel::functionName(fn), host, agx, i9,
+                        stats.latency_us, est.latency_us);
+            const double r_agx = stats.latency_us / agx;
+            const double r_i9 = stats.latency_us / i9;
+            sum_agx_ratio += r_agx;
+            sum_i9_ratio += r_i9;
+            min_agx = std::min(min_agx, r_agx);
+            max_agx = std::max(max_agx, r_agx);
+            ++count;
+        }
+    }
+
+    banner("Latency ratio summary (Dadu / baseline, lower is better)");
+    std::printf("vs AGX CPU: %.2fx-%.2fx, average %.2fx "
+                "(paper: 0.12x-0.55x, avg 0.29x)\n",
+                min_agx, max_agx, sum_agx_ratio / count);
+    std::printf("vs i9-13900HX: average %.2fx "
+                "(paper: 0.34x-1.91x, avg 0.82x)\n",
+                sum_i9_ratio / count);
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Experiment E4/E8 — Fig. 15 b/d/f: 256-task batch throughput per
+ * function for iiwa, HyQ and Atlas (million tasks per second).
+ *
+ * Columns: AGX CPU / AGX GPU / i9 / RTX 4090M (paper-reported
+ * models; GRiD has no mass-matrix kernel so the GPU M column is
+ * empty) and Dadu-RBD (cycle simulation of a 256-task batch).
+ *
+ * The summary reproduces the paper's throughput-ratio claims:
+ * vs AGX CPU 8.1x-43.6x (avg 19.2x); vs AGX GPU 3.5x-13.4x (avg
+ * 7.2x); vs i9 4.1x-20.2x (avg 8.2x); vs RTX 4090M 0.5x-2.8x (avg
+ * 1.4x).
+ */
+
+#include "bench_util.h"
+
+using namespace dadu;
+using namespace dadu::bench;
+
+int
+main()
+{
+    banner("Fig. 15 b/d/f — throughput (Mtasks/s), 256-task batches");
+    struct Acc
+    {
+        double sum = 0, lo = 1e9, hi = 0;
+        int n = 0;
+        void
+        add(double r)
+        {
+            sum += r;
+            lo = std::min(lo, r);
+            hi = std::max(hi, r);
+            ++n;
+        }
+    } vs_agx_cpu, vs_agx_gpu, vs_i9, vs_rtx;
+
+    for (const auto &entry : evalRobots()) {
+        const RobotModel robot = entry.make();
+        Accelerator accel(robot);
+        std::printf("\n[%s]\n", entry.name);
+        std::printf("%6s %11s %11s %11s %11s %11s\n", "fn", "AGX-CPU",
+                    "AGX-GPU", "i9", "RTX4090M", "Dadu(sim)");
+        for (FunctionType fn : fig15Functions()) {
+            const double agx_cpu = perf::paperThroughputMtasks(
+                perf::Platform::AgxCpu, entry.key, fn);
+            const double agx_gpu = perf::paperThroughputMtasks(
+                perf::Platform::AgxGpu, entry.key, fn);
+            const double i9 = perf::paperThroughputMtasks(
+                perf::Platform::I9Cpu, entry.key, fn);
+            const double rtx = perf::paperThroughputMtasks(
+                perf::Platform::Rtx4090m, entry.key, fn);
+            accel::BatchStats stats;
+            accel.run(fn, randomBatch(robot, 256), &stats);
+            const double dadu = stats.throughput_mtasks;
+            std::printf("%6s %11.2f %11.2f %11.2f %11.2f %11.2f\n",
+                        accel::functionName(fn), agx_cpu, agx_gpu, i9,
+                        rtx, dadu);
+            vs_agx_cpu.add(dadu / agx_cpu);
+            if (agx_gpu > 0)
+                vs_agx_gpu.add(dadu / agx_gpu);
+            vs_i9.add(dadu / i9);
+            if (rtx > 0)
+                vs_rtx.add(dadu / rtx);
+        }
+    }
+
+    banner("Throughput ratio summary (Dadu / baseline, higher is "
+           "better)");
+    std::printf("vs AGX CPU:  %5.1fx-%5.1fx avg %5.1fx "
+                "(paper: 8.1x-43.6x avg 19.2x)\n",
+                vs_agx_cpu.lo, vs_agx_cpu.hi,
+                vs_agx_cpu.sum / vs_agx_cpu.n);
+    std::printf("vs AGX GPU:  %5.1fx-%5.1fx avg %5.1fx "
+                "(paper: 3.5x-13.4x avg 7.2x)\n",
+                vs_agx_gpu.lo, vs_agx_gpu.hi,
+                vs_agx_gpu.sum / vs_agx_gpu.n);
+    std::printf("vs i9:       %5.1fx-%5.1fx avg %5.1fx "
+                "(paper: 4.1x-20.2x avg 8.2x)\n",
+                vs_i9.lo, vs_i9.hi, vs_i9.sum / vs_i9.n);
+    std::printf("vs RTX4090M: %5.1fx-%5.1fx avg %5.1fx "
+                "(paper: 0.5x-2.8x avg 1.4x)\n",
+                vs_rtx.lo, vs_rtx.hi, vs_rtx.sum / vs_rtx.n);
+    return 0;
+}

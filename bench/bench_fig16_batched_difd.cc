@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Experiment E5/E9 — Fig. 16: batched ∆iFD (iiwa) against the
+ * platforms of [33]: i7-7700 (4 threads), RTX 2080, and the
+ * Robomorphic FPGA, for batch sizes 16/32/64/128.
+ *
+ * Also prints the single-task latency comparison of Section VI-A:
+ * Dadu-RBD 0.76 µs vs Robomorphic 0.61 µs for iiwa ∆iFD (Dadu
+ * trades a little latency for much higher throughput).
+ */
+
+#include "bench_util.h"
+
+#include "algorithms/dynamics.h"
+
+using namespace dadu;
+using namespace dadu::bench;
+
+int
+main()
+{
+    banner("Fig. 16 — batched iiwa ∆iFD time (us), lower is better");
+    const RobotModel robot = model::makeIiwa();
+    Accelerator accel(robot);
+
+    // ∆iFD inputs include q̈ and M⁻¹ (computed up front, as in the
+    // Robomorphic protocol where the CPU supplies them).
+    auto make_batch = [&](int n) {
+        auto batch = randomBatch(robot, n);
+        for (auto &t : batch) {
+            const auto pre =
+                algo::fdDerivatives(robot, t.q, t.qd, t.qdd_or_tau);
+            t.qdd_or_tau = pre.qdd;
+            t.minv = pre.minv;
+        }
+        return batch;
+    };
+
+    std::printf("%8s %14s %14s %14s %14s\n", "batch", "i7-7700(4t)",
+                "RTX2080", "Robomorphic", "Dadu(sim)");
+    for (int batch : {16, 32, 64, 128}) {
+        const double cpu = perf::batchedTimeUs(
+            perf::Platform::CpuOf33, perf::EvalRobot::Iiwa,
+            FunctionType::DeltaiFD, batch);
+        const double gpu = perf::batchedTimeUs(
+            perf::Platform::GpuOf33, perf::EvalRobot::Iiwa,
+            FunctionType::DeltaiFD, batch);
+        const double robo = perf::batchedTimeUs(
+            perf::Platform::Robomorphic, perf::EvalRobot::Iiwa,
+            FunctionType::DeltaiFD, batch);
+        accel::BatchStats stats;
+        accel.run(FunctionType::DeltaiFD, make_batch(batch), &stats);
+        std::printf("%8d %14.2f %14.2f %14.2f %14.2f   "
+                    "(speedup: %4.1fx cpu, %4.1fx gpu, %4.1fx fpga)\n",
+                    batch, cpu, gpu, robo, stats.total_us,
+                    cpu / stats.total_us, gpu / stats.total_us,
+                    robo / stats.total_us);
+    }
+    std::printf("\npaper speedups: 10.3x-13.0x cpu, 3.4x-11.3x gpu, "
+                "6.3x-7.0x fpga\n");
+
+    banner("Section VI-A — single-task iiwa ∆iFD latency");
+    accel::BatchStats single;
+    accel.run(FunctionType::DeltaiFD, make_batch(1), &single);
+    std::printf("Dadu-RBD (sim):    %.2f us  (paper: 0.76 us)\n",
+                single.latency_us);
+    std::printf("Robomorphic model: %.2f us  (paper: 0.61 us)\n",
+                perf::paperLatencyUs(perf::Platform::Robomorphic,
+                                     perf::EvalRobot::Iiwa,
+                                     FunctionType::DeltaiFD));
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Experiment E6 — Fig. 17: batched ∆FD (iiwa) at large batch sizes
+ * (16 … 8192) against the AGX GPU and RTX 4090M models.
+ *
+ * The shape to reproduce: Dadu-RBD's time grows linearly from small
+ * batches (pipeline already saturated), the GPUs stay flat until
+ * their SMs saturate; the RTX 4090M crosses over and wins past batch
+ * ≈ 512. Batches ≤ 512 run through the cycle simulator; larger ones
+ * use the analytic pipeline model (identical steady-state II, noted
+ * in the output).
+ */
+
+#include "bench_util.h"
+
+using namespace dadu;
+using namespace dadu::bench;
+
+int
+main()
+{
+    banner("Fig. 17 — batched iiwa ∆FD time (us), log-log shape");
+    const RobotModel robot = model::makeIiwa();
+    Accelerator accel(robot);
+    const auto est = accel.analytic(FunctionType::DeltaFD);
+    const double freq = accel.config().freq_mhz * 1e6;
+
+    std::printf("%8s %14s %14s %16s\n", "batch", "AGX-GPU",
+                "RTX4090M", "Dadu");
+    int crossover = -1;
+    for (int batch = 16; batch <= 8192; batch *= 2) {
+        const double agx = perf::batchedTimeUs(
+            perf::Platform::AgxGpu, perf::EvalRobot::Iiwa,
+            FunctionType::DeltaFD, batch);
+        const double rtx = perf::batchedTimeUs(
+            perf::Platform::Rtx4090m, perf::EvalRobot::Iiwa,
+            FunctionType::DeltaFD, batch);
+        double dadu;
+        const char *mode;
+        if (batch <= 512) {
+            accel::BatchStats stats;
+            accel.run(FunctionType::DeltaFD, randomBatch(robot, batch),
+                      &stats);
+            dadu = stats.total_us;
+            mode = "(sim)";
+        } else {
+            dadu = (batch * est.ii_cycles + est.latency_cycles) / freq *
+                   1e6;
+            mode = "(analytic)";
+        }
+        std::printf("%8d %14.1f %14.1f %14.1f %s\n", batch, agx, rtx,
+                    dadu, mode);
+        if (crossover < 0 && rtx < dadu)
+            crossover = batch;
+    }
+    std::printf("\nRTX 4090M overtakes Dadu-RBD at batch %d "
+                "(paper: > 512)\n",
+                crossover);
+    return 0;
+}

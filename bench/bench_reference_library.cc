@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the reference dynamics library
+ * (the measured host-CPU columns of Fig. 15 use these kernels; this
+ * binary gives per-algorithm timings in the standard harness).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "algorithms/aba.h"
+#include "algorithms/crba.h"
+#include "algorithms/dynamics.h"
+#include "algorithms/mminv_gen.h"
+#include "algorithms/rnea.h"
+#include "algorithms/rnea_derivatives.h"
+#include "model/builders.h"
+
+namespace {
+
+using namespace dadu;
+using linalg::VectorX;
+using model::RobotModel;
+
+RobotModel
+robotFor(int idx)
+{
+    switch (idx) {
+      case 0: return model::makeIiwa();
+      case 1: return model::makeHyq();
+      default: return model::makeAtlas();
+    }
+}
+
+struct Inputs
+{
+    VectorX q, qd, u;
+};
+
+Inputs
+inputsFor(const RobotModel &robot)
+{
+    std::mt19937 rng(12);
+    return {robot.randomConfiguration(rng), robot.randomVelocity(rng),
+            robot.randomVelocity(rng)};
+}
+
+void
+BM_Rnea(benchmark::State &state)
+{
+    const RobotModel robot = robotFor(state.range(0));
+    const Inputs in = inputsFor(robot);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            algo::rnea(robot, in.q, in.qd, in.u).tau[0]);
+}
+
+void
+BM_Aba(benchmark::State &state)
+{
+    const RobotModel robot = robotFor(state.range(0));
+    const Inputs in = inputsFor(robot);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            algo::aba(robot, in.q, in.qd, in.u)[0]);
+}
+
+void
+BM_Crba(benchmark::State &state)
+{
+    const RobotModel robot = robotFor(state.range(0));
+    const Inputs in = inputsFor(robot);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(algo::crba(robot, in.q)(0, 0));
+}
+
+void
+BM_MinvGen(benchmark::State &state)
+{
+    const RobotModel robot = robotFor(state.range(0));
+    const Inputs in = inputsFor(robot);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            algo::massMatrixInverse(robot, in.q)(0, 0));
+}
+
+void
+BM_RneaDerivatives(benchmark::State &state)
+{
+    const RobotModel robot = robotFor(state.range(0));
+    const Inputs in = inputsFor(robot);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            algo::rneaDerivatives(robot, in.q, in.qd, in.u)
+                .dtau_dq(0, 0));
+}
+
+void
+BM_FdDerivatives(benchmark::State &state)
+{
+    const RobotModel robot = robotFor(state.range(0));
+    const Inputs in = inputsFor(robot);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            algo::fdDerivatives(robot, in.q, in.qd, in.u)
+                .dqdd_dq(0, 0));
+}
+
+BENCHMARK(BM_Rnea)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_Aba)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_Crba)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_MinvGen)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_RneaDerivatives)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_FdDerivatives)->Arg(0)->Arg(1)->Arg(2);
+
+} // namespace
+
+BENCHMARK_MAIN();

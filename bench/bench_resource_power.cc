@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Experiment E11 — Section VI-C: resource usage, power and energy.
+ *
+ * Rows: per-robot configured resource utilization (the paper quotes
+ * 62% DSP / 17% FF / 54% LUT for the quadruped-with-arm instance),
+ * per-function power for iiwa (paper: 6.2-36.8 W; ∆iFD 31.2 W), and
+ * the energy / EDP comparison against Robomorphic (paper: 2.0x
+ * energy, 13.2x EDP in Dadu-RBD's favour).
+ */
+
+#include "bench_util.h"
+
+#include "perf/power_model.h"
+#include "perf/resource_model.h"
+
+using namespace dadu;
+using namespace dadu::bench;
+
+int
+main()
+{
+    banner("Section VI-C — resource usage per configuration");
+    for (const char *name :
+         {"quadruped_arm", "iiwa", "hyq", "atlas", "spot_arm"}) {
+        RobotModel robot = std::string(name) == "quadruped_arm"
+                               ? model::makeQuadrupedArm()
+                           : std::string(name) == "iiwa"
+                               ? model::makeIiwa()
+                           : std::string(name) == "hyq"
+                               ? model::makeHyq()
+                           : std::string(name) == "atlas"
+                               ? model::makeAtlas()
+                               : model::makeSpotArm();
+        Accelerator accel(robot);
+        std::printf("%-14s %s\n", name,
+                    perf::formatResources(accel.resources()).c_str());
+    }
+    std::printf("paper (quadruped-with-arm): 62%% DSP, 54%% LUT, "
+                "17%% FF\n");
+    std::printf("Robomorphic:   %s (\"at least half of the DSP\")\n",
+                perf::formatResources(perf::robomorphicResources())
+                    .c_str());
+
+    banner("Power per function, iiwa configuration (W)");
+    const RobotModel iiwa = model::makeIiwa();
+    Accelerator accel(iiwa);
+    double lo = 1e9, hi = 0.0;
+    for (FunctionType fn :
+         {FunctionType::ID, FunctionType::FD, FunctionType::M,
+          FunctionType::Minv, FunctionType::DeltaID,
+          FunctionType::DeltaiFD, FunctionType::DeltaFD}) {
+        const auto p = perf::accelPower(accel, fn);
+        lo = std::min(lo, p.total());
+        hi = std::max(hi, p.total());
+        std::printf("%6s: %6.1f W (static %.1f + dynamic %.1f)\n",
+                    accel::functionName(fn), p.total(), p.static_w,
+                    p.dynamic_w);
+    }
+    std::printf("range %.1f-%.1f W (paper: 6.2-36.8 W; ∆iFD 31.2 W)\n",
+                lo, hi);
+
+    banner("Energy and EDP vs Robomorphic, iiwa ∆iFD");
+    const double dadu_e =
+        perf::accelEnergyPerTaskUj(accel, FunctionType::DeltaiFD);
+    const double dadu_edp =
+        perf::accelEdpPerTask(accel, FunctionType::DeltaiFD);
+    const double robo_task_us =
+        1.0 / perf::paperThroughputMtasks(perf::Platform::Robomorphic,
+                                          perf::EvalRobot::Iiwa,
+                                          FunctionType::DeltaiFD);
+    const double robo_e =
+        perf::platformPowerW(perf::Platform::Robomorphic) *
+        robo_task_us;
+    const double robo_edp = robo_e * robo_task_us;
+    std::printf("energy/task: Dadu %.2f uJ vs Robomorphic %.2f uJ "
+                "-> %.1fx (paper: 2.0x)\n",
+                dadu_e, robo_e, robo_e / dadu_e);
+    std::printf("EDP/task:    Dadu %.3f vs Robomorphic %.3f "
+                "-> %.1fx (paper: 13.2x)\n",
+                dadu_edp, robo_edp, robo_edp / dadu_edp);
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Experiments E13/E14 — SAP organization and design-choice ablations.
+ *
+ * Reproduces the Section V-C structural claims:
+ *  - Fig. 11a Tiago: linear topology, no branch arrays;
+ *  - Fig. 11b Spot-arm: root + arm array + TDM'd leg arrays;
+ *  - Fig. 11c Atlas: topology rotation reduces depth 11 -> 9-10 and
+ *    keeps the arm/leg pairs mergeable;
+ * and ablates the design choices: symmetric-branch TDM (resources),
+ * topology rotation (latency/ops), and the DSP-budget fit.
+ */
+
+#include "bench_util.h"
+
+#include "accel/op_count.h"
+#include "accel/topology.h"
+
+using namespace dadu;
+using namespace dadu::bench;
+using accel::compileSap;
+using accel::SapConfig;
+using accel::SapPlan;
+
+int
+main()
+{
+    banner("Fig. 11 — SAP organization per robot");
+    struct Row
+    {
+        const char *name;
+        RobotModel (*make)();
+    };
+    const Row rows[] = {
+        {"Tiago", model::makeTiago},
+        {"Spot-arm", model::makeSpotArm},
+        {"Atlas", model::makeAtlas},
+        {"quadruped-arm", model::makeQuadrupedArm},
+        {"HyQ", model::makeHyq},
+        {"iiwa", model::makeIiwa},
+    };
+    for (const Row &row : rows) {
+        const RobotModel robot = row.make();
+        const SapPlan plan = compileSap(robot);
+        std::printf("%-14s %s\n", row.name, plan.summary().c_str());
+    }
+    std::printf("paper: Tiago root+1 linear; Spot 3 arrays (legs "
+                "TDM x2); Atlas rotated depth 11 -> 9\n");
+
+    banner("Ablation — symmetric-branch TDM (fixed lane target)");
+    for (const Row &row : {rows[3], rows[1]}) {
+        accel::AccelConfig merged, unmerged;
+        merged.auto_fit = false;
+        merged.target_ii = 8;
+        unmerged = merged;
+        unmerged.sap.merge_symmetric = false;
+        const RobotModel robot = row.make();
+        Accelerator a1(robot, merged), a2(robot, unmerged);
+        std::printf("%-14s DSP with TDM %d vs without %d "
+                    "(saves %.0f%%)\n",
+                    row.name, a1.resources().dsp, a2.resources().dsp,
+                    100.0 * (1.0 - static_cast<double>(
+                                       a1.resources().dsp) /
+                                       a2.resources().dsp));
+    }
+
+    banner("Ablation — topology rotation (Atlas)");
+    {
+        const RobotModel atlas = model::makeAtlas();
+        SapConfig on, off;
+        off.reroot = false;
+        const SapPlan rot = compileSap(atlas, on);
+        const SapPlan base = compileSap(atlas, off);
+        std::printf("depth: %d (rotated) vs %d (pelvis root); "
+                    "paper: 9 vs 11\n",
+                    rot.maxDepth, base.maxDepth);
+        accel::AccelConfig cfg_on, cfg_off;
+        cfg_off.sap.reroot = false;
+        Accelerator a_on(atlas, cfg_on), a_off(atlas, cfg_off);
+        const auto e_on = a_on.analytic(FunctionType::DeltaID);
+        const auto e_off = a_off.analytic(FunctionType::DeltaID);
+        std::printf("∆ID latency: %.2f us (rotated) vs %.2f us; "
+                    "throughput %.2f vs %.2f M/s\n",
+                    e_on.latency_us, e_off.latency_us,
+                    e_on.throughput_mtasks, e_off.throughput_mtasks);
+    }
+
+    banner("Ablation — per-robot DSP-budget auto-fit");
+    for (const Row &row : rows) {
+        const RobotModel robot = row.make();
+        Accelerator accel(robot);
+        const auto est = accel.analytic(FunctionType::DeltaID);
+        std::printf("%-14s target_ii=%3d dsp=%5.1f%% ∆ID %6.2f M/s\n",
+                    row.name, accel.config().target_ii,
+                    accel.resources().dsp_pct, est.throughput_mtasks);
+    }
+
+    banner("Ablation — incremental column calculation (Section "
+           "IV-A4)");
+    {
+        // With incremental columns, Df_i processes 2·pathDofs(i)
+        // columns; without, every submodule carries the full 2·N
+        // columns. Compare the multiplier totals.
+        for (const Row &row : {rows[5], rows[2]}) {
+            const RobotModel robot = row.make();
+            long incremental = 0, full = 0;
+            for (int i = 0; i < robot.nb(); ++i) {
+                const auto ops = accel::submoduleOps(
+                    robot, i, accel::SubmoduleKind::DeltaFwd);
+                incremental += ops.mul;
+                // Full-width variant: scale by N / pathDofs.
+                int path = 0;
+                for (int a = i; a != -1; a = robot.parent(a))
+                    path += robot.subspace(a).nv();
+                full += static_cast<long>(
+                    ops.mul * (static_cast<double>(robot.nv()) / path));
+            }
+            std::printf("%-14s Df multipliers: %ld incremental vs "
+                        "%ld full-width (saves %.0f%%)\n",
+                        row.name, incremental, full,
+                        100.0 * (1.0 - static_cast<double>(incremental) /
+                                           full));
+        }
+    }
+
+    banner("Ablation — fixed-point vs float datapath accuracy (iiwa)");
+    {
+        const RobotModel robot = model::makeIiwa();
+        accel::AccelConfig fx, fl;
+        fl.numeric.fixed_point = false;
+        fl.numeric.taylor_terms = 12;
+        Accelerator afx(robot, fx), afl(robot, fl);
+        auto batch = randomBatch(robot, 8);
+        const auto ofx = afx.run(FunctionType::ID, batch);
+        const auto ofl = afl.run(FunctionType::ID, batch);
+        double worst = 0.0;
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            worst = std::max(worst,
+                             (ofx[i].tau - ofl[i].tau).maxAbs());
+        std::printf("max |tau_fixed - tau_float| over batch: %.2e "
+                    "(Q%d datapath)\n",
+                    worst, fx.numeric.frac_bits);
+    }
+    return 0;
+}

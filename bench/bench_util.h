@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared helpers for the experiment harness binaries.
+ *
+ * Each bench binary regenerates one table/figure of the paper
+ * (see DESIGN.md's experiment index) and prints the paper-reported
+ * values next to the reproduced ones so EXPERIMENTS.md can record
+ * the comparison.
+ */
+
+#ifndef DADU_BENCH_BENCH_UTIL_H
+#define DADU_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "model/builders.h"
+#include "perf/baselines.h"
+
+namespace dadu::bench {
+
+using accel::Accelerator;
+using accel::FunctionType;
+using accel::TaskInput;
+using model::RobotModel;
+
+/** The six Fig. 15 functions, in figure order. */
+inline const std::vector<FunctionType> &
+fig15Functions()
+{
+    static const std::vector<FunctionType> fns = {
+        FunctionType::ID, FunctionType::FD, FunctionType::M,
+        FunctionType::Minv, FunctionType::DeltaID,
+        FunctionType::DeltaFD};
+    return fns;
+}
+
+/** The three Fig. 15 robots with their baseline-table keys. */
+struct EvalEntry
+{
+    const char *name;
+    RobotModel (*make)();
+    perf::EvalRobot key;
+};
+
+inline const std::vector<EvalEntry> &
+evalRobots()
+{
+    static const std::vector<EvalEntry> robots = {
+        {"iiwa", model::makeIiwa, perf::EvalRobot::Iiwa},
+        {"HyQ", model::makeHyq, perf::EvalRobot::Hyq},
+        {"Atlas", model::makeAtlas, perf::EvalRobot::Atlas},
+    };
+    return robots;
+}
+
+/** Random batch of accelerator task inputs. */
+inline std::vector<TaskInput>
+randomBatch(const RobotModel &robot, int n, unsigned seed = 7)
+{
+    std::mt19937 rng(seed);
+    std::vector<TaskInput> batch(n);
+    for (auto &t : batch) {
+        t.q = robot.randomConfiguration(rng);
+        t.qd = robot.randomVelocity(rng);
+        t.qdd_or_tau = robot.randomVelocity(rng);
+    }
+    return batch;
+}
+
+/** Section header in the output stream. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n============================================"
+                "====================\n%s\n"
+                "============================================"
+                "====================\n",
+                title.c_str());
+}
+
+} // namespace dadu::bench
+
+#endif // DADU_BENCH_BENCH_UTIL_H

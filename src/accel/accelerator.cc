@@ -1,0 +1,286 @@
+#include "accel/accelerator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "accel/op_count.h"
+
+namespace dadu::accel {
+
+const char *
+functionName(FunctionType fn)
+{
+    switch (fn) {
+      case FunctionType::ID: return "ID";
+      case FunctionType::FD: return "FD";
+      case FunctionType::M: return "M";
+      case FunctionType::Minv: return "Minv";
+      case FunctionType::DeltaID: return "dID";
+      case FunctionType::DeltaFD: return "dFD";
+      case FunctionType::DeltaiFD: return "diFD";
+    }
+    return "?";
+}
+
+Accelerator::Accelerator(const RobotModel &robot, AccelConfig cfg)
+    : robot_(robot), cfg_(cfg), plan_(compileSap(robot_, cfg.sap))
+{
+    if (cfg_.auto_fit) {
+        // Per-robot configuration (Section V): pick the smallest
+        // initiation-interval target whose lane allocation fits the
+        // DSP budget, and decide whether symmetric-branch TDM pays
+        // off. Merging halves the submodule count but doubles the
+        // tokens through the shared arrays, so it wins only when the
+        // freed lanes speed up a dominating branch (quadruped+arm)
+        // and loses when all branches are equal (HyQ) — exactly the
+        // trade Section V-C1 describes.
+        auto fit = [&](bool merge) {
+            cfg_.sap.merge_symmetric = merge;
+            plan_ = compileSap(robot_, cfg_.sap);
+            for (int ii : {2, 3, 4, 6, 8, 10, 12, 16, 20, 24, 32, 48,
+                           64, 96, 128}) {
+                cfg_.target_ii = ii;
+                if (resources().dsp_pct <= cfg_.dsp_budget_pct)
+                    break;
+            }
+            // Effective task II of the configured arrays: the TDM'd
+            // bottleneck of the full Dynamics Array.
+            return std::make_pair(analytic(FunctionType::DeltaID)
+                                      .ii_cycles,
+                                  cfg_.target_ii);
+        };
+        const bool allow_merge = cfg.sap.merge_symmetric;
+        const auto merged = allow_merge ? fit(true)
+                                        : std::make_pair(1e30, 0);
+        const auto unmerged = fit(false);
+        if (allow_merge && merged.first <= unmerged.first) {
+            cfg_.sap.merge_symmetric = true;
+            cfg_.target_ii = merged.second;
+            plan_ = compileSap(robot_, cfg_.sap);
+        }
+        // else: keep the unmerged fit already in place.
+    }
+    // The functional simulation keeps the original parameterization
+    // (re-rooting is a hardware-organization analysis; the numbers in
+    // the inertial parameters are expressed for the original root).
+    SapConfig sim_sap = cfg_.sap;
+    sim_sap.reroot = false;
+    simPlan_ = compileSap(robot, sim_sap);
+    sim_ = std::make_unique<AccelSim>(robot_, simPlan_, cfg_);
+}
+
+Accelerator::~Accelerator() = default;
+
+std::vector<TaskOutput>
+Accelerator::run(FunctionType fn, const std::vector<TaskInput> &inputs,
+                 BatchStats *stats)
+{
+    return sim_->run(fn, inputs, stats);
+}
+
+namespace {
+
+/** Links served per representative link under a plan's TDM merge. */
+std::map<int, int>
+servedCount(const RobotModel &robot, const SapPlan &plan)
+{
+    std::map<int, int> count;
+    for (int i = 0; i < robot.nb(); ++i)
+        ++count[plan.rep[i]];
+    return count;
+}
+
+/** The set of submodule kinds each function activates. */
+std::vector<SubmoduleKind>
+activeKinds(FunctionType fn)
+{
+    switch (fn) {
+      case FunctionType::ID:
+        return {SubmoduleKind::RneaFwd, SubmoduleKind::RneaBwd};
+      case FunctionType::DeltaID:
+      case FunctionType::DeltaiFD:
+        return {SubmoduleKind::RneaFwd, SubmoduleKind::RneaBwd,
+                SubmoduleKind::DeltaFwd, SubmoduleKind::DeltaBwd};
+      case FunctionType::M:
+        return {SubmoduleKind::MMinvBwd};
+      case FunctionType::Minv:
+        return {SubmoduleKind::MMinvBwd, SubmoduleKind::MMinvFwd};
+      case FunctionType::FD:
+        return {SubmoduleKind::RneaFwd, SubmoduleKind::RneaBwd,
+                SubmoduleKind::MMinvBwd, SubmoduleKind::MMinvFwd};
+      case FunctionType::DeltaFD:
+        return {SubmoduleKind::RneaFwd, SubmoduleKind::RneaBwd,
+                SubmoduleKind::DeltaFwd, SubmoduleKind::DeltaBwd,
+                SubmoduleKind::MMinvBwd, SubmoduleKind::MMinvFwd};
+    }
+    return {};
+}
+
+/** FB passes per task (∆FD routes twice through the FB module). */
+int
+fbPasses(FunctionType fn)
+{
+    return fn == FunctionType::DeltaFD ? 2 : 1;
+}
+
+bool
+isFbKind(SubmoduleKind k)
+{
+    return k == SubmoduleKind::RneaFwd || k == SubmoduleKind::RneaBwd ||
+           k == SubmoduleKind::DeltaFwd || k == SubmoduleKind::DeltaBwd;
+}
+
+} // namespace
+
+TimingEstimate
+Accelerator::analytic(FunctionType fn) const
+{
+    TimingEstimate est;
+    const auto served = servedCount(robot_, plan_);
+    const auto kinds = activeKinds(fn);
+    const int nv = robot_.nv();
+
+    // Steady-state initiation interval: the slowest submodule, with
+    // TDM multiplicity and pass count; plus the Schedule Module's
+    // single-server costs and the input issue rate.
+    double ii = cfg_.input_issue_ii;
+    for (const auto &[link, mult] : served) {
+        for (SubmoduleKind k : kinds) {
+            // ∆ kinds only run on the derivative pass.
+            int tokens = mult;
+            if (isFbKind(k) &&
+                (k == SubmoduleKind::RneaFwd ||
+                 k == SubmoduleKind::RneaBwd))
+                tokens *= fbPasses(fn);
+            const auto t = allocateTiming(submoduleOps(robot_, link, k),
+                                          cfg_.target_ii, cfg_.max_units);
+            ii = std::max(ii, static_cast<double>(t.ii) * tokens);
+        }
+    }
+    if (fn == FunctionType::FD || fn == FunctionType::DeltaFD) {
+        const double matvec =
+            (nv * nv + cfg_.schedule_units - 1) / cfg_.schedule_units + 4;
+        ii = std::max(ii, matvec);
+    }
+    if (fn == FunctionType::DeltaFD || fn == FunctionType::DeltaiFD) {
+        const double matmul =
+            (2.0 * nv * nv * nv + cfg_.schedule_units - 1) /
+                cfg_.schedule_units +
+            4;
+        ii = std::max(ii, matmul);
+    }
+
+    // Latency: sum of latencies along the deepest round trip, per
+    // activated pipeline, plus the schedule stages.
+    // Deepest path under the analysis plan.
+    int deepest = 0;
+    for (int i = 0; i < robot_.nb(); ++i) {
+        if (plan_.depth[i] > plan_.depth[deepest])
+            deepest = i;
+    }
+    std::vector<int> path;
+    for (int i = deepest; i != -1; i = plan_.parents[i])
+        path.push_back(i);
+
+    auto pathLatency = [&](SubmoduleKind k) {
+        double l = 0;
+        for (int link : path) {
+            l += allocateTiming(submoduleOps(robot_, link, k),
+                                cfg_.target_ii, cfg_.max_units)
+                     .latency;
+        }
+        return l;
+    };
+
+    double lat = cfg_.input_issue_ii;
+    const double fb_pass0 =
+        pathLatency(SubmoduleKind::RneaFwd) +
+        pathLatency(SubmoduleKind::RneaBwd);
+    const double fb_pass1 =
+        fb_pass0 + pathLatency(SubmoduleKind::DeltaFwd) +
+        pathLatency(SubmoduleKind::DeltaBwd);
+    const double bf =
+        pathLatency(SubmoduleKind::MMinvBwd) +
+        (fn == FunctionType::M ? 0.0
+                               : pathLatency(SubmoduleKind::MMinvFwd));
+    const double matvec =
+        (nv * nv + cfg_.schedule_units - 1) / cfg_.schedule_units + 4;
+    const double matmul =
+        (2.0 * nv * nv * nv + cfg_.schedule_units - 1) /
+            cfg_.schedule_units +
+        4;
+
+    switch (fn) {
+      case FunctionType::ID:
+        lat += fb_pass0;
+        break;
+      case FunctionType::DeltaID:
+        lat += fb_pass1;
+        break;
+      case FunctionType::M:
+      case FunctionType::Minv:
+        lat += bf;
+        break;
+      case FunctionType::FD:
+        lat += std::max(fb_pass0, bf) + matvec;
+        break;
+      case FunctionType::DeltaFD:
+        lat += std::max(fb_pass0, bf) + matvec + fb_pass1 + matmul;
+        break;
+      case FunctionType::DeltaiFD:
+        lat += fb_pass1 + matmul;
+        break;
+    }
+
+    est.ii_cycles = ii;
+    est.latency_cycles = lat;
+    const double freq_hz = cfg_.freq_mhz * 1e6;
+    est.latency_us = lat / freq_hz * 1e6;
+    est.throughput_mtasks = freq_hz / ii / 1e6;
+    return est;
+}
+
+ResourceEstimate
+Accelerator::resources() const
+{
+    // Per-lane costs for a 32-bit fixed-point MAC on UltraScale+:
+    // ~2 DSP48E2 slices plus control/register fabric (calibrated so
+    // the quadruped-with-arm configuration reproduces the Section
+    // VI-C utilization: 62% DSP / 54% LUT / 17% FF).
+    constexpr int dsp_per_lane = 2;
+    constexpr int lut_per_lane = 220;
+    constexpr int ff_per_lane = 120;
+    constexpr int lut_base = 1800; ///< per-submodule control/FIFO logic
+    constexpr int ff_base = 800;
+
+    ResourceEstimate r;
+    const auto served = servedCount(robot_, plan_);
+    // The multifunction accelerator instantiates all six submodule
+    // kinds (FB + BF modules) regardless of which function runs.
+    const SubmoduleKind all[] = {
+        SubmoduleKind::RneaFwd, SubmoduleKind::RneaBwd,
+        SubmoduleKind::DeltaFwd, SubmoduleKind::DeltaBwd,
+        SubmoduleKind::MMinvBwd, SubmoduleKind::MMinvFwd};
+    for (const auto &[link, mult] : served) {
+        (void)mult;
+        for (SubmoduleKind k : all) {
+            const auto t = allocateTiming(submoduleOps(robot_, link, k),
+                                          cfg_.target_ii, cfg_.max_units);
+            r.dsp += t.units * dsp_per_lane;
+            r.lut += t.units * lut_per_lane + lut_base;
+            r.ff += t.units * ff_per_lane + ff_base;
+        }
+    }
+    // Schedule Module MAC block, trigonometric module, decode/encode
+    // and the scheduling state machine.
+    r.dsp += cfg_.schedule_units * dsp_per_lane + 24;
+    r.lut += cfg_.schedule_units * lut_per_lane + 30000;
+    r.ff += cfg_.schedule_units * ff_per_lane + 26000;
+
+    r.dsp_pct = 100.0 * r.dsp / Xcvu9p::dsp;
+    r.lut_pct = 100.0 * static_cast<double>(r.lut) / Xcvu9p::lut;
+    r.ff_pct = 100.0 * static_cast<double>(r.ff) / Xcvu9p::ff;
+    return r;
+}
+
+} // namespace dadu::accel

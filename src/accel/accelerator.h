@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Dadu-RBD: the top-level accelerator model.
+ *
+ * One Accelerator instance corresponds to one configured FPGA
+ * bitstream (Section V: "for a specific model of robot, only once
+ * initial configuration is required"). It owns the SAP plan, and
+ * offers two evaluation paths:
+ *
+ *  - run():      cycle-accurate simulation through the FB/BF pipeline
+ *                arrays with real data (validates both results and
+ *                timing);
+ *  - analytic(): closed-form initiation-interval/latency estimates
+ *                from the same op counts, for large sweeps.
+ *
+ * resources() reports the FPGA resource model for the configured
+ * instance (Section VI-C).
+ */
+
+#ifndef DADU_ACCEL_ACCELERATOR_H
+#define DADU_ACCEL_ACCELERATOR_H
+
+#include <memory>
+#include <vector>
+
+#include "accel/dataflow.h"
+#include "accel/function.h"
+#include "accel/topology.h"
+
+namespace dadu::accel {
+
+/** Closed-form performance estimate for one function. */
+struct TimingEstimate
+{
+    double ii_cycles = 0;          ///< steady-state cycles per task
+    double latency_cycles = 0;     ///< single-task latency in cycles
+    double latency_us = 0;         ///< single-task latency
+    double throughput_mtasks = 0;  ///< million tasks per second
+};
+
+/** FPGA resource estimate (XVCU9P percentages as in Section VI-C). */
+struct ResourceEstimate
+{
+    int dsp = 0;
+    long lut = 0;
+    long ff = 0;
+    double dsp_pct = 0;
+    double lut_pct = 0;
+    double ff_pct = 0;
+};
+
+/** XVCU9P device capacities (the chip used by [12] and the paper). */
+struct Xcvu9p
+{
+    static constexpr int dsp = 6840;
+    static constexpr long lut = 1182240;
+    static constexpr long ff = 2364480;
+};
+
+/** The configured accelerator. */
+class Accelerator
+{
+  public:
+    /**
+     * Configure the accelerator for @p robot (the paper's one-time
+     * per-robot configuration step).
+     */
+    explicit Accelerator(const RobotModel &robot, AccelConfig cfg = {});
+
+    ~Accelerator();
+
+    Accelerator(const Accelerator &) = delete;
+    Accelerator &operator=(const Accelerator &) = delete;
+
+    /** Cycle-accurate batch execution. */
+    std::vector<TaskOutput> run(FunctionType fn,
+                                const std::vector<TaskInput> &inputs,
+                                BatchStats *stats = nullptr);
+
+    /** Closed-form timing for a saturated pipeline. */
+    TimingEstimate analytic(FunctionType fn) const;
+
+    /** FPGA resource model for this configuration. */
+    ResourceEstimate resources() const;
+
+    const SapPlan &plan() const { return plan_; }
+    const AccelConfig &config() const { return cfg_; }
+    const RobotModel &robot() const { return robot_; }
+
+  private:
+    RobotModel robot_; ///< owned copy: one accelerator per robot
+    AccelConfig cfg_;
+    SapPlan plan_;     ///< analysis plan (re-rooting allowed)
+    SapPlan simPlan_;  ///< functional plan (original root)
+    std::unique_ptr<AccelSim> sim_;
+};
+
+} // namespace dadu::accel
+
+#endif // DADU_ACCEL_ACCELERATOR_H

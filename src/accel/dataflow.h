@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Scheduling system of Dadu-RBD (Section V-B3): Input Stream Module,
+ * Schedule Module and Feedback Module, plus the pipeline builder
+ * that wires the FB and BF submodule arrays for a robot.
+ *
+ * The Schedule Module's per-task state machine realizes the dynamic
+ * dataflow switching of Fig. 14: each function type is translated
+ * into the micro-instruction sequence over the six computation steps
+ * of Fig. 9a, with the Feedback Module writing ∆FD's intermediate
+ * results back to the input stream for the second FB pass.
+ */
+
+#ifndef DADU_ACCEL_DATAFLOW_H
+#define DADU_ACCEL_DATAFLOW_H
+
+#include <memory>
+#include <vector>
+
+#include "accel/function.h"
+#include "accel/submodules.h"
+#include "accel/topology.h"
+
+namespace dadu::accel {
+
+/** Timing/numeric configuration of the simulated accelerator. */
+struct AccelConfig
+{
+    double freq_mhz = 125.0; ///< Section VI: 125 MHz on the XVCU9P.
+
+    /**
+     * Auto-fit the per-submodule initiation-interval target so the
+     * configured instance lands on the DSP budget (the paper
+     * configures one bitstream per robot, so small robots get more
+     * lanes per submodule and higher throughput).
+     */
+    bool auto_fit = true;
+    double dsp_budget_pct = 62.0; ///< Section VI-C utilization target
+
+    int target_ii = 8;       ///< per-submodule initiation interval goal
+    int max_units = 256;     ///< multiplier-lane cap per submodule
+    int schedule_units = 512; ///< MAC lanes of the Schedule Module
+    int input_issue_ii = 2;  ///< cycles between task issues
+    int task_pool = 128;     ///< in-flight task buffer entries
+    std::size_t fifo_capacity = 8192;
+    NumericConfig numeric;
+    SapConfig sap;
+};
+
+/** Timing and occupancy results of a simulated batch. */
+struct BatchStats
+{
+    std::uint64_t cycles = 0;        ///< makespan in cycles
+    double total_us = 0.0;           ///< makespan in microseconds
+    double throughput_mtasks = 0.0;  ///< million tasks per second
+    double latency_us = 0.0;         ///< mean single-task latency
+    std::size_t fifo_high_water = 0; ///< deepest FIFO occupancy
+    std::uint64_t fifo_stalls = 0;   ///< full-FIFO push rejections
+};
+
+/**
+ * One fully wired accelerator instance (kernel + submodules) for one
+ * robot. Construct per batch run.
+ */
+class AccelSim
+{
+  public:
+    AccelSim(const RobotModel &robot, const SapPlan &plan,
+             const AccelConfig &cfg);
+    ~AccelSim();
+
+    AccelSim(const AccelSim &) = delete;
+    AccelSim &operator=(const AccelSim &) = delete;
+
+    /**
+     * Run a batch of tasks through the simulated pipelines.
+     * @return outputs in task order; stats via @p stats.
+     */
+    std::vector<TaskOutput> run(FunctionType fn,
+                                const std::vector<TaskInput> &inputs,
+                                BatchStats *stats = nullptr);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace dadu::accel
+
+#endif // DADU_ACCEL_DATAFLOW_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The accelerator's function-level interface (Table I of the paper).
+ *
+ * `type` in the paper's input stream selects which rigid-body
+ * dynamics function the pipelines compute; inputs and outputs are
+ * unified so every function can share the same decode/encode path.
+ */
+
+#ifndef DADU_ACCEL_FUNCTION_H
+#define DADU_ACCEL_FUNCTION_H
+
+#include <vector>
+
+#include "linalg/matrixx.h"
+#include "linalg/vec.h"
+
+namespace dadu::accel {
+
+using linalg::MatrixX;
+using linalg::Vec6;
+using linalg::VectorX;
+
+/** Rigid body dynamics functions (Table I). */
+enum class FunctionType
+{
+    ID,       ///< τ = ID(q, q̇, q̈, f_ext)
+    FD,       ///< q̈ = FD(q, q̇, τ, f_ext)
+    M,        ///< mass matrix M(q)
+    Minv,     ///< M⁻¹(q)
+    DeltaID,  ///< ∂uτ = ∆ID(q, q̇, q̈, f_ext)
+    DeltaFD,  ///< ∂u q̈ = ∆FD(q, q̇, τ, f_ext)
+    DeltaiFD, ///< ∂u q̈ = ∆iFD(q, q̇, q̈, M⁻¹, f_ext)
+};
+
+/** Human-readable function name as used in the paper's figures. */
+const char *functionName(FunctionType fn);
+
+/** Unified task input (Decode Module payload). */
+struct TaskInput
+{
+    VectorX q;                 ///< configuration (nq)
+    VectorX qd;                ///< velocity (nv)
+    VectorX qdd_or_tau;        ///< q̈ (ID/∆ID/∆iFD) or τ (FD/∆FD)
+    std::vector<Vec6> fext;    ///< optional external forces (per link)
+    MatrixX minv;              ///< M⁻¹ input, ∆iFD only
+};
+
+/** Unified task output (Encode Module payload). */
+struct TaskOutput
+{
+    VectorX tau;       ///< ID/∆ID
+    VectorX qdd;       ///< FD/∆FD
+    MatrixX m;         ///< M
+    MatrixX minv;      ///< Minv (also optional ∆FD byproduct)
+    MatrixX dtau_dq;   ///< ∆ID
+    MatrixX dtau_dqd;  ///< ∆ID
+    MatrixX dqdd_dq;   ///< ∆FD/∆iFD
+    MatrixX dqdd_dqd;  ///< ∆FD/∆iFD
+};
+
+} // namespace dadu::accel
+
+#endif // DADU_ACCEL_FUNCTION_H

@@ -1,0 +1,225 @@
+#include "accel/op_count.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/joint.h"
+
+namespace dadu::accel {
+
+using model::JointType;
+
+namespace {
+
+// ---- primitive op-cost table (sparsity-optimized datapaths) ----
+
+/** 3D cross product: 6 mul, 3 add. */
+constexpr OpCount kCross3{6, 3, 0};
+
+/**
+ * Rotation of a 3-vector by a single-axis rotation block (the
+ * revolute-joint X update leaves only a 2x2 rotation plus a fixed
+ * row): 4 mul, 2 add.
+ */
+constexpr OpCount kRotAxis{4, 2, 0};
+
+/** Dense 3x3 rotation (links whose fixed tree rotation is general). */
+constexpr OpCount kRotDense{9, 6, 0};
+
+/**
+ * Apply a spatial transform to a motion/force vector: two rotations
+ * plus one 3D cross and 3 adds (Section II sparsity).
+ */
+OpCount
+xformCost(bool dense_rotation)
+{
+    const OpCount rot = dense_rotation ? kRotDense : kRotAxis;
+    return rot + rot + kCross3 + OpCount{0, 3, 0};
+}
+
+/**
+ * Rigid-inertia apply I v: the symmetric matrix has 8 distinct
+ * non-zero constants (Fig. 6b): ~14 mul, 10 add.
+ */
+constexpr OpCount kInertiaApply{14, 10, 0};
+
+/**
+ * Spatial cross product (motion or force form): two 3D crosses plus
+ * one extra cross and adds: 18 mul, 12 add.
+ */
+constexpr OpCount kSpatialCross{18, 12, 0};
+
+/**
+ * Symmetric 6x6 congruence transform X^T I X with Plücker sparsity
+ * and symmetric output (21 distinct entries) — the I^A rotation of
+ * Algorithm 2 line 17, the dominant MMinvGen cost the priority-vector
+ * optimization targets.
+ */
+constexpr OpCount kCongruence{117, 96, 0};
+
+/** True if the link's fixed tree rotation is not axis-aligned. */
+bool
+denseRotation(const RobotModel &robot, int link)
+{
+    const auto &e = robot.link(link).xtree.rotationPart();
+    int nonzero = 0;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            if (e(i, j) != 0.0)
+                ++nonzero;
+    return nonzero > 3;
+}
+
+/** X(q) update cost: c·sin q / c·cos q products (Section IV-A1). */
+OpCount
+xUpdateCost(const RobotModel &robot, int link)
+{
+    const JointType t = robot.link(link).joint;
+    if (model::isRevolute(t)) {
+        // 8 distinct values of the form c·sinq or c·cosq.
+        return OpCount{8, 0, 0};
+    }
+    if (model::isPrismatic(t))
+        return OpCount{2, 2, 0}; // translation offsets only
+    switch (t) {
+      case JointType::Spherical:
+        return OpCount{16, 12, 0}; // quaternion-to-rotation
+      case JointType::Translation3:
+        return OpCount{0, 3, 0};
+      case JointType::Floating:
+        return OpCount{16, 15, 0};
+      default:
+        return OpCount{};
+    }
+}
+
+/** DOF count of the joint (columns contributed to u = [q; q̇]). */
+int
+dof(const RobotModel &robot, int link)
+{
+    return robot.subspace(link).nv();
+}
+
+/** DOFs on the path from the root to @p link inclusive. */
+int
+pathDofs(const RobotModel &robot, int link)
+{
+    int n = 0;
+    for (int i = link; i != -1; i = robot.parent(i))
+        n += dof(robot, i);
+    return n;
+}
+
+/** DOFs in the subtree rooted at @p link. */
+int
+subtreeDofs(const RobotModel &robot, int link)
+{
+    int n = 0;
+    for (int i : robot.subtree(link))
+        n += dof(robot, i);
+    return n;
+}
+
+} // namespace
+
+const char *
+submoduleKindName(SubmoduleKind k)
+{
+    switch (k) {
+      case SubmoduleKind::RneaFwd: return "Rf";
+      case SubmoduleKind::RneaBwd: return "Rb";
+      case SubmoduleKind::DeltaFwd: return "Df";
+      case SubmoduleKind::DeltaBwd: return "Db";
+      case SubmoduleKind::MMinvBwd: return "Mb";
+      case SubmoduleKind::MMinvFwd: return "Mf";
+    }
+    return "?";
+}
+
+OpCount
+submoduleOps(const RobotModel &robot, int link, SubmoduleKind kind)
+{
+    const bool dense = denseRotation(robot, link);
+    const OpCount xform = xformCost(dense);
+    const int ni = dof(robot, link);
+    // Incremental-column counts (Section IV-A4): two Jacobian column
+    // blocks (∂/∂q and ∂/∂q̇) per path DOF.
+    const int cols = 2 * pathDofs(robot, link);
+    const int tree_cols = subtreeDofs(robot, link);
+
+    OpCount ops;
+    switch (kind) {
+      case SubmoduleKind::RneaFwd:
+        // X update; v = Xv + Sq̇; a = Xa + Sq̈ + v×Sq̇; f = Ia + v×*Iv.
+        ops += xUpdateCost(robot, link);
+        ops += xform + OpCount{0, ni, 0};
+        ops += xform + OpCount{0, ni, 0} + kSpatialCross;
+        ops += kInertiaApply + kInertiaApply + kSpatialCross +
+               OpCount{0, 12, 0};
+        break;
+      case SubmoduleKind::RneaBwd:
+        // Re-update X (cheap); τ = S^T f (one-hot select: adds only
+        // for multi-DOF); f_λ += X^T f (lazy update at the parent).
+        ops += xUpdateCost(robot, link);
+        ops += OpCount{0, ni, 0};
+        ops += xform + OpCount{0, 6, 0};
+        break;
+      case SubmoduleKind::DeltaFwd:
+        // Per column: ∂v = X∂v(+cross), ∂a = X∂a + cross, ∂f = I∂a +
+        // two spatial crosses. New own-DOF columns add the X(v/a)
+        // cross seeds.
+        ops += xUpdateCost(robot, link);
+        ops += (xform + kSpatialCross) * cols;                 // ∂v, coupling
+        ops += (xform + kSpatialCross) * cols;                 // ∂a
+        ops += (kInertiaApply + kSpatialCross * 2) * cols;     // ∂f
+        ops += (kSpatialCross * 2) * (2 * ni);                 // new columns
+        break;
+      case SubmoduleKind::DeltaBwd:
+        // Per column: ∂τ = S^T ∂f (selects), backward X^T ∂f, plus
+        // the S ×* f correction on own columns.
+        ops += xUpdateCost(robot, link);
+        ops += xform * cols;
+        ops += OpCount{0, 6 * cols + ni * cols, 0};
+        ops += kSpatialCross * (2 * ni);
+        break;
+      case SubmoduleKind::MMinvBwd:
+        // I^A congruence (priority-vector critical path), F column
+        // transforms for the subtree, U/D extraction (one-hot: column
+        // select), reciprocal of D, Minv row for subtree columns.
+        ops += xUpdateCost(robot, link);
+        ops += kCongruence;
+        ops += xform * tree_cols;                     // F columns up
+        ops += OpCount{6 * ni, 6 * ni, 0};            // U·Minv update
+        ops += OpCount{ni * tree_cols, ni * tree_cols, ni}; // rows + D⁻¹
+        ops += OpCount{36, 36, 0};                    // U D⁻¹ U^T rank-ni
+        break;
+      case SubmoduleKind::MMinvFwd: {
+        // P columns for all DOFs to the right of this link.
+        const int right_cols = robot.nv() - robot.link(link).vIndex;
+        ops += (xform + OpCount{6 * ni + ni, 6 * ni + ni, 0}) * right_cols;
+        break;
+      }
+    }
+    return ops;
+}
+
+SubmoduleTiming
+allocateTiming(const OpCount &ops, int target_ii, int max_units)
+{
+    SubmoduleTiming t;
+    const int mul_work = std::max(1, ops.mul);
+    t.units = std::clamp((mul_work + target_ii - 1) / target_ii, 1,
+                         max_units);
+    t.ii = std::max(1, (mul_work + t.units - 1) / t.units);
+    // Latency is the *first-output* delay, not the full drain: the
+    // forward transfer (or first incremental column) leaves after a
+    // couple of pipeline stages while the rest streams behind it —
+    // the column-streaming behaviour of Section IV-A4. Reciprocals
+    // add the 8-cycle float-assisted unit (Section IV-B2).
+    constexpr int first_output_mults = 24;
+    const int first = std::min(mul_work, first_output_mults);
+    t.latency = 2 + (first + t.units - 1) / t.units + 8 * ops.recip;
+    return t;
+}
+
+} // namespace dadu::accel

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Per-submodule operation counting with the paper's sparsity and
+ * constant optimizations (Section IV-A1, IV-A4, IV-B1).
+ *
+ * Every RTP submodule handles exactly one joint, so its datapath can
+ * be specialized: one-hot motion subspaces eliminate the S products,
+ * the joint transform has at most 8 distinct non-constant values for
+ * a revolute joint, the 6x6 inertia has 8 distinct non-zero
+ * constants, and ∆RNEA submodules process a number of Jacobian
+ * columns proportional to their depth (incremental calculation).
+ * These counts drive both the cycle model (initiation interval and
+ * latency per submodule) and the FPGA resource model.
+ */
+
+#ifndef DADU_ACCEL_OP_COUNT_H
+#define DADU_ACCEL_OP_COUNT_H
+
+#include "model/robot_model.h"
+
+namespace dadu::accel {
+
+using model::RobotModel;
+
+/** Fixed-point operation counts for one submodule's task. */
+struct OpCount
+{
+    int mul = 0;   ///< multiplications
+    int add = 0;   ///< additions/subtractions
+    int recip = 0; ///< reciprocal operations (float-assisted)
+
+    OpCount &
+    operator+=(const OpCount &o)
+    {
+        mul += o.mul;
+        add += o.add;
+        recip += o.recip;
+        return *this;
+    }
+
+    OpCount
+    operator+(const OpCount &o) const
+    {
+        OpCount r = *this;
+        r += o;
+        return r;
+    }
+
+    OpCount
+    operator*(int k) const
+    {
+        return OpCount{mul * k, add * k, recip * k};
+    }
+};
+
+/** The six RTP submodule kinds (Figs. 6-8). */
+enum class SubmoduleKind
+{
+    RneaFwd,    ///< Rf: X, v, a, f
+    RneaBwd,    ///< Rb: re-update X, τ, backward f
+    DeltaFwd,   ///< Df: incremental ∂v, ∂a, ∂f columns
+    DeltaBwd,   ///< Db: ∂τ rows, backward ∂f columns
+    MMinvBwd,   ///< Mb: I^A, U, D⁻¹, Minv/M rows, F
+    MMinvFwd,   ///< Mf: P sweep, Minv completion
+};
+
+/** Human-readable kind name. */
+const char *submoduleKindName(SubmoduleKind k);
+
+/**
+ * Operation count for the submodule of @p kind serving link @p link.
+ *
+ * @param robot the robot model.
+ * @param link  link index.
+ * @param kind  submodule kind.
+ *
+ * Depth-dependent kinds (Delta*, MMinv*) use the link's depth and
+ * subtree size from the model. Counts assume the sparsity-optimized
+ * datapaths of Section IV.
+ */
+OpCount submoduleOps(const RobotModel &robot, int link, SubmoduleKind kind);
+
+/**
+ * Cycle model for a pipelined submodule with @p units parallel
+ * multiplier lanes (each lane one MAC per cycle).
+ */
+struct SubmoduleTiming
+{
+    int units = 1;   ///< multiplier lanes allocated
+    int ii = 1;      ///< initiation interval (cycles between tasks)
+    int latency = 1; ///< input-to-output delay in cycles
+};
+
+/**
+ * Allocate lanes so the submodule meets @p target_ii, then derive the
+ * achieved initiation interval and latency.
+ *
+ * Lanes are capped at @p max_units; if the target cannot be met the
+ * submodule becomes the array bottleneck with a larger II — the
+ * "deeper submodules inevitably become the performance bottleneck"
+ * effect of Section IV-A4.
+ */
+SubmoduleTiming allocateTiming(const OpCount &ops, int target_ii,
+                               int max_units = 64);
+
+} // namespace dadu::accel
+
+#endif // DADU_ACCEL_OP_COUNT_H

@@ -1,0 +1,359 @@
+#include "accel/submodules.h"
+
+#include <algorithm>
+
+namespace dadu::accel {
+
+void
+PipelinedUnit::retire(sim::Cycle now)
+{
+    while (!inflight_.empty() && inflight_.front().ready <= now) {
+        auto &em = inflight_.front();
+        // All destinations must have room; otherwise stall in order
+        // (the failed push records the back-pressure event).
+        for (auto &[fifo, tok] : em.tokens) {
+            if (fifo && !fifo->canPush()) {
+                fifo->push(tok);
+                return;
+            }
+        }
+        for (auto &[fifo, tok] : em.tokens) {
+            if (fifo)
+                fifo->push(tok);
+        }
+        inflight_.pop_front();
+    }
+}
+
+// ---------------------------------------------------------------
+// RfSub
+// ---------------------------------------------------------------
+
+RfSub::RfSub(std::string name, SubmoduleTiming timing, TaskTable &tasks,
+             const Routing &routing, TokenFifo *in)
+    : PipelinedUnit(std::move(name), timing), tasks_(tasks),
+      routing_(routing), in_(in)
+{}
+
+void
+RfSub::tick(sim::Cycle now)
+{
+    retire(now);
+    if (!canAccept(now) || in_->empty())
+        return;
+    const Token t = in_->pop();
+    TaskState &st = tasks_.at(t.task);
+    tasks_.core().rneaFwd(st, t.link, t.pass == 0 && zero_qdd_pass0);
+
+    std::vector<std::pair<TokenFifo *, Token>> emits;
+    // Broadcast to children (possibly through TDM-shared arrays).
+    const auto &children = routing_.children[t.link];
+    for (std::size_t c = 0; c < children.size(); ++c) {
+        emits.emplace_back(child_in[c],
+                           Token{t.task,
+                                 static_cast<std::int16_t>(children[c]),
+                                 t.pass});
+    }
+    emits.emplace_back(dtr, t);
+    if (t.pass == 1 && df_ready)
+        emits.emplace_back(df_ready, t);
+    accept(now, std::move(emits));
+}
+
+bool
+RfSub::idle() const
+{
+    return !busy() && in_->empty();
+}
+
+// ---------------------------------------------------------------
+// RbSub
+// ---------------------------------------------------------------
+
+RbSub::RbSub(std::string name, SubmoduleTiming timing, TaskTable &tasks,
+             const Routing &routing, TokenFifo *dtr_in, TokenFifo *btr_in)
+    : PipelinedUnit(std::move(name), timing), tasks_(tasks),
+      routing_(routing), dtr_in_(dtr_in), btr_in_(btr_in)
+{}
+
+void
+RbSub::tick(sim::Cycle now)
+{
+    retire(now);
+    // Reduce: collect child btr arrivals.
+    while (btr_in_ && !btr_in_->empty())
+        joins_.add(btr_in_->pop());
+    if (!canAccept(now) || dtr_in_->empty())
+        return;
+    const Token t = dtr_in_->front();
+    const int need =
+        static_cast<int>(routing_.children[t.link].size());
+    if (need > 0 && !joins_.ready(t, need))
+        return;
+    dtr_in_->pop();
+    joins_.clear(t);
+
+    TaskState &st = tasks_.at(t.task);
+    tasks_.core().rneaBwd(st, t.link);
+
+    std::vector<std::pair<TokenFifo *, Token>> emits;
+    const int lam = routing_.robot->parent(t.link);
+    if (lam != -1) {
+        // Join keys are (task, link, pass) of the *consumer*, so the
+        // backward transfer is tagged with the parent's link.
+        emits.emplace_back(parent_btr,
+                           Token{t.task, static_cast<std::int16_t>(lam),
+                                 t.pass});
+    } else if (done && t.pass == 0) {
+        // Derivative passes complete at the root Db instead.
+        emits.emplace_back(done, t);
+    }
+    if (t.pass == 1 && db_ready)
+        emits.emplace_back(db_ready, t);
+    accept(now, std::move(emits));
+}
+
+bool
+RbSub::idle() const
+{
+    return !busy() && dtr_in_->empty() &&
+           (!btr_in_ || btr_in_->empty());
+}
+
+// ---------------------------------------------------------------
+// DfSub
+// ---------------------------------------------------------------
+
+DfSub::DfSub(std::string name, SubmoduleTiming timing, TaskTable &tasks,
+             const Routing &routing, TokenFifo *ready_in)
+    : PipelinedUnit(std::move(name), timing), tasks_(tasks),
+      routing_(routing), ready_in_(ready_in)
+{}
+
+void
+DfSub::tick(sim::Cycle now)
+{
+    retire(now);
+    while (!ready_in_->empty()) {
+        const Token t = ready_in_->pop();
+        joins_.add(t);
+        pending_.push_back(t);
+    }
+    if (!canAccept(now) || pending_.empty())
+        return;
+    // Deduplicate: only first-arrival entries trigger processing.
+    const Token t = pending_.front();
+    const int need =
+        routing_.robot->parent(t.link) == -1 ? 1 : 2; // Rf + parent Df
+    if (!joins_.ready(t, need))
+        return;
+    pending_.pop_front();
+    // Drop later duplicates of the same key.
+    joins_.clear(t);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->task == t.task && it->link == t.link &&
+            it->pass == t.pass)
+            it = pending_.erase(it);
+        else
+            ++it;
+    }
+
+    TaskState &st = tasks_.at(t.task);
+    tasks_.core().deltaFwd(st, t.link);
+
+    std::vector<std::pair<TokenFifo *, Token>> emits;
+    const auto &children = routing_.children[t.link];
+    for (std::size_t c = 0; c < children.size(); ++c) {
+        emits.emplace_back(child_in[c],
+                           Token{t.task,
+                                 static_cast<std::int16_t>(children[c]),
+                                 t.pass});
+    }
+    emits.emplace_back(ddtr, t);
+    accept(now, std::move(emits));
+}
+
+bool
+DfSub::idle() const
+{
+    return !busy() && ready_in_->empty() && pending_.empty();
+}
+
+// ---------------------------------------------------------------
+// DbSub
+// ---------------------------------------------------------------
+
+DbSub::DbSub(std::string name, SubmoduleTiming timing, TaskTable &tasks,
+             const Routing &routing, TokenFifo *ready_in)
+    : PipelinedUnit(std::move(name), timing), tasks_(tasks),
+      routing_(routing), ready_in_(ready_in)
+{}
+
+void
+DbSub::tick(sim::Cycle now)
+{
+    retire(now);
+    while (!ready_in_->empty()) {
+        const Token t = ready_in_->pop();
+        joins_.add(t);
+        pending_.push_back(t);
+    }
+    if (!canAccept(now) || pending_.empty())
+        return;
+    const Token t = pending_.front();
+    // Requires: ddtr from Df, f-ready from Rb, one per child Db.
+    const int need =
+        2 + static_cast<int>(routing_.children[t.link].size());
+    if (!joins_.ready(t, need))
+        return;
+    pending_.pop_front();
+    joins_.clear(t);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->task == t.task && it->link == t.link &&
+            it->pass == t.pass)
+            it = pending_.erase(it);
+        else
+            ++it;
+    }
+
+    TaskState &st = tasks_.at(t.task);
+    tasks_.core().deltaBwd(st, t.link);
+
+    std::vector<std::pair<TokenFifo *, Token>> emits;
+    const int lam = routing_.robot->parent(t.link);
+    if (lam != -1) {
+        emits.emplace_back(parent_btr,
+                           Token{t.task, static_cast<std::int16_t>(lam),
+                                 t.pass});
+    } else if (done) {
+        emits.emplace_back(done, t);
+    }
+    accept(now, std::move(emits));
+}
+
+bool
+DbSub::idle() const
+{
+    return !busy() && ready_in_->empty() && pending_.empty();
+}
+
+// ---------------------------------------------------------------
+// MbSub
+// ---------------------------------------------------------------
+
+MbSub::MbSub(std::string name, SubmoduleTiming timing, TaskTable &tasks,
+             const Routing &routing, TokenFifo *trigger_in)
+    : PipelinedUnit(std::move(name), timing), tasks_(tasks),
+      routing_(routing), trigger_in_(trigger_in)
+{}
+
+void
+MbSub::tick(sim::Cycle now)
+{
+    retire(now);
+    while (!trigger_in_->empty()) {
+        const Token t = trigger_in_->pop();
+        joins_.add(t);
+        pending_.push_back(t);
+    }
+    if (!canAccept(now) || pending_.empty())
+        return;
+    const Token t = pending_.front();
+    const int nchildren =
+        static_cast<int>(routing_.children[t.link].size());
+    const int need = std::max(1, nchildren);
+    if (!joins_.ready(t, need))
+        return;
+    pending_.pop_front();
+    joins_.clear(t);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->task == t.task && it->link == t.link &&
+            it->pass == t.pass)
+            it = pending_.erase(it);
+        else
+            ++it;
+    }
+
+    TaskState &st = tasks_.at(t.task);
+    tasks_.core().mminvBwd(st, t.link, out_m);
+
+    std::vector<std::pair<TokenFifo *, Token>> emits;
+    const int lam = routing_.robot->parent(t.link);
+    if (lam != -1) {
+        emits.emplace_back(parent_trigger,
+                           Token{t.task,
+                                 static_cast<std::int16_t>(lam),
+                                 t.pass});
+    } else if (out_m) {
+        emits.emplace_back(done, t);
+    } else {
+        emits.emplace_back(root_turnaround, t);
+    }
+    if (!out_m && mf_dtr)
+        emits.emplace_back(mf_dtr, t);
+    accept(now, std::move(emits));
+}
+
+bool
+MbSub::idle() const
+{
+    return !busy() && trigger_in_->empty() && pending_.empty();
+}
+
+// ---------------------------------------------------------------
+// MfSub
+// ---------------------------------------------------------------
+
+MfSub::MfSub(std::string name, SubmoduleTiming timing, TaskTable &tasks,
+             const Routing &routing, TokenFifo *ready_in)
+    : PipelinedUnit(std::move(name), timing), tasks_(tasks),
+      routing_(routing), ready_in_(ready_in)
+{}
+
+void
+MfSub::tick(sim::Cycle now)
+{
+    retire(now);
+    while (!ready_in_->empty()) {
+        const Token t = ready_in_->pop();
+        joins_.add(t);
+        pending_.push_back(t);
+    }
+    if (!canAccept(now) || pending_.empty())
+        return;
+    const Token t = pending_.front();
+    // dtr from Mb + token from parent Mf (or the root turnaround).
+    if (!joins_.ready(t, 2))
+        return;
+    pending_.pop_front();
+    joins_.clear(t);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->task == t.task && it->link == t.link &&
+            it->pass == t.pass)
+            it = pending_.erase(it);
+        else
+            ++it;
+    }
+
+    TaskState &st = tasks_.at(t.task);
+    tasks_.core().mminvFwd(st, t.link);
+
+    std::vector<std::pair<TokenFifo *, Token>> emits;
+    const auto &children = routing_.children[t.link];
+    for (std::size_t c = 0; c < children.size(); ++c) {
+        emits.emplace_back(child_in[c],
+                           Token{t.task,
+                                 static_cast<std::int16_t>(children[c]),
+                                 t.pass});
+    }
+    emits.emplace_back(row_out, t);
+    accept(now, std::move(emits));
+}
+
+bool
+MfSub::idle() const
+{
+    return !busy() && ready_in_->empty() && pending_.empty();
+}
+
+} // namespace dadu::accel

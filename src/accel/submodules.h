@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Cycle-level models of the RTP submodules (Rf/Rb, Df/Db, Mb/Mf).
+ *
+ * Each submodule is a pipelined unit with an initiation interval and
+ * latency derived from its sparsity-optimized operation count
+ * (op_count.h). Tokens on the FIFOs carry (task, link, pass) tags;
+ * numerical state lives in the shared TaskTable and is transformed
+ * by the FunctionalCore exactly as the hardware datapath would.
+ *
+ * Broadcast is a parent pushing one token per child into the
+ * children's input FIFOs; reduce is a join counter that releases a
+ * work item once tokens from all children have arrived (Section V-B
+ * root/branches organization). A submodule that serves several
+ * TDM-merged links (Section V-C1) simply receives tokens for all of
+ * them through the same FIFO, which serializes the work and doubles
+ * the effective initiation interval — the paper's time-division
+ * multiplexing, emerging from the dataflow.
+ */
+
+#ifndef DADU_ACCEL_SUBMODULES_H
+#define DADU_ACCEL_SUBMODULES_H
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "accel/core_state.h"
+#include "accel/op_count.h"
+#include "sim/kernel.h"
+
+namespace dadu::accel {
+
+/** Tag routed through the simulated FIFOs. */
+struct Token
+{
+    std::int32_t task = 0;
+    std::int16_t link = 0;
+    std::int8_t pass = 0;
+};
+
+using TokenFifo = sim::Fifo<Token>;
+
+/** Pool of in-flight task states. */
+class TaskTable
+{
+  public:
+    TaskTable(const FunctionalCore &core, int pool_size)
+        : core_(core), pool_(pool_size)
+    {}
+
+    TaskState &at(int task) { return pool_[task % pool_.size()]; }
+
+    const TaskState &at(int task) const
+    {
+        return pool_[task % pool_.size()];
+    }
+
+    int poolSize() const { return static_cast<int>(pool_.size()); }
+
+    const FunctionalCore &core() const { return core_; }
+
+  private:
+    const FunctionalCore &core_;
+    std::vector<TaskState> pool_;
+};
+
+/**
+ * Base for pipelined units: accepts one work item per II cycles,
+ * emits its output tokens `latency` cycles after acceptance, with
+ * head-of-line stalling if a destination FIFO is full.
+ */
+class PipelinedUnit : public sim::Module
+{
+  public:
+    PipelinedUnit(std::string name, SubmoduleTiming timing)
+        : Module(std::move(name)), timing_(timing)
+    {}
+
+    const SubmoduleTiming &timing() const { return timing_; }
+
+    /** Work items processed over the run. */
+    std::uint64_t processed() const { return processed_; }
+
+  protected:
+    bool canAccept(sim::Cycle now) const
+    {
+        return now >= next_accept_ && inflight_.size() < 64;
+    }
+
+    /** Record acceptance and schedule emissions. */
+    void
+    accept(sim::Cycle now,
+           std::vector<std::pair<TokenFifo *, Token>> emits)
+    {
+        next_accept_ = now + timing_.ii;
+        inflight_.push_back({now + timing_.latency, std::move(emits)});
+        ++processed_;
+    }
+
+    /** Emit due tokens; stalls preserve order. */
+    void retire(sim::Cycle now);
+
+    bool busy() const { return !inflight_.empty(); }
+
+  private:
+    struct Emission
+    {
+        sim::Cycle ready;
+        std::vector<std::pair<TokenFifo *, Token>> tokens;
+    };
+
+    SubmoduleTiming timing_;
+    sim::Cycle next_accept_ = 0;
+    std::deque<Emission> inflight_;
+    std::uint64_t processed_ = 0;
+};
+
+/** Join counter keyed by (task, link, pass). */
+class JoinTable
+{
+  public:
+    void
+    add(const Token &t)
+    {
+        ++counts_[key(t)];
+    }
+
+    bool
+    ready(const Token &t, int required) const
+    {
+        const auto it = counts_.find(key(t));
+        return it != counts_.end() && it->second >= required;
+    }
+
+    void
+    clear(const Token &t)
+    {
+        counts_.erase(key(t));
+    }
+
+    bool empty() const { return counts_.empty(); }
+
+  private:
+    static std::uint64_t
+    key(const Token &t)
+    {
+        return (static_cast<std::uint64_t>(t.task) << 12) |
+               (static_cast<std::uint64_t>(t.link & 0x3ff) << 2) |
+               static_cast<std::uint64_t>(t.pass & 0x3);
+    }
+
+    std::unordered_map<std::uint64_t, int> counts_;
+};
+
+/** Per-link routing shared by the pipeline builders. */
+struct Routing
+{
+    const RobotModel *robot = nullptr;
+
+    /** Representative (hardware) link for every link (TDM merge). */
+    std::vector<int> rep;
+
+    /** Children of every link in the original tree. */
+    std::vector<std::vector<int>> children;
+};
+
+// ---------------------------------------------------------------
+// Forward-Backward module submodules (RNEA and ∆RNEA, Figs. 6-7).
+// ---------------------------------------------------------------
+
+/** Rf_i: forward RNEA submodule. */
+class RfSub : public PipelinedUnit
+{
+  public:
+    RfSub(std::string name, SubmoduleTiming timing, TaskTable &tasks,
+          const Routing &routing, TokenFifo *in);
+
+    /** Destination tables, filled by the pipeline builder. */
+    std::vector<TokenFifo *> child_in; ///< indexed like routing.children
+    TokenFifo *dtr = nullptr;          ///< to Rb of the same link
+    TokenFifo *df_ready = nullptr;     ///< to Df (pass 1 only)
+
+    /** Pass 0 runs RNEA with q̈ = 0 (FD bias pass) when set. */
+    bool zero_qdd_pass0 = false;
+
+    void tick(sim::Cycle now) override;
+    bool idle() const override;
+
+  private:
+    TaskTable &tasks_;
+    const Routing &routing_;
+    TokenFifo *in_;
+};
+
+/** Rb_i: backward RNEA submodule (reduce over children). */
+class RbSub : public PipelinedUnit
+{
+  public:
+    RbSub(std::string name, SubmoduleTiming timing, TaskTable &tasks,
+          const Routing &routing, TokenFifo *dtr_in, TokenFifo *btr_in);
+
+    TokenFifo *parent_btr = nullptr; ///< to parent's Rb btr input
+    TokenFifo *done = nullptr;       ///< root only: FB pass done
+    TokenFifo *db_ready = nullptr;   ///< to Db (pass 1 only)
+
+    void tick(sim::Cycle now) override;
+    bool idle() const override;
+
+  private:
+    TaskTable &tasks_;
+    const Routing &routing_;
+    TokenFifo *dtr_in_;
+    TokenFifo *btr_in_;
+    JoinTable joins_;
+};
+
+/** Df_i: forward ∆RNEA submodule (incremental columns). */
+class DfSub : public PipelinedUnit
+{
+  public:
+    DfSub(std::string name, SubmoduleTiming timing, TaskTable &tasks,
+          const Routing &routing, TokenFifo *ready_in);
+
+    std::vector<TokenFifo *> child_in;
+    TokenFifo *ddtr = nullptr; ///< to Db of the same link
+
+    void tick(sim::Cycle now) override;
+    bool idle() const override;
+
+  private:
+    TaskTable &tasks_;
+    const Routing &routing_;
+    TokenFifo *ready_in_; ///< merged Rf-done + parent-Df tokens
+    JoinTable joins_;
+    std::deque<Token> pending_;
+};
+
+/** Db_i: backward ∆RNEA submodule. */
+class DbSub : public PipelinedUnit
+{
+  public:
+    DbSub(std::string name, SubmoduleTiming timing, TaskTable &tasks,
+          const Routing &routing, TokenFifo *ready_in);
+
+    TokenFifo *parent_btr = nullptr;
+    TokenFifo *done = nullptr; ///< root only: ∆ pass done
+
+    void tick(sim::Cycle now) override;
+    bool idle() const override;
+
+  private:
+    TaskTable &tasks_;
+    const Routing &routing_;
+    TokenFifo *ready_in_; ///< merged ddtr + Rb-done + child tokens
+    JoinTable joins_;
+    std::deque<Token> pending_;
+};
+
+// ---------------------------------------------------------------
+// Backward-Forward module submodules (MMinvGen, Fig. 8).
+// ---------------------------------------------------------------
+
+/** Mb_i: backward MMinvGen submodule (reduce over children). */
+class MbSub : public PipelinedUnit
+{
+  public:
+    MbSub(std::string name, SubmoduleTiming timing, TaskTable &tasks,
+          const Routing &routing, TokenFifo *trigger_in);
+
+    TokenFifo *parent_trigger = nullptr; ///< to parent's Mb
+    TokenFifo *mf_dtr = nullptr;         ///< to Mf of the same link
+    TokenFifo *root_turnaround = nullptr; ///< root: to root Mf
+    TokenFifo *done = nullptr;            ///< root, M mode: BF done
+
+    bool out_m = false; ///< M mode instead of Minv
+
+    void tick(sim::Cycle now) override;
+    bool idle() const override;
+
+  private:
+    TaskTable &tasks_;
+    const Routing &routing_;
+    TokenFifo *trigger_in_;
+    JoinTable joins_;
+    std::deque<Token> pending_;
+};
+
+/** Mf_i: forward MMinvGen completion submodule. */
+class MfSub : public PipelinedUnit
+{
+  public:
+    MfSub(std::string name, SubmoduleTiming timing, TaskTable &tasks,
+          const Routing &routing, TokenFifo *ready_in);
+
+    std::vector<TokenFifo *> child_in;
+    TokenFifo *row_out = nullptr; ///< per-link row completion
+
+    void tick(sim::Cycle now) override;
+    bool idle() const override;
+
+  private:
+    TaskTable &tasks_;
+    const Routing &routing_;
+    TokenFifo *ready_in_; ///< merged dtr + parent tokens
+    JoinTable joins_;
+    std::deque<Token> pending_;
+};
+
+} // namespace dadu::accel
+
+#endif // DADU_ACCEL_SUBMODULES_H

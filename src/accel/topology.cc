@@ -1,0 +1,298 @@
+#include "accel/topology.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "model/joint.h"
+
+namespace dadu::accel {
+
+namespace {
+
+/** Undirected adjacency of the kinematic tree. */
+std::vector<std::vector<int>>
+adjacency(const RobotModel &robot)
+{
+    std::vector<std::vector<int>> adj(robot.nb());
+    for (int i = 0; i < robot.nb(); ++i) {
+        const int p = robot.parent(i);
+        if (p != -1) {
+            adj[i].push_back(p);
+            adj[p].push_back(i);
+        }
+    }
+    return adj;
+}
+
+/** Depth of every link under @p parents (roots have depth 1). */
+std::vector<int>
+depthsOf(const std::vector<int> &parents)
+{
+    const int nb = static_cast<int>(parents.size());
+    std::vector<int> depth(nb, 0);
+    std::vector<int> stack;
+    for (int i = 0; i < nb; ++i) {
+        int j = i;
+        stack.clear();
+        while (j != -1 && depth[j] == 0) {
+            stack.push_back(j);
+            j = parents[j];
+        }
+        int d = (j == -1) ? 0 : depth[j];
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it)
+            depth[*it] = ++d;
+    }
+    return depth;
+}
+
+/** Children lists under @p parents. */
+std::vector<std::vector<int>>
+childrenOf(const std::vector<int> &parents)
+{
+    std::vector<std::vector<int>> ch(parents.size());
+    for (std::size_t i = 0; i < parents.size(); ++i) {
+        if (parents[i] != -1)
+            ch[parents[i]].push_back(static_cast<int>(i));
+    }
+    return ch;
+}
+
+/** Subtree of @p link under @p parents, topological order. */
+std::vector<int>
+subtreeOf(const std::vector<int> &parents, int link)
+{
+    const auto ch = childrenOf(parents);
+    std::vector<int> out;
+    std::vector<int> stack{link};
+    while (!stack.empty()) {
+        const int i = stack.back();
+        stack.pop_back();
+        out.push_back(i);
+        for (auto it = ch[i].rbegin(); it != ch[i].rend(); ++it)
+            stack.push_back(*it);
+    }
+    return out;
+}
+
+/** True if no link has more than one child (pure serial chain). */
+bool
+isLinear(const std::vector<std::vector<int>> &children)
+{
+    for (const auto &c : children)
+        if (c.size() > 1)
+            return false;
+    return true;
+}
+
+/**
+ * Map subtree @p b onto the structurally identical subtree @p a:
+ * rep[x] = corresponding link in a, recursively, matching children
+ * by signature.
+ */
+void
+mapSubtree(const RobotModel &robot, const std::vector<int> &parents,
+           const std::vector<std::vector<int>> &children, int a, int b,
+           std::vector<int> &rep)
+{
+    rep[b] = rep[a];
+    // Pair up children by signature (greedy multiset matching).
+    std::vector<int> ca = children[a], cb = children[b];
+    std::vector<bool> used(cb.size(), false);
+    for (int child_a : ca) {
+        const std::string sig = branchSignature(robot, parents, child_a);
+        for (std::size_t j = 0; j < cb.size(); ++j) {
+            if (used[j])
+                continue;
+            if (branchSignature(robot, parents, cb[j]) == sig) {
+                used[j] = true;
+                mapSubtree(robot, parents, children, child_a, cb[j], rep);
+                break;
+            }
+        }
+    }
+}
+
+/**
+ * Recursive symmetric merging: at every fork, group structurally
+ * identical sibling subtrees into TDM sets of max_tdm_group; members
+ * after the first map onto the first.
+ */
+void
+mergeSymmetric(const RobotModel &robot, const std::vector<int> &parents,
+               const std::vector<std::vector<int>> &children, int link,
+               int max_tdm_group, std::vector<int> &rep)
+{
+    std::map<std::string, std::vector<int>> groups;
+    for (int c : children[link])
+        groups[branchSignature(robot, parents, c)].push_back(c);
+    for (auto &[sig, members] : groups) {
+        (void)sig;
+        for (std::size_t k = 0; k < members.size();
+             k += max_tdm_group) {
+            const std::size_t end =
+                std::min(members.size(), k + max_tdm_group);
+            for (std::size_t m = k + 1; m < end; ++m)
+                mapSubtree(robot, parents, children, members[k],
+                           members[m], rep);
+            // Recurse into the representative only.
+            mergeSymmetric(robot, parents, children, members[k],
+                           max_tdm_group, rep);
+        }
+    }
+}
+
+/** Build a candidate plan (no merge bookkeeping) for a given root. */
+SapPlan
+planForRoot(const RobotModel &robot, int root, const SapConfig &config)
+{
+    SapPlan plan;
+    plan.root = root;
+    plan.parents = rerootParents(robot, root);
+    plan.depth = depthsOf(plan.parents);
+    plan.maxDepth =
+        *std::max_element(plan.depth.begin(), plan.depth.end());
+
+    const auto children = childrenOf(plan.parents);
+
+    // Root chain: from the analysis root until the first fork.
+    int cur = root;
+    while (true) {
+        plan.rootChain.push_back(cur);
+        if (children[cur].size() != 1)
+            break;
+        cur = children[cur].front();
+    }
+
+    // Top-level branches hang off the end of the root chain.
+    std::vector<std::vector<int>> branches;
+    for (int c : children[plan.rootChain.back()])
+        branches.push_back(subtreeOf(plan.parents, c));
+    plan.branchCount = static_cast<int>(branches.size());
+
+    // Representative map via recursive symmetric merging.
+    plan.rep.resize(robot.nb());
+    for (int i = 0; i < robot.nb(); ++i)
+        plan.rep[i] = i;
+    if (config.merge_symmetric) {
+        mergeSymmetric(robot, plan.parents, children, root,
+                       config.max_tdm_group, plan.rep);
+    }
+    plan.mergedLinks = 0;
+    for (int i = 0; i < robot.nb(); ++i)
+        if (plan.rep[i] != i)
+            ++plan.mergedLinks;
+
+    // Top-level hardware arrays for reporting: group the top-level
+    // branches whose heads merged together.
+    std::map<int, HwBranch> arrays;
+    for (auto &b : branches) {
+        arrays[plan.rep[b.front()]].served.push_back(b);
+    }
+    for (auto &[head, hw] : arrays) {
+        (void)head;
+        plan.hwBranches.push_back(hw);
+    }
+    return plan;
+}
+
+} // namespace
+
+std::vector<int>
+rerootParents(const RobotModel &robot, int new_root)
+{
+    const auto adj = adjacency(robot);
+    std::vector<int> parents(robot.nb(), -2);
+    std::vector<int> queue{new_root};
+    parents[new_root] = -1;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const int i = queue[head];
+        for (int j : adj[i]) {
+            if (parents[j] == -2) {
+                parents[j] = i;
+                queue.push_back(j);
+            }
+        }
+    }
+    return parents;
+}
+
+int
+bestRoot(const RobotModel &robot)
+{
+    int best = 0;
+    int best_depth = 1 << 30;
+    for (int r = 0; r < robot.nb(); ++r) {
+        const auto d = depthsOf(rerootParents(robot, r));
+        const int md = *std::max_element(d.begin(), d.end());
+        if (md < best_depth) {
+            best_depth = md;
+            best = r;
+        }
+    }
+    return best;
+}
+
+std::string
+branchSignature(const RobotModel &robot, const std::vector<int> &parents,
+                int link)
+{
+    const auto ch = childrenOf(parents);
+    std::string sig = "(";
+    sig += model::jointTypeName(robot.link(link).joint);
+    std::vector<std::string> child_sigs;
+    for (int c : ch[link])
+        child_sigs.push_back(branchSignature(robot, parents, c));
+    std::sort(child_sigs.begin(), child_sigs.end());
+    for (const auto &s : child_sigs)
+        sig += s;
+    sig += ")";
+    return sig;
+}
+
+SapPlan
+compileSap(const RobotModel &robot, const SapConfig &config)
+{
+    // Original-root plan.
+    const int orig_root = robot.children(-1).front();
+    SapPlan plan = planForRoot(robot, orig_root, config);
+    plan.originalMaxDepth = plan.maxDepth;
+
+    if (!config.reroot)
+        return plan;
+
+    // Topology rotation (Fig. 11c). Adopted only when it buys at
+    // least two levels of depth, costs no merge opportunities, and
+    // the robot is not a plain chain (a chain maps to the base RTP).
+    std::vector<int> orig_parents(robot.nb());
+    for (int i = 0; i < robot.nb(); ++i)
+        orig_parents[i] = robot.parent(i);
+    if (isLinear(childrenOf(orig_parents)))
+        return plan;
+
+    const int candidate_root = bestRoot(robot);
+    if (candidate_root == orig_root)
+        return plan;
+    SapPlan candidate = planForRoot(robot, candidate_root, config);
+    candidate.originalMaxDepth = plan.originalMaxDepth;
+    if (candidate.maxDepth <= plan.maxDepth - 2 &&
+        candidate.mergedLinks >= plan.mergedLinks) {
+        candidate.rerooted = true;
+        return candidate;
+    }
+    return plan;
+}
+
+std::string
+SapPlan::summary() const
+{
+    std::ostringstream os;
+    os << "root=" << root << (rerooted ? " (rotated)" : "")
+       << " chain=" << rootChain.size() << " branches=" << branchCount
+       << " hw_arrays=" << hwBranches.size() << " merged_links="
+       << mergedLinks << " depth=" << maxDepth << " (orig "
+       << originalMaxDepth << ")";
+    return os.str();
+}
+
+} // namespace dadu::accel

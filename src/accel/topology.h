@@ -1,0 +1,133 @@
+/**
+ * @file
+ * SAP topology compiler (Section V-C).
+ *
+ * Turns a robot's kinematic tree into the Structure-Adaptive
+ * Pipelines organization:
+ *
+ *  - branch decomposition: a root chain plus one pipeline array per
+ *    subtree hanging off it (Fig. 11);
+ *  - symmetric-branch merging: structurally identical sibling
+ *    subtrees share one hardware array, time-division multiplexed.
+ *    Merging applies at every fork, not just the root (Atlas merges
+ *    its arm pair under the torso and its leg pair under the pelvis,
+ *    Fig. 11c);
+ *  - topology rotation: re-rooting the (undirected) tree to balance
+ *    branch depths (Atlas: pelvis-rooted depth 11 → torso-rooted 9).
+ *    A re-root is adopted only when it reduces the maximum depth by
+ *    at least two levels without losing any symmetric-merge
+ *    opportunities, and never for linear (chain) robots — matching
+ *    the paper's choices (Atlas is rotated; the quadruped and Tiago
+ *    keep their natural roots);
+ *  - root split: the 6-DOF floating joint is split into a spherical
+ *    and a 3-DOF-translation virtual joint (Section V-C5).
+ *
+ * The compiler works on the tree structure alone (joint types and
+ * connectivity), so it can analyze re-rooted organizations without
+ * re-deriving inertial parameters; the functional datapath always
+ * evaluates with the original parameterization.
+ */
+
+#ifndef DADU_ACCEL_TOPOLOGY_H
+#define DADU_ACCEL_TOPOLOGY_H
+
+#include <string>
+#include <vector>
+
+#include "model/robot_model.h"
+
+namespace dadu::accel {
+
+using model::RobotModel;
+
+/** SAP compilation options. */
+struct SapConfig
+{
+    bool merge_symmetric = true; ///< TDM symmetric branches (V-C1).
+    bool reroot = true;          ///< topology rotation (Fig. 11c).
+    int max_tdm_group = 2;       ///< subtrees per shared array.
+};
+
+/** One hardware pipeline array serving one or more tree branches. */
+struct HwBranch
+{
+    /**
+     * The top-level branches this array serves; each entry is the
+     * branch's links in topological order. All served branches have
+     * identical structure.
+     */
+    std::vector<std::vector<int>> served;
+
+    /** Time-division multiplexing factor (tasks per branch slot). */
+    int tdmFactor() const { return static_cast<int>(served.size()); }
+};
+
+/** Compiled SAP organization for one robot. */
+struct SapPlan
+{
+    /** Analysis parents (re-rooted if adopted), -1 for the root. */
+    std::vector<int> parents;
+
+    /** Chosen analysis root link. */
+    int root = 0;
+
+    /** Whether topology rotation was adopted. */
+    bool rerooted = false;
+
+    /** Links of the root chain (root until the first fork). */
+    std::vector<int> rootChain;
+
+    /** Top-level hardware branch arrays (for reporting, Fig. 11). */
+    std::vector<HwBranch> hwBranches;
+
+    /**
+     * Representative (hardware) link for every link. Links merged by
+     * TDM point at the corresponding link of the first subtree in
+     * their group; unmerged links point at themselves.
+     */
+    std::vector<int> rep;
+
+    /** Links whose hardware is shared (nb - #representatives). */
+    int mergedLinks = 0;
+
+    /** Per-link depth under the analysis root. */
+    std::vector<int> depth;
+
+    /** Maximum depth under the analysis root. */
+    int maxDepth = 0;
+
+    /** Maximum depth under the robot's original root. */
+    int originalMaxDepth = 0;
+
+    /** Number of physical branches at the root fork. */
+    int branchCount = 0;
+
+    /** One-line human-readable summary for reports. */
+    std::string summary() const;
+};
+
+/** Compile the SAP plan for @p robot. */
+SapPlan compileSap(const RobotModel &robot, const SapConfig &config = {});
+
+/**
+ * Re-rooted parents array: re-orient the undirected tree at
+ * @p new_root. parents[new_root] == -1.
+ */
+std::vector<int> rerootParents(const RobotModel &robot, int new_root);
+
+/**
+ * The root minimizing the maximum link depth (the tree center) —
+ * the paper's depth-balancing target.
+ */
+int bestRoot(const RobotModel &robot);
+
+/**
+ * Structural signature of the subtree at @p link under @p parents:
+ * equal signatures mean the subtrees can share hardware.
+ */
+std::string branchSignature(const RobotModel &robot,
+                            const std::vector<int> &parents, int link);
+
+} // namespace dadu::accel
+
+#endif // DADU_ACCEL_TOPOLOGY_H

@@ -1,0 +1,136 @@
+#include "algorithms/aba.h"
+
+#include <vector>
+
+#include "linalg/factorize.h"
+#include "spatial/cross.h"
+#include "spatial/inertia.h"
+#include "spatial/transform.h"
+
+namespace dadu::algo {
+
+using linalg::Mat66;
+using linalg::MatrixX;
+using spatial::crossForce;
+using spatial::crossMotion;
+using spatial::SpatialTransform;
+
+namespace {
+
+/** Inverse of a small SPD matrix (joint-space D_i, at most 6x6). */
+MatrixX
+invertSmallSpd(const MatrixX &d)
+{
+    return linalg::Ldlt(d).inverse();
+}
+
+} // namespace
+
+VectorX
+aba(const RobotModel &robot, const VectorX &q, const VectorX &qd,
+    const VectorX &tau, const std::vector<Vec6> *fext)
+{
+    const int nb = robot.nb();
+    VectorX qdd(robot.nv());
+
+    std::vector<SpatialTransform> xup(nb);
+    std::vector<Vec6> v(nb), c(nb), pa(nb);
+    std::vector<Mat66> ia(nb);
+    // Per-joint U (6 x ni columns), D^-1 (ni x ni) and u (ni).
+    std::vector<std::vector<Vec6>> ucols(nb);
+    std::vector<MatrixX> dinv(nb);
+    std::vector<VectorX> uvec(nb);
+
+    // Pass 1: velocities and bias terms.
+    for (int i = 0; i < nb; ++i) {
+        const int lam = robot.parent(i);
+        xup[i] = robot.linkTransform(i, q);
+        const auto &s = robot.subspace(i);
+        const Vec6 vj = s.apply(robot.jointVelocity(i, qd));
+        const Vec6 vparent = lam == -1 ? Vec6::zero() : v[lam];
+        v[i] = xup[i].applyMotion(vparent) + vj;
+        c[i] = crossMotion(v[i], vj);
+        ia[i] = robot.link(i).inertia.toMatrix();
+        pa[i] = crossForce(v[i], robot.link(i).inertia.apply(v[i]));
+        if (fext)
+            pa[i] -= (*fext)[i];
+    }
+
+    // Pass 2: articulated-body inertias, backward.
+    for (int i = nb - 1; i >= 0; --i) {
+        const auto &s = robot.subspace(i);
+        const int ni = s.nv();
+        const int vi = robot.link(i).vIndex;
+
+        ucols[i].resize(ni);
+        for (int k = 0; k < ni; ++k)
+            ucols[i][k] = ia[i] * s.col(k);
+
+        MatrixX d(ni, ni);
+        for (int r = 0; r < ni; ++r)
+            for (int k = 0; k < ni; ++k)
+                d(r, k) = s.col(r).dot(ucols[i][k]);
+        dinv[i] = invertSmallSpd(d);
+
+        uvec[i].resize(ni);
+        for (int k = 0; k < ni; ++k)
+            uvec[i][k] = tau[vi + k] - s.col(k).dot(pa[i]);
+
+        const int lam = robot.parent(i);
+        if (lam == -1)
+            continue;
+
+        // Ia = IA - U D^-1 U^T ; pa' = pa + Ia c + U D^-1 u.
+        Mat66 ia_articulated = ia[i];
+        for (int r = 0; r < ni; ++r) {
+            for (int k = 0; k < ni; ++k) {
+                const double dk = dinv[i](r, k);
+                if (dk == 0.0)
+                    continue;
+                for (int a = 0; a < 6; ++a)
+                    for (int b = 0; b < 6; ++b)
+                        ia_articulated(a, b) -=
+                            dk * ucols[i][r][a] * ucols[i][k][b];
+            }
+        }
+        Vec6 pa_articulated = pa[i] + ia_articulated * c[i];
+        for (int r = 0; r < ni; ++r) {
+            double coef = 0.0;
+            for (int k = 0; k < ni; ++k)
+                coef += dinv[i](r, k) * uvec[i][k];
+            pa_articulated += ucols[i][r] * coef;
+        }
+
+        // Transform into the parent frame: X^T Ia X and X^T pa.
+        const Mat66 xm = xup[i].toMatrix();
+        ia[lam] += xm.transpose() * ia_articulated * xm;
+        pa[lam] += xup[i].applyTransposeForce(pa_articulated);
+    }
+
+    // Pass 3: accelerations, forward.
+    std::vector<Vec6> a(nb);
+    for (int i = 0; i < nb; ++i) {
+        const int lam = robot.parent(i);
+        const auto &s = robot.subspace(i);
+        const int ni = s.nv();
+        const int vi = robot.link(i).vIndex;
+
+        const Vec6 aparent = lam == -1 ? robot.gravity() : a[lam];
+        const Vec6 aprime = xup[i].applyMotion(aparent) + c[i];
+
+        VectorX rhs(ni);
+        for (int k = 0; k < ni; ++k)
+            rhs[k] = uvec[i][k] - ucols[i][k].dot(aprime);
+        a[i] = aprime;
+        for (int r = 0; r < ni; ++r) {
+            double qdd_r = 0.0;
+            for (int k = 0; k < ni; ++k)
+                qdd_r += dinv[i](r, k) * rhs[k];
+            qdd[vi + r] = qdd_r;
+            a[i] += s.col(r) * qdd_r;
+        }
+    }
+    return qdd;
+}
+
+} // namespace dadu::algo

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Articulated Body Algorithm: O(N) forward dynamics.
+ *
+ * The paper deliberately does NOT instantiate ABA in hardware
+ * (Section III-A): it computes FD as M⁻¹(τ − C) to reuse the RNEA
+ * and MMinvGen pipelines. ABA is implemented here as the efficient
+ * software baseline (what Pinocchio's forward dynamics uses) and as
+ * a cross-check for the accelerator's FD route.
+ */
+
+#ifndef DADU_ALGORITHMS_ABA_H
+#define DADU_ALGORITHMS_ABA_H
+
+#include <vector>
+
+#include "linalg/matrixx.h"
+#include "linalg/vec.h"
+#include "model/robot_model.h"
+
+namespace dadu::algo {
+
+using linalg::Vec6;
+using linalg::VectorX;
+using model::RobotModel;
+
+/**
+ * Forward dynamics q̈ = FD(q, q̇, τ, f_ext) by the Articulated Body
+ * Algorithm.
+ */
+VectorX aba(const RobotModel &robot, const VectorX &q, const VectorX &qd,
+            const VectorX &tau, const std::vector<Vec6> *fext = nullptr);
+
+} // namespace dadu::algo
+
+#endif // DADU_ALGORITHMS_ABA_H

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Composite Rigid Body Algorithm: the joint-space mass matrix M(q).
+ *
+ * Software baseline for the paper's M function (Table I); the
+ * accelerator computes M through the merged MMinvGen pipeline
+ * instead (Algorithm 2), which is validated against this routine.
+ */
+
+#ifndef DADU_ALGORITHMS_CRBA_H
+#define DADU_ALGORITHMS_CRBA_H
+
+#include "linalg/matrixx.h"
+#include "model/robot_model.h"
+
+namespace dadu::algo {
+
+using linalg::MatrixX;
+using linalg::VectorX;
+using model::RobotModel;
+
+/** Mass matrix M(q), symmetric positive-definite, size nv x nv. */
+MatrixX crba(const RobotModel &robot, const VectorX &q);
+
+} // namespace dadu::algo
+
+#endif // DADU_ALGORITHMS_CRBA_H

@@ -1,0 +1,59 @@
+#include "algorithms/dynamics.h"
+
+#include "algorithms/crba.h"
+#include "algorithms/mminv_gen.h"
+#include "linalg/factorize.h"
+
+namespace dadu::algo {
+
+VectorX
+forwardDynamics(const RobotModel &robot, const VectorX &q,
+                const VectorX &qd, const VectorX &tau,
+                const std::vector<Vec6> *fext)
+{
+    const VectorX c = biasForce(robot, q, qd, fext); // step ①
+    const MatrixX minv = massMatrixInverse(robot, q); // step ②
+    return minv * (tau - c);                          // step ③
+}
+
+VectorX
+forwardDynamicsCholesky(const RobotModel &robot, const VectorX &q,
+                        const VectorX &qd, const VectorX &tau,
+                        const std::vector<Vec6> *fext)
+{
+    const VectorX c = biasForce(robot, q, qd, fext);
+    const MatrixX m = crba(robot, q);
+    const linalg::Ldlt ldlt(m);
+    return ldlt.solve(tau - c);
+}
+
+FdDerivatives
+fdDerivatives(const RobotModel &robot, const VectorX &q, const VectorX &qd,
+              const VectorX &tau, const std::vector<Vec6> *fext)
+{
+    FdDerivatives out;
+    const VectorX c = biasForce(robot, q, qd, fext);  // step ①
+    out.minv = massMatrixInverse(robot, q);           // step ②
+    out.qdd = out.minv * (tau - c);                   // step ③
+    const RneaDerivatives did =
+        rneaDerivatives(robot, q, qd, out.qdd, fext); // steps ④⑤
+    out.dqdd_dq = -(out.minv * did.dtau_dq);          // step ⑥
+    out.dqdd_dqd = -(out.minv * did.dtau_dqd);
+    return out;
+}
+
+FdDerivatives
+fdDerivativesGivenAccel(const RobotModel &robot, const VectorX &q,
+                        const VectorX &qd, const VectorX &qdd,
+                        const MatrixX &minv, const std::vector<Vec6> *fext)
+{
+    FdDerivatives out;
+    out.minv = minv;
+    out.qdd = qdd;
+    const RneaDerivatives did = rneaDerivatives(robot, q, qd, qdd, fext);
+    out.dqdd_dq = -(minv * did.dtau_dq);
+    out.dqdd_dqd = -(minv * did.dtau_dqd);
+    return out;
+}
+
+} // namespace dadu::algo

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Composite dynamics functions built from the six computation steps
+ * of the paper's Fig. 9a:
+ *
+ *   ① C    = RNEA(q, q̇, 0, f_ext)
+ *   ② M⁻¹  = MMinvGen(q, outMinv)
+ *   ③ q̈    = M⁻¹ (τ - C)                       (FD)
+ *   ④ v,a,f = RNEA(q, q̇, q̈, f_ext)
+ *   ⑤ ∂uτ  = ∆RNEA(q, q̇, v, a, f)
+ *   ⑥ ∂u q̈ = -M⁻¹ ∂uτ                          (∆FD)
+ *
+ * ID, FD, Minv, ∆ID, ∆iFD and ∆FD are subsets of these steps —
+ * the relationship (Eqs. 2 and 3) the accelerator exploits to reuse
+ * one set of pipelines for every function in Table I.
+ */
+
+#ifndef DADU_ALGORITHMS_DYNAMICS_H
+#define DADU_ALGORITHMS_DYNAMICS_H
+
+#include <vector>
+
+#include "algorithms/rnea.h"
+#include "algorithms/rnea_derivatives.h"
+#include "linalg/matrixx.h"
+#include "model/robot_model.h"
+
+namespace dadu::algo {
+
+/**
+ * Forward dynamics via the paper's route: q̈ = M⁻¹ (τ - C) with M⁻¹
+ * from MMinvGen (steps ①②③).
+ */
+VectorX forwardDynamics(const RobotModel &robot, const VectorX &q,
+                        const VectorX &qd, const VectorX &tau,
+                        const std::vector<Vec6> *fext = nullptr);
+
+/**
+ * Forward dynamics via Cholesky back-substitution on M (the
+ * alternative Section III-A discusses: never forms M⁻¹ explicitly).
+ */
+VectorX forwardDynamicsCholesky(const RobotModel &robot, const VectorX &q,
+                                const VectorX &qd, const VectorX &tau,
+                                const std::vector<Vec6> *fext = nullptr);
+
+/** ∂q̈/∂u result (u = [q; q̇]); optionally exposes M⁻¹. */
+struct FdDerivatives
+{
+    VectorX qdd;        ///< Forward-dynamics result used internally.
+    MatrixX dqdd_dq;    ///< ∂q̈/∂q  (nv x nv).
+    MatrixX dqdd_dqd;   ///< ∂q̈/∂q̇ (nv x nv).
+    MatrixX minv;       ///< M⁻¹, reusable by callers (MPC, ∆iFD).
+};
+
+/**
+ * ∆FD: derivatives of forward dynamics, from torque inputs.
+ * Runs all six steps (Fig. 14f): FD first, then ∆ID at the resulting
+ * q̈, then the final M⁻¹ product with Eq. (3).
+ */
+FdDerivatives fdDerivatives(const RobotModel &robot, const VectorX &q,
+                            const VectorX &qd, const VectorX &tau,
+                            const std::vector<Vec6> *fext = nullptr);
+
+/**
+ * ∆iFD: derivatives of dynamics given q̈ and M⁻¹ (the Robomorphic
+ *-compatible entry point, Table I last row): steps ④⑤⑥ only.
+ */
+FdDerivatives fdDerivativesGivenAccel(const RobotModel &robot,
+                                      const VectorX &q, const VectorX &qd,
+                                      const VectorX &qdd,
+                                      const MatrixX &minv,
+                                      const std::vector<Vec6> *fext =
+                                          nullptr);
+
+} // namespace dadu::algo
+
+#endif // DADU_ALGORITHMS_DYNAMICS_H

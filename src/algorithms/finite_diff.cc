@@ -1,0 +1,95 @@
+#include "algorithms/finite_diff.h"
+
+#include "algorithms/aba.h"
+#include "algorithms/rnea.h"
+
+namespace dadu::algo {
+
+namespace {
+
+/** Tangent basis vector e_k scaled by eps. */
+VectorX
+tangentStep(int nv, int k, double eps)
+{
+    VectorX dv(nv);
+    dv[k] = eps;
+    return dv;
+}
+
+} // namespace
+
+MatrixX
+numericalDtauDq(const RobotModel &robot, const VectorX &q,
+                const VectorX &qd, const VectorX &qdd,
+                const std::vector<Vec6> *fext, double eps)
+{
+    const int nv = robot.nv();
+    MatrixX j(nv, nv);
+    for (int k = 0; k < nv; ++k) {
+        const VectorX qp = robot.integrate(q, tangentStep(nv, k, eps));
+        const VectorX qm = robot.integrate(q, tangentStep(nv, k, -eps));
+        const VectorX tp = rnea(robot, qp, qd, qdd, fext).tau;
+        const VectorX tm = rnea(robot, qm, qd, qdd, fext).tau;
+        for (int r = 0; r < nv; ++r)
+            j(r, k) = (tp[r] - tm[r]) / (2.0 * eps);
+    }
+    return j;
+}
+
+MatrixX
+numericalDtauDqd(const RobotModel &robot, const VectorX &q,
+                 const VectorX &qd, const VectorX &qdd,
+                 const std::vector<Vec6> *fext, double eps)
+{
+    const int nv = robot.nv();
+    MatrixX j(nv, nv);
+    for (int k = 0; k < nv; ++k) {
+        VectorX qdp = qd, qdm = qd;
+        qdp[k] += eps;
+        qdm[k] -= eps;
+        const VectorX tp = rnea(robot, q, qdp, qdd, fext).tau;
+        const VectorX tm = rnea(robot, q, qdm, qdd, fext).tau;
+        for (int r = 0; r < nv; ++r)
+            j(r, k) = (tp[r] - tm[r]) / (2.0 * eps);
+    }
+    return j;
+}
+
+MatrixX
+numericalDqddDq(const RobotModel &robot, const VectorX &q,
+                const VectorX &qd, const VectorX &tau,
+                const std::vector<Vec6> *fext, double eps)
+{
+    const int nv = robot.nv();
+    MatrixX j(nv, nv);
+    for (int k = 0; k < nv; ++k) {
+        const VectorX qp = robot.integrate(q, tangentStep(nv, k, eps));
+        const VectorX qm = robot.integrate(q, tangentStep(nv, k, -eps));
+        const VectorX ap = aba(robot, qp, qd, tau, fext);
+        const VectorX am = aba(robot, qm, qd, tau, fext);
+        for (int r = 0; r < nv; ++r)
+            j(r, k) = (ap[r] - am[r]) / (2.0 * eps);
+    }
+    return j;
+}
+
+MatrixX
+numericalDqddDqd(const RobotModel &robot, const VectorX &q,
+                 const VectorX &qd, const VectorX &tau,
+                 const std::vector<Vec6> *fext, double eps)
+{
+    const int nv = robot.nv();
+    MatrixX j(nv, nv);
+    for (int k = 0; k < nv; ++k) {
+        VectorX qdp = qd, qdm = qd;
+        qdp[k] += eps;
+        qdm[k] -= eps;
+        const VectorX ap = aba(robot, q, qdp, tau, fext);
+        const VectorX am = aba(robot, q, qdm, tau, fext);
+        for (int r = 0; r < nv; ++r)
+            j(r, k) = (ap[r] - am[r]) / (2.0 * eps);
+    }
+    return j;
+}
+
+} // namespace dadu::algo

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Finite-difference derivative checks.
+ *
+ * Central differences over tangent-space perturbations (using
+ * RobotModel::integrate for configuration variables, so quaternion
+ * joints are perturbed on the manifold). Used by the property tests
+ * to validate the analytical ∆RNEA and ∆FD implementations.
+ */
+
+#ifndef DADU_ALGORITHMS_FINITE_DIFF_H
+#define DADU_ALGORITHMS_FINITE_DIFF_H
+
+#include <vector>
+
+#include "linalg/matrixx.h"
+#include "model/robot_model.h"
+
+namespace dadu::algo {
+
+using linalg::MatrixX;
+using linalg::Vec6;
+using linalg::VectorX;
+using model::RobotModel;
+
+/** Numerical ∂τ/∂q by central differences (tangent space). */
+MatrixX numericalDtauDq(const RobotModel &robot, const VectorX &q,
+                        const VectorX &qd, const VectorX &qdd,
+                        const std::vector<Vec6> *fext = nullptr,
+                        double eps = 1e-6);
+
+/** Numerical ∂τ/∂q̇ by central differences. */
+MatrixX numericalDtauDqd(const RobotModel &robot, const VectorX &q,
+                         const VectorX &qd, const VectorX &qdd,
+                         const std::vector<Vec6> *fext = nullptr,
+                         double eps = 1e-6);
+
+/** Numerical ∂q̈/∂q by central differences through ABA. */
+MatrixX numericalDqddDq(const RobotModel &robot, const VectorX &q,
+                        const VectorX &qd, const VectorX &tau,
+                        const std::vector<Vec6> *fext = nullptr,
+                        double eps = 1e-6);
+
+/** Numerical ∂q̈/∂q̇ by central differences through ABA. */
+MatrixX numericalDqddDqd(const RobotModel &robot, const VectorX &q,
+                         const VectorX &qd, const VectorX &tau,
+                         const std::vector<Vec6> *fext = nullptr,
+                         double eps = 1e-6);
+
+} // namespace dadu::algo
+
+#endif // DADU_ALGORITHMS_FINITE_DIFF_H

@@ -1,0 +1,67 @@
+#include "algorithms/kinematics.h"
+
+#include "spatial/cross.h"
+
+namespace dadu::algo {
+
+std::vector<SpatialTransform>
+forwardKinematics(const RobotModel &robot, const VectorX &q)
+{
+    std::vector<SpatialTransform> x(robot.nb());
+    for (int i = 0; i < robot.nb(); ++i) {
+        const SpatialTransform xup = robot.linkTransform(i, q);
+        const int lam = robot.parent(i);
+        x[i] = lam == -1 ? xup : xup * x[lam];
+    }
+    return x;
+}
+
+Vec3
+linkPosition(const RobotModel &robot, const VectorX &q, int link)
+{
+    // ^iX_0 = rot(E)·xlt(r) with r the link origin in world frame.
+    const auto x = forwardKinematics(robot, q);
+    return x[link].translationPart();
+}
+
+MatrixX
+bodyJacobian(const RobotModel &robot, const VectorX &q, int link)
+{
+    MatrixX j(6, robot.nv());
+    const auto x = forwardKinematics(robot, q);
+    // Column block of ancestor a: transform S_a's columns from a's
+    // frame into link's frame: ^link X_0 · (^a X_0)^-1 applied to S_a.
+    for (int a = link; a != -1; a = robot.parent(a)) {
+        const SpatialTransform rel = x[link] * x[a].inverse();
+        const auto &s = robot.subspace(a);
+        const int va = robot.link(a).vIndex;
+        for (int k = 0; k < s.nv(); ++k) {
+            const linalg::Vec6 col = rel.applyMotion(s.col(k));
+            for (int r = 0; r < 6; ++r)
+                j(r, va + k) = col[r];
+        }
+    }
+    return j;
+}
+
+linalg::Vec6
+linkVelocity(const RobotModel &robot, const VectorX &q,
+             const VectorX &qd, int link)
+{
+    linalg::Vec6 v;
+    std::vector<linalg::Vec6> vs(link + 1);
+    for (int i = 0; i <= link; ++i) {
+        if (!robot.isAncestorOf(i, link))
+            continue;
+        const SpatialTransform xup = robot.linkTransform(i, q);
+        const int lam = robot.parent(i);
+        const linalg::Vec6 vparent =
+            lam == -1 ? linalg::Vec6::zero() : vs[lam];
+        vs[i] = xup.applyMotion(vparent) +
+                robot.subspace(i).apply(robot.jointVelocity(i, qd));
+    }
+    v = vs[link];
+    return v;
+}
+
+} // namespace dadu::algo

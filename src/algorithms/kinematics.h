@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Forward kinematics and geometric Jacobians.
+ *
+ * The planning/control framework of Fig. 1 lists forward/inverse
+ * kinematics and Jacobians among the functions local planners rely
+ * on alongside the dynamics. The accelerator does not implement them
+ * (they are cheap), but the library needs them for the examples and
+ * the MPC workload, and they double as independent checks of the
+ * spatial-transform conventions used everywhere else.
+ */
+
+#ifndef DADU_ALGORITHMS_KINEMATICS_H
+#define DADU_ALGORITHMS_KINEMATICS_H
+
+#include <vector>
+
+#include "linalg/matrixx.h"
+#include "model/robot_model.h"
+#include "spatial/transform.h"
+
+namespace dadu::algo {
+
+using linalg::MatrixX;
+using linalg::Vec3;
+using linalg::VectorX;
+using model::RobotModel;
+using spatial::SpatialTransform;
+
+/**
+ * World-to-link transforms for every link: out[i] maps world-frame
+ * Plücker coordinates into link i's frame (^iX_0).
+ */
+std::vector<SpatialTransform> forwardKinematics(const RobotModel &robot,
+                                                const VectorX &q);
+
+/** Position of link @p link's frame origin in world coordinates. */
+Vec3 linkPosition(const RobotModel &robot, const VectorX &q, int link);
+
+/**
+ * Geometric Jacobian of link @p link: 6 x nv, mapping q̇ to the
+ * link's spatial velocity expressed in the link's own frame (the
+ * body Jacobian). Columns outside the root path are zero —
+ * branch-induced sparsity again.
+ */
+MatrixX bodyJacobian(const RobotModel &robot, const VectorX &q,
+                     int link);
+
+/**
+ * Spatial velocity of link @p link in its own frame for state
+ * (q, q̇) — equals bodyJacobian(...) * q̇ and the RNEA's v_i.
+ */
+linalg::Vec6 linkVelocity(const RobotModel &robot, const VectorX &q,
+                          const VectorX &qd, int link);
+
+} // namespace dadu::algo
+
+#endif // DADU_ALGORITHMS_KINEMATICS_H

@@ -1,0 +1,197 @@
+#include "algorithms/mminv_gen.h"
+
+#include <cassert>
+#include <vector>
+
+#include "linalg/factorize.h"
+#include "linalg/mat.h"
+#include "spatial/transform.h"
+
+namespace dadu::algo {
+
+using linalg::Mat66;
+using linalg::Vec6;
+using spatial::SpatialTransform;
+
+MatrixX
+mminvGen(const RobotModel &robot, const VectorX &q, bool out_m,
+         bool out_minv)
+{
+    assert(out_m != out_minv &&
+           "MMinvGen runs in exactly one output mode per invocation");
+    const int nb = robot.nb();
+    const int nv = robot.nv();
+    MatrixX out(nv, nv);
+
+    std::vector<SpatialTransform> xup(nb);
+    std::vector<Mat66> ia(nb, Mat66::zero());
+    // F_i: 6 x nv force workspace, nonzero only on tree(i) DOF
+    // columns (branch-induced sparsity, Section V-C4).
+    std::vector<MatrixX> f(nb, MatrixX(6, nv));
+    std::vector<std::vector<Vec6>> ucols(nb);
+    std::vector<MatrixX> dinv(nb);
+
+    // DOF columns spanned by each subtree, in increasing order.
+    std::vector<std::vector<int>> tree_cols(nb);
+    for (int i = 0; i < nb; ++i) {
+        for (int j : robot.subtree(i)) {
+            const int vj = robot.link(j).vIndex;
+            for (int k = 0; k < robot.subspace(j).nv(); ++k)
+                tree_cols[i].push_back(vj + k);
+        }
+    }
+
+    // Backward sweep (Algorithm 2 lines 1-17).
+    for (int i = nb - 1; i >= 0; --i) {
+        const int lam = robot.parent(i);
+        xup[i] = robot.linkTransform(i, q);
+        const auto &s = robot.subspace(i);
+        const int ni = s.nv();
+        const int vi = robot.link(i).vIndex;
+
+        ia[i] += robot.link(i).inertia.toMatrix();
+
+        ucols[i].resize(ni);
+        for (int k = 0; k < ni; ++k)
+            ucols[i][k] = ia[i] * s.col(k);
+        MatrixX d(ni, ni);
+        for (int r = 0; r < ni; ++r)
+            for (int k = 0; k < ni; ++k)
+                d(r, k) = s.col(r).dot(ucols[i][k]);
+        dinv[i] = linalg::Ldlt(d).inverse();
+
+        if (out_minv) {
+            // Minv[i, i] = D^-1.
+            out.setBlock(vi, vi, dinv[i]);
+            // Minv[i, treee(i)] = -D^-1 S^T F[:, treee(i)].
+            for (int j : tree_cols[i]) {
+                if (j >= vi && j < vi + ni)
+                    continue; // treee excludes i itself
+                VectorX stf(ni);
+                for (int r = 0; r < ni; ++r) {
+                    double acc = 0.0;
+                    for (int a = 0; a < 6; ++a)
+                        acc += s.col(r)[a] * f[i](a, j);
+                    stf[r] = acc;
+                }
+                for (int r = 0; r < ni; ++r) {
+                    double val = 0.0;
+                    for (int k = 0; k < ni; ++k)
+                        val -= dinv[i](r, k) * stf[k];
+                    out(vi + r, j) = val;
+                }
+            }
+        }
+        if (out_m) {
+            // M[i, i] = D; M[i, treee(i)] = S^T F[:, treee(i)].
+            out.setBlock(vi, vi, d);
+            for (int j : tree_cols[i]) {
+                if (j >= vi && j < vi + ni)
+                    continue;
+                for (int r = 0; r < ni; ++r) {
+                    double acc = 0.0;
+                    for (int a = 0; a < 6; ++a)
+                        acc += s.col(r)[a] * f[i](a, j);
+                    out(vi + r, j) = acc;
+                    out(j, vi + r) = acc;
+                }
+            }
+        }
+
+        if (lam != -1) {
+            if (out_minv) {
+                // F[:, tree(i)] += U Minv[i, tree(i)].
+                for (int j : tree_cols[i]) {
+                    for (int a = 0; a < 6; ++a) {
+                        double acc = 0.0;
+                        for (int k = 0; k < ni; ++k)
+                            acc += ucols[i][k][a] * out(vi + k, j);
+                        f[i](a, j) += acc;
+                    }
+                }
+                // IA -= U D^-1 U^T (articulated-body correction).
+                for (int r = 0; r < ni; ++r) {
+                    for (int k = 0; k < ni; ++k) {
+                        const double dk = dinv[i](r, k);
+                        if (dk == 0.0)
+                            continue;
+                        for (int a = 0; a < 6; ++a)
+                            for (int b = 0; b < 6; ++b)
+                                ia[i](a, b) -=
+                                    dk * ucols[i][r][a] * ucols[i][k][b];
+                    }
+                }
+            }
+            if (out_m) {
+                // F[:, i] = U (composite-force seed for ancestors).
+                for (int k = 0; k < ni; ++k)
+                    for (int a = 0; a < 6; ++a)
+                        f[i](a, vi + k) = ucols[i][k][a];
+            }
+            // F_λ[:, tree(i)] += λX* F_i[:, tree(i)] (lazy update in
+            // hardware; plain accumulation here).
+            for (int j : tree_cols[i]) {
+                Vec6 col;
+                for (int a = 0; a < 6; ++a)
+                    col[a] = f[i](a, j);
+                const Vec6 up = xup[i].applyTransposeForce(col);
+                for (int a = 0; a < 6; ++a)
+                    f[lam](a, j) += up[a];
+            }
+            // IA_λ += λX* IA_i iXλ.
+            const Mat66 xm = xup[i].toMatrix();
+            ia[lam] += xm.transpose() * ia[i] * xm;
+        }
+    }
+
+    if (out_minv) {
+        // Forward completion sweep (Algorithm 2 lines 18-24).
+        std::vector<MatrixX> p(nb, MatrixX(6, nv));
+        for (int i = 0; i < nb; ++i) {
+            const int lam = robot.parent(i);
+            const auto &s = robot.subspace(i);
+            const int ni = s.nv();
+            const int vi = robot.link(i).vIndex;
+
+            if (lam != -1) {
+                // Minv[i, i:] -= D^-1 U^T (iXλ P_λ[:, i:]).
+                for (int j = vi; j < nv; ++j) {
+                    Vec6 pcol;
+                    for (int a = 0; a < 6; ++a)
+                        pcol[a] = p[lam](a, j);
+                    const Vec6 xp = xup[i].applyMotion(pcol);
+                    VectorX ut(ni);
+                    for (int r = 0; r < ni; ++r)
+                        ut[r] = ucols[i][r].dot(xp);
+                    for (int r = 0; r < ni; ++r) {
+                        double val = 0.0;
+                        for (int k = 0; k < ni; ++k)
+                            val += dinv[i](r, k) * ut[k];
+                        out(vi + r, j) -= val;
+                    }
+                }
+            }
+            // P_i[:, i:] = S Minv[i, i:] (+ iXλ P_λ[:, i:]).
+            for (int j = vi; j < nv; ++j) {
+                Vec6 pcol;
+                for (int k = 0; k < ni; ++k)
+                    pcol += s.col(k) * out(vi + k, j);
+                if (lam != -1) {
+                    Vec6 plam;
+                    for (int a = 0; a < 6; ++a)
+                        plam[a] = p[lam](a, j);
+                    pcol += xup[i].applyMotion(plam);
+                }
+                for (int a = 0; a < 6; ++a)
+                    p[i](a, j) = pcol[a];
+            }
+        }
+        // Mirror the computed upper triangle.
+        for (int r = 0; r < nv; ++r)
+            for (int c = r + 1; c < nv; ++c)
+                out(c, r) = out(r, c);
+    }
+    return out;
+}
+
+} // namespace dadu::algo

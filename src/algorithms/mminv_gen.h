@@ -1,0 +1,60 @@
+/**
+ * @file
+ * MMinvGen: the paper's merged mass-matrix / inverse-mass-matrix
+ * generator (Algorithm 2).
+ *
+ * Combines the CRBA with the analytical joint-space-inertia inverse
+ * (Carpentier's simplified ABA [47]) into a single backward sweep
+ * plus, for the inverse, a forward completion sweep — avoiding a
+ * whole forward loop relative to running the two classic algorithms
+ * back to back (Section IV-B). The outM/outMinv flags select the
+ * output, mirroring the accelerator's micro-instruction modes. The
+ * two modes share the backward dataflow but keep different I^A
+ * contents (composite vs articulated inertia), so exactly one flag
+ * may be set per call — the accelerator likewise runs them as
+ * separate function invocations.
+ */
+
+#ifndef DADU_ALGORITHMS_MMINV_GEN_H
+#define DADU_ALGORITHMS_MMINV_GEN_H
+
+#include "linalg/matrixx.h"
+#include "model/robot_model.h"
+
+namespace dadu::algo {
+
+using linalg::MatrixX;
+using linalg::VectorX;
+using model::RobotModel;
+
+/**
+ * Run Algorithm 2.
+ *
+ * @param robot    the robot model.
+ * @param q        configuration (size nq).
+ * @param out_m    produce the mass matrix M (CRBA dataflow).
+ * @param out_minv produce M⁻¹ (analytical-inverse dataflow).
+ * @return the requested symmetric nv x nv matrix.
+ *
+ * Exactly one of @p out_m / @p out_minv must be true.
+ */
+MatrixX mminvGen(const RobotModel &robot, const VectorX &q, bool out_m,
+                 bool out_minv);
+
+/** Convenience wrapper: M(q) via MMinvGen. */
+inline MatrixX
+massMatrix(const RobotModel &robot, const VectorX &q)
+{
+    return mminvGen(robot, q, true, false);
+}
+
+/** Convenience wrapper: M⁻¹(q) via MMinvGen. */
+inline MatrixX
+massMatrixInverse(const RobotModel &robot, const VectorX &q)
+{
+    return mminvGen(robot, q, false, true);
+}
+
+} // namespace dadu::algo
+
+#endif // DADU_ALGORITHMS_MMINV_GEN_H

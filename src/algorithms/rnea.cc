@@ -1,0 +1,67 @@
+#include "algorithms/rnea.h"
+
+#include "spatial/cross.h"
+
+namespace dadu::algo {
+
+using spatial::crossForce;
+using spatial::crossMotion;
+using spatial::SpatialTransform;
+
+RneaResult
+rnea(const RobotModel &robot, const VectorX &q, const VectorX &qd,
+     const VectorX &qdd, const std::vector<Vec6> *fext)
+{
+    const int nb = robot.nb();
+    RneaResult res;
+    res.tau.resize(robot.nv());
+    res.v.assign(nb, Vec6::zero());
+    res.a.assign(nb, Vec6::zero());
+    res.f.assign(nb, Vec6::zero());
+
+    std::vector<SpatialTransform> xup(nb);
+
+    // Forward propagation (Algorithm 1 lines 2-6). The world base has
+    // v = 0 and a = -g (gravity folded into the base acceleration).
+    for (int i = 0; i < nb; ++i) {
+        const int lam = robot.parent(i);
+        xup[i] = robot.linkTransform(i, q);
+        const auto &s = robot.subspace(i);
+        const Vec6 vj = s.apply(robot.jointVelocity(i, qd));
+        const Vec6 aj = s.apply(robot.jointVelocity(i, qdd));
+
+        const Vec6 vparent =
+            lam == -1 ? Vec6::zero() : res.v[static_cast<size_t>(lam)];
+        const Vec6 aparent =
+            lam == -1 ? robot.gravity() : res.a[static_cast<size_t>(lam)];
+
+        res.v[i] = xup[i].applyMotion(vparent) + vj;
+        res.a[i] = xup[i].applyMotion(aparent) + aj +
+                   crossMotion(res.v[i], vj);
+        res.f[i] = robot.link(i).inertia.apply(res.a[i]) +
+                   crossForce(res.v[i],
+                              robot.link(i).inertia.apply(res.v[i]));
+        if (fext)
+            res.f[i] -= (*fext)[i];
+    }
+
+    // Backward propagation (Algorithm 1 lines 7-10).
+    for (int i = nb - 1; i >= 0; --i) {
+        const auto &s = robot.subspace(i);
+        const VectorX taui = s.applyTranspose(res.f[i]);
+        res.tau.setSegment(robot.link(i).vIndex, taui);
+        const int lam = robot.parent(i);
+        if (lam != -1)
+            res.f[lam] += xup[i].applyTransposeForce(res.f[i]);
+    }
+    return res;
+}
+
+VectorX
+biasForce(const RobotModel &robot, const VectorX &q, const VectorX &qd,
+          const std::vector<Vec6> *fext)
+{
+    return rnea(robot, q, qd, VectorX(robot.nv()), fext).tau;
+}
+
+} // namespace dadu::algo

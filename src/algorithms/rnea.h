@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Recursive Newton-Euler Algorithm (inverse dynamics).
+ *
+ * Implements Algorithm 1 of the paper: τ = ID(q, q̇, q̈, f_ext),
+ * also returning the intermediate link states [v, a, f] that the
+ * accelerator's dataflow forwards to the ∆RNEA pipeline (step ④ of
+ * Fig. 9a feeds step ⑤).
+ */
+
+#ifndef DADU_ALGORITHMS_RNEA_H
+#define DADU_ALGORITHMS_RNEA_H
+
+#include <vector>
+
+#include "linalg/matrixx.h"
+#include "linalg/vec.h"
+#include "model/robot_model.h"
+
+namespace dadu::algo {
+
+using linalg::Vec6;
+using linalg::VectorX;
+using model::RobotModel;
+
+/** Outputs of the RNEA: joint torques plus per-link states. */
+struct RneaResult
+{
+    VectorX tau;             ///< Joint torques (size nv).
+    std::vector<Vec6> v;     ///< Link spatial velocities (per link).
+    std::vector<Vec6> a;     ///< Link spatial accelerations (per link).
+    std::vector<Vec6> f;     ///< Link spatial forces after the backward
+                             ///< accumulation (per link).
+};
+
+/**
+ * Inverse dynamics τ = ID(q, q̇, q̈, f_ext).
+ *
+ * @param robot the robot model.
+ * @param q     configuration (size nq).
+ * @param qd    joint velocities (size nv).
+ * @param qdd   joint accelerations (size nv).
+ * @param fext  optional per-link external forces, expressed in each
+ *              link's own frame (entry i applies to link i); pass
+ *              nullptr for none.
+ */
+RneaResult rnea(const RobotModel &robot, const VectorX &q,
+                const VectorX &qd, const VectorX &qdd,
+                const std::vector<Vec6> *fext = nullptr);
+
+/**
+ * Generalized bias force C(q, q̇, f_ext) = ID(q, q̇, 0, f_ext):
+ * Coriolis, centrifugal, gravity and external forces (step ① of the
+ * paper's FD decomposition).
+ */
+VectorX biasForce(const RobotModel &robot, const VectorX &q,
+                  const VectorX &qd,
+                  const std::vector<Vec6> *fext = nullptr);
+
+} // namespace dadu::algo
+
+#endif // DADU_ALGORITHMS_RNEA_H

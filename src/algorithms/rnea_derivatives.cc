@@ -1,0 +1,165 @@
+#include "algorithms/rnea_derivatives.h"
+
+#include <vector>
+
+#include "spatial/cross.h"
+#include "spatial/transform.h"
+
+namespace dadu::algo {
+
+using spatial::crossForce;
+using spatial::crossMotion;
+using spatial::SpatialTransform;
+
+namespace {
+
+/**
+ * 6 x nv Jacobian with a list of active (nonzero) columns — the
+ * incremental column vectors of Fig. 7b.
+ */
+struct ColJacobian
+{
+    explicit ColJacobian(int nv) : cols(nv, Vec6::zero()) {}
+
+    std::vector<Vec6> cols;
+};
+
+} // namespace
+
+RneaDerivatives
+rneaDerivatives(const RobotModel &robot, const VectorX &q,
+                const VectorX &qd, const VectorX &qdd,
+                const std::vector<Vec6> *fext)
+{
+    const int nb = robot.nb();
+    const int nv = robot.nv();
+
+    RneaDerivatives res;
+    res.dtau_dq.resize(nv, nv);
+    res.dtau_dqd.resize(nv, nv);
+
+    std::vector<SpatialTransform> xup(nb);
+    std::vector<Vec6> v(nb), a(nb), f(nb);
+    // Active columns for link i: DOF indices of all its ancestors and
+    // itself, in increasing order.
+    std::vector<std::vector<int>> active(nb);
+
+    std::vector<ColJacobian> dv_dq(nb, ColJacobian(nv));
+    std::vector<ColJacobian> dv_dqd(nb, ColJacobian(nv));
+    std::vector<ColJacobian> da_dq(nb, ColJacobian(nv));
+    std::vector<ColJacobian> da_dqd(nb, ColJacobian(nv));
+    std::vector<ColJacobian> df_dq(nb, ColJacobian(nv));
+    std::vector<ColJacobian> df_dqd(nb, ColJacobian(nv));
+
+    // ---------------- Forward propagation ----------------
+    for (int i = 0; i < nb; ++i) {
+        const int lam = robot.parent(i);
+        xup[i] = robot.linkTransform(i, q);
+        const auto &s = robot.subspace(i);
+        const int ni = s.nv();
+        const int vi = robot.link(i).vIndex;
+
+        if (lam != -1)
+            active[i] = active[lam];
+        for (int k = 0; k < ni; ++k)
+            active[i].push_back(vi + k);
+
+        const Vec6 vj = s.apply(robot.jointVelocity(i, qd));
+        const Vec6 aj = s.apply(robot.jointVelocity(i, qdd));
+        const Vec6 vparent = lam == -1 ? Vec6::zero() : v[lam];
+        const Vec6 aparent = lam == -1 ? robot.gravity() : a[lam];
+
+        const Vec6 vc = xup[i].applyMotion(vparent); // X v_λ
+        const Vec6 ac = xup[i].applyMotion(aparent); // X a_λ
+        v[i] = vc + vj;
+        a[i] = ac + aj + crossMotion(v[i], vj);
+
+        // Ancestor columns: transform the parent Jacobians and add
+        // the velocity-product coupling.
+        if (lam != -1) {
+            for (int col : active[lam]) {
+                const Vec6 dvq = xup[i].applyMotion(dv_dq[lam].cols[col]);
+                const Vec6 dvqd = xup[i].applyMotion(dv_dqd[lam].cols[col]);
+                dv_dq[i].cols[col] = dvq;
+                dv_dqd[i].cols[col] = dvqd;
+                da_dq[i].cols[col] =
+                    xup[i].applyMotion(da_dq[lam].cols[col]) +
+                    crossMotion(dvq, vj);
+                da_dqd[i].cols[col] =
+                    xup[i].applyMotion(da_dqd[lam].cols[col]) +
+                    crossMotion(dvqd, vj);
+            }
+        }
+        // Own-DOF columns (new columns of the incremental Jacobian).
+        for (int k = 0; k < ni; ++k) {
+            const int col = vi + k;
+            const Vec6 sk = s.col(k);
+            const Vec6 dvq = crossMotion(vc, sk);  // ∂(X v_λ)/∂q_k
+            dv_dq[i].cols[col] = dvq;
+            dv_dqd[i].cols[col] = sk;
+            da_dq[i].cols[col] =
+                crossMotion(ac, sk) + crossMotion(dvq, vj);
+            da_dqd[i].cols[col] =
+                crossMotion(sk, vj) + crossMotion(v[i], sk);
+        }
+
+        // f and its Jacobians.
+        const auto &inertia = robot.link(i).inertia;
+        const Vec6 iv = inertia.apply(v[i]);
+        f[i] = inertia.apply(a[i]) + crossForce(v[i], iv);
+        if (fext)
+            f[i] -= (*fext)[i];
+        for (int col : active[i]) {
+            df_dq[i].cols[col] =
+                inertia.apply(da_dq[i].cols[col]) +
+                crossForce(dv_dq[i].cols[col], iv) +
+                crossForce(v[i], inertia.apply(dv_dq[i].cols[col]));
+            df_dqd[i].cols[col] =
+                inertia.apply(da_dqd[i].cols[col]) +
+                crossForce(dv_dqd[i].cols[col], iv) +
+                crossForce(v[i], inertia.apply(dv_dqd[i].cols[col]));
+        }
+    }
+
+    // ---------------- Backward propagation ----------------
+    for (int i = nb - 1; i >= 0; --i) {
+        const int lam = robot.parent(i);
+        const auto &s = robot.subspace(i);
+        const int ni = s.nv();
+        const int vi = robot.link(i).vIndex;
+
+        // ∂τ_i/∂x = S^T ∂f_i/∂x. Columns outside the subtree of the
+        // root-path are zero, but columns of descendants were merged
+        // in through the child accumulation below, so sweep all nv.
+        for (int col = 0; col < nv; ++col) {
+            for (int r = 0; r < ni; ++r) {
+                res.dtau_dq(vi + r, col) = s.col(r).dot(df_dq[i].cols[col]);
+                res.dtau_dqd(vi + r, col) =
+                    s.col(r).dot(df_dqd[i].cols[col]);
+            }
+        }
+
+        if (lam != -1) {
+            // ∂f_λ/∂x += λX*( ∂f_i/∂x + [x = q_i] S ×* f_i )
+            // (the paper's backward transfer, Fig. 7).
+            for (int col = 0; col < nv; ++col) {
+                Vec6 dq_col = df_dq[i].cols[col];
+                if (col >= vi && col < vi + ni)
+                    dq_col += crossForce(s.col(col - vi), f[i]);
+                if (dq_col.maxAbs() != 0.0) {
+                    df_dq[lam].cols[col] +=
+                        xup[i].applyTransposeForce(dq_col);
+                }
+                const Vec6 &dqd_col = df_dqd[i].cols[col];
+                if (dqd_col.maxAbs() != 0.0) {
+                    df_dqd[lam].cols[col] +=
+                        xup[i].applyTransposeForce(dqd_col);
+                }
+            }
+            f[lam] += xup[i].applyTransposeForce(f[i]);
+        }
+    }
+    return res;
+}
+
+} // namespace dadu::algo

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ∆RNEA: analytical first-order derivatives of inverse dynamics,
+ * ∂τ/∂q and ∂τ/∂q̇ (Carpentier-Mansard [13], in the dataflow form of
+ * the paper's Fig. 7).
+ *
+ * The derivatives are propagated as incremental column blocks: the
+ * Jacobians ∂v_i, ∂a_i, ∂f_i are 6 x N matrices whose only nonzero
+ * columns belong to joints on the path from the root to link i —
+ * exactly the "Incremental Calculation" property (Section IV-A4)
+ * that makes deeper ∆RNEA submodules more expensive in hardware.
+ *
+ * Derivatives with respect to q are tangent-space (local-frame)
+ * derivatives, consistent with RobotModel::integrate; for
+ * single-DOF joints they coincide with plain partial derivatives.
+ */
+
+#ifndef DADU_ALGORITHMS_RNEA_DERIVATIVES_H
+#define DADU_ALGORITHMS_RNEA_DERIVATIVES_H
+
+#include <vector>
+
+#include "linalg/matrixx.h"
+#include "linalg/vec.h"
+#include "model/robot_model.h"
+
+namespace dadu::algo {
+
+using linalg::MatrixX;
+using linalg::Vec6;
+using linalg::VectorX;
+using model::RobotModel;
+
+/** ∂τ/∂u for u = [q; q̇] (each nv x nv). */
+struct RneaDerivatives
+{
+    MatrixX dtau_dq;  ///< ∂τ/∂q  (nv x nv).
+    MatrixX dtau_dqd; ///< ∂τ/∂q̇ (nv x nv).
+};
+
+/**
+ * Analytical derivatives of τ = ID(q, q̇, q̈, f_ext) with respect to
+ * q and q̇ (∂τ/∂q̈ is simply M(q) and is not recomputed here).
+ *
+ * @param fext optional per-link external forces (link frames),
+ *             treated as constants.
+ */
+RneaDerivatives rneaDerivatives(const RobotModel &robot, const VectorX &q,
+                                const VectorX &qd, const VectorX &qdd,
+                                const std::vector<Vec6> *fext = nullptr);
+
+} // namespace dadu::algo
+
+#endif // DADU_ALGORITHMS_RNEA_DERIVATIVES_H

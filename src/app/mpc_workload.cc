@@ -1,0 +1,117 @@
+#include "app/mpc_workload.h"
+
+#include <chrono>
+#include <random>
+
+#include "algorithms/aba.h"
+#include "algorithms/dynamics.h"
+#include "app/scheduler.h"
+#include "linalg/factorize.h"
+#include "perf/timing.h"
+
+namespace dadu::app {
+
+using algo::aba;
+using algo::fdDerivatives;
+using linalg::MatrixX;
+using linalg::VectorX;
+
+namespace {
+
+double
+nowUs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+               .count() /
+           1000.0;
+}
+
+} // namespace
+
+MpcWorkload::MpcWorkload(const RobotModel &robot, MpcConfig cfg)
+    : robot_(robot), cfg_(cfg)
+{
+    std::mt19937 rng(2025);
+    for (int i = 0; i < cfg_.horizon_points; ++i) {
+        qs_.push_back(robot_.randomConfiguration(rng));
+        qds_.push_back(robot_.randomVelocity(rng));
+        taus_.push_back(robot_.randomVelocity(rng));
+    }
+}
+
+MpcBreakdown
+MpcWorkload::measureCpu()
+{
+    MpcBreakdown b;
+    volatile double sink = 0.0;
+
+    // LQ approximation: ∆FD at every sample point.
+    double t0 = nowUs();
+    for (int i = 0; i < cfg_.horizon_points; ++i) {
+        const auto d = fdDerivatives(robot_, qs_[i], qds_[i], taus_[i]);
+        sink = d.dqdd_dq(0, 0);
+    }
+    b.lq_us = nowUs() - t0;
+
+    // RK4 rollout: four serial FD stages per point.
+    t0 = nowUs();
+    for (int i = 0; i < cfg_.horizon_points; ++i) {
+        VectorX q = qs_[i], qd = qds_[i];
+        for (int stage = 0; stage < 4; ++stage) {
+            const VectorX qdd = aba(robot_, q, qd, taus_[i]);
+            q = robot_.integrate(q, qd * (0.5 * cfg_.dt));
+            qd += qdd * (0.5 * cfg_.dt);
+        }
+        sink = qd[0];
+    }
+    b.rollout_us = nowUs() - t0;
+
+    // Riccati sweep: a backward pass of nv x nv factorizations.
+    t0 = nowUs();
+    MatrixX s = MatrixX::identity(robot_.nv());
+    for (int i = cfg_.horizon_points - 1; i >= 0; --i) {
+        // S <- Q + A^T S A shaped work via one Cholesky solve.
+        const linalg::Cholesky chol(s + MatrixX::identity(robot_.nv()));
+        s = chol.solve(MatrixX::identity(robot_.nv()));
+        for (std::size_t r = 0; r < s.rows(); ++r)
+            s(r, r) += 1.0;
+    }
+    sink = s(0, 0);
+    b.solver_us = nowUs() - t0;
+    (void)sink;
+    return b;
+}
+
+double
+MpcWorkload::cpuIterationUs(int threads)
+{
+    const MpcBreakdown b = measureCpu();
+    const double scale = perf::threadScaling(threads);
+    // LQ approximation and rollouts parallelize across sample
+    // points; the Riccati sweep is serial (Fig. 2c structure).
+    return (b.lq_us + b.rollout_us) / scale + b.solver_us;
+}
+
+double
+MpcWorkload::acceleratedIterationUs(Accelerator &accel)
+{
+    const MpcBreakdown b = measureCpu();
+    // The LQ approximation maps to one ∆FD batch over the horizon;
+    // the rollout maps to 4 serial FD stages per point, interleaved
+    // across points per Fig. 13.
+    const auto dfd = accel.analytic(accel::FunctionType::DeltaFD);
+    const double lq_us =
+        cfg_.horizon_points * dfd.ii_cycles /
+        (accel.config().freq_mhz * 1e6) * 1e6;
+    const auto fd = accel.analytic(accel::FunctionType::FD);
+    const double rollout_us = scheduleSerialStagesUs(
+        cfg_.horizon_points, 4, fd.ii_cycles, fd.latency_cycles,
+        accel.config().freq_mhz);
+    // CPU keeps the solver; accelerator phases overlap CPU solver
+    // except for the data dependency at the end of the iteration.
+    return std::max(lq_us + rollout_us + dfd.latency_us,
+                    b.solver_us);
+}
+
+} // namespace dadu::app

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The end-to-end robot application of Fig. 2 / Section VI-B.
+ *
+ * A whole-body MPC iteration in the OCS2 style: along a horizon of N
+ * sample points, each iteration performs
+ *
+ *  - an LQ approximation: forward dynamics, its derivatives (∆FD)
+ *    and the mass-matrix inverse at every sample point — the
+ *    parallelizable dark-blue share of Fig. 2c, dominated by rigid
+ *    body dynamics;
+ *  - RK4 integration with sensitivity propagation: four *serial*
+ *    dynamics stages per sample point (the partially-parallelizable
+ *    workload of Fig. 13);
+ *  - a backward Riccati-style solver sweep (inherently serial).
+ *
+ * The workload runs the real reference algorithms, so CPU timings
+ * are measured; the accelerated variant offloads the dynamics tasks
+ * to the Dadu-RBD model with the Fig. 13 scheduling policy.
+ */
+
+#ifndef DADU_APP_MPC_WORKLOAD_H
+#define DADU_APP_MPC_WORKLOAD_H
+
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "model/robot_model.h"
+
+namespace dadu::app {
+
+using accel::Accelerator;
+using model::RobotModel;
+
+/** Workload dimensions. */
+struct MpcConfig
+{
+    int horizon_points = 100; ///< ~1 s horizon at 0.01 s steps
+    double dt = 0.01;         ///< integration step
+};
+
+/** Wall-clock shares of one MPC iteration (Fig. 2c). */
+struct MpcBreakdown
+{
+    double lq_us = 0.0;       ///< LQ approximation (parallelizable)
+    double rollout_us = 0.0;  ///< RK4 rollout with sensitivities
+    double solver_us = 0.0;   ///< serial Riccati sweep
+    double total() const { return lq_us + rollout_us + solver_us; }
+
+    /** Fraction of the iteration spent in derivatives of dynamics. */
+    double
+    derivativeShare() const
+    {
+        return lq_us / total();
+    }
+};
+
+/** One MPC iteration driver. */
+class MpcWorkload
+{
+  public:
+    MpcWorkload(const RobotModel &robot, MpcConfig cfg = {});
+
+    /**
+     * Run one LQ-approximation + rollout iteration single-threaded on
+     * the host and return the measured per-phase times.
+     */
+    MpcBreakdown measureCpu();
+
+    /**
+     * Modeled iteration time with @p threads CPU threads: measured
+     * single-thread phases, parallel phases scaled by the saturating
+     * curve of perf::threadScaling (Fig. 2b).
+     */
+    double cpuIterationUs(int threads);
+
+    /**
+     * Iteration time with the dynamics tasks offloaded to @p accel
+     * (FD + ∆FD batches through the pipelines, Fig. 13 interleaving
+     * of the four serial RK4 stages), while the CPU keeps the solver
+     * sweep.
+     */
+    double acceleratedIterationUs(Accelerator &accel);
+
+    const MpcConfig &config() const { return cfg_; }
+
+  private:
+    const RobotModel &robot_;
+    MpcConfig cfg_;
+    std::vector<linalg::VectorX> qs_, qds_, taus_;
+};
+
+} // namespace dadu::app
+
+#endif // DADU_APP_MPC_WORKLOAD_H

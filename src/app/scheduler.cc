@@ -1,0 +1,23 @@
+#include "app/scheduler.h"
+
+#include <cmath>
+
+namespace dadu::app {
+
+double
+scheduleSerialStagesUs(int points, int stages, double ii_cycles,
+                       double latency_cycles, double freq_mhz)
+{
+    const double cycles =
+        stages * (points * ii_cycles + latency_cycles);
+    return cycles / (freq_mhz * 1e6) * 1e6;
+}
+
+double
+scheduleCpuUs(int points, int stages, double task_us, int threads)
+{
+    const double rounds = std::ceil(static_cast<double>(points) / threads);
+    return rounds * stages * task_us;
+}
+
+} // namespace dadu::app

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool for the multi-threaded CPU baseline
+ * (the paper's Fig. 2b experiment runs the LQ-approximation tasks on
+ * 1-12 threads).
+ */
+
+#ifndef DADU_APP_THREAD_POOL_H
+#define DADU_APP_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dadu::app {
+
+/** Fixed-size worker pool with a blocking wait-for-all. */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void waitAll();
+
+    int threadCount() const { return static_cast<int>(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::condition_variable done_cv_;
+    int in_flight_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace dadu::app
+
+#endif // DADU_APP_THREAD_POOL_H

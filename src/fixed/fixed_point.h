@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Fixed-point arithmetic for the accelerator datapaths.
+ *
+ * Section IV-B2 of the paper: the accelerator computes with
+ * fixed-point add/sub/mul (cheap on FPGA DSP slices) and handles the
+ * reciprocal in MMinvGen by converting to floating point, using the
+ * float reciprocal, and converting back. This module reproduces that
+ * numeric behaviour so the accelerator's functional results can be
+ * validated at the same precision the hardware would deliver.
+ *
+ * Format: signed 64-bit raw value with a compile-time fractional bit
+ * count (Q-format). The default Q34.29 gives ~1e-8 resolution over a
+ * ±~8.6e9 range, comfortably covering joint dynamics magnitudes.
+ */
+
+#ifndef DADU_FIXED_FIXED_POINT_H
+#define DADU_FIXED_FIXED_POINT_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace dadu::fixed {
+
+/**
+ * Signed fixed-point number with @p FracBits fractional bits.
+ */
+template <int FracBits>
+class FixedPoint
+{
+  public:
+    static constexpr int fracBits = FracBits;
+    static constexpr double scale =
+        static_cast<double>(std::int64_t{1} << FracBits);
+
+    constexpr FixedPoint() : raw_(0) {}
+
+    /** Quantize a double to the fixed-point grid. */
+    explicit FixedPoint(double v)
+        : raw_(static_cast<std::int64_t>(std::llround(v * scale)))
+    {}
+
+    static constexpr FixedPoint
+    fromRaw(std::int64_t raw)
+    {
+        FixedPoint f;
+        f.raw_ = raw;
+        return f;
+    }
+
+    constexpr std::int64_t raw() const { return raw_; }
+
+    double toDouble() const { return static_cast<double>(raw_) / scale; }
+
+    constexpr FixedPoint
+    operator+(const FixedPoint &o) const
+    {
+        return fromRaw(raw_ + o.raw_);
+    }
+
+    constexpr FixedPoint
+    operator-(const FixedPoint &o) const
+    {
+        return fromRaw(raw_ - o.raw_);
+    }
+
+    constexpr FixedPoint
+    operator-() const
+    {
+        return fromRaw(-raw_);
+    }
+
+    /**
+     * Fixed-point multiply: 128-bit intermediate, truncating shift —
+     * the behaviour of a DSP-slice multiplier feeding a shifter.
+     */
+    constexpr FixedPoint
+    operator*(const FixedPoint &o) const
+    {
+        const __int128 p =
+            static_cast<__int128>(raw_) * static_cast<__int128>(o.raw_);
+        return fromRaw(static_cast<std::int64_t>(p >> FracBits));
+    }
+
+    constexpr FixedPoint &
+    operator+=(const FixedPoint &o)
+    {
+        raw_ += o.raw_;
+        return *this;
+    }
+
+    constexpr FixedPoint &
+    operator-=(const FixedPoint &o)
+    {
+        raw_ -= o.raw_;
+        return *this;
+    }
+
+    constexpr bool operator==(const FixedPoint &o) const = default;
+
+    constexpr bool
+    operator<(const FixedPoint &o) const
+    {
+        return raw_ < o.raw_;
+    }
+
+  private:
+    std::int64_t raw_;
+};
+
+/** The accelerator's default datapath format. */
+using Fix = FixedPoint<29>;
+
+/**
+ * Float-assisted reciprocal (Section IV-B2 / [48]): convert to
+ * float, take the single-precision reciprocal (as the FPGA core
+ * would), convert back to fixed point.
+ */
+template <int F>
+FixedPoint<F>
+reciprocal(const FixedPoint<F> &x)
+{
+    const float xf = static_cast<float>(x.toDouble());
+    const float rf = 1.0f / xf;
+    return FixedPoint<F>(static_cast<double>(rf));
+}
+
+/**
+ * One Newton-Raphson refinement of the float-assisted reciprocal in
+ * fixed point: r' = r (2 - x r). Doubles the effective precision at
+ * the cost of two fixed-point multiplies — the optional refinement
+ * stage of reciprocal cores in [48].
+ */
+template <int F>
+FixedPoint<F>
+reciprocalRefined(const FixedPoint<F> &x)
+{
+    const FixedPoint<F> r = reciprocal(x);
+    const FixedPoint<F> two(2.0);
+    return r * (two - x * r);
+}
+
+} // namespace dadu::fixed
+
+#endif // DADU_FIXED_FIXED_POINT_H

@@ -1,0 +1,58 @@
+#include "fixed/trig.h"
+
+namespace dadu::fixed {
+
+namespace {
+
+/** Taylor sine on a reduced argument |x| <= π/4. */
+double
+taylorSinReduced(double x, int terms)
+{
+    // sin x = x - x^3/3! + x^5/5! - ...
+    double term = x;
+    double sum = x;
+    const double x2 = x * x;
+    for (int k = 1; k < terms; ++k) {
+        term *= -x2 / ((2.0 * k) * (2.0 * k + 1.0));
+        sum += term;
+    }
+    return sum;
+}
+
+/** Taylor cosine on a reduced argument |x| <= π/4. */
+double
+taylorCosReduced(double x, int terms)
+{
+    // cos x = 1 - x^2/2! + x^4/4! - ...
+    double term = 1.0;
+    double sum = 1.0;
+    const double x2 = x * x;
+    for (int k = 1; k < terms; ++k) {
+        term *= -x2 / ((2.0 * k - 1.0) * (2.0 * k));
+        sum += term;
+    }
+    return sum;
+}
+
+} // namespace
+
+std::pair<double, double>
+taylorSinCos(double q, int terms)
+{
+    // Quadrant reduction: q = r + k·π/2 with |r| ≤ π/4.
+    const double x = reduceAngle(q);
+    constexpr double half_pi = 0.5 * std::numbers::pi;
+    const int k = static_cast<int>(std::lround(x / half_pi));
+    const double r = x - k * half_pi;
+
+    const double s = taylorSinReduced(r, terms);
+    const double c = taylorCosReduced(r, terms);
+    switch (((k % 4) + 4) % 4) {
+      case 0: return {s, c};
+      case 1: return {c, -s};
+      case 2: return {-s, -c};
+      default: return {-c, s};
+    }
+}
+
+} // namespace dadu::fixed

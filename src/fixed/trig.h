@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Taylor-series trigonometric evaluation — the functional model of
+ * the paper's Global Trigonometric Module (Section V-B2).
+ *
+ * The hardware computes sin q and cos q for every joint up front with
+ * an unrolled Taylor expansion; most submodules then consume the
+ * precomputed pair. The polynomial degree is a configuration knob so
+ * tests can measure the approximation error the accelerator would
+ * incur.
+ */
+
+#ifndef DADU_FIXED_TRIG_H
+#define DADU_FIXED_TRIG_H
+
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+namespace dadu::fixed {
+
+/**
+ * Range-reduce an angle to [-π, π].
+ */
+inline double
+reduceAngle(double q)
+{
+    constexpr double two_pi = 2.0 * std::numbers::pi;
+    double r = std::fmod(q, two_pi);
+    if (r > std::numbers::pi)
+        r -= two_pi;
+    else if (r < -std::numbers::pi)
+        r += two_pi;
+    return r;
+}
+
+/**
+ * sin/cos via Taylor expansion of order @p terms (terms pairs of the
+ * series, evaluated after quadrant reduction to |x| ≤ π/4 so few
+ * terms reach near-single precision, as the loop-unrolled hardware
+ * pipeline does).
+ */
+std::pair<double, double> taylorSinCos(double q, int terms = 6);
+
+} // namespace dadu::fixed
+
+#endif // DADU_FIXED_TRIG_H

@@ -1,0 +1,130 @@
+#include "linalg/factorize.h"
+
+#include <cmath>
+
+namespace dadu::linalg {
+
+Cholesky::Cholesky(const MatrixX &m) : l_(m.rows(), m.cols())
+{
+    assert(m.rows() == m.cols());
+    const std::size_t n = m.rows();
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = m(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            diag -= l_(j, k) * l_(j, k);
+        if (diag <= 0.0) {
+            ok_ = false;
+            return;
+        }
+        const double ljj = std::sqrt(diag);
+        l_(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double s = m(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                s -= l_(i, k) * l_(j, k);
+            l_(i, j) = s / ljj;
+        }
+    }
+}
+
+VectorX
+Cholesky::solve(const VectorX &b) const
+{
+    VectorX y = solveLowerTriangular(l_, b);
+    return solveLowerTriangularTransposed(l_, y);
+}
+
+MatrixX
+Cholesky::solve(const MatrixX &b) const
+{
+    MatrixX x(b.rows(), b.cols());
+    for (std::size_t c = 0; c < b.cols(); ++c)
+        x.setCol(c, solve(b.col(c)));
+    return x;
+}
+
+MatrixX
+Cholesky::inverse() const
+{
+    return solve(MatrixX::identity(l_.rows()));
+}
+
+Ldlt::Ldlt(const MatrixX &m) : l_(m.rows(), m.cols()), d_(m.rows())
+{
+    assert(m.rows() == m.cols());
+    const std::size_t n = m.rows();
+    for (std::size_t j = 0; j < n; ++j) {
+        double dj = m(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            dj -= l_(j, k) * l_(j, k) * d_[k];
+        if (dj == 0.0) {
+            ok_ = false;
+            return;
+        }
+        d_[j] = dj;
+        l_(j, j) = 1.0;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double s = m(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                s -= l_(i, k) * l_(j, k) * d_[k];
+            l_(i, j) = s / dj;
+        }
+    }
+}
+
+VectorX
+Ldlt::solve(const VectorX &b) const
+{
+    VectorX y = solveLowerTriangular(l_, b);
+    for (std::size_t i = 0; i < y.size(); ++i)
+        y[i] /= d_[i];
+    return solveLowerTriangularTransposed(l_, y);
+}
+
+MatrixX
+Ldlt::solve(const MatrixX &b) const
+{
+    MatrixX x(b.rows(), b.cols());
+    for (std::size_t c = 0; c < b.cols(); ++c)
+        x.setCol(c, solve(b.col(c)));
+    return x;
+}
+
+MatrixX
+Ldlt::inverse() const
+{
+    return solve(MatrixX::identity(l_.rows()));
+}
+
+VectorX
+solveLowerTriangular(const MatrixX &l, const VectorX &b)
+{
+    assert(l.rows() == l.cols() && l.rows() == b.size());
+    const std::size_t n = b.size();
+    VectorX x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        for (std::size_t j = 0; j < i; ++j)
+            s -= l(i, j) * x[j];
+        x[i] = s / l(i, i);
+    }
+    return x;
+}
+
+VectorX
+solveLowerTriangularTransposed(const MatrixX &l, const VectorX &b)
+{
+    assert(l.rows() == l.cols() && l.rows() == b.size());
+    const std::size_t n = b.size();
+    VectorX x(n);
+    for (std::size_t ii = 0; ii < n; ++ii) {
+        const std::size_t i = n - 1 - ii;
+        double s = b[i];
+        for (std::size_t j = i + 1; j < n; ++j)
+            s -= l(j, i) * x[j];
+        x[i] = s / l(i, i);
+    }
+    return x;
+}
+
+} // namespace dadu::linalg

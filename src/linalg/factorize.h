@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dense symmetric factorizations and triangular solves.
+ *
+ * The paper computes the inverse of the mass matrix either directly
+ * (MMinvGen, Algorithm 2) or via Cholesky/LDLT factorization
+ * (Section III-A). These routines provide the factorization route,
+ * both as a software baseline and as the reference the accelerator
+ * results are validated against.
+ */
+
+#ifndef DADU_LINALG_FACTORIZE_H
+#define DADU_LINALG_FACTORIZE_H
+
+#include "linalg/matrixx.h"
+
+namespace dadu::linalg {
+
+/**
+ * Cholesky factorization M = L L^T of a symmetric positive-definite
+ * matrix.
+ */
+class Cholesky
+{
+  public:
+    /**
+     * Factorize @p m.
+     * @param m symmetric positive-definite matrix.
+     */
+    explicit Cholesky(const MatrixX &m);
+
+    /** Whether the factorization succeeded (matrix was SPD). */
+    bool ok() const { return ok_; }
+
+    /** Lower-triangular factor L. */
+    const MatrixX &matrixL() const { return l_; }
+
+    /** Solve M x = b. */
+    VectorX solve(const VectorX &b) const;
+
+    /** Solve M X = B column-wise. */
+    MatrixX solve(const MatrixX &b) const;
+
+    /** Dense inverse M^-1. */
+    MatrixX inverse() const;
+
+  private:
+    MatrixX l_;
+    bool ok_ = true;
+};
+
+/**
+ * LDL^T factorization M = L D L^T of a symmetric matrix, with L unit
+ * lower-triangular and D diagonal. This is the decomposition named in
+ * Section III-A of the paper; it avoids square roots, matching the
+ * accelerator's preference for reciprocal-only scalar kernels.
+ */
+class Ldlt
+{
+  public:
+    explicit Ldlt(const MatrixX &m);
+
+    bool ok() const { return ok_; }
+
+    const MatrixX &matrixL() const { return l_; }
+    const VectorX &vectorD() const { return d_; }
+
+    VectorX solve(const VectorX &b) const;
+    MatrixX solve(const MatrixX &b) const;
+    MatrixX inverse() const;
+
+  private:
+    MatrixX l_;
+    VectorX d_;
+    bool ok_ = true;
+};
+
+/** Solve L x = b with L lower-triangular (forward substitution). */
+VectorX solveLowerTriangular(const MatrixX &l, const VectorX &b);
+
+/** Solve L^T x = b with L lower-triangular (backward substitution). */
+VectorX solveLowerTriangularTransposed(const MatrixX &l, const VectorX &b);
+
+} // namespace dadu::linalg
+
+#endif // DADU_LINALG_FACTORIZE_H

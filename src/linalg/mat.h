@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Fixed-size dense matrix types (3x3 and 6x6) for spatial algebra.
+ *
+ * Row-major storage. These are the workhorse types of the rigid-body
+ * algorithms: rotation matrices, spatial transforms expanded to 6x6,
+ * rigid-body and articulated-body inertias.
+ */
+
+#ifndef DADU_LINALG_MAT_H
+#define DADU_LINALG_MAT_H
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+
+#include "linalg/vec.h"
+
+namespace dadu::linalg {
+
+/**
+ * Fixed-size row-major matrix of doubles.
+ *
+ * @tparam R rows, @tparam C columns.
+ */
+template <std::size_t R, std::size_t C>
+class Mat
+{
+  public:
+    /** Zero-initialized matrix. */
+    constexpr Mat() : data_{} {}
+
+    /** Construct from a row-major initializer list of R*C values. */
+    constexpr Mat(std::initializer_list<double> values) : data_{}
+    {
+        assert(values.size() == R * C);
+        std::size_t i = 0;
+        for (double v : values)
+            data_[i++] = v;
+    }
+
+    /** Identity (square only meaningful; off-square fills diagonal). */
+    static constexpr Mat
+    identity()
+    {
+        Mat m;
+        for (std::size_t i = 0; i < R && i < C; ++i)
+            m(i, i) = 1.0;
+        return m;
+    }
+
+    static constexpr Mat zero() { return Mat(); }
+
+    constexpr double &
+    operator()(std::size_t r, std::size_t c)
+    {
+        assert(r < R && c < C);
+        return data_[r * C + c];
+    }
+
+    constexpr double
+    operator()(std::size_t r, std::size_t c) const
+    {
+        assert(r < R && c < C);
+        return data_[r * C + c];
+    }
+
+    static constexpr std::size_t rows() { return R; }
+    static constexpr std::size_t cols() { return C; }
+
+    constexpr Mat &
+    operator+=(const Mat &o)
+    {
+        for (std::size_t i = 0; i < R * C; ++i)
+            data_[i] += o.data_[i];
+        return *this;
+    }
+
+    constexpr Mat &
+    operator-=(const Mat &o)
+    {
+        for (std::size_t i = 0; i < R * C; ++i)
+            data_[i] -= o.data_[i];
+        return *this;
+    }
+
+    constexpr Mat &
+    operator*=(double s)
+    {
+        for (std::size_t i = 0; i < R * C; ++i)
+            data_[i] *= s;
+        return *this;
+    }
+
+    constexpr Mat
+    operator+(const Mat &o) const
+    {
+        Mat r = *this;
+        r += o;
+        return r;
+    }
+
+    constexpr Mat
+    operator-(const Mat &o) const
+    {
+        Mat r = *this;
+        r -= o;
+        return r;
+    }
+
+    constexpr Mat
+    operator-() const
+    {
+        Mat r;
+        for (std::size_t i = 0; i < R * C; ++i)
+            r.data_[i] = -data_[i];
+        return r;
+    }
+
+    constexpr Mat
+    operator*(double s) const
+    {
+        Mat r = *this;
+        r *= s;
+        return r;
+    }
+
+    /** Matrix-vector product. */
+    constexpr Vec<R>
+    operator*(const Vec<C> &v) const
+    {
+        Vec<R> r;
+        for (std::size_t i = 0; i < R; ++i) {
+            double s = 0.0;
+            for (std::size_t j = 0; j < C; ++j)
+                s += (*this)(i, j) * v[j];
+            r[i] = s;
+        }
+        return r;
+    }
+
+    /** Matrix-matrix product. */
+    template <std::size_t K>
+    constexpr Mat<R, K>
+    operator*(const Mat<C, K> &o) const
+    {
+        Mat<R, K> r;
+        for (std::size_t i = 0; i < R; ++i) {
+            for (std::size_t k = 0; k < K; ++k) {
+                double s = 0.0;
+                for (std::size_t j = 0; j < C; ++j)
+                    s += (*this)(i, j) * o(j, k);
+                r(i, k) = s;
+            }
+        }
+        return r;
+    }
+
+    constexpr Mat<C, R>
+    transpose() const
+    {
+        Mat<C, R> r;
+        for (std::size_t i = 0; i < R; ++i)
+            for (std::size_t j = 0; j < C; ++j)
+                r(j, i) = (*this)(i, j);
+        return r;
+    }
+
+    /** Largest absolute entry; used by approximate-equality tests. */
+    constexpr double
+    maxAbs() const
+    {
+        double m = 0.0;
+        for (std::size_t i = 0; i < R * C; ++i)
+            m = std::max(m, std::fabs(data_[i]));
+        return m;
+    }
+
+    constexpr bool
+    operator==(const Mat &o) const
+    {
+        for (std::size_t i = 0; i < R * C; ++i) {
+            if (data_[i] != o.data_[i])
+                return false;
+        }
+        return true;
+    }
+
+    /** Column @p c as a vector. */
+    constexpr Vec<R>
+    col(std::size_t c) const
+    {
+        Vec<R> v;
+        for (std::size_t i = 0; i < R; ++i)
+            v[i] = (*this)(i, c);
+        return v;
+    }
+
+    /** Row @p r as a vector. */
+    constexpr Vec<C>
+    row(std::size_t r) const
+    {
+        Vec<C> v;
+        for (std::size_t j = 0; j < C; ++j)
+            v[j] = (*this)(r, j);
+        return v;
+    }
+
+    /** Overwrite column @p c. */
+    constexpr void
+    setCol(std::size_t c, const Vec<R> &v)
+    {
+        for (std::size_t i = 0; i < R; ++i)
+            (*this)(i, c) = v[i];
+    }
+
+  private:
+    std::array<double, R * C> data_;
+};
+
+template <std::size_t R, std::size_t C>
+constexpr Mat<R, C>
+operator*(double s, const Mat<R, C> &m)
+{
+    return m * s;
+}
+
+/** 3x3 matrix (rotations, inertia blocks). */
+using Mat3 = Mat<3, 3>;
+
+/** 6x6 matrix (expanded spatial transforms and inertias). */
+using Mat66 = Mat<6, 6>;
+
+/** Skew-symmetric matrix S(v) such that S(v) w == v × w. */
+constexpr Mat3
+skew(const Vec3 &v)
+{
+    return Mat3{0.0, -v[2], v[1],
+                v[2], 0.0, -v[0],
+                -v[1], v[0], 0.0};
+}
+
+/** Outer product a b^T. */
+constexpr Mat3
+outer(const Vec3 &a, const Vec3 &b)
+{
+    Mat3 m;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            m(i, j) = a[i] * b[j];
+    return m;
+}
+
+/** Rotation about the x axis by angle @p q (frame transform E). */
+inline Mat3
+rotX(double q)
+{
+    const double s = std::sin(q), c = std::cos(q);
+    return Mat3{1, 0, 0,
+                0, c, s,
+                0, -s, c};
+}
+
+/** Rotation about the y axis by angle @p q (frame transform E). */
+inline Mat3
+rotY(double q)
+{
+    const double s = std::sin(q), c = std::cos(q);
+    return Mat3{c, 0, -s,
+                0, 1, 0,
+                s, 0, c};
+}
+
+/** Rotation about the z axis by angle @p q (frame transform E). */
+inline Mat3
+rotZ(double q)
+{
+    const double s = std::sin(q), c = std::cos(q);
+    return Mat3{c, s, 0,
+                -s, c, 0,
+                0, 0, 1};
+}
+
+/**
+ * Assemble a 6x6 from four 3x3 blocks
+ * [tl tr; bl br].
+ */
+constexpr Mat66
+blocks66(const Mat3 &tl, const Mat3 &tr, const Mat3 &bl, const Mat3 &br)
+{
+    Mat66 m;
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            m(i, j) = tl(i, j);
+            m(i, j + 3) = tr(i, j);
+            m(i + 3, j) = bl(i, j);
+            m(i + 3, j + 3) = br(i, j);
+        }
+    }
+    return m;
+}
+
+} // namespace dadu::linalg
+
+#endif // DADU_LINALG_MAT_H

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Fixed-size dense vector types used throughout the Dadu-RBD
+ * reproduction.
+ *
+ * The paper's accelerator (and the rigid-body algorithms it
+ * implements) operate almost exclusively on 3-vectors and 6-vectors
+ * (spatial motion/force vectors), so these types are kept small,
+ * trivially copyable and constexpr-friendly. No external linear
+ * algebra dependency is used: the sparsity/constant-folding
+ * optimizations of Section IV-A1 of the paper require full control
+ * over the scalar operations anyway.
+ */
+
+#ifndef DADU_LINALG_VEC_H
+#define DADU_LINALG_VEC_H
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <initializer_list>
+
+namespace dadu::linalg {
+
+/**
+ * Fixed-size column vector of doubles.
+ *
+ * @tparam N compile-time dimension.
+ */
+template <std::size_t N>
+class Vec
+{
+  public:
+    /** Zero-initialized vector. */
+    constexpr Vec() : data_{} {}
+
+    /** Construct from an initializer list of exactly N values. */
+    constexpr Vec(std::initializer_list<double> values) : data_{}
+    {
+        assert(values.size() == N);
+        std::size_t i = 0;
+        for (double v : values)
+            data_[i++] = v;
+    }
+
+    /** All-constant vector. */
+    static constexpr Vec
+    constant(double c)
+    {
+        Vec v;
+        for (std::size_t i = 0; i < N; ++i)
+            v[i] = c;
+        return v;
+    }
+
+    /** Zero vector. */
+    static constexpr Vec zero() { return Vec(); }
+
+    /** Unit vector along axis @p i. */
+    static constexpr Vec
+    unit(std::size_t i)
+    {
+        Vec v;
+        v[i] = 1.0;
+        return v;
+    }
+
+    constexpr double &operator[](std::size_t i)
+    {
+        assert(i < N);
+        return data_[i];
+    }
+
+    constexpr double operator[](std::size_t i) const
+    {
+        assert(i < N);
+        return data_[i];
+    }
+
+    static constexpr std::size_t size() { return N; }
+
+    constexpr Vec &
+    operator+=(const Vec &o)
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            data_[i] += o.data_[i];
+        return *this;
+    }
+
+    constexpr Vec &
+    operator-=(const Vec &o)
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            data_[i] -= o.data_[i];
+        return *this;
+    }
+
+    constexpr Vec &
+    operator*=(double s)
+    {
+        for (std::size_t i = 0; i < N; ++i)
+            data_[i] *= s;
+        return *this;
+    }
+
+    constexpr Vec
+    operator+(const Vec &o) const
+    {
+        Vec r = *this;
+        r += o;
+        return r;
+    }
+
+    constexpr Vec
+    operator-(const Vec &o) const
+    {
+        Vec r = *this;
+        r -= o;
+        return r;
+    }
+
+    constexpr Vec
+    operator-() const
+    {
+        Vec r;
+        for (std::size_t i = 0; i < N; ++i)
+            r[i] = -data_[i];
+        return r;
+    }
+
+    constexpr Vec
+    operator*(double s) const
+    {
+        Vec r = *this;
+        r *= s;
+        return r;
+    }
+
+    /** Dot product. */
+    constexpr double
+    dot(const Vec &o) const
+    {
+        double s = 0.0;
+        for (std::size_t i = 0; i < N; ++i)
+            s += data_[i] * o.data_[i];
+        return s;
+    }
+
+    /** Euclidean norm. */
+    double norm() const { return std::sqrt(dot(*this)); }
+
+    /** Largest absolute entry; used by approximate-equality tests. */
+    constexpr double
+    maxAbs() const
+    {
+        double m = 0.0;
+        for (std::size_t i = 0; i < N; ++i)
+            m = std::max(m, std::fabs(data_[i]));
+        return m;
+    }
+
+    constexpr bool
+    operator==(const Vec &o) const
+    {
+        for (std::size_t i = 0; i < N; ++i) {
+            if (data_[i] != o.data_[i])
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::array<double, N> data_;
+};
+
+template <std::size_t N>
+constexpr Vec<N>
+operator*(double s, const Vec<N> &v)
+{
+    return v * s;
+}
+
+/** 3-vector (positions, axes, angular/linear parts). */
+using Vec3 = Vec<3>;
+
+/** 6-vector (spatial motion or force vector, Plücker coordinates). */
+using Vec6 = Vec<6>;
+
+/** 3D cross product a × b. */
+constexpr Vec3
+cross(const Vec3 &a, const Vec3 &b)
+{
+    return Vec3{a[1] * b[2] - a[2] * b[1],
+                a[2] * b[0] - a[0] * b[2],
+                a[0] * b[1] - a[1] * b[0]};
+}
+
+/** Concatenate two 3-vectors into a 6-vector [top; bottom]. */
+constexpr Vec6
+join(const Vec3 &top, const Vec3 &bottom)
+{
+    return Vec6{top[0], top[1], top[2], bottom[0], bottom[1], bottom[2]};
+}
+
+/** Top (angular) half of a 6-vector. */
+constexpr Vec3
+topHalf(const Vec6 &v)
+{
+    return Vec3{v[0], v[1], v[2]};
+}
+
+/** Bottom (linear) half of a 6-vector. */
+constexpr Vec3
+bottomHalf(const Vec6 &v)
+{
+    return Vec3{v[3], v[4], v[5]};
+}
+
+} // namespace dadu::linalg
+
+#endif // DADU_LINALG_VEC_H

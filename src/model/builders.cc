@@ -1,0 +1,333 @@
+#include "model/builders.h"
+
+#include <numbers>
+#include <string>
+
+namespace dadu::model {
+
+namespace {
+
+using linalg::Mat3;
+using linalg::Vec3;
+
+/** Inertia of a solid box about its CoM. */
+Mat3
+boxInertia(double m, double lx, double ly, double lz)
+{
+    const double c = m / 12.0;
+    Mat3 i;
+    i(0, 0) = c * (ly * ly + lz * lz);
+    i(1, 1) = c * (lx * lx + lz * lz);
+    i(2, 2) = c * (lx * lx + ly * ly);
+    return i;
+}
+
+/** Inertia of a solid cylinder (axis z) about its CoM. */
+Mat3
+cylinderInertia(double m, double r, double h)
+{
+    Mat3 i;
+    i(0, 0) = m * (3 * r * r + h * h) / 12.0;
+    i(1, 1) = i(0, 0);
+    i(2, 2) = 0.5 * m * r * r;
+    return i;
+}
+
+/** Link modeled as a cylinder extending along +z from the joint. */
+SpatialInertia
+limbSegment(double m, double r, double len)
+{
+    return SpatialInertia::fromComInertia(m, Vec3{0, 0, 0.5 * len},
+                                          cylinderInertia(m, r, len));
+}
+
+/** Compact body (box) centered at the joint frame. */
+SpatialInertia
+bodyBox(double m, double lx, double ly, double lz,
+        const Vec3 &com = Vec3::zero())
+{
+    return SpatialInertia::fromComInertia(m, com,
+                                          boxInertia(m, lx, ly, lz));
+}
+
+SpatialTransform
+xlate(double x, double y, double z)
+{
+    return SpatialTransform::translation(Vec3{x, y, z});
+}
+
+/**
+ * Append a 3-DOF leg (HAA about x, HFE about y, KFE about y) to
+ * @p parent at hip offset (@p hx, @p hy, 0). Returns the foot link.
+ */
+int
+addLeg(RobotModel &robot, int parent, const std::string &prefix,
+       double hx, double hy, double upper_len, double lower_len,
+       double upper_mass, double lower_mass, double hip_mass)
+{
+    const int haa = robot.addLink(
+        prefix + "_haa", parent, JointType::RevoluteX, xlate(hx, hy, 0),
+        bodyBox(hip_mass, 0.08, 0.08, 0.08));
+    const int hfe = robot.addLink(
+        prefix + "_hfe", haa, JointType::RevoluteY, xlate(0, 0, 0),
+        SpatialInertia::fromComInertia(
+            upper_mass, Vec3{0, 0, -0.5 * upper_len},
+            cylinderInertia(upper_mass, 0.04, upper_len)));
+    const int kfe = robot.addLink(
+        prefix + "_kfe", hfe, JointType::RevoluteY,
+        xlate(0, 0, -upper_len),
+        SpatialInertia::fromComInertia(
+            lower_mass, Vec3{0, 0, -0.5 * lower_len},
+            cylinderInertia(lower_mass, 0.03, lower_len)));
+    return kfe;
+}
+
+/**
+ * Append a 6-DOF arm (yaw/pitch/pitch/roll/pitch/roll) to @p parent.
+ * Returns the wrist link.
+ */
+int
+addArm6(RobotModel &robot, int parent, const std::string &prefix,
+        const Vec3 &mount, double scale = 1.0)
+{
+    const double l1 = 0.25 * scale, l2 = 0.25 * scale, l3 = 0.2 * scale;
+    int id = robot.addLink(prefix + "_j1", parent, JointType::RevoluteZ,
+                           SpatialTransform::translation(mount),
+                           limbSegment(2.0, 0.05, l1));
+    id = robot.addLink(prefix + "_j2", id, JointType::RevoluteY,
+                       xlate(0, 0, l1), limbSegment(2.0, 0.05, l2));
+    id = robot.addLink(prefix + "_j3", id, JointType::RevoluteY,
+                       xlate(0, 0, l2), limbSegment(1.5, 0.04, l3));
+    id = robot.addLink(prefix + "_j4", id, JointType::RevoluteX,
+                       xlate(0, 0, l3), limbSegment(1.0, 0.04, l3));
+    id = robot.addLink(prefix + "_j5", id, JointType::RevoluteY,
+                       xlate(0, 0, l3), limbSegment(0.7, 0.03, 0.1));
+    id = robot.addLink(prefix + "_j6", id, JointType::RevoluteX,
+                       xlate(0, 0, 0.1), limbSegment(0.3, 0.03, 0.08));
+    return id;
+}
+
+/**
+ * Append a 7-DOF anthropomorphic arm (shoulder z/y/x, elbow y,
+ * wrist z/y/x). Returns the hand link.
+ */
+int
+addArm7(RobotModel &robot, int parent, const std::string &prefix,
+        const Vec3 &mount, double side)
+{
+    const double lu = 0.30, lf = 0.25;
+    int id = robot.addLink(prefix + "_shz", parent, JointType::RevoluteZ,
+                           SpatialTransform::translation(mount),
+                           bodyBox(1.5, 0.08, 0.08, 0.08));
+    id = robot.addLink(prefix + "_shx", id, JointType::RevoluteX,
+                       xlate(0, side * 0.05, 0),
+                       limbSegment(2.5, 0.05, lu));
+    id = robot.addLink(prefix + "_shy", id, JointType::RevoluteY,
+                       xlate(0, 0, -0.05),
+                       limbSegment(2.0, 0.05, lu));
+    id = robot.addLink(prefix + "_el", id, JointType::RevoluteY,
+                       xlate(0, 0, -lu), limbSegment(1.5, 0.04, lf));
+    id = robot.addLink(prefix + "_wrz", id, JointType::RevoluteZ,
+                       xlate(0, 0, -lf), limbSegment(0.8, 0.04, 0.1));
+    id = robot.addLink(prefix + "_wry", id, JointType::RevoluteY,
+                       xlate(0, 0, -0.1), limbSegment(0.5, 0.03, 0.08));
+    id = robot.addLink(prefix + "_wrx", id, JointType::RevoluteX,
+                       xlate(0, 0, -0.08), bodyBox(0.4, 0.06, 0.06, 0.06));
+    return id;
+}
+
+/** Append a 6-DOF humanoid leg (hip z/x/y, knee y, ankle y/x). */
+int
+addHumanoidLeg(RobotModel &robot, int parent, const std::string &prefix,
+               double side)
+{
+    const double lt = 0.40, ls = 0.40;
+    int id = robot.addLink(prefix + "_hpz", parent, JointType::RevoluteZ,
+                           xlate(0, side * 0.12, -0.1),
+                           bodyBox(1.0, 0.1, 0.1, 0.1));
+    id = robot.addLink(prefix + "_hpx", id, JointType::RevoluteX,
+                       xlate(0, 0, -0.05), bodyBox(1.0, 0.1, 0.1, 0.1));
+    id = robot.addLink(prefix + "_hpy", id, JointType::RevoluteY,
+                       xlate(0, 0, -0.05),
+                       SpatialInertia::fromComInertia(
+                           5.0, Vec3{0, 0, -0.5 * lt},
+                           cylinderInertia(5.0, 0.07, lt)));
+    id = robot.addLink(prefix + "_kny", id, JointType::RevoluteY,
+                       xlate(0, 0, -lt),
+                       SpatialInertia::fromComInertia(
+                           3.5, Vec3{0, 0, -0.5 * ls},
+                           cylinderInertia(3.5, 0.05, ls)));
+    id = robot.addLink(prefix + "_aky", id, JointType::RevoluteY,
+                       xlate(0, 0, -ls), bodyBox(0.8, 0.08, 0.08, 0.05));
+    id = robot.addLink(prefix + "_akx", id, JointType::RevoluteX,
+                       xlate(0, 0, -0.05),
+                       bodyBox(1.2, 0.22, 0.1, 0.04, Vec3{0.05, 0, -0.03}));
+    return id;
+}
+
+} // namespace
+
+RobotModel
+makeSerialChain(int n, double link_length, double link_mass)
+{
+    RobotModel robot("chain" + std::to_string(n));
+    int parent = -1;
+    for (int i = 0; i < n; ++i) {
+        const JointType jt =
+            (i % 2 == 0) ? JointType::RevoluteZ : JointType::RevoluteY;
+        parent = robot.addLink(
+            "link" + std::to_string(i + 1), parent, jt,
+            xlate(0, 0, i == 0 ? 0.0 : link_length),
+            limbSegment(link_mass, 0.04, link_length));
+    }
+    return robot;
+}
+
+RobotModel
+makeIiwa()
+{
+    // Layout per the LBR iiwa 14 R820 datasheet: all joints revolute,
+    // axes alternating via fixed frame rotations; link masses from
+    // the commonly used iiwa URDF (rounded).
+    RobotModel robot("iiwa");
+    const double d1 = 0.36, d3 = 0.42, d5 = 0.4, d7 = 0.126;
+    int id = robot.addLink("link1", -1, JointType::RevoluteZ,
+                           xlate(0, 0, 0.1575),
+                           bodyBox(4.0, 0.12, 0.12, 0.2, Vec3{0, -0.03, 0.12}));
+    id = robot.addLink("link2", id, JointType::RevoluteY,
+                       xlate(0, 0, d1 - 0.1575),
+                       bodyBox(4.0, 0.12, 0.12, 0.2, Vec3{0, 0.059, 0.042}));
+    id = robot.addLink("link3", id, JointType::RevoluteZ,
+                       xlate(0, 0, 0.2045),
+                       bodyBox(3.0, 0.1, 0.1, 0.18, Vec3{0, 0.03, 0.13}));
+    id = robot.addLink("link4", id, JointType::RevoluteY,
+                       xlate(0, 0, d3 - 0.2045),
+                       bodyBox(2.7, 0.1, 0.1, 0.16, Vec3{0, 0.067, 0.034}));
+    id = robot.addLink("link5", id, JointType::RevoluteZ,
+                       xlate(0, 0, 0.1845),
+                       bodyBox(1.7, 0.08, 0.08, 0.14, Vec3{0.0001, 0.021, 0.076}));
+    id = robot.addLink("link6", id, JointType::RevoluteY,
+                       xlate(0, 0, d5 - 0.1845),
+                       bodyBox(1.8, 0.08, 0.08, 0.1, Vec3{0, 0.0006, 0.0004}));
+    id = robot.addLink("link7", id, JointType::RevoluteZ,
+                       xlate(0, 0, d7),
+                       bodyBox(0.3, 0.06, 0.06, 0.05, Vec3{0, 0, 0.02}));
+    (void)id;
+    return robot;
+}
+
+RobotModel
+makeHyq()
+{
+    RobotModel robot("hyq");
+    const int body = robot.addLink(
+        "trunk", -1, JointType::Floating, SpatialTransform::identity(),
+        bodyBox(60.0, 1.0, 0.45, 0.25));
+    const double hx = 0.37, hy = 0.21;
+    addLeg(robot, body, "lf", hx, hy, 0.35, 0.35, 2.9, 1.3, 2.0);
+    addLeg(robot, body, "rf", hx, -hy, 0.35, 0.35, 2.9, 1.3, 2.0);
+    addLeg(robot, body, "lh", -hx, hy, 0.35, 0.35, 2.9, 1.3, 2.0);
+    addLeg(robot, body, "rh", -hx, -hy, 0.35, 0.35, 2.9, 1.3, 2.0);
+    return robot;
+}
+
+RobotModel
+makeAtlas()
+{
+    RobotModel robot("atlas");
+    const int pelvis = robot.addLink(
+        "pelvis", -1, JointType::Floating, SpatialTransform::identity(),
+        bodyBox(17.0, 0.25, 0.3, 0.2));
+    // Torso chain: back_bkz -> back_bky -> back_bkx (utorso).
+    const int bkz = robot.addLink("back_bkz", pelvis, JointType::RevoluteZ,
+                                  xlate(-0.01, 0, 0.09),
+                                  bodyBox(3.0, 0.15, 0.25, 0.1));
+    const int bky = robot.addLink("back_bky", bkz, JointType::RevoluteY,
+                                  xlate(0, 0, 0.16),
+                                  bodyBox(10.0, 0.2, 0.3, 0.2));
+    const int bkx = robot.addLink("back_bkx", bky, JointType::RevoluteX,
+                                  xlate(0, 0, 0.05),
+                                  bodyBox(29.0, 0.3, 0.4, 0.5,
+                                          Vec3{-0.02, 0, 0.3}));
+    robot.addLink("neck", bkx, JointType::RevoluteY,
+                  xlate(0.03, 0, 0.55), bodyBox(1.5, 0.15, 0.15, 0.15));
+    addArm7(robot, bkx, "l_arm", Vec3{0.06, 0.23, 0.42}, 1.0);
+    addArm7(robot, bkx, "r_arm", Vec3{0.06, -0.23, 0.42}, -1.0);
+    addHumanoidLeg(robot, pelvis, "l_leg", 1.0);
+    addHumanoidLeg(robot, pelvis, "r_leg", -1.0);
+    return robot;
+}
+
+RobotModel
+makeQuadrupedArm()
+{
+    RobotModel robot("quadruped_arm");
+    const int body = robot.addLink(
+        "body", -1, JointType::Floating, SpatialTransform::identity(),
+        bodyBox(25.0, 0.8, 0.4, 0.2));
+    const double hx = 0.3, hy = 0.17;
+    addLeg(robot, body, "lf", hx, hy, 0.3, 0.32, 1.8, 0.9, 1.5);
+    addLeg(robot, body, "rf", hx, -hy, 0.3, 0.32, 1.8, 0.9, 1.5);
+    addLeg(robot, body, "lh", -hx, hy, 0.3, 0.32, 1.8, 0.9, 1.5);
+    addLeg(robot, body, "rh", -hx, -hy, 0.3, 0.32, 1.8, 0.9, 1.5);
+    addArm6(robot, body, "arm", Vec3{0.25, 0, 0.1});
+    return robot;
+}
+
+RobotModel
+makeTiago()
+{
+    // Planar base modeled as a prismatic-x / prismatic-y / revolute-z
+    // composite; the first two composite links are massless (the
+    // paper keeps the planar joint whole in hardware — Section V-C1 —
+    // which is functionally equivalent).
+    RobotModel robot("tiago");
+    const int bx = robot.addLink("base_x", -1, JointType::PrismaticX,
+                                 SpatialTransform::identity(),
+                                 SpatialInertia());
+    const int by = robot.addLink("base_y", bx, JointType::PrismaticY,
+                                 SpatialTransform::identity(),
+                                 SpatialInertia());
+    const int base = robot.addLink("base", by, JointType::RevoluteZ,
+                                   SpatialTransform::identity(),
+                                   bodyBox(28.0, 0.5, 0.5, 0.3));
+    // 7-DOF arm mounted on the base column.
+    const double l1 = 0.15, l2 = 0.22, l3 = 0.22;
+    int id = robot.addLink("arm_1", base, JointType::RevoluteZ,
+                           xlate(0.16, 0, 0.6), limbSegment(2.0, 0.05, l1));
+    id = robot.addLink("arm_2", id, JointType::RevoluteY,
+                       xlate(0, 0, l1), limbSegment(2.0, 0.05, l2));
+    id = robot.addLink("arm_3", id, JointType::RevoluteZ,
+                       xlate(0, 0, l2), limbSegment(1.6, 0.04, l3));
+    id = robot.addLink("arm_4", id, JointType::RevoluteY,
+                       xlate(0, 0, l3), limbSegment(1.4, 0.04, 0.16));
+    id = robot.addLink("arm_5", id, JointType::RevoluteZ,
+                       xlate(0, 0, 0.16), limbSegment(1.0, 0.04, 0.15));
+    id = robot.addLink("arm_6", id, JointType::RevoluteY,
+                       xlate(0, 0, 0.15), limbSegment(0.4, 0.03, 0.08));
+    id = robot.addLink("arm_7", id, JointType::RevoluteX,
+                       xlate(0, 0, 0.08), bodyBox(0.3, 0.05, 0.05, 0.05));
+    (void)id;
+    return robot;
+}
+
+RobotModel
+makeSpotArm()
+{
+    RobotModel robot("spot_arm");
+    const int body = robot.addLink(
+        "body", -1, JointType::Floating, SpatialTransform::identity(),
+        bodyBox(16.0, 0.85, 0.24, 0.2));
+    const double hx = 0.29, hy = 0.11;
+    // Symmetric legs: left/right pairs differ only in the sign of the
+    // hip lateral offset — the property the SAP time-division
+    // multiplexing of Section V-C1 exploits.
+    addLeg(robot, body, "fl", hx, hy, 0.32, 0.33, 1.2, 0.6, 1.0);
+    addLeg(robot, body, "fr", hx, -hy, 0.32, 0.33, 1.2, 0.6, 1.0);
+    addLeg(robot, body, "hl", -hx, hy, 0.32, 0.33, 1.2, 0.6, 1.0);
+    addLeg(robot, body, "hr", -hx, -hy, 0.32, 0.33, 1.2, 0.6, 1.0);
+    addArm6(robot, body, "arm", Vec3{0.29, 0, 0.1});
+    return robot;
+}
+
+} // namespace dadu::model

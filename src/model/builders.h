@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Builders for the robot models used throughout the paper.
+ *
+ * The evaluation robots (Section VI): LBR iiwa, HyQ, and Atlas —
+ * matching the robots used by Pinocchio [13] and GRiD [34]. The
+ * architecture-walkthrough robots: the quadruped-with-arm of Fig. 3
+ * (NB = 19, N = 24), Tiago (mobile arm, Fig. 11a), and Spot-arm
+ * (Fig. 11b).
+ *
+ * Kinematic layouts (joint types, axes, topology) follow the public
+ * robot descriptions; masses and inertias are realistic engineering
+ * approximations (documented per builder), since the paper's results
+ * depend on structure/sparsity rather than on exact inertia values.
+ */
+
+#ifndef DADU_MODEL_BUILDERS_H
+#define DADU_MODEL_BUILDERS_H
+
+#include "model/robot_model.h"
+
+namespace dadu::model {
+
+/**
+ * Serial chain of @p n links connected by revolute joints with
+ * alternating z/y axes. Useful for scaling studies and unit tests.
+ */
+RobotModel makeSerialChain(int n, double link_length = 0.3,
+                           double link_mass = 1.0);
+
+/** KUKA LBR iiwa 14: 7-DOF fixed-base serial arm. NB=7, N=7. */
+RobotModel makeIiwa();
+
+/**
+ * IIT HyQ: floating base + four 3-DOF legs (HAA/HFE/KFE).
+ * NB=13, N=18.
+ */
+RobotModel makeHyq();
+
+/**
+ * Boston Dynamics Atlas (humanoid): floating pelvis, 3-joint torso,
+ * neck, two 7-DOF arms, two 6-DOF legs. NB=31, N=36.
+ */
+RobotModel makeAtlas();
+
+/**
+ * The quadruped-with-arm of Fig. 3: floating body, four 3-DOF legs
+ * and a 6-DOF arm. NB=19, N=24 — the configuration used in
+ * Section V-B to demonstrate the architecture.
+ */
+RobotModel makeQuadrupedArm();
+
+/**
+ * PAL Tiago (mobile arm, Fig. 11a): 3-DOF planar base (modeled as a
+ * prismatic-x / prismatic-y / revolute-z composite) plus a 7-DOF arm.
+ * Linear topology. NB=10, N=10.
+ */
+RobotModel makeTiago();
+
+/**
+ * Boston Dynamics Spot with arm (Fig. 11b): floating body, four
+ * symmetric 3-DOF legs, 6-DOF arm. NB=19, N=24.
+ */
+RobotModel makeSpotArm();
+
+} // namespace dadu::model
+
+#endif // DADU_MODEL_BUILDERS_H

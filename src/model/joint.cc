@@ -1,0 +1,177 @@
+#include "model/joint.h"
+
+#include <cassert>
+
+namespace dadu::model {
+
+const char *
+jointTypeName(JointType t)
+{
+    switch (t) {
+      case JointType::RevoluteX: return "revolute_x";
+      case JointType::RevoluteY: return "revolute_y";
+      case JointType::RevoluteZ: return "revolute_z";
+      case JointType::PrismaticX: return "prismatic_x";
+      case JointType::PrismaticY: return "prismatic_y";
+      case JointType::PrismaticZ: return "prismatic_z";
+      case JointType::Spherical: return "spherical";
+      case JointType::Translation3: return "translation3";
+      case JointType::Floating: return "floating";
+    }
+    return "unknown";
+}
+
+int
+jointNq(JointType t)
+{
+    switch (t) {
+      case JointType::Spherical: return 4;
+      case JointType::Translation3: return 3;
+      case JointType::Floating: return 7;
+      default: return 1;
+    }
+}
+
+int
+jointNv(JointType t)
+{
+    switch (t) {
+      case JointType::Spherical: return 3;
+      case JointType::Translation3: return 3;
+      case JointType::Floating: return 6;
+      default: return 1;
+    }
+}
+
+bool
+isRevolute(JointType t)
+{
+    return t == JointType::RevoluteX || t == JointType::RevoluteY ||
+           t == JointType::RevoluteZ;
+}
+
+bool
+isPrismatic(JointType t)
+{
+    return t == JointType::PrismaticX || t == JointType::PrismaticY ||
+           t == JointType::PrismaticZ;
+}
+
+MotionSubspace
+MotionSubspace::forType(JointType t)
+{
+    MotionSubspace s;
+    s.nv_ = jointNv(t);
+    switch (t) {
+      case JointType::RevoluteX:
+        s.cols_[0] = Vec6::unit(0);
+        break;
+      case JointType::RevoluteY:
+        s.cols_[0] = Vec6::unit(1);
+        break;
+      case JointType::RevoluteZ:
+        s.cols_[0] = Vec6::unit(2);
+        break;
+      case JointType::PrismaticX:
+        s.cols_[0] = Vec6::unit(3);
+        break;
+      case JointType::PrismaticY:
+        s.cols_[0] = Vec6::unit(4);
+        break;
+      case JointType::PrismaticZ:
+        s.cols_[0] = Vec6::unit(5);
+        break;
+      case JointType::Spherical:
+        for (int i = 0; i < 3; ++i)
+            s.cols_[i] = Vec6::unit(i);
+        break;
+      case JointType::Translation3:
+        for (int i = 0; i < 3; ++i)
+            s.cols_[i] = Vec6::unit(3 + i);
+        break;
+      case JointType::Floating:
+        for (int i = 0; i < 6; ++i)
+            s.cols_[i] = Vec6::unit(i);
+        break;
+    }
+    return s;
+}
+
+SpatialTransform
+jointTransform(JointType t, const VectorX &q)
+{
+    assert(static_cast<int>(q.size()) == jointNq(t));
+    switch (t) {
+      case JointType::RevoluteX:
+        return SpatialTransform::rotation(linalg::rotX(q[0]));
+      case JointType::RevoluteY:
+        return SpatialTransform::rotation(linalg::rotY(q[0]));
+      case JointType::RevoluteZ:
+        return SpatialTransform::rotation(linalg::rotZ(q[0]));
+      case JointType::PrismaticX:
+        return SpatialTransform::translation(Vec3{q[0], 0, 0});
+      case JointType::PrismaticY:
+        return SpatialTransform::translation(Vec3{0, q[0], 0});
+      case JointType::PrismaticZ:
+        return SpatialTransform::translation(Vec3{0, 0, q[0]});
+      case JointType::Spherical: {
+        const Quaternion quat{q[0], q[1], q[2], q[3]};
+        return SpatialTransform::rotation(quat.toRotation().transpose());
+      }
+      case JointType::Translation3:
+        return SpatialTransform::translation(Vec3{q[0], q[1], q[2]});
+      case JointType::Floating: {
+        const Quaternion quat{q[3], q[4], q[5], q[6]};
+        return SpatialTransform(quat.toRotation().transpose(),
+                                Vec3{q[0], q[1], q[2]});
+      }
+    }
+    return SpatialTransform::identity();
+}
+
+VectorX
+jointIntegrate(JointType t, const VectorX &q, const VectorX &v)
+{
+    assert(static_cast<int>(q.size()) == jointNq(t));
+    assert(static_cast<int>(v.size()) == jointNv(t));
+    switch (t) {
+      case JointType::Spherical: {
+        const Quaternion quat{q[0], q[1], q[2], q[3]};
+        const Quaternion nq = quat.integrated(Vec3{v[0], v[1], v[2]});
+        return VectorX{nq.x, nq.y, nq.z, nq.w};
+      }
+      case JointType::Floating: {
+        const Quaternion quat{q[3], q[4], q[5], q[6]};
+        // Linear displacement is expressed in the body frame; map it
+        // to the world frame with R before adding.
+        const linalg::Mat3 r = quat.toRotation();
+        const Vec3 dp = r * Vec3{v[3], v[4], v[5]};
+        const Quaternion nq = quat.integrated(Vec3{v[0], v[1], v[2]});
+        return VectorX{q[0] + dp[0], q[1] + dp[1], q[2] + dp[2],
+                       nq.x, nq.y, nq.z, nq.w};
+      }
+      default: {
+        VectorX r = q;
+        for (std::size_t i = 0; i < v.size(); ++i)
+            r[i] += v[i];
+        return r;
+      }
+    }
+}
+
+VectorX
+jointNeutral(JointType t)
+{
+    switch (t) {
+      case JointType::Spherical:
+        return VectorX{0, 0, 0, 1};
+      case JointType::Translation3:
+        return VectorX{0, 0, 0};
+      case JointType::Floating:
+        return VectorX{0, 0, 0, 0, 0, 0, 1};
+      default:
+        return VectorX{0};
+    }
+}
+
+} // namespace dadu::model

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Joint models: types, motion subspaces, joint transforms.
+ *
+ * Section II of the paper: each joint i has a type with a motion
+ * subspace S_i ∈ R^{6×N_i}; for revolute and prismatic joints S_i is
+ * a one-hot 6-vector. The transform iXλ(q) has the fixed sparsity the
+ * accelerator submodules exploit. This module provides the joint
+ * kinematics (jcalc) shared by the reference algorithms and the
+ * accelerator's functional model.
+ *
+ * Multi-DOF joints use body-frame constant motion subspaces
+ * (quaternion state for rotations), so Ṡ = 0 in joint coordinates
+ * and the bias term of Algorithm 1 is exactly v × S q̇ — the same
+ * simplification the paper's RNEA (Algorithm 1) relies on.
+ */
+
+#ifndef DADU_MODEL_JOINT_H
+#define DADU_MODEL_JOINT_H
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/mat.h"
+#include "linalg/matrixx.h"
+#include "linalg/vec.h"
+#include "model/quaternion.h"
+#include "spatial/transform.h"
+
+namespace dadu::model {
+
+using linalg::Vec3;
+using linalg::Vec6;
+using linalg::VectorX;
+using spatial::SpatialTransform;
+
+/** Joint types supported by the model (Section II of the paper). */
+enum class JointType : std::uint8_t
+{
+    RevoluteX,    ///< 1-DOF rotation about local x.
+    RevoluteY,    ///< 1-DOF rotation about local y.
+    RevoluteZ,    ///< 1-DOF rotation about local z.
+    PrismaticX,   ///< 1-DOF translation along local x.
+    PrismaticY,   ///< 1-DOF translation along local y.
+    PrismaticZ,   ///< 1-DOF translation along local z.
+    Spherical,    ///< 3-DOF ball joint (quaternion state).
+    Translation3, ///< 3-DOF translation.
+    Floating,     ///< 6-DOF free joint (position + quaternion state).
+};
+
+/** Human-readable joint type name. */
+const char *jointTypeName(JointType t);
+
+/** Number of configuration variables (nq) for a joint type. */
+int jointNq(JointType t);
+
+/** Number of velocity variables / DOF (nv, the paper's N_i). */
+int jointNv(JointType t);
+
+/** True for RevoluteX/Y/Z. */
+bool isRevolute(JointType t);
+
+/** True for PrismaticX/Y/Z. */
+bool isPrismatic(JointType t);
+
+/**
+ * Motion subspace S: 6 x nv, stored as up to six spatial columns.
+ * For every supported joint type S is constant in joint coordinates.
+ */
+class MotionSubspace
+{
+  public:
+    MotionSubspace() : nv_(0) {}
+
+    /** Motion subspace for joint type @p t. */
+    static MotionSubspace forType(JointType t);
+
+    int nv() const { return nv_; }
+
+    const Vec6 &col(int i) const { return cols_[i]; }
+
+    /** S q̇ for a joint velocity segment (size nv). */
+    Vec6
+    apply(const VectorX &qdot) const
+    {
+        Vec6 v;
+        for (int i = 0; i < nv_; ++i)
+            v += cols_[i] * qdot[i];
+        return v;
+    }
+
+    /** S^T f for a spatial force (size-nv result). */
+    VectorX
+    applyTranspose(const Vec6 &f) const
+    {
+        VectorX r(nv_);
+        for (int i = 0; i < nv_; ++i)
+            r[i] = cols_[i].dot(f);
+        return r;
+    }
+
+  private:
+    int nv_;
+    Vec6 cols_[6];
+};
+
+/**
+ * Joint kinematics: compute the joint transform X_J(q) (child joint
+ * frame relative to its zero pose) for configuration segment @p q
+ * (size nq).
+ */
+SpatialTransform jointTransform(JointType t, const VectorX &q);
+
+/**
+ * Integrate a joint configuration: q' = q ⊕ (v·1), where @p v is a
+ * tangent-space (joint velocity) segment of size nv. Quaternion
+ * joints compose on the right (local frame), matching the analytical
+ * derivatives.
+ */
+VectorX jointIntegrate(JointType t, const VectorX &q, const VectorX &v);
+
+/** Neutral (zero) configuration for a joint type (size nq). */
+VectorX jointNeutral(JointType t);
+
+} // namespace dadu::model
+
+#endif // DADU_MODEL_JOINT_H

@@ -1,0 +1,217 @@
+#include "model/robot_model.h"
+
+#include <cassert>
+#include <numbers>
+
+namespace dadu::model {
+
+RobotModel::RobotModel(std::string name) : name_(std::move(name))
+{
+    // Featherstone's trick: seed the base acceleration with -g so
+    // gravity propagates through the RNEA forward pass. Default
+    // gravity is -9.81 along world z.
+    gravity_ = linalg::Vec6{0, 0, 0, 0, 0, 9.81};
+}
+
+int
+RobotModel::addLink(const std::string &name, int parent, JointType joint,
+                    const SpatialTransform &xtree,
+                    const SpatialInertia &inertia)
+{
+    assert(parent >= -1 && parent < nb());
+    Link l;
+    l.name = name;
+    l.parent = parent;
+    l.joint = joint;
+    l.xtree = xtree;
+    l.inertia = inertia;
+    l.qIndex = nq_;
+    l.vIndex = nv_;
+    nq_ += jointNq(joint);
+    nv_ += jointNv(joint);
+
+    const int id = nb();
+    links_.push_back(l);
+    subspaces_.push_back(MotionSubspace::forType(joint));
+    children_.emplace_back();
+    if (parent == -1)
+        worldChildren_.push_back(id);
+    else
+        children_[parent].push_back(id);
+    return id;
+}
+
+const std::vector<int> &
+RobotModel::children(int i) const
+{
+    if (i == -1)
+        return worldChildren_;
+    return children_[i];
+}
+
+std::vector<int>
+RobotModel::subtree(int i) const
+{
+    // Links are appended parent-first, so a single increasing sweep
+    // yields topological order.
+    std::vector<int> out;
+    std::vector<bool> in_tree(nb(), false);
+    in_tree[i] = true;
+    out.push_back(i);
+    for (int j = i + 1; j < nb(); ++j) {
+        const int p = links_[j].parent;
+        if (p >= 0 && in_tree[p]) {
+            in_tree[j] = true;
+            out.push_back(j);
+        }
+    }
+    return out;
+}
+
+bool
+RobotModel::isAncestorOf(int a, int d) const
+{
+    while (d != -1) {
+        if (d == a)
+            return true;
+        d = links_[d].parent;
+    }
+    return false;
+}
+
+int
+RobotModel::depth(int i) const
+{
+    int d = 0;
+    while (i != -1) {
+        ++d;
+        i = links_[i].parent;
+    }
+    return d;
+}
+
+int
+RobotModel::maxDepth() const
+{
+    int m = 0;
+    for (int i = 0; i < nb(); ++i)
+        m = std::max(m, depth(i));
+    return m;
+}
+
+std::vector<std::vector<int>>
+RobotModel::branches() const
+{
+    std::vector<std::vector<int>> out;
+    // Root chain: walk down from the first world child while the
+    // chain stays linear.
+    std::vector<int> root_chain;
+    if (worldChildren_.empty())
+        return out;
+    int cur = worldChildren_.front();
+    while (true) {
+        root_chain.push_back(cur);
+        if (children_[cur].size() != 1)
+            break;
+        cur = children_[cur].front();
+    }
+    out.push_back(root_chain);
+    for (int child : children_[root_chain.back()])
+        out.push_back(subtree(child));
+    return out;
+}
+
+VectorX
+RobotModel::neutralConfiguration() const
+{
+    VectorX q(nq_);
+    for (int i = 0; i < nb(); ++i) {
+        const VectorX jq = jointNeutral(links_[i].joint);
+        q.setSegment(links_[i].qIndex, jq);
+    }
+    return q;
+}
+
+VectorX
+RobotModel::integrate(const VectorX &q, const VectorX &dv) const
+{
+    assert(static_cast<int>(q.size()) == nq_);
+    assert(static_cast<int>(dv.size()) == nv_);
+    VectorX out(nq_);
+    for (int i = 0; i < nb(); ++i) {
+        const Link &l = links_[i];
+        const VectorX jq = q.segment(l.qIndex, jointNq(l.joint));
+        const VectorX jv = dv.segment(l.vIndex, jointNv(l.joint));
+        out.setSegment(l.qIndex, jointIntegrate(l.joint, jq, jv));
+    }
+    return out;
+}
+
+VectorX
+RobotModel::randomConfiguration(std::mt19937 &rng) const
+{
+    std::uniform_real_distribution<double> angle(-std::numbers::pi,
+                                                 std::numbers::pi);
+    std::uniform_real_distribution<double> lin(-1.0, 1.0);
+    VectorX q = neutralConfiguration();
+    for (int i = 0; i < nb(); ++i) {
+        const Link &l = links_[i];
+        switch (l.joint) {
+          case JointType::Spherical:
+          case JointType::Floating: {
+            // Random tangent step from the neutral quaternion keeps
+            // the configuration on the manifold.
+            VectorX jq = jointNeutral(l.joint);
+            VectorX jv(jointNv(l.joint));
+            for (std::size_t k = 0; k < jv.size(); ++k)
+                jv[k] = lin(rng);
+            q.setSegment(l.qIndex, jointIntegrate(l.joint, jq, jv));
+            break;
+          }
+          case JointType::Translation3: {
+            q.setSegment(l.qIndex, VectorX{lin(rng), lin(rng), lin(rng)});
+            break;
+          }
+          default:
+            if (isPrismatic(l.joint))
+                q.setSegment(l.qIndex, VectorX{lin(rng)});
+            else
+                q.setSegment(l.qIndex, VectorX{angle(rng)});
+        }
+    }
+    return q;
+}
+
+VectorX
+RobotModel::randomVelocity(std::mt19937 &rng) const
+{
+    std::uniform_real_distribution<double> lin(-1.0, 1.0);
+    VectorX v(nv_);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = lin(rng);
+    return v;
+}
+
+SpatialTransform
+RobotModel::linkTransform(int i, const VectorX &q) const
+{
+    const Link &l = links_[i];
+    const VectorX jq = q.segment(l.qIndex, jointNq(l.joint));
+    return jointTransform(l.joint, jq) * l.xtree;
+}
+
+VectorX
+RobotModel::jointConfig(int i, const VectorX &q) const
+{
+    const Link &l = links_[i];
+    return q.segment(l.qIndex, jointNq(l.joint));
+}
+
+VectorX
+RobotModel::jointVelocity(int i, const VectorX &v) const
+{
+    const Link &l = links_[i];
+    return v.segment(l.vIndex, jointNv(l.joint));
+}
+
+} // namespace dadu::model

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Kinematic-tree robot model (Section II of the paper).
+ *
+ * An open-chain robot is a topological tree of NB links, each
+ * attached to its parent λ(i) by one joint. Link 0's parent is the
+ * fixed world (λ = -1 here, the paper's λ = 0). Every link carries a
+ * rigid-body inertia and a fixed tree transform X_T (the pose of the
+ * joint frame in the parent link frame at q = 0); the full link
+ * transform is iXλ = X_J(q_i) · X_T.
+ *
+ * The model also exposes the topology queries the paper's
+ * Structure-Adaptive Pipelines are built from: subtree sets tree(i),
+ * branch decomposition at the root, tree depth, and re-rooting
+ * ("topology rotation", Fig. 11c).
+ */
+
+#ifndef DADU_MODEL_ROBOT_MODEL_H
+#define DADU_MODEL_ROBOT_MODEL_H
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "linalg/matrixx.h"
+#include "model/joint.h"
+#include "spatial/inertia.h"
+#include "spatial/transform.h"
+
+namespace dadu::model {
+
+using linalg::VectorX;
+using spatial::SpatialInertia;
+using spatial::SpatialTransform;
+
+/** One link and the joint connecting it to its parent. */
+struct Link
+{
+    std::string name;        ///< Human-readable link name.
+    int parent = -1;         ///< Parent link index (λ), -1 = world.
+    JointType joint = JointType::RevoluteZ; ///< Connecting joint type.
+    SpatialTransform xtree;  ///< Fixed transform X_T (parent -> joint frame).
+    SpatialInertia inertia;  ///< Rigid-body inertia in the link frame.
+    int qIndex = 0;          ///< First configuration index.
+    int vIndex = 0;          ///< First velocity/DOF index.
+};
+
+/** Kinematic tree with joint-space index bookkeeping. */
+class RobotModel
+{
+  public:
+    /** @param name model name used in reports. */
+    explicit RobotModel(std::string name = "robot");
+
+    /**
+     * Append a link.
+     *
+     * @param name    link name.
+     * @param parent  parent link index, or -1 to attach to the world.
+     * @param joint   connecting joint type.
+     * @param xtree   fixed transform from parent frame to joint frame.
+     * @param inertia rigid-body inertia in the new link's frame.
+     * @return index of the new link.
+     */
+    int addLink(const std::string &name, int parent, JointType joint,
+                const SpatialTransform &xtree,
+                const SpatialInertia &inertia);
+
+    const std::string &name() const { return name_; }
+
+    /** Number of links/joints (the paper's NB). */
+    int nb() const { return static_cast<int>(links_.size()); }
+
+    /** Configuration dimension (sum of joint nq). */
+    int nq() const { return nq_; }
+
+    /** Velocity dimension / total DOF (the paper's N). */
+    int nv() const { return nv_; }
+
+    const Link &link(int i) const { return links_[i]; }
+
+    int parent(int i) const { return links_[i].parent; }
+
+    /** Children of link @p i (world children for i == -1). */
+    const std::vector<int> &children(int i) const;
+
+    /** Motion subspace of joint @p i. */
+    const MotionSubspace &subspace(int i) const { return subspaces_[i]; }
+
+    /**
+     * The paper's tree(i): indices of all links in the subtree rooted
+     * at @p i, in topological (increasing-depth) order, including i.
+     */
+    std::vector<int> subtree(int i) const;
+
+    /** True if @p a is an ancestor of (or equal to) @p d. */
+    bool isAncestorOf(int a, int d) const;
+
+    /** Depth of link @p i (root links have depth 1). */
+    int depth(int i) const;
+
+    /** Maximum link depth of the tree. */
+    int maxDepth() const;
+
+    /**
+     * Branch decomposition: the root chain is the path from the root
+     * until the first link with more than one child; every subtree
+     * hanging off it is a branch. Used by the SAP topology compiler.
+     */
+    std::vector<std::vector<int>> branches() const;
+
+    /** Gravity as a spatial acceleration of the base (a_0 in RNEA). */
+    const linalg::Vec6 &gravity() const { return gravity_; }
+
+    void setGravity(const linalg::Vec6 &g) { gravity_ = g; }
+
+    /** Neutral configuration (identity quaternions, zeros). */
+    VectorX neutralConfiguration() const;
+
+    /**
+     * Tangent-space integration q' = q ⊕ dv (dv of size nv). Used by
+     * RK4 integration in the MPC workload and by the
+     * finite-difference derivative checks.
+     */
+    VectorX integrate(const VectorX &q, const VectorX &dv) const;
+
+    /** Uniform random configuration (angles in [-π, π], etc.). */
+    VectorX randomConfiguration(std::mt19937 &rng) const;
+
+    /** Uniform random velocity/acceleration-sized vector in [-1, 1]. */
+    VectorX randomVelocity(std::mt19937 &rng) const;
+
+    /**
+     * Joint transform for link @p i at configuration @p q (full
+     * configuration vector): iXλ = X_J(q_i) · X_T.
+     */
+    SpatialTransform linkTransform(int i, const VectorX &q) const;
+
+    /** Configuration segment of joint @p i from a full q vector. */
+    VectorX jointConfig(int i, const VectorX &q) const;
+
+    /** Velocity segment of joint @p i from a full v-sized vector. */
+    VectorX jointVelocity(int i, const VectorX &v) const;
+
+  private:
+    std::string name_;
+    std::vector<Link> links_;
+    std::vector<MotionSubspace> subspaces_;
+    std::vector<std::vector<int>> children_;
+    std::vector<int> worldChildren_;
+    int nq_ = 0;
+    int nv_ = 0;
+    linalg::Vec6 gravity_;
+};
+
+} // namespace dadu::model
+
+#endif // DADU_MODEL_ROBOT_MODEL_H

@@ -1,0 +1,209 @@
+#include "perf/baselines.h"
+
+#include <algorithm>
+#include <array>
+
+namespace dadu::perf {
+
+namespace {
+
+/** Function index in the tables below. */
+int
+fnIndex(FunctionType fn)
+{
+    switch (fn) {
+      case FunctionType::ID: return 0;
+      case FunctionType::FD: return 1;
+      case FunctionType::M: return 2;
+      case FunctionType::Minv: return 3;
+      case FunctionType::DeltaID: return 4;
+      case FunctionType::DeltaFD: return 5;
+      case FunctionType::DeltaiFD: return 4; // ≈ ∆ID-class workload
+    }
+    return 0;
+}
+
+/**
+ * AGX Orin CPU (Pinocchio, -O3, single thread) latency per function
+ * in µs, read off Fig. 15 a/c/e. All other platform models are
+ * expressed relative to this anchor, which keeps the cross-platform
+ * ratios at the paper's reported averages.
+ */
+constexpr std::array<std::array<double, 6>, 3> kAgxCpuLatencyUs{{
+    // ID    FD     M    Minv   dID    dFD
+    {2.5, 6.0, 2.0, 4.5, 5.5, 12.0},   // iiwa
+    {3.5, 8.0, 3.0, 6.5, 8.0, 16.0},   // hyq
+    {9.0, 22.0, 8.0, 18.0, 25.0, 50.0} // atlas
+}};
+
+int
+robotIndex(EvalRobot r)
+{
+    return static_cast<int>(r);
+}
+
+} // namespace
+
+const char *
+platformName(Platform p)
+{
+    switch (p) {
+      case Platform::AgxCpu: return "AGX CPU (model)";
+      case Platform::AgxGpu: return "AGX GPU (model)";
+      case Platform::I9Cpu: return "i9-13900HX (model)";
+      case Platform::Rtx4090m: return "RTX 4090M (model)";
+      case Platform::CpuOf33: return "i7-7700 4t [33] (model)";
+      case Platform::GpuOf33: return "RTX 2080 [33] (model)";
+      case Platform::Robomorphic: return "Robomorphic [12] (model)";
+    }
+    return "?";
+}
+
+const char *
+evalRobotName(EvalRobot r)
+{
+    switch (r) {
+      case EvalRobot::Iiwa: return "iiwa";
+      case EvalRobot::Hyq: return "HyQ";
+      case EvalRobot::Atlas: return "Atlas";
+    }
+    return "?";
+}
+
+double
+paperLatencyUs(Platform p, EvalRobot r, FunctionType fn)
+{
+    const double agx = kAgxCpuLatencyUs[robotIndex(r)][fnIndex(fn)];
+    switch (p) {
+      case Platform::AgxCpu:
+        return agx;
+      case Platform::I9Cpu:
+        // i9 runs ~3.2x faster per core (Fig. 15: Dadu vs i9 latency
+        // averages 0.82x while vs AGX it averages 0.29x).
+        return agx / 3.2;
+      case Platform::CpuOf33:
+        return agx / 1.8; // desktop i7-7700, single task
+      case Platform::GpuOf33:
+        return 12.0; // GPU kernel launch dominated
+      case Platform::Rtx4090m:
+      case Platform::AgxGpu:
+        // GRiD single-task latency is launch-dominated; the paper
+        // reports throughput only.
+        return p == Platform::Rtx4090m ? 8.0 : 25.0;
+      case Platform::Robomorphic:
+        // 0.61 µs for iiwa ∆iFD (Section VI-A); other entries scale
+        // with the AGX profile. Only ∆iFD is implemented.
+        return (fn == FunctionType::DeltaiFD ||
+                fn == FunctionType::DeltaID)
+                   ? 0.61 * agx / kAgxCpuLatencyUs[0][4]
+                   : 0.0;
+    }
+    return 0.0;
+}
+
+namespace {
+
+/** True for the GPU platforms, which are batch-floor-bound. */
+bool
+isGpu(Platform p)
+{
+    return p == Platform::AgxGpu || p == Platform::Rtx4090m ||
+           p == Platform::GpuOf33;
+}
+
+/**
+ * GPU minimum batch time in µs (kernel launch + transfer floor): the
+ * flat region of Fig. 17 before SM saturation.
+ */
+double
+gpuBatchFloorUs(Platform p)
+{
+    switch (p) {
+      case Platform::Rtx4090m: return 35.0;
+      case Platform::AgxGpu: return 160.0;
+      case Platform::GpuOf33: return 30.0;
+      default: return 0.0;
+    }
+}
+
+/**
+ * Saturated throughput in tasks/µs at very large batches — the slope
+ * of the linear region of Fig. 17.
+ */
+double
+saturatedThroughput(Platform p, EvalRobot r, FunctionType fn)
+{
+    const double agx = kAgxCpuLatencyUs[robotIndex(r)][fnIndex(fn)];
+    switch (p) {
+      case Platform::AgxCpu:
+        // 12 cores at ~45% parallel efficiency (Fig. 2b saturation).
+        return 5.4 / agx;
+      case Platform::I9Cpu:
+        // 32 threads, but memory-bound scaling (Section I).
+        return 8.5 / agx;
+      case Platform::AgxGpu:
+        if (fn == FunctionType::M)
+            return 0.0; // GRiD has no mass-matrix kernel
+        return 25.0 / agx;
+      case Platform::Rtx4090m:
+        if (fn == FunctionType::M)
+            return 0.0;
+        return 300.0 / agx;
+      case Platform::CpuOf33:
+        return 7.0 / agx;
+      case Platform::GpuOf33:
+        return 40.0 / agx;
+      case Platform::Robomorphic:
+        // Two coarse pipeline stages: II ≈ 0.46 µs for iiwa ∆iFD.
+        return (fn == FunctionType::DeltaiFD ||
+                fn == FunctionType::DeltaID)
+                   ? 1.0 / (0.46 * agx / kAgxCpuLatencyUs[0][4])
+                   : 0.0;
+    }
+    return 0.0;
+}
+
+} // namespace
+
+double
+batchedTimeUs(Platform p, EvalRobot r, FunctionType fn, int batch)
+{
+    const double thr = saturatedThroughput(p, r, fn);
+    if (thr <= 0.0)
+        return 0.0;
+    const double floor_us =
+        isGpu(p) ? gpuBatchFloorUs(p) : paperLatencyUs(p, r, fn);
+    // Latency/launch-bound until the platform's parallelism
+    // saturates, then throughput-bound (the flat-then-linear shape
+    // of Fig. 17).
+    return std::max(floor_us, batch / thr);
+}
+
+double
+paperThroughputMtasks(Platform p, EvalRobot r, FunctionType fn)
+{
+    // The paper's throughput protocol: 256-task batches. GPUs are
+    // still launch-bound at that size (which is why Fig. 17 shows
+    // them winning only past batch ≈ 512).
+    const double t = batchedTimeUs(p, r, fn, 256);
+    if (t <= 0.0)
+        return 0.0;
+    return 256.0 / t;
+}
+
+double
+platformPowerW(Platform p)
+{
+    switch (p) {
+      case Platform::AgxCpu:
+      case Platform::AgxGpu: return 60.0;
+      case Platform::I9Cpu: return 140.0;
+      case Platform::Rtx4090m: return 175.0;
+      case Platform::CpuOf33: return 65.0;
+      case Platform::GpuOf33: return 215.0;
+      case Platform::Robomorphic: return 9.6;
+    }
+    return 0.0;
+}
+
+} // namespace dadu::perf

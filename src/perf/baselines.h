@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Baseline performance models for the paper's comparison platforms.
+ *
+ * The evaluation (Section VI) compares Dadu-RBD against:
+ *  - Pinocchio [13] on the AGX Orin CPU and i9-13900HX,
+ *  - GRiD [34] on the AGX Orin GPU and RTX 4090M,
+ *  - the CPU/GPU/FPGA implementations of [33] (Robomorphic [12]).
+ *
+ * None of that hardware exists in this environment, so each platform
+ * is an analytical model calibrated to the numbers the paper reports
+ * (figures 15-17), while the *host* CPU baseline is measured for real
+ * from our reference library (see timing.h). Every model is clearly
+ * a model: the bench binaries label these columns "(paper-reported
+ * model)". The batch-scaling law for GPUs (flat latency until SM
+ * saturation, then linear growth) reproduces the shape of Fig. 17.
+ */
+
+#ifndef DADU_PERF_BASELINES_H
+#define DADU_PERF_BASELINES_H
+
+#include <string>
+
+#include "accel/function.h"
+
+namespace dadu::perf {
+
+using accel::FunctionType;
+
+/** Baseline platforms of the paper's evaluation. */
+enum class Platform
+{
+    AgxCpu,      ///< Jetson AGX Orin CPU, Pinocchio
+    AgxGpu,      ///< Jetson AGX Orin GPU, GRiD
+    I9Cpu,       ///< i9-13900HX, Pinocchio
+    Rtx4090m,    ///< RTX 4090 Mobile, GRiD
+    CpuOf33,     ///< i7-7700 4-thread baseline of [33]
+    GpuOf33,     ///< RTX 2080 baseline of [33]
+    Robomorphic, ///< FPGA of [12]/[33] on the XVCU9P
+};
+
+const char *platformName(Platform p);
+
+/** Robots the paper evaluates (Fig. 15). */
+enum class EvalRobot
+{
+    Iiwa,
+    Hyq,
+    Atlas,
+};
+
+const char *evalRobotName(EvalRobot r);
+
+/**
+ * Single-task latency in microseconds as the paper reports
+ * (Fig. 15 a/c/e bars; [33] for the batch-oriented platforms).
+ * Returns 0 when the platform does not implement the function
+ * (e.g. GRiD has no mass-matrix kernel).
+ */
+double paperLatencyUs(Platform p, EvalRobot r, FunctionType fn);
+
+/**
+ * Saturated throughput in million tasks per second, as reported for
+ * 256-task batches (Fig. 15 b/d/f).
+ */
+double paperThroughputMtasks(Platform p, EvalRobot r, FunctionType fn);
+
+/**
+ * Batched execution time in microseconds for @p batch tasks: flat
+ * (latency-bound) until the platform's parallelism saturates, then
+ * linear in batch size. Reproduces Figs. 16-17.
+ */
+double batchedTimeUs(Platform p, EvalRobot r, FunctionType fn,
+                     int batch);
+
+/** Platform power in watts (Section VI power comparisons). */
+double platformPowerW(Platform p);
+
+} // namespace dadu::perf
+
+#endif // DADU_PERF_BASELINES_H

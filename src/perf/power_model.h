@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Power and energy model for the configured accelerator
+ * (Section VI-C).
+ *
+ * Dynamic power scales with the number of DSP lanes actually
+ * toggling for the running function; static power and fabric
+ * overhead are fixed per configuration. Calibrated to the paper's
+ * LBR iiwa numbers: 6.2 W (lightest function) to 36.8 W (heaviest),
+ * 31.2 W for ∆iFD, against Robomorphic's 9.6 W — yielding the 2.0×
+ * energy and 13.2× EDP advantages the paper reports.
+ */
+
+#ifndef DADU_PERF_POWER_MODEL_H
+#define DADU_PERF_POWER_MODEL_H
+
+#include "accel/accelerator.h"
+#include "accel/function.h"
+
+namespace dadu::perf {
+
+using accel::Accelerator;
+using accel::FunctionType;
+
+/** Power breakdown in watts. */
+struct PowerEstimate
+{
+    double static_w = 0.0;  ///< device static + clocking
+    double dynamic_w = 0.0; ///< active datapath switching
+    double total() const { return static_w + dynamic_w; }
+};
+
+/** Power for running @p fn on the configured accelerator. */
+PowerEstimate accelPower(const Accelerator &accel, FunctionType fn);
+
+/** Energy per task in microjoules. */
+double accelEnergyPerTaskUj(const Accelerator &accel, FunctionType fn);
+
+/** Energy-delay product per task (µJ·µs). */
+double accelEdpPerTask(const Accelerator &accel, FunctionType fn);
+
+} // namespace dadu::perf
+
+#endif // DADU_PERF_POWER_MODEL_H

@@ -1,0 +1,31 @@
+#include "perf/resource_model.h"
+
+#include <sstream>
+
+namespace dadu::perf {
+
+ResourceEstimate
+robomorphicResources()
+{
+    ResourceEstimate r;
+    r.dsp = accel::Xcvu9p::dsp / 2; // "at least half of the DSP"
+    r.lut = static_cast<long>(accel::Xcvu9p::lut * 0.45);
+    r.ff = static_cast<long>(accel::Xcvu9p::ff * 0.20);
+    r.dsp_pct = 100.0 * r.dsp / accel::Xcvu9p::dsp;
+    r.lut_pct = 100.0 * static_cast<double>(r.lut) / accel::Xcvu9p::lut;
+    r.ff_pct = 100.0 * static_cast<double>(r.ff) / accel::Xcvu9p::ff;
+    return r;
+}
+
+std::string
+formatResources(const ResourceEstimate &r)
+{
+    std::ostringstream os;
+    os.precision(1);
+    os << std::fixed << r.dsp_pct << "% DSP (" << r.dsp << "), "
+       << r.lut_pct << "% LUT (" << r.lut << "), " << r.ff_pct
+       << "% FF (" << r.ff << ")";
+    return os.str();
+}
+
+} // namespace dadu::perf

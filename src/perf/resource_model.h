@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Comparative resource reporting (Section VI-C).
+ *
+ * The per-configuration resource numbers come from
+ * Accelerator::resources(); this module adds the Robomorphic
+ * comparison point and formatting helpers for the bench binaries.
+ */
+
+#ifndef DADU_PERF_RESOURCE_MODEL_H
+#define DADU_PERF_RESOURCE_MODEL_H
+
+#include <string>
+
+#include "accel/accelerator.h"
+
+namespace dadu::perf {
+
+using accel::Accelerator;
+using accel::ResourceEstimate;
+
+/**
+ * Robomorphic's published iiwa ∆iFD design point on the same chip:
+ * "at least half of the DSP" (Section VI-C) at 56 MHz.
+ */
+ResourceEstimate robomorphicResources();
+
+/** Formatted utilization line ("62% DSP, 54% LUT, 17% FF"). */
+std::string formatResources(const ResourceEstimate &r);
+
+} // namespace dadu::perf
+
+#endif // DADU_PERF_RESOURCE_MODEL_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Measured host-CPU timing utilities.
+ *
+ * The paper measures Pinocchio with -O3 on real CPUs; here the
+ * equivalent is our reference library measured on the build host.
+ * These helpers time a callable the way the paper's methodology
+ * does: N warm repetitions, wall-clock average per call.
+ */
+
+#ifndef DADU_PERF_TIMING_H
+#define DADU_PERF_TIMING_H
+
+#include <chrono>
+#include <functional>
+
+#include "accel/function.h"
+#include "model/robot_model.h"
+
+namespace dadu::perf {
+
+using accel::FunctionType;
+using model::RobotModel;
+
+/** Average wall-clock microseconds per call of @p fn over @p reps. */
+double timeUs(const std::function<void()> &fn, int reps);
+
+/**
+ * Measured single-thread latency of the reference library for one
+ * dynamics function on the host CPU (the paper's "latency" protocol:
+ * many different tasks, single thread, averaged).
+ */
+double hostLatencyUs(const RobotModel &robot, FunctionType fn,
+                     int tasks = 32, int reps = 20);
+
+/**
+ * Host-CPU throughput model in million tasks/s for @p threads
+ * threads: measured single-thread rate scaled by a saturating
+ * parallel-efficiency curve (Fig. 2b behaviour: dynamics is
+ * memory-bound, so scaling flattens). On this container only one
+ * core is available, so multi-thread numbers are a documented model
+ * on top of the measured single-thread rate.
+ */
+double hostThroughputMtasks(const RobotModel &robot, FunctionType fn,
+                            int threads);
+
+/** The saturating thread-scaling factor used above. */
+double threadScaling(int threads);
+
+} // namespace dadu::perf
+
+#endif // DADU_PERF_TIMING_H

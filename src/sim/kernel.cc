@@ -1,0 +1,35 @@
+#include "sim/kernel.h"
+
+namespace dadu::sim {
+
+Cycle
+Kernel::run(Cycle max_cycles)
+{
+    const Cycle start = now_;
+    while (now_ - start < max_cycles) {
+        for (Module *m : modules_)
+            m->tick(now_);
+        for (auto &f : fifos_)
+            f->commit();
+        ++now_;
+        if (quiescent())
+            break;
+    }
+    return now_ - start;
+}
+
+bool
+Kernel::quiescent() const
+{
+    for (const Module *m : modules_) {
+        if (!m->idle())
+            return false;
+    }
+    for (const auto &f : fifos_) {
+        if (!f->quiescent())
+            return false;
+    }
+    return true;
+}
+
+} // namespace dadu::sim

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Cycle-driven simulation kernel.
+ *
+ * The accelerator model is a set of Modules connected by bounded
+ * FIFO channels (the paper's "FIFO streams", Section IV-A). The
+ * kernel ticks every module once per cycle and then commits FIFO
+ * pushes, giving two-phase semantics: a token pushed in cycle t
+ * becomes visible to its consumer in cycle t+1, independent of the
+ * order modules are ticked in. This mirrors registered channel
+ * outputs in the RTL and makes the simulation deterministic.
+ */
+
+#ifndef DADU_SIM_KERNEL_H
+#define DADU_SIM_KERNEL_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dadu::sim {
+
+/** Simulation time in clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Base class for FIFO channels; see Fifo<T>. */
+class FifoBase
+{
+  public:
+    explicit FifoBase(std::string name, std::size_t capacity)
+        : name_(std::move(name)), capacity_(capacity)
+    {}
+
+    virtual ~FifoBase() = default;
+
+    const std::string &name() const { return name_; }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Current visible occupancy. */
+    virtual std::size_t size() const = 0;
+
+    /** Make this cycle's pushes visible (called by the kernel). */
+    virtual void commit() = 0;
+
+    /** True if no visible or staged tokens remain. */
+    virtual bool quiescent() const = 0;
+
+    /** Peak visible occupancy over the run. */
+    std::size_t highWater() const { return high_water_; }
+
+    /** Total tokens pushed over the run. */
+    std::uint64_t totalPushes() const { return total_pushes_; }
+
+    /** Number of push attempts rejected because the FIFO was full. */
+    std::uint64_t fullStalls() const { return full_stalls_; }
+
+  protected:
+    std::string name_;
+    std::size_t capacity_;
+    std::size_t high_water_ = 0;
+    std::uint64_t total_pushes_ = 0;
+    std::uint64_t full_stalls_ = 0;
+};
+
+/**
+ * Bounded typed FIFO channel with deferred-visibility pushes.
+ */
+template <typename T>
+class Fifo : public FifoBase
+{
+  public:
+    Fifo(std::string name, std::size_t capacity)
+        : FifoBase(std::move(name), capacity)
+    {}
+
+    /**
+     * Attempt to push a token (visible next cycle).
+     * @return false if the channel is full (producer must stall).
+     */
+    bool
+    push(const T &token)
+    {
+        if (queue_.size() + staged_.size() >= capacity_) {
+            ++full_stalls_;
+            return false;
+        }
+        staged_.push_back(token);
+        ++total_pushes_;
+        return true;
+    }
+
+    /** Whether a push would succeed this cycle. */
+    bool
+    canPush() const
+    {
+        return queue_.size() + staged_.size() < capacity_;
+    }
+
+    bool empty() const { return queue_.empty(); }
+
+    /** Front token; undefined if empty. */
+    const T &front() const { return queue_.front(); }
+
+    /** Remove and return the front token. */
+    T
+    pop()
+    {
+        T t = queue_.front();
+        queue_.pop_front();
+        return t;
+    }
+
+    std::size_t size() const override { return queue_.size(); }
+
+    void
+    commit() override
+    {
+        for (auto &t : staged_)
+            queue_.push_back(std::move(t));
+        staged_.clear();
+        high_water_ = std::max(high_water_, queue_.size());
+    }
+
+    bool
+    quiescent() const override
+    {
+        return queue_.empty() && staged_.empty();
+    }
+
+  private:
+    std::deque<T> queue_;
+    std::deque<T> staged_;
+};
+
+/** A clocked hardware module. */
+class Module
+{
+  public:
+    explicit Module(std::string name) : name_(std::move(name)) {}
+
+    virtual ~Module() = default;
+
+    const std::string &name() const { return name_; }
+
+    /** Advance one clock cycle. */
+    virtual void tick(Cycle now) = 0;
+
+    /** True if the module holds no in-flight work. */
+    virtual bool idle() const = 0;
+
+  private:
+    std::string name_;
+};
+
+/**
+ * The clocked kernel: owns channels, ticks modules, commits channels,
+ * and detects quiescence.
+ */
+class Kernel
+{
+  public:
+    /** Register a module (not owned; must outlive the kernel run). */
+    void addModule(Module *m) { modules_.push_back(m); }
+
+    /** Create and own a FIFO channel. */
+    template <typename T>
+    Fifo<T> *
+    makeFifo(const std::string &name, std::size_t capacity)
+    {
+        auto f = std::make_unique<Fifo<T>>(name, capacity);
+        Fifo<T> *raw = f.get();
+        fifos_.push_back(std::move(f));
+        return raw;
+    }
+
+    /**
+     * Run until every module is idle and every channel quiescent, or
+     * until @p max_cycles elapse.
+     * @return the number of cycles simulated in this call.
+     */
+    Cycle run(Cycle max_cycles = 100'000'000);
+
+    /** Current simulation time. */
+    Cycle now() const { return now_; }
+
+    const std::vector<std::unique_ptr<FifoBase>> &fifos() const
+    {
+        return fifos_;
+    }
+
+  private:
+    bool quiescent() const;
+
+    std::vector<Module *> modules_;
+    std::vector<std::unique_ptr<FifoBase>> fifos_;
+    Cycle now_ = 0;
+};
+
+} // namespace dadu::sim
+
+#endif // DADU_SIM_KERNEL_H

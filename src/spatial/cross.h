@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Spatial (6D) cross-product operators.
+ *
+ * crm(v) w  — motion cross product v ×ₘ w  (Featherstone's v ×).
+ * crf(v) f  — force cross product  v ×* f  (Featherstone's v ×*).
+ *
+ * The identity crf(v) = -crm(v)^T holds, and the motion cross product
+ * is antisymmetric in its arguments: v ×ₘ w = -(w ×ₘ v). Both facts
+ * are exploited by the paper's ∆RNEA dataflow (the backward transfer
+ * of Fig. 7 sends λX*(∂f + S ×* f)).
+ */
+
+#ifndef DADU_SPATIAL_CROSS_H
+#define DADU_SPATIAL_CROSS_H
+
+#include "linalg/mat.h"
+#include "linalg/vec.h"
+
+namespace dadu::spatial {
+
+using linalg::Mat66;
+using linalg::Vec3;
+using linalg::Vec6;
+
+/** Motion cross product v ×ₘ w of two spatial motion vectors. */
+constexpr Vec6
+crossMotion(const Vec6 &v, const Vec6 &w)
+{
+    const Vec3 omega = linalg::topHalf(v);
+    const Vec3 vlin = linalg::bottomHalf(v);
+    const Vec3 womega = linalg::topHalf(w);
+    const Vec3 wlin = linalg::bottomHalf(w);
+    return linalg::join(linalg::cross(omega, womega),
+                        linalg::cross(omega, wlin) +
+                            linalg::cross(vlin, womega));
+}
+
+/** Force cross product v ×* f of a motion vector and a force vector. */
+constexpr Vec6
+crossForce(const Vec6 &v, const Vec6 &f)
+{
+    const Vec3 omega = linalg::topHalf(v);
+    const Vec3 vlin = linalg::bottomHalf(v);
+    const Vec3 n = linalg::topHalf(f);
+    const Vec3 flin = linalg::bottomHalf(f);
+    return linalg::join(linalg::cross(omega, n) + linalg::cross(vlin, flin),
+                        linalg::cross(omega, flin));
+}
+
+/** Matrix form of the motion cross product: crm(v) w == v ×ₘ w. */
+constexpr Mat66
+crmMatrix(const Vec6 &v)
+{
+    const linalg::Mat3 wx = linalg::skew(linalg::topHalf(v));
+    const linalg::Mat3 vx = linalg::skew(linalg::bottomHalf(v));
+    return linalg::blocks66(wx, linalg::Mat3::zero(), vx, wx);
+}
+
+/** Matrix form of the force cross product: crf(v) f == v ×* f. */
+constexpr Mat66
+crfMatrix(const Vec6 &v)
+{
+    const linalg::Mat3 wx = linalg::skew(linalg::topHalf(v));
+    const linalg::Mat3 vx = linalg::skew(linalg::bottomHalf(v));
+    return linalg::blocks66(wx, vx, linalg::Mat3::zero(), wx);
+}
+
+} // namespace dadu::spatial
+
+#endif // DADU_SPATIAL_CROSS_H

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Rigid-body and articulated-body spatial inertias.
+ *
+ * A rigid-body inertia is parameterized by (m, h, Ī): mass, first
+ * moment h = m·c, and the 3x3 rotational inertia Ī about the body
+ * frame origin. Expanded to 6x6 it is the symmetric matrix
+ *
+ *     I = [ Ī    ĥ  ]
+ *         [ ĥ^T  m1 ]
+ *
+ * which has exactly the "8 distinct non-zero constants" sparsity the
+ * paper exploits in its submodules (Fig. 6b). Articulated-body
+ * inertias (I^A in Algorithm 2) lose the rigid structure and are kept
+ * as general symmetric 6x6 matrices.
+ */
+
+#ifndef DADU_SPATIAL_INERTIA_H
+#define DADU_SPATIAL_INERTIA_H
+
+#include "linalg/mat.h"
+#include "linalg/vec.h"
+#include "spatial/transform.h"
+
+namespace dadu::spatial {
+
+/** Rigid-body spatial inertia in the body's own joint frame. */
+class SpatialInertia
+{
+  public:
+    /** Zero inertia (massless body). */
+    SpatialInertia() : mass_(0.0), h_(Vec3::zero()), ibar_(Mat3::zero()) {}
+
+    /**
+     * @param mass body mass.
+     * @param com  center of mass in the body frame.
+     * @param inertia_at_com 3x3 rotational inertia about the CoM.
+     */
+    static SpatialInertia
+    fromComInertia(double mass, const Vec3 &com, const Mat3 &inertia_at_com)
+    {
+        // Parallel-axis: Ī = I_c + m ĉ ĉ^T.
+        const Mat3 cx = linalg::skew(com);
+        SpatialInertia si;
+        si.mass_ = mass;
+        si.h_ = com * mass;
+        si.ibar_ = inertia_at_com + cx * cx.transpose() * mass;
+        return si;
+    }
+
+    /**
+     * @param mass body mass.
+     * @param h    first mass moment m·c in the body frame.
+     * @param ibar 3x3 rotational inertia about the body frame origin.
+     */
+    static SpatialInertia
+    fromOriginInertia(double mass, const Vec3 &h, const Mat3 &ibar)
+    {
+        SpatialInertia si;
+        si.mass_ = mass;
+        si.h_ = h;
+        si.ibar_ = ibar;
+        return si;
+    }
+
+    double mass() const { return mass_; }
+    const Vec3 &firstMoment() const { return h_; }
+    const Mat3 &rotationalInertia() const { return ibar_; }
+
+    /** f = I v for a spatial motion vector v. */
+    Vec6
+    apply(const Vec6 &v) const
+    {
+        const Vec3 omega = linalg::topHalf(v);
+        const Vec3 vlin = linalg::bottomHalf(v);
+        return linalg::join(ibar_ * omega + linalg::cross(h_, vlin),
+                            vlin * mass_ - linalg::cross(h_, omega));
+    }
+
+    /** Expand to the dense symmetric 6x6 matrix. */
+    linalg::Mat66
+    toMatrix() const
+    {
+        const Mat3 hx = linalg::skew(h_);
+        return linalg::blocks66(ibar_, hx, hx.transpose(),
+                                Mat3::identity() * mass_);
+    }
+
+  private:
+    double mass_;
+    Vec3 h_;
+    Mat3 ibar_;
+};
+
+/**
+ * General symmetric 6x6 inertia (articulated-body inertia I^A of
+ * Algorithm 2, or composite inertia I^C of CRBA).
+ */
+class ArticulatedInertia
+{
+  public:
+    ArticulatedInertia() : m_(linalg::Mat66::zero()) {}
+
+    explicit ArticulatedInertia(const linalg::Mat66 &m) : m_(m) {}
+
+    explicit ArticulatedInertia(const SpatialInertia &si)
+        : m_(si.toMatrix())
+    {}
+
+    const linalg::Mat66 &matrix() const { return m_; }
+    linalg::Mat66 &matrix() { return m_; }
+
+    ArticulatedInertia &
+    operator+=(const ArticulatedInertia &o)
+    {
+        m_ += o.m_;
+        return *this;
+    }
+
+    ArticulatedInertia &
+    operator-=(const ArticulatedInertia &o)
+    {
+        m_ -= o.m_;
+        return *this;
+    }
+
+    Vec6 apply(const Vec6 &v) const { return m_ * v; }
+
+    /**
+     * Congruence transform to the parent frame:
+     * I_parent = X^T I X, the paper's λX*_i I^A_i iX_λi
+     * (Algorithm 2 line 17). The result is symmetric by construction;
+     * symmetry is re-imposed to suppress roundoff drift.
+     */
+    ArticulatedInertia
+    transformToParent(const SpatialTransform &x) const
+    {
+        const linalg::Mat66 xm = x.toMatrix();
+        linalg::Mat66 y = xm.transpose() * m_ * xm;
+        for (std::size_t i = 0; i < 6; ++i) {
+            for (std::size_t j = i + 1; j < 6; ++j) {
+                const double avg = 0.5 * (y(i, j) + y(j, i));
+                y(i, j) = avg;
+                y(j, i) = avg;
+            }
+        }
+        return ArticulatedInertia(y);
+    }
+
+  private:
+    linalg::Mat66 m_;
+};
+
+} // namespace dadu::spatial
+
+#endif // DADU_SPATIAL_INERTIA_H

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Plücker spatial transforms.
+ *
+ * A SpatialTransform stores the sparse factored form of the 6x6
+ * Plücker matrix
+ *
+ *     X = [ E      0 ]
+ *         [ -E r̂   E ]
+ *
+ * (Featherstone's rot(E)·xlt(r)): E is the 3x3 rotation taking
+ * parent-frame coordinates to child-frame coordinates and r is the
+ * child origin expressed in the parent frame. Section II of the paper
+ * points out exactly this sparsity ("its top right 3x3 elements are
+ * always 0"); the accelerator's submodules exploit it, and so do
+ * these routines.
+ */
+
+#ifndef DADU_SPATIAL_TRANSFORM_H
+#define DADU_SPATIAL_TRANSFORM_H
+
+#include "linalg/mat.h"
+#include "linalg/vec.h"
+
+namespace dadu::spatial {
+
+using linalg::Mat3;
+using linalg::Mat66;
+using linalg::Vec3;
+using linalg::Vec6;
+
+/** Plücker coordinate transform between adjacent link frames. */
+class SpatialTransform
+{
+  public:
+    /** Identity transform. */
+    SpatialTransform() : e_(Mat3::identity()), r_(Vec3::zero()) {}
+
+    /**
+     * @param e rotation (parent coords -> child coords).
+     * @param r child origin expressed in parent coordinates.
+     */
+    SpatialTransform(const Mat3 &e, const Vec3 &r) : e_(e), r_(r) {}
+
+    static SpatialTransform identity() { return SpatialTransform(); }
+
+    /** Pure rotation. */
+    static SpatialTransform
+    rotation(const Mat3 &e)
+    {
+        return SpatialTransform(e, Vec3::zero());
+    }
+
+    /** Pure translation by @p r (child origin in parent coords). */
+    static SpatialTransform
+    translation(const Vec3 &r)
+    {
+        return SpatialTransform(Mat3::identity(), r);
+    }
+
+    const Mat3 &rotationPart() const { return e_; }
+    const Vec3 &translationPart() const { return r_; }
+
+    /**
+     * Apply to a motion vector: v_child = X v_parent.
+     * Costs two rotations and one cross product (the sparsity the
+     * accelerator submodules exploit).
+     */
+    Vec6
+    applyMotion(const Vec6 &v) const
+    {
+        const Vec3 omega = linalg::topHalf(v);
+        const Vec3 vlin = linalg::bottomHalf(v);
+        return linalg::join(e_ * omega,
+                            e_ * (vlin - linalg::cross(r_, omega)));
+    }
+
+    /**
+     * Apply the inverse to a motion vector: v_parent = X^-1 v_child.
+     */
+    Vec6
+    applyInverseMotion(const Vec6 &v) const
+    {
+        const Vec3 omega = e_.transpose() * linalg::topHalf(v);
+        const Vec3 vlin = e_.transpose() * linalg::bottomHalf(v);
+        return linalg::join(omega, vlin + linalg::cross(r_, omega));
+    }
+
+    /**
+     * Apply the force transform: f_child = X* f_parent with
+     * X* = [E, -E r̂; 0, E].
+     */
+    Vec6
+    applyForce(const Vec6 &f) const
+    {
+        const Vec3 n = linalg::topHalf(f);
+        const Vec3 flin = linalg::bottomHalf(f);
+        return linalg::join(e_ * (n - linalg::cross(r_, flin)), e_ * flin);
+    }
+
+    /**
+     * Apply X^T to a force vector: f_parent = X^T f_child.
+     *
+     * This is the paper's λX*_i operator (power-conservation identity
+     * f_λ = (iX_λ)^T f_i), used on every backward transfer of the
+     * RNEA/∆RNEA/MMinvGen round-trip pipelines.
+     */
+    Vec6
+    applyTransposeForce(const Vec6 &f) const
+    {
+        const Vec3 n = e_.transpose() * linalg::topHalf(f);
+        const Vec3 flin = e_.transpose() * linalg::bottomHalf(f);
+        return linalg::join(n + linalg::cross(r_, flin), flin);
+    }
+
+    /**
+     * Composition: (*this) ∘ other, i.e. apply @p other first.
+     * If *this is ^CX_B and other is ^BX_A, the result is ^CX_A.
+     */
+    SpatialTransform
+    operator*(const SpatialTransform &other) const
+    {
+        return SpatialTransform(
+            e_ * other.e_,
+            other.r_ + other.e_.transpose() * r_);
+    }
+
+    /** Inverse transform. */
+    SpatialTransform
+    inverse() const
+    {
+        return SpatialTransform(e_.transpose(), -(e_ * r_));
+    }
+
+    /** Expand to the dense 6x6 Plücker motion matrix. */
+    Mat66
+    toMatrix() const
+    {
+        const Mat3 erx = e_ * linalg::skew(r_);
+        return linalg::blocks66(e_, Mat3::zero(), -erx, e_);
+    }
+
+    /** Expand to the dense 6x6 force transform X* = X^-T. */
+    Mat66
+    toForceMatrix() const
+    {
+        const Mat3 erx = e_ * linalg::skew(r_);
+        return linalg::blocks66(e_, -erx, Mat3::zero(), e_);
+    }
+
+  private:
+    Mat3 e_;
+    Vec3 r_;
+};
+
+} // namespace dadu::spatial
+
+#endif // DADU_SPATIAL_TRANSFORM_H

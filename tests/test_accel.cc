@@ -1,0 +1,431 @@
+/**
+ * @file
+ * Accelerator tests: SAP topology compilation, op counts, and — most
+ * importantly — functional equivalence of the simulated pipelines
+ * against the reference algorithms for every function in Table I and
+ * every evaluation robot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "accel/accelerator.h"
+#include "accel/op_count.h"
+#include "accel/topology.h"
+#include "algorithms/crba.h"
+#include "algorithms/dynamics.h"
+#include "algorithms/mminv_gen.h"
+#include "algorithms/rnea.h"
+#include "algorithms/rnea_derivatives.h"
+#include "model/builders.h"
+
+namespace {
+
+using namespace dadu::accel;
+using dadu::algo::crba;
+using dadu::algo::fdDerivatives;
+using dadu::algo::forwardDynamics;
+using dadu::algo::massMatrixInverse;
+using dadu::algo::rnea;
+using dadu::algo::rneaDerivatives;
+using dadu::linalg::MatrixX;
+using dadu::linalg::VectorX;
+using dadu::model::makeAtlas;
+using dadu::model::makeHyq;
+using dadu::model::makeIiwa;
+using dadu::model::makeQuadrupedArm;
+using dadu::model::makeSpotArm;
+using dadu::model::makeTiago;
+using dadu::model::RobotModel;
+
+// Fixed-point tolerance: the Q29 grid is ~2e-9, but error accumulates
+// through the pipeline stages and the float-assisted reciprocal is
+// single-precision, so validated tolerances are looser.
+constexpr double kFixTol = 2e-3;
+
+TaskInput
+randomTask(const RobotModel &robot, std::mt19937 &rng)
+{
+    TaskInput in;
+    in.q = robot.randomConfiguration(rng);
+    in.qd = robot.randomVelocity(rng);
+    in.qdd_or_tau = robot.randomVelocity(rng);
+    return in;
+}
+
+// ---------------- topology compiler ----------------
+
+TEST(Topology, QuadrupedArmBranches)
+{
+    const RobotModel robot = makeQuadrupedArm();
+    const SapPlan plan = compileSap(robot);
+    // 5 physical branches (4 legs + arm) -> 2 leg arrays + 1 arm
+    // array with pairwise TDM (Fig. 11b).
+    EXPECT_EQ(plan.branchCount, 5);
+    ASSERT_EQ(plan.hwBranches.size(), 3u);
+    int tdm2 = 0;
+    for (const auto &hw : plan.hwBranches)
+        if (hw.tdmFactor() == 2)
+            ++tdm2;
+    EXPECT_EQ(tdm2, 2);
+}
+
+TEST(Topology, TiagoIsLinear)
+{
+    const SapPlan plan = compileSap(makeTiago());
+    EXPECT_EQ(plan.branchCount, 0);
+    EXPECT_EQ(plan.hwBranches.size(), 0u);
+    EXPECT_GT(plan.rootChain.size(), 0u);
+}
+
+TEST(Topology, AtlasRerootingReducesDepth)
+{
+    const RobotModel atlas = makeAtlas();
+    SapConfig with, without;
+    without.reroot = false;
+    const SapPlan rerooted = compileSap(atlas, with);
+    const SapPlan original = compileSap(atlas, without);
+    // Fig. 11c: pelvis-rooted depth 11 vs torso-rooted depth 9 (the
+    // paper's Atlas lacks our neck link; the reduction is the claim).
+    EXPECT_LT(rerooted.maxDepth, original.maxDepth);
+    EXPECT_EQ(original.maxDepth, atlas.maxDepth());
+}
+
+TEST(Topology, RerootParentsIsValidTree)
+{
+    const RobotModel robot = makeAtlas();
+    const int root = bestRoot(robot);
+    const auto parents = rerootParents(robot, root);
+    EXPECT_EQ(parents[root], -1);
+    int roots = 0;
+    for (int i = 0; i < robot.nb(); ++i) {
+        if (parents[i] == -1)
+            ++roots;
+        else
+            EXPECT_GE(parents[i], 0);
+    }
+    EXPECT_EQ(roots, 1);
+}
+
+TEST(Topology, SymmetricLegsShareSignature)
+{
+    const RobotModel robot = makeSpotArm();
+    std::vector<int> parents(robot.nb());
+    for (int i = 0; i < robot.nb(); ++i)
+        parents[i] = robot.parent(i);
+    // Legs: links 1, 4, 7, 10 head the four 3-link chains.
+    const auto s1 = branchSignature(robot, parents, 1);
+    const auto s2 = branchSignature(robot, parents, 4);
+    EXPECT_EQ(s1, s2);
+    // The arm (link 13) differs.
+    EXPECT_NE(s1, branchSignature(robot, parents, 13));
+}
+
+TEST(Topology, MergeDisabledKeepsAllBranches)
+{
+    SapConfig cfg;
+    cfg.merge_symmetric = false;
+    const SapPlan plan = compileSap(makeQuadrupedArm(), cfg);
+    EXPECT_EQ(plan.hwBranches.size(), 5u);
+}
+
+// ---------------- op counts ----------------
+
+TEST(OpCount, DeltaGrowsWithDepth)
+{
+    // Section IV-A4: deeper ∆RNEA submodules process more columns.
+    const RobotModel iiwa = makeIiwa();
+    const OpCount shallow = submoduleOps(iiwa, 0, SubmoduleKind::DeltaFwd);
+    const OpCount deep = submoduleOps(iiwa, 6, SubmoduleKind::DeltaFwd);
+    EXPECT_GT(deep.mul, 3 * shallow.mul);
+}
+
+TEST(OpCount, BwdCheaperThanFwd)
+{
+    const RobotModel iiwa = makeIiwa();
+    const OpCount fwd = submoduleOps(iiwa, 3, SubmoduleKind::RneaFwd);
+    const OpCount bwd = submoduleOps(iiwa, 3, SubmoduleKind::RneaBwd);
+    EXPECT_LT(bwd.mul, fwd.mul);
+}
+
+TEST(OpCount, MMinvHasReciprocal)
+{
+    const RobotModel iiwa = makeIiwa();
+    EXPECT_GT(submoduleOps(iiwa, 2, SubmoduleKind::MMinvBwd).recip, 0);
+}
+
+TEST(OpCount, TimingAllocationMeetsTarget)
+{
+    const OpCount ops{120, 80, 0};
+    const SubmoduleTiming t = allocateTiming(ops, 8, 64);
+    EXPECT_LE(t.ii, 8);
+    EXPECT_EQ(t.units, 15);
+    // Capped allocation degrades II instead of exceeding units.
+    const SubmoduleTiming capped = allocateTiming(ops, 8, 4);
+    EXPECT_EQ(capped.units, 4);
+    EXPECT_EQ(capped.ii, 30);
+}
+
+// ---------------- functional equivalence ----------------
+
+class AccelFunctionTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    RobotModel
+    robot() const
+    {
+        const std::string &n = GetParam();
+        if (n == "iiwa")
+            return makeIiwa();
+        if (n == "hyq")
+            return makeHyq();
+        if (n == "atlas")
+            return makeAtlas();
+        if (n == "quadarm")
+            return makeQuadrupedArm();
+        return makeTiago();
+    }
+};
+
+TEST_P(AccelFunctionTest, IdMatchesRnea)
+{
+    const RobotModel robot = this->robot();
+    Accelerator accel(robot);
+    std::mt19937 rng(7);
+    std::vector<TaskInput> batch;
+    for (int i = 0; i < 8; ++i)
+        batch.push_back(randomTask(robot, rng));
+    BatchStats stats;
+    const auto out = accel.run(FunctionType::ID, batch, &stats);
+    ASSERT_EQ(out.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const VectorX expect =
+            rnea(robot, batch[i].q, batch[i].qd, batch[i].qdd_or_tau).tau;
+        EXPECT_LT((out[i].tau - expect).maxAbs(), kFixTol) << i;
+    }
+    EXPECT_GT(stats.cycles, 0u);
+}
+
+TEST_P(AccelFunctionTest, MassMatrixMatchesCrba)
+{
+    const RobotModel robot = this->robot();
+    Accelerator accel(robot);
+    std::mt19937 rng(11);
+    std::vector<TaskInput> batch{randomTask(robot, rng),
+                                 randomTask(robot, rng)};
+    const auto out = accel.run(FunctionType::M, batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const MatrixX expect = crba(robot, batch[i].q);
+        EXPECT_LT((out[i].m - expect).maxAbs(), kFixTol) << i;
+    }
+}
+
+TEST_P(AccelFunctionTest, MinvMatchesReference)
+{
+    const RobotModel robot = this->robot();
+    Accelerator accel(robot);
+    std::mt19937 rng(13);
+    std::vector<TaskInput> batch{randomTask(robot, rng)};
+    const auto out = accel.run(FunctionType::Minv, batch);
+    const MatrixX expect = massMatrixInverse(robot, batch[0].q);
+    // Minv entries reach O(100) for light wrist links, so compare
+    // relative to the matrix scale.
+    EXPECT_LT((out[0].minv - expect).maxAbs() / expect.maxAbs(),
+              kFixTol);
+    // And it actually inverts the true mass matrix.
+    const MatrixX m = crba(robot, batch[0].q);
+    const MatrixX eye = MatrixX::identity(robot.nv());
+    EXPECT_LT((out[0].minv * m - eye).maxAbs(), 5e-2);
+}
+
+TEST_P(AccelFunctionTest, FdMatchesReference)
+{
+    const RobotModel robot = this->robot();
+    Accelerator accel(robot);
+    std::mt19937 rng(17);
+    std::vector<TaskInput> batch{randomTask(robot, rng),
+                                 randomTask(robot, rng)};
+    const auto out = accel.run(FunctionType::FD, batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const VectorX expect = forwardDynamics(
+            robot, batch[i].q, batch[i].qd, batch[i].qdd_or_tau);
+        EXPECT_LT((out[i].qdd - expect).maxAbs(), 100 * kFixTol) << i;
+    }
+}
+
+TEST_P(AccelFunctionTest, DeltaIdMatchesReference)
+{
+    const RobotModel robot = this->robot();
+    Accelerator accel(robot);
+    std::mt19937 rng(19);
+    std::vector<TaskInput> batch{randomTask(robot, rng)};
+    const auto out = accel.run(FunctionType::DeltaID, batch);
+    const auto expect = rneaDerivatives(robot, batch[0].q, batch[0].qd,
+                                        batch[0].qdd_or_tau);
+    EXPECT_LT((out[0].dtau_dq - expect.dtau_dq).maxAbs(), kFixTol);
+    EXPECT_LT((out[0].dtau_dqd - expect.dtau_dqd).maxAbs(), kFixTol);
+}
+
+TEST_P(AccelFunctionTest, DeltaFdMatchesReference)
+{
+    const RobotModel robot = this->robot();
+    Accelerator accel(robot);
+    std::mt19937 rng(23);
+    std::vector<TaskInput> batch{randomTask(robot, rng)};
+    const auto out = accel.run(FunctionType::DeltaFD, batch);
+    const auto expect = fdDerivatives(robot, batch[0].q, batch[0].qd,
+                                      batch[0].qdd_or_tau);
+    EXPECT_LT((out[0].qdd - expect.qdd).maxAbs(), 100 * kFixTol);
+    EXPECT_LT((out[0].dqdd_dq - expect.dqdd_dq).maxAbs(), 1.0);
+    // Relative check on the dominant entries.
+    const double scale = expect.dqdd_dq.maxAbs();
+    EXPECT_LT((out[0].dqdd_dq - expect.dqdd_dq).maxAbs() / scale, 2e-2);
+}
+
+TEST_P(AccelFunctionTest, DeltaiFdMatchesReference)
+{
+    const RobotModel robot = this->robot();
+    Accelerator accel(robot);
+    std::mt19937 rng(29);
+    TaskInput in = randomTask(robot, rng);
+    // ∆iFD receives q̈ and M⁻¹ as inputs (Robomorphic-compatible).
+    const auto ref = fdDerivatives(robot, in.q, in.qd, in.qdd_or_tau);
+    in.qdd_or_tau = ref.qdd;
+    in.minv = ref.minv;
+    const auto out = accel.run(FunctionType::DeltaiFD, {in});
+    const double scale = ref.dqdd_dq.maxAbs();
+    EXPECT_LT((out[0].dqdd_dq - ref.dqdd_dq).maxAbs() / scale, 2e-2);
+    EXPECT_LT((out[0].dqdd_dqd - ref.dqdd_dqd).maxAbs() / scale, 2e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Robots, AccelFunctionTest,
+                         ::testing::Values("iiwa", "hyq", "atlas",
+                                           "quadarm", "tiago"),
+                         [](const auto &info) { return info.param; });
+
+// ---------------- float mode is exact ----------------
+
+TEST(AccelNumerics, FloatModeMatchesReferenceExactly)
+{
+    const RobotModel robot = makeIiwa();
+    AccelConfig cfg;
+    cfg.numeric.fixed_point = false;
+    cfg.numeric.taylor_terms = 12; // near-exact trig
+    Accelerator accel(robot, cfg);
+    std::mt19937 rng(31);
+    TaskInput in = randomTask(robot, rng);
+    const auto out = accel.run(FunctionType::ID, {in});
+    const VectorX expect = rnea(robot, in.q, in.qd, in.qdd_or_tau).tau;
+    EXPECT_LT((out[0].tau - expect).maxAbs(), 1e-9);
+}
+
+TEST(AccelNumerics, FixedPointErrorBounded)
+{
+    // The fixed-point datapath loses precision but stays within the
+    // documented tolerance band across a batch.
+    const RobotModel robot = makeQuadrupedArm();
+    Accelerator accel(robot);
+    std::mt19937 rng(37);
+    std::vector<TaskInput> batch;
+    for (int i = 0; i < 16; ++i)
+        batch.push_back(randomTask(robot, rng));
+    const auto out = accel.run(FunctionType::ID, batch);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const VectorX expect =
+            rnea(robot, batch[i].q, batch[i].qd, batch[i].qdd_or_tau).tau;
+        worst = std::max(worst, (out[i].tau - expect).maxAbs());
+    }
+    EXPECT_LT(worst, kFixTol);
+    EXPECT_GT(worst, 0.0); // quantization is actually happening
+}
+
+// ---------------- timing behaviour ----------------
+
+TEST(AccelTiming, ThroughputScalesWithBatch)
+{
+    const RobotModel robot = makeIiwa();
+    Accelerator accel(robot);
+    std::mt19937 rng(41);
+    std::vector<TaskInput> small, large;
+    for (int i = 0; i < 4; ++i)
+        small.push_back(randomTask(robot, rng));
+    for (int i = 0; i < 64; ++i)
+        large.push_back(randomTask(robot, rng));
+    BatchStats s1, s2;
+    accel.run(FunctionType::ID, small, &s1);
+    accel.run(FunctionType::ID, large, &s2);
+    // Pipelining: larger batches amortize the fill latency.
+    EXPECT_GT(s2.throughput_mtasks, 1.5 * s1.throughput_mtasks);
+}
+
+TEST(AccelTiming, SimMatchesAnalyticWithinBand)
+{
+    const RobotModel robot = makeIiwa();
+    Accelerator accel(robot);
+    std::mt19937 rng(43);
+    std::vector<TaskInput> batch;
+    for (int i = 0; i < 128; ++i)
+        batch.push_back(randomTask(robot, rng));
+    BatchStats stats;
+    accel.run(FunctionType::ID, batch, &stats);
+    const TimingEstimate est = accel.analytic(FunctionType::ID);
+    EXPECT_GT(stats.throughput_mtasks, 0.3 * est.throughput_mtasks);
+    EXPECT_LT(stats.throughput_mtasks, 3.0 * est.throughput_mtasks);
+}
+
+TEST(AccelTiming, DeltaFdSlowerThanId)
+{
+    const RobotModel robot = makeIiwa();
+    Accelerator accel(robot);
+    const auto id = accel.analytic(FunctionType::ID);
+    const auto dfd = accel.analytic(FunctionType::DeltaFD);
+    EXPECT_GT(dfd.latency_us, id.latency_us);
+    EXPECT_LT(dfd.throughput_mtasks, id.throughput_mtasks);
+}
+
+TEST(AccelTiming, NoFifoStallsWithGenerousBuffers)
+{
+    const RobotModel robot = makeHyq();
+    Accelerator accel(robot);
+    std::mt19937 rng(47);
+    std::vector<TaskInput> batch;
+    for (int i = 0; i < 32; ++i)
+        batch.push_back(randomTask(robot, rng));
+    BatchStats stats;
+    accel.run(FunctionType::ID, batch, &stats);
+    EXPECT_EQ(stats.fifo_stalls, 0u);
+    EXPECT_GT(stats.fifo_high_water, 0u);
+}
+
+// ---------------- resources ----------------
+
+TEST(AccelResources, WithinDeviceBudget)
+{
+    // Section VI-C: 62% DSP / 17% FF / 54% LUT for the
+    // quadruped-with-arm configuration; the model must land in a
+    // credible band and fit the device.
+    Accelerator accel(makeQuadrupedArm());
+    const ResourceEstimate r = accel.resources();
+    EXPECT_GT(r.dsp_pct, 20.0);
+    EXPECT_LT(r.dsp_pct, 100.0);
+    EXPECT_LT(r.lut_pct, 100.0);
+    EXPECT_LT(r.ff_pct, 100.0);
+}
+
+TEST(AccelResources, TdmSavesResources)
+{
+    // At a fixed lane-allocation target, sharing leg arrays halves
+    // their hardware (compare without the budget auto-fit).
+    AccelConfig merged, unmerged;
+    merged.auto_fit = false;
+    merged.target_ii = 8;
+    unmerged = merged;
+    unmerged.sap.merge_symmetric = false;
+    Accelerator a1(makeQuadrupedArm(), merged);
+    Accelerator a2(makeQuadrupedArm(), unmerged);
+    EXPECT_LT(a1.resources().dsp, a2.resources().dsp);
+}
+
+} // namespace

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Cross-validation tests for the reference dynamics algorithms:
+ * the identities of Section III-A (FD = M⁻¹ ID, ∆FD = M⁻¹ ∆ID),
+ * algorithm-vs-algorithm agreement, and analytical derivatives vs
+ * finite differences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "algorithms/aba.h"
+#include "algorithms/crba.h"
+#include "algorithms/dynamics.h"
+#include "algorithms/finite_diff.h"
+#include "algorithms/mminv_gen.h"
+#include "algorithms/rnea.h"
+#include "algorithms/rnea_derivatives.h"
+#include "linalg/factorize.h"
+#include "model/builders.h"
+
+namespace {
+
+using namespace dadu::algo;
+using dadu::linalg::MatrixX;
+using dadu::linalg::Vec6;
+using dadu::linalg::VectorX;
+using dadu::model::makeAtlas;
+using dadu::model::makeHyq;
+using dadu::model::makeIiwa;
+using dadu::model::makeQuadrupedArm;
+using dadu::model::makeSerialChain;
+using dadu::model::makeSpotArm;
+using dadu::model::makeTiago;
+using dadu::model::RobotModel;
+
+/** All evaluation and walkthrough robots, keyed for TEST_P. */
+RobotModel
+robotByName(const std::string &name)
+{
+    if (name == "iiwa")
+        return makeIiwa();
+    if (name == "hyq")
+        return makeHyq();
+    if (name == "atlas")
+        return makeAtlas();
+    if (name == "quadarm")
+        return makeQuadrupedArm();
+    if (name == "tiago")
+        return makeTiago();
+    if (name == "spot")
+        return makeSpotArm();
+    return makeSerialChain(5);
+}
+
+std::vector<Vec6>
+randomExternalForces(const RobotModel &robot, std::mt19937 &rng)
+{
+    std::uniform_real_distribution<double> d(-2.0, 2.0);
+    std::vector<Vec6> f(robot.nb());
+    for (auto &v : f)
+        for (int i = 0; i < 6; ++i)
+            v[i] = d(rng);
+    return f;
+}
+
+class DynamicsTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        robot_ = robotByName(GetParam());
+        rng_.seed(2024);
+    }
+
+    RobotModel robot_{"empty"};
+    std::mt19937 rng_;
+};
+
+TEST_P(DynamicsTest, GravityTorqueAtRest)
+{
+    // At rest with q̈ = 0, τ = gravity torque; for a fixed-base arm
+    // hanging under gravity the shoulder torque is nonzero while a
+    // weightless configuration yields zero.
+    const VectorX q = robot_.neutralConfiguration();
+    const VectorX zero(robot_.nv());
+    RobotModel weightless = robot_;
+    weightless.setGravity(Vec6::zero());
+    const VectorX tau = rnea(weightless, q, zero, zero).tau;
+    EXPECT_LT(tau.maxAbs(), 1e-10);
+}
+
+TEST_P(DynamicsTest, RneaLinearInQdd)
+{
+    // τ(q̈₁ + q̈₂) - τ(0) == (τ(q̈₁) - τ(0)) + (τ(q̈₂) - τ(0)):
+    // the equation of motion is linear in q̈ (Section III-A).
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const VectorX qd = robot_.randomVelocity(rng_);
+    const VectorX a1 = robot_.randomVelocity(rng_);
+    const VectorX a2 = robot_.randomVelocity(rng_);
+    const VectorX zero(robot_.nv());
+
+    const VectorX t0 = rnea(robot_, q, qd, zero).tau;
+    const VectorX t1 = rnea(robot_, q, qd, a1).tau;
+    const VectorX t2 = rnea(robot_, q, qd, a2).tau;
+    const VectorX t12 = rnea(robot_, q, qd, a1 + a2).tau;
+    EXPECT_LT((t12 - t0 - (t1 - t0) - (t2 - t0)).maxAbs(), 1e-8);
+}
+
+TEST_P(DynamicsTest, MassMatrixMatchesRneaColumns)
+{
+    // M e_k = ID(q, 0, e_k) - ID(q, 0, 0): probe CRBA against RNEA.
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const VectorX zero(robot_.nv());
+    const MatrixX m = crba(robot_, q);
+    const VectorX bias = rnea(robot_, q, zero, zero).tau;
+    for (int k = 0; k < robot_.nv(); ++k) {
+        VectorX ek(robot_.nv());
+        ek[k] = 1.0;
+        const VectorX col = rnea(robot_, q, zero, ek).tau - bias;
+        for (int r = 0; r < robot_.nv(); ++r)
+            EXPECT_NEAR(m(r, k), col[r], 1e-8);
+    }
+}
+
+TEST_P(DynamicsTest, MassMatrixSymmetricPositiveDefinite)
+{
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const MatrixX m = crba(robot_, q);
+    EXPECT_LT((m - m.transpose()).maxAbs(), 1e-9);
+    EXPECT_TRUE(dadu::linalg::Cholesky(m).ok());
+}
+
+TEST_P(DynamicsTest, MMinvGenMassMatrixMatchesCrba)
+{
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const MatrixX m_crba = crba(robot_, q);
+    const MatrixX m_gen = massMatrix(robot_, q);
+    EXPECT_LT((m_crba - m_gen).maxAbs(), 1e-8);
+}
+
+TEST_P(DynamicsTest, MMinvGenInverseIsTrueInverse)
+{
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const MatrixX m = crba(robot_, q);
+    const MatrixX minv = massMatrixInverse(robot_, q);
+    const MatrixX eye = MatrixX::identity(robot_.nv());
+    EXPECT_LT((m * minv - eye).maxAbs(), 1e-7);
+    EXPECT_LT((minv * m - eye).maxAbs(), 1e-7);
+}
+
+TEST_P(DynamicsTest, MinvIsSymmetric)
+{
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const MatrixX minv = massMatrixInverse(robot_, q);
+    EXPECT_LT((minv - minv.transpose()).maxAbs(), 1e-8);
+}
+
+TEST_P(DynamicsTest, FdIdRoundTrip)
+{
+    // q̈ = FD(q, q̇, ID(q, q̇, q̈)): Eq. (2) of the paper.
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const VectorX qd = robot_.randomVelocity(rng_);
+    const VectorX qdd = robot_.randomVelocity(rng_);
+    const VectorX tau = rnea(robot_, q, qd, qdd).tau;
+    const VectorX qdd_back = forwardDynamics(robot_, q, qd, tau);
+    EXPECT_LT((qdd_back - qdd).maxAbs(), 1e-6);
+}
+
+TEST_P(DynamicsTest, AbaMatchesMinvRoute)
+{
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const VectorX qd = robot_.randomVelocity(rng_);
+    const VectorX tau = robot_.randomVelocity(rng_);
+    const VectorX qdd_aba = aba(robot_, q, qd, tau);
+    const VectorX qdd_minv = forwardDynamics(robot_, q, qd, tau);
+    EXPECT_LT((qdd_aba - qdd_minv).maxAbs(), 1e-6);
+}
+
+TEST_P(DynamicsTest, CholeskyFdMatchesAba)
+{
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const VectorX qd = robot_.randomVelocity(rng_);
+    const VectorX tau = robot_.randomVelocity(rng_);
+    EXPECT_LT((forwardDynamicsCholesky(robot_, q, qd, tau) -
+               aba(robot_, q, qd, tau)).maxAbs(),
+              1e-6);
+}
+
+TEST_P(DynamicsTest, ExternalForcesEnterRnea)
+{
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const VectorX qd = robot_.randomVelocity(rng_);
+    const VectorX qdd = robot_.randomVelocity(rng_);
+    const auto fext = randomExternalForces(robot_, rng_);
+    const VectorX t_with = rnea(robot_, q, qd, qdd, &fext).tau;
+    const VectorX t_without = rnea(robot_, q, qd, qdd).tau;
+    EXPECT_GT((t_with - t_without).maxAbs(), 1e-6);
+}
+
+TEST_P(DynamicsTest, FdIdRoundTripWithExternalForces)
+{
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const VectorX qd = robot_.randomVelocity(rng_);
+    const VectorX qdd = robot_.randomVelocity(rng_);
+    const auto fext = randomExternalForces(robot_, rng_);
+    const VectorX tau = rnea(robot_, q, qd, qdd, &fext).tau;
+    const VectorX back = aba(robot_, q, qd, tau, &fext);
+    EXPECT_LT((back - qdd).maxAbs(), 1e-6);
+}
+
+TEST_P(DynamicsTest, DtauDqMatchesFiniteDifferences)
+{
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const VectorX qd = robot_.randomVelocity(rng_);
+    const VectorX qdd = robot_.randomVelocity(rng_);
+    const RneaDerivatives d = rneaDerivatives(robot_, q, qd, qdd);
+    const MatrixX num = numericalDtauDq(robot_, q, qd, qdd);
+    EXPECT_LT((d.dtau_dq - num).maxAbs(), 1e-4);
+}
+
+TEST_P(DynamicsTest, DtauDqdMatchesFiniteDifferences)
+{
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const VectorX qd = robot_.randomVelocity(rng_);
+    const VectorX qdd = robot_.randomVelocity(rng_);
+    const RneaDerivatives d = rneaDerivatives(robot_, q, qd, qdd);
+    const MatrixX num = numericalDtauDqd(robot_, q, qd, qdd);
+    EXPECT_LT((d.dtau_dqd - num).maxAbs(), 1e-5);
+}
+
+TEST_P(DynamicsTest, DerivativesWithExternalForces)
+{
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const VectorX qd = robot_.randomVelocity(rng_);
+    const VectorX qdd = robot_.randomVelocity(rng_);
+    const auto fext = randomExternalForces(robot_, rng_);
+    const RneaDerivatives d = rneaDerivatives(robot_, q, qd, qdd, &fext);
+    const MatrixX num = numericalDtauDq(robot_, q, qd, qdd, &fext);
+    EXPECT_LT((d.dtau_dq - num).maxAbs(), 1e-4);
+}
+
+TEST_P(DynamicsTest, FdDerivativesMatchFiniteDifferences)
+{
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const VectorX qd = robot_.randomVelocity(rng_);
+    const VectorX tau = robot_.randomVelocity(rng_);
+    const FdDerivatives d = fdDerivatives(robot_, q, qd, tau);
+    const MatrixX num_q = numericalDqddDq(robot_, q, qd, tau);
+    const MatrixX num_qd = numericalDqddDqd(robot_, q, qd, tau);
+    EXPECT_LT((d.dqdd_dq - num_q).maxAbs(), 2e-4);
+    EXPECT_LT((d.dqdd_dqd - num_qd).maxAbs(), 1e-4);
+}
+
+TEST_P(DynamicsTest, DiFdMatchesDFd)
+{
+    // ∆iFD (q̈ and M⁻¹ supplied) agrees with the full ∆FD.
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const VectorX qd = robot_.randomVelocity(rng_);
+    const VectorX tau = robot_.randomVelocity(rng_);
+    const FdDerivatives full = fdDerivatives(robot_, q, qd, tau);
+    const FdDerivatives given = fdDerivativesGivenAccel(
+        robot_, q, qd, full.qdd, full.minv);
+    EXPECT_LT((full.dqdd_dq - given.dqdd_dq).maxAbs(), 1e-10);
+    EXPECT_LT((full.dqdd_dqd - given.dqdd_dqd).maxAbs(), 1e-10);
+}
+
+TEST_P(DynamicsTest, DtauDqdSparsityFollowsTopology)
+{
+    // ∂τ_i/∂q̇_j == 0 when joints i and j lie on unrelated branches —
+    // the branch-induced sparsity of Fig. 5 / Section V-C4.
+    const VectorX q = robot_.randomConfiguration(rng_);
+    const VectorX qd = robot_.randomVelocity(rng_);
+    const VectorX qdd = robot_.randomVelocity(rng_);
+    const RneaDerivatives d = rneaDerivatives(robot_, q, qd, qdd);
+    for (int i = 0; i < robot_.nb(); ++i) {
+        for (int j = 0; j < robot_.nb(); ++j) {
+            if (robot_.isAncestorOf(i, j) || robot_.isAncestorOf(j, i))
+                continue;
+            const auto &li = robot_.link(i);
+            const auto &lj = robot_.link(j);
+            for (int r = 0; r < robot_.subspace(i).nv(); ++r)
+                for (int c = 0; c < robot_.subspace(j).nv(); ++c)
+                    EXPECT_NEAR(d.dtau_dqd(li.vIndex + r, lj.vIndex + c),
+                                0.0, 1e-12);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Robots, DynamicsTest,
+                         ::testing::Values("iiwa", "hyq", "atlas",
+                                           "quadarm", "tiago", "spot"),
+                         [](const auto &info) { return info.param; });
+
+TEST(DynamicsScaling, SerialChainsOfManySizes)
+{
+    // Property sweep: FD∘ID identity across chain lengths.
+    std::mt19937 rng(5);
+    for (int n : {1, 2, 3, 4, 6, 9, 14, 20}) {
+        const RobotModel robot = makeSerialChain(n);
+        const VectorX q = robot.randomConfiguration(rng);
+        const VectorX qd = robot.randomVelocity(rng);
+        const VectorX qdd = robot.randomVelocity(rng);
+        const VectorX tau = rnea(robot, q, qd, qdd).tau;
+        EXPECT_LT((aba(robot, q, qd, tau) - qdd).maxAbs(), 1e-7)
+            << "n=" << n;
+    }
+}
+
+TEST(DynamicsEnergy, PowerBalance)
+{
+    // d/dt (kinetic energy) == q̇·τ - q̇·g-term when no velocity
+    // bias work: verified via τ·q̇ = q̇ᵀ M q̈ + q̇ᵀ C. Here simply check
+    // q̇ᵀ(ID(q,q̇,q̈) - C) == q̇ᵀ M q̈ (linearity consistency).
+    std::mt19937 rng(11);
+    const RobotModel robot = makeIiwa();
+    const VectorX q = robot.randomConfiguration(rng);
+    const VectorX qd = robot.randomVelocity(rng);
+    const VectorX qdd = robot.randomVelocity(rng);
+    const VectorX c = biasForce(robot, q, qd);
+    const VectorX tau = rnea(robot, q, qd, qdd).tau;
+    const MatrixX m = crba(robot, q);
+    EXPECT_NEAR(qd.dot(tau - c), qd.dot(m * qdd), 1e-8);
+}
+
+TEST(DynamicsEdge, SingleLinkPendulum)
+{
+    // Closed-form check: a point mass m on a massless rod of length l
+    // about a revolute-y joint: τ = m l² q̈ + m g l sin(q)... with our
+    // frame conventions, the link CoM at (0,0,-l) and rotation about
+    // y gives M = m l² and gravity torque m g l sin(q).
+    RobotModel robot("pendulum");
+    const double m = 2.0, l = 0.5, g = 9.81;
+    robot.addLink("rod", -1, dadu::model::JointType::RevoluteY,
+                  dadu::spatial::SpatialTransform::identity(),
+                  dadu::spatial::SpatialInertia::fromComInertia(
+                      m, dadu::linalg::Vec3{0, 0, -l},
+                      dadu::linalg::Mat3::zero()));
+    const MatrixX mm = crba(robot, VectorX{0.3});
+    EXPECT_NEAR(mm(0, 0), m * l * l, 1e-12);
+
+    const VectorX tau =
+        rnea(robot, VectorX{0.3}, VectorX{0}, VectorX{0}).tau;
+    EXPECT_NEAR(tau[0], m * g * l * std::sin(0.3), 1e-10);
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the end-to-end MPC workload, the thread pool and the
+ * Fig. 13 scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "accel/accelerator.h"
+#include "app/mpc_workload.h"
+#include "app/scheduler.h"
+#include "app/thread_pool.h"
+#include "model/builders.h"
+
+namespace {
+
+using namespace dadu::app;
+using dadu::accel::Accelerator;
+using dadu::model::makeQuadrupedArm;
+
+TEST(ThreadPool, RunsAllTasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.waitAll();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitAllIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.waitAll();
+    pool.submit([&count] { ++count; });
+    pool.waitAll();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(Scheduler, PipelineBeatsCpuOnParallelStages)
+{
+    // 100 points x 4 serial stages: the pipeline pays latency per
+    // stage boundary, the CPU pays the full task time per stage.
+    const double accel_us =
+        scheduleSerialStagesUs(100, 4, 24.0, 120.0, 125.0);
+    const double cpu_us = scheduleCpuUs(100, 4, 8.0, 4);
+    EXPECT_LT(accel_us, cpu_us);
+}
+
+TEST(Scheduler, SerialStagesScaleLinearly)
+{
+    const double two = scheduleSerialStagesUs(100, 2, 24.0, 120.0, 125.0);
+    const double four = scheduleSerialStagesUs(100, 4, 24.0, 120.0, 125.0);
+    EXPECT_NEAR(four / two, 2.0, 1e-9);
+}
+
+TEST(Scheduler, CpuRoundsUpToThreadGranularity)
+{
+    EXPECT_DOUBLE_EQ(scheduleCpuUs(5, 1, 10.0, 4), 20.0);
+    EXPECT_DOUBLE_EQ(scheduleCpuUs(4, 1, 10.0, 4), 10.0);
+}
+
+TEST(MpcWorkload, BreakdownDominatedByDynamics)
+{
+    // Fig. 2c: the LQ approximation (dynamics derivatives) is the
+    // largest share of the iteration.
+    const auto robot = makeQuadrupedArm();
+    MpcConfig cfg;
+    cfg.horizon_points = 10; // keep the test fast
+    MpcWorkload workload(robot, cfg);
+    const MpcBreakdown b = workload.measureCpu();
+    EXPECT_GT(b.lq_us, 0.0);
+    EXPECT_GT(b.rollout_us, 0.0);
+    EXPECT_GT(b.solver_us, 0.0);
+    EXPECT_GT(b.derivativeShare(), 0.3);
+}
+
+TEST(MpcWorkload, MoreThreadsReduceIterationTime)
+{
+    const auto robot = makeQuadrupedArm();
+    MpcConfig cfg;
+    cfg.horizon_points = 8;
+    MpcWorkload workload(robot, cfg);
+    const double t1 = workload.cpuIterationUs(1);
+    const double t4 = workload.cpuIterationUs(4);
+    EXPECT_LT(t4, t1);
+}
+
+TEST(MpcWorkload, AcceleratorBeatsFourThreadCpu)
+{
+    // Section VI-B: the accelerated tasks speed up ~11x and the
+    // control frequency rises vs a 4-thread CPU.
+    const auto robot = makeQuadrupedArm();
+    MpcConfig cfg;
+    cfg.horizon_points = 16;
+    MpcWorkload workload(robot, cfg);
+    Accelerator accel(robot);
+    const double cpu4 = workload.cpuIterationUs(4);
+    const double accelerated = workload.acceleratedIterationUs(accel);
+    EXPECT_LT(accelerated, cpu4);
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for fixed-point arithmetic and the Taylor trigonometric
+ * module.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fixed/fixed_point.h"
+#include "fixed/trig.h"
+
+namespace {
+
+using dadu::fixed::Fix;
+using dadu::fixed::FixedPoint;
+using dadu::fixed::reciprocal;
+using dadu::fixed::reciprocalRefined;
+using dadu::fixed::reduceAngle;
+using dadu::fixed::taylorSinCos;
+
+TEST(FixedPoint, RoundTripConversion)
+{
+    for (double v : {0.0, 1.0, -1.0, 3.14159, -123.456, 1e-6}) {
+        const Fix f(v);
+        EXPECT_NEAR(f.toDouble(), v, 1.0 / Fix::scale);
+    }
+}
+
+TEST(FixedPoint, AdditionIsExact)
+{
+    const Fix a(1.25), b(-0.75);
+    EXPECT_DOUBLE_EQ((a + b).toDouble(), 0.5);
+    EXPECT_DOUBLE_EQ((a - b).toDouble(), 2.0);
+    EXPECT_DOUBLE_EQ((-a).toDouble(), -1.25);
+}
+
+TEST(FixedPoint, MultiplicationNearExact)
+{
+    std::mt19937 rng(9);
+    std::uniform_real_distribution<double> d(-100.0, 100.0);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = d(rng), y = d(rng);
+        const Fix fx(x), fy(y);
+        EXPECT_NEAR((fx * fy).toDouble(), x * y, 1e-5);
+    }
+}
+
+TEST(FixedPoint, AccumulationStaysExact)
+{
+    // Repeated accumulation of exactly representable values must not
+    // drift (this is why the datapath is fixed point).
+    Fix acc(0.0);
+    const Fix step(0.125);
+    for (int i = 0; i < 1 << 16; ++i)
+        acc += step;
+    EXPECT_DOUBLE_EQ(acc.toDouble(), 8192.0);
+}
+
+TEST(FixedPoint, ComparisonOperators)
+{
+    EXPECT_TRUE(Fix(1.0) < Fix(2.0));
+    EXPECT_TRUE(Fix(0.5) == Fix(0.5));
+}
+
+TEST(FixedPoint, FloatAssistedReciprocal)
+{
+    // The float-assisted reciprocal has single-precision accuracy
+    // (Section IV-B2): relative error ~1e-7.
+    for (double v : {0.001, 0.1, 1.0, 3.7, 250.0, -4.2}) {
+        const Fix f(v);
+        const double r = reciprocal(f).toDouble();
+        EXPECT_NEAR(r * v, 1.0, 2e-6) << v;
+    }
+}
+
+TEST(FixedPoint, RefinedReciprocalIsMoreAccurate)
+{
+    // Newton refinement pays off when the fixed-point grid is finer
+    // than single-precision (the regime the refinement stage of [48]
+    // targets): use a Q23.40 format.
+    std::mt19937 rng(21);
+    std::uniform_real_distribution<double> d(0.5, 2.0);
+    double err_plain = 0.0, err_refined = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        const double v = d(rng);
+        const FixedPoint<40> f(v);
+        err_plain += std::fabs(reciprocal(f).toDouble() * v - 1.0);
+        err_refined += std::fabs(reciprocalRefined(f).toDouble() * v - 1.0);
+    }
+    EXPECT_LT(err_refined, 0.1 * err_plain);
+}
+
+TEST(FixedPoint, NarrowFormatQuantizes)
+{
+    // A 8-fractional-bit format has 1/256 resolution.
+    const FixedPoint<8> f(0.3);
+    EXPECT_NEAR(f.toDouble(), 0.3, 1.0 / 256.0);
+    EXPECT_NE(f.toDouble(), 0.3);
+}
+
+TEST(Trig, ReduceAngleRange)
+{
+    for (double q : {0.0, 3.0, -3.0, 7.5, -7.5, 100.0, -100.0}) {
+        const double r = reduceAngle(q);
+        EXPECT_LE(std::fabs(r), M_PI + 1e-12);
+        EXPECT_NEAR(std::sin(r), std::sin(q), 1e-12);
+    }
+}
+
+TEST(Trig, TaylorMatchesLibm)
+{
+    for (double q = -10.0; q <= 10.0; q += 0.037) {
+        const auto [s, c] = taylorSinCos(q);
+        EXPECT_NEAR(s, std::sin(q), 1e-9) << q;
+        EXPECT_NEAR(c, std::cos(q), 1e-9) << q;
+    }
+}
+
+TEST(Trig, PythagoreanIdentity)
+{
+    for (double q = -3.0; q <= 3.0; q += 0.1) {
+        const auto [s, c] = taylorSinCos(q);
+        EXPECT_NEAR(s * s + c * c, 1.0, 1e-9);
+    }
+}
+
+TEST(Trig, FewTermsDegradeGracefully)
+{
+    // The hardware knob: fewer Taylor terms -> larger but bounded
+    // error on the reduced range.
+    double worst = 0.0;
+    for (double q = -M_PI; q <= M_PI; q += 0.01) {
+        const auto [s, c] = taylorSinCos(q, 3);
+        worst = std::max(worst, std::fabs(s - std::sin(q)));
+        worst = std::max(worst, std::fabs(c - std::cos(q)));
+    }
+    EXPECT_LT(worst, 1e-3);
+    EXPECT_GT(worst, 1e-9); // genuinely lower precision than 6 terms
+}
+
+} // namespace

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Cross-module integration and stress tests: accelerator-vs-
+ * reference sweeps over chain lengths, configuration stress
+ * (tiny FIFOs, tiny task pools), plan invariants, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "accel/accelerator.h"
+#include "algorithms/dynamics.h"
+#include "algorithms/rnea.h"
+#include "model/builders.h"
+
+namespace {
+
+using namespace dadu::accel;
+using dadu::linalg::VectorX;
+using dadu::model::makeQuadrupedArm;
+using dadu::model::makeSerialChain;
+using dadu::model::RobotModel;
+
+std::vector<TaskInput>
+randomBatch(const RobotModel &robot, int n, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::vector<TaskInput> batch(n);
+    for (auto &t : batch) {
+        t.q = robot.randomConfiguration(rng);
+        t.qd = robot.randomVelocity(rng);
+        t.qdd_or_tau = robot.randomVelocity(rng);
+    }
+    return batch;
+}
+
+/** Property sweep: accelerator ID matches RNEA on chains of many
+ * lengths. */
+class ChainSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ChainSweep, AccelIdMatchesReference)
+{
+    const RobotModel robot = makeSerialChain(GetParam());
+    Accelerator accel(robot);
+    const auto batch = randomBatch(robot, 4, 11 + GetParam());
+    const auto out = accel.run(FunctionType::ID, batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const VectorX expect =
+            dadu::algo::rnea(robot, batch[i].q, batch[i].qd,
+                             batch[i].qdd_or_tau)
+                .tau;
+        EXPECT_LT((out[i].tau - expect).maxAbs(), 2e-3) << GetParam();
+    }
+}
+
+TEST_P(ChainSweep, AccelDeltaIdMatchesReference)
+{
+    const RobotModel robot = makeSerialChain(GetParam());
+    Accelerator accel(robot);
+    const auto batch = randomBatch(robot, 2, 23 + GetParam());
+    const auto out = accel.run(FunctionType::DeltaID, batch);
+    const auto ref = dadu::algo::rneaDerivatives(
+        robot, batch[0].q, batch[0].qd, batch[0].qdd_or_tau);
+    EXPECT_LT((out[0].dtau_dq - ref.dtau_dq).maxAbs(), 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ChainSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 16));
+
+// ---------------- stress / failure injection ----------------
+
+TEST(AccelStress, TinyFifosStillProduceCorrectResults)
+{
+    // Capacity-2 channels force continuous back-pressure; the
+    // dataflow must stall, not corrupt or deadlock.
+    const RobotModel robot = makeQuadrupedArm();
+    AccelConfig cfg;
+    cfg.fifo_capacity = 2;
+    Accelerator accel(robot, cfg);
+    const auto batch = randomBatch(robot, 12, 5);
+    BatchStats stats;
+    const auto out = accel.run(FunctionType::ID, batch, &stats);
+    EXPECT_GT(stats.fifo_stalls, 0u); // back-pressure actually occurred
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const VectorX expect =
+            dadu::algo::rnea(robot, batch[i].q, batch[i].qd,
+                             batch[i].qdd_or_tau)
+                .tau;
+        EXPECT_LT((out[i].tau - expect).maxAbs(), 2e-3) << i;
+    }
+}
+
+TEST(AccelStress, TinyFifosCostThroughput)
+{
+    const RobotModel robot = makeQuadrupedArm();
+    AccelConfig small, big;
+    small.fifo_capacity = 2;
+    Accelerator a_small(robot, small), a_big(robot, big);
+    BatchStats s_small, s_big;
+    a_small.run(FunctionType::ID, randomBatch(robot, 64, 7), &s_small);
+    a_big.run(FunctionType::ID, randomBatch(robot, 64, 7), &s_big);
+    // The paper's bypass buffers exist precisely to avoid this loss.
+    EXPECT_LT(s_small.throughput_mtasks, s_big.throughput_mtasks);
+}
+
+TEST(AccelStress, PoolSmallerThanBatch)
+{
+    // Task-state reuse: a 4-entry pool must serve a 32-task batch.
+    const RobotModel robot = makeSerialChain(6);
+    AccelConfig cfg;
+    cfg.task_pool = 4;
+    Accelerator accel(robot, cfg);
+    const auto batch = randomBatch(robot, 32, 13);
+    const auto out = accel.run(FunctionType::ID, batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const VectorX expect =
+            dadu::algo::rnea(robot, batch[i].q, batch[i].qd,
+                             batch[i].qdd_or_tau)
+                .tau;
+        EXPECT_LT((out[i].tau - expect).maxAbs(), 2e-3) << i;
+    }
+}
+
+TEST(AccelStress, EmptyBatchIsANoop)
+{
+    const RobotModel robot = makeSerialChain(3);
+    Accelerator accel(robot);
+    BatchStats stats;
+    const auto out = accel.run(FunctionType::ID, {}, &stats);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(AccelStress, DeterministicAcrossRuns)
+{
+    // Same batch, fresh kernels: identical results and cycle counts.
+    const RobotModel robot = makeQuadrupedArm();
+    Accelerator accel(robot);
+    const auto batch = randomBatch(robot, 16, 19);
+    BatchStats s1, s2;
+    const auto o1 = accel.run(FunctionType::DeltaID, batch, &s1);
+    const auto o2 = accel.run(FunctionType::DeltaID, batch, &s2);
+    EXPECT_EQ(s1.cycles, s2.cycles);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        EXPECT_EQ((o1[i].dtau_dq - o2[i].dtau_dq).maxAbs(), 0.0);
+}
+
+TEST(AccelStress, SlowInputIssueDegradesGracefully)
+{
+    const RobotModel robot = makeSerialChain(7);
+    AccelConfig fast, slow;
+    slow.input_issue_ii = 200; // starved input stream
+    Accelerator a_fast(robot, fast), a_slow(robot, slow);
+    BatchStats s_fast, s_slow;
+    a_fast.run(FunctionType::ID, randomBatch(robot, 32, 3), &s_fast);
+    a_slow.run(FunctionType::ID, randomBatch(robot, 32, 3), &s_slow);
+    EXPECT_LT(s_slow.throughput_mtasks, s_fast.throughput_mtasks);
+    // Throughput becomes input-bound: ~freq / issue interval.
+    const double bound = 125.0 / 200.0; // Mtasks/s
+    EXPECT_NEAR(s_slow.throughput_mtasks, bound, 0.25 * bound);
+}
+
+// ---------------- plan invariants ----------------
+
+TEST(PlanInvariants, RepMapPointsAtStructuralTwins)
+{
+    for (const RobotModel &robot :
+         {makeQuadrupedArm(), dadu::model::makeAtlas(),
+          dadu::model::makeSpotArm()}) {
+        const SapPlan plan = compileSap(robot);
+        for (int i = 0; i < robot.nb(); ++i) {
+            const int r = plan.rep[i];
+            ASSERT_GE(r, 0);
+            ASSERT_LT(r, robot.nb());
+            // Same joint type and same depth as the link it serves.
+            EXPECT_EQ(robot.link(r).joint, robot.link(i).joint);
+            EXPECT_EQ(plan.depth[r], plan.depth[i]);
+            // Representatives are their own representatives.
+            EXPECT_EQ(plan.rep[r], r);
+        }
+    }
+}
+
+TEST(PlanInvariants, DepthsAreConsistentWithParents)
+{
+    const RobotModel robot = dadu::model::makeAtlas();
+    const SapPlan plan = compileSap(robot);
+    for (int i = 0; i < robot.nb(); ++i) {
+        const int p = plan.parents[i];
+        if (p == -1)
+            EXPECT_EQ(plan.depth[i], 1);
+        else
+            EXPECT_EQ(plan.depth[i], plan.depth[p] + 1);
+    }
+}
+
+TEST(PlanInvariants, EveryLinkInExactlyOneTopLevelGroup)
+{
+    const RobotModel robot = makeQuadrupedArm();
+    const SapPlan plan = compileSap(robot);
+    std::vector<int> seen(robot.nb(), 0);
+    for (int l : plan.rootChain)
+        ++seen[l];
+    for (const HwBranch &hw : plan.hwBranches)
+        for (const auto &b : hw.served)
+            for (int l : b)
+                ++seen[l];
+    for (int i = 0; i < robot.nb(); ++i)
+        EXPECT_EQ(seen[i], 1) << i;
+}
+
+} // namespace

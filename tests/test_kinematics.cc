@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for forward kinematics and geometric Jacobians, including
+ * cross-checks against the RNEA's internal link states.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "algorithms/kinematics.h"
+#include "algorithms/rnea.h"
+#include "model/builders.h"
+
+namespace {
+
+using namespace dadu;
+using algo::bodyJacobian;
+using algo::forwardKinematics;
+using algo::linkPosition;
+using algo::linkVelocity;
+using linalg::Vec3;
+using linalg::Vec6;
+using linalg::VectorX;
+using model::RobotModel;
+
+TEST(Kinematics, NeutralPoseMatchesTreeOffsets)
+{
+    const RobotModel robot = model::makeSerialChain(4, 0.3);
+    const VectorX q = robot.neutralConfiguration();
+    // Chain links stack along +z with 0.3 m spacing from link 2 on.
+    EXPECT_LT((linkPosition(robot, q, 0) - Vec3{0, 0, 0}).maxAbs(),
+              1e-12);
+    EXPECT_LT((linkPosition(robot, q, 3) - Vec3{0, 0, 0.9}).maxAbs(),
+              1e-12);
+}
+
+TEST(Kinematics, PendulumTipTracksAngle)
+{
+    // One revolute-y link: rotating by q swings the +z axis.
+    RobotModel robot("pend");
+    robot.addLink("l", -1, model::JointType::RevoluteY,
+                  spatial::SpatialTransform::identity(),
+                  spatial::SpatialInertia::fromComInertia(
+                      1.0, Vec3{0, 0, -0.5},
+                      linalg::Mat3::identity() * 0.01));
+    const double angle = 0.7;
+    const auto x = forwardKinematics(robot, VectorX{angle});
+    // A point fixed at (0,0,-1) in the link frame, in world coords:
+    // X^-1 motion transform of positions — use the inverse transform
+    // of a pure position via the rotation part.
+    const Vec3 tip_local{0, 0, -1};
+    const Vec3 tip_world =
+        x[0].rotationPart().transpose() * tip_local +
+        x[0].translationPart();
+    EXPECT_NEAR(tip_world[0], -std::sin(angle), 1e-12);
+    EXPECT_NEAR(tip_world[2], -std::cos(angle), 1e-12);
+}
+
+class KinematicsRobots : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    RobotModel
+    robot() const
+    {
+        const std::string &n = GetParam();
+        if (n == "iiwa")
+            return model::makeIiwa();
+        if (n == "hyq")
+            return model::makeHyq();
+        if (n == "atlas")
+            return model::makeAtlas();
+        return model::makeTiago();
+    }
+};
+
+TEST_P(KinematicsRobots, JacobianTimesQdMatchesRneaVelocity)
+{
+    const RobotModel robot = this->robot();
+    std::mt19937 rng(3);
+    const VectorX q = robot.randomConfiguration(rng);
+    const VectorX qd = robot.randomVelocity(rng);
+    const auto res = algo::rnea(robot, q, qd, VectorX(robot.nv()));
+    for (int link : {0, robot.nb() / 2, robot.nb() - 1}) {
+        const auto j = bodyJacobian(robot, q, link);
+        const VectorX jv = j * qd;
+        for (int r = 0; r < 6; ++r)
+            EXPECT_NEAR(jv[r], res.v[link][r], 1e-9)
+                << "link " << link;
+    }
+}
+
+TEST_P(KinematicsRobots, LinkVelocityMatchesRnea)
+{
+    const RobotModel robot = this->robot();
+    std::mt19937 rng(5);
+    const VectorX q = robot.randomConfiguration(rng);
+    const VectorX qd = robot.randomVelocity(rng);
+    const auto res = algo::rnea(robot, q, qd, VectorX(robot.nv()));
+    const int tip = robot.nb() - 1;
+    const Vec6 v = linkVelocity(robot, q, qd, tip);
+    EXPECT_LT((v - res.v[tip]).maxAbs(), 1e-9);
+}
+
+TEST_P(KinematicsRobots, JacobianSparsityFollowsTopology)
+{
+    const RobotModel robot = this->robot();
+    std::mt19937 rng(7);
+    const VectorX q = robot.randomConfiguration(rng);
+    const int tip = robot.nb() - 1;
+    const auto j = bodyJacobian(robot, q, tip);
+    for (int a = 0; a < robot.nb(); ++a) {
+        if (robot.isAncestorOf(a, tip))
+            continue;
+        const int va = robot.link(a).vIndex;
+        for (int k = 0; k < robot.subspace(a).nv(); ++k)
+            for (int r = 0; r < 6; ++r)
+                EXPECT_EQ(j(r, va + k), 0.0);
+    }
+}
+
+TEST_P(KinematicsRobots, FiniteDifferencePositionMatchesJacobian)
+{
+    // d(position)/dq via the body Jacobian's linear rows, rotated to
+    // world, vs central differences through integrate().
+    const RobotModel robot = this->robot();
+    std::mt19937 rng(11);
+    const VectorX q = robot.randomConfiguration(rng);
+    const int tip = robot.nb() - 1;
+    const auto x = forwardKinematics(robot, q);
+    const auto j = bodyJacobian(robot, q, tip);
+    const double eps = 1e-6;
+    for (int k = 0; k < robot.nv(); ++k) {
+        VectorX dv(robot.nv());
+        dv[k] = eps;
+        const Vec3 pp =
+            linkPosition(robot, robot.integrate(q, dv), tip);
+        dv[k] = -eps;
+        const Vec3 pm =
+            linkPosition(robot, robot.integrate(q, dv), tip);
+        const Vec3 num = (pp - pm) * (1.0 / (2.0 * eps));
+        // Body-frame linear velocity of the origin = bottom rows.
+        const Vec3 body_lin{j(3, k), j(4, k), j(5, k)};
+        const Vec3 world_lin =
+            x[tip].rotationPart().transpose() * body_lin;
+        EXPECT_LT((num - world_lin).maxAbs(), 1e-5) << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Robots, KinematicsRobots,
+                         ::testing::Values("iiwa", "hyq", "atlas",
+                                           "tiago"),
+                         [](const auto &info) { return info.param; });
+
+} // namespace

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for joints, quaternions, the kinematic tree and the robot
+ * builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "model/builders.h"
+#include "model/joint.h"
+#include "model/quaternion.h"
+#include "model/robot_model.h"
+
+namespace {
+
+using namespace dadu::model;
+using dadu::linalg::Mat3;
+using dadu::linalg::Vec3;
+using dadu::linalg::VectorX;
+
+TEST(Quaternion, IdentityRotation)
+{
+    const Mat3 r = Quaternion::identity().toRotation();
+    EXPECT_LT((r - Mat3::identity()).maxAbs(), 1e-15);
+}
+
+TEST(Quaternion, AxisAngleMatchesRotationMatrix)
+{
+    // R(q) rotates child vectors into the parent frame; rotZ() is the
+    // coordinate transform, i.e. its transpose.
+    const double angle = 0.7;
+    const Quaternion q = Quaternion::fromAxisAngle(Vec3{0, 0, 1}, angle);
+    EXPECT_LT((q.toRotation() - dadu::linalg::rotZ(angle).transpose())
+                  .maxAbs(),
+              1e-14);
+}
+
+TEST(Quaternion, ProductComposesRotations)
+{
+    const Quaternion a = Quaternion::fromAxisAngle(Vec3{1, 0, 0}, 0.4);
+    const Quaternion b = Quaternion::fromAxisAngle(Vec3{0, 1, 0}, -0.9);
+    const Mat3 rab = (a * b).toRotation();
+    EXPECT_LT((rab - a.toRotation() * b.toRotation()).maxAbs(), 1e-14);
+}
+
+TEST(Quaternion, IntegrationMatchesAxisAngle)
+{
+    const Vec3 omega{0.2, -0.1, 0.4};
+    const Quaternion q = Quaternion::identity().integrated(omega);
+    const Quaternion expect =
+        Quaternion::fromAxisAngle(omega * (1.0 / omega.norm()),
+                                  omega.norm());
+    EXPECT_NEAR(q.x, expect.x, 1e-12);
+    EXPECT_NEAR(q.w, expect.w, 1e-12);
+}
+
+TEST(Joint, DofCounts)
+{
+    EXPECT_EQ(jointNq(JointType::RevoluteZ), 1);
+    EXPECT_EQ(jointNv(JointType::RevoluteZ), 1);
+    EXPECT_EQ(jointNq(JointType::Spherical), 4);
+    EXPECT_EQ(jointNv(JointType::Spherical), 3);
+    EXPECT_EQ(jointNq(JointType::Floating), 7);
+    EXPECT_EQ(jointNv(JointType::Floating), 6);
+    EXPECT_EQ(jointNq(JointType::Translation3), 3);
+    EXPECT_EQ(jointNv(JointType::Translation3), 3);
+}
+
+TEST(Joint, RevoluteSubspaceIsOneHot)
+{
+    // Section II: for revolute/prismatic joints S is a one-hot vector.
+    for (JointType t : {JointType::RevoluteX, JointType::RevoluteY,
+                        JointType::RevoluteZ, JointType::PrismaticX,
+                        JointType::PrismaticY, JointType::PrismaticZ}) {
+        const MotionSubspace s = MotionSubspace::forType(t);
+        ASSERT_EQ(s.nv(), 1);
+        int nonzero = 0;
+        for (int i = 0; i < 6; ++i) {
+            if (s.col(0)[i] != 0.0) {
+                ++nonzero;
+                EXPECT_DOUBLE_EQ(s.col(0)[i], 1.0);
+            }
+        }
+        EXPECT_EQ(nonzero, 1);
+    }
+}
+
+TEST(Joint, TransformZeroIsIdentity)
+{
+    for (JointType t : {JointType::RevoluteX, JointType::RevoluteY,
+                        JointType::RevoluteZ, JointType::PrismaticZ,
+                        JointType::Spherical, JointType::Translation3,
+                        JointType::Floating}) {
+        const auto x = jointTransform(t, jointNeutral(t));
+        EXPECT_LT((x.toMatrix() -
+                   dadu::spatial::SpatialTransform::identity().toMatrix())
+                      .maxAbs(),
+                  1e-14)
+            << jointTypeName(t);
+    }
+}
+
+TEST(Joint, SubspaceApplyTranspose)
+{
+    const MotionSubspace s = MotionSubspace::forType(JointType::Spherical);
+    const dadu::linalg::Vec6 f{1, 2, 3, 4, 5, 6};
+    const VectorX r = s.applyTranspose(f);
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_DOUBLE_EQ(r[0], 1);
+    EXPECT_DOUBLE_EQ(r[2], 3);
+}
+
+TEST(Joint, IntegrateRevoluteIsAddition)
+{
+    const VectorX q{0.3};
+    const VectorX v{0.2};
+    EXPECT_DOUBLE_EQ(jointIntegrate(JointType::RevoluteY, q, v)[0], 0.5);
+}
+
+TEST(Joint, IntegrateSphericalStaysNormalized)
+{
+    VectorX q = jointNeutral(JointType::Spherical);
+    const VectorX v{0.3, -0.2, 0.5};
+    for (int i = 0; i < 50; ++i)
+        q = jointIntegrate(JointType::Spherical, q, v);
+    const double n2 = q[0] * q[0] + q[1] * q[1] + q[2] * q[2] + q[3] * q[3];
+    EXPECT_NEAR(n2, 1.0, 1e-12);
+}
+
+TEST(Joint, FloatingIntegrationMovesAlongBodyAxes)
+{
+    // Rotate the base 90° about z, then step along body x: world
+    // motion should be along +y (right-handed, R = rotz(+90°)).
+    VectorX q = jointNeutral(JointType::Floating);
+    q = jointIntegrate(JointType::Floating, q,
+                       VectorX{0, 0, M_PI / 2, 0, 0, 0});
+    q = jointIntegrate(JointType::Floating, q, VectorX{0, 0, 0, 1, 0, 0});
+    EXPECT_NEAR(q[0], 0.0, 1e-12);
+    EXPECT_NEAR(q[1], 1.0, 1e-12);
+    EXPECT_NEAR(q[2], 0.0, 1e-12);
+}
+
+TEST(RobotModel, IndexBookkeeping)
+{
+    const RobotModel r = makeQuadrupedArm();
+    EXPECT_EQ(r.nb(), 19);
+    EXPECT_EQ(r.nv(), 24); // the paper's N = 24 for Fig. 3
+    EXPECT_EQ(r.nq(), 25); // floating base uses a quaternion (+1)
+    // vIndex is contiguous and increasing.
+    int expected = 0;
+    for (int i = 0; i < r.nb(); ++i) {
+        EXPECT_EQ(r.link(i).vIndex, expected);
+        expected += jointNv(r.link(i).joint);
+    }
+    EXPECT_EQ(expected, r.nv());
+}
+
+TEST(RobotModel, ParentsPrecedeChildren)
+{
+    for (const RobotModel &r :
+         {makeIiwa(), makeHyq(), makeAtlas(), makeQuadrupedArm(),
+          makeTiago(), makeSpotArm()}) {
+        for (int i = 0; i < r.nb(); ++i)
+            EXPECT_LT(r.parent(i), i);
+    }
+}
+
+TEST(RobotModel, SubtreeOfRootIsEverything)
+{
+    const RobotModel r = makeHyq();
+    EXPECT_EQ(r.subtree(0).size(), static_cast<size_t>(r.nb()));
+}
+
+TEST(RobotModel, SubtreeLeafIsSelf)
+{
+    const RobotModel r = makeIiwa();
+    const auto t = r.subtree(r.nb() - 1);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0], r.nb() - 1);
+}
+
+TEST(RobotModel, AncestorQueries)
+{
+    const RobotModel r = makeQuadrupedArm();
+    EXPECT_TRUE(r.isAncestorOf(0, r.nb() - 1));
+    EXPECT_TRUE(r.isAncestorOf(5, 5));
+    // Different legs are not related.
+    EXPECT_FALSE(r.isAncestorOf(1, 4));
+}
+
+TEST(RobotModel, DepthAndMaxDepth)
+{
+    const RobotModel iiwa = makeIiwa();
+    EXPECT_EQ(iiwa.depth(0), 1);
+    EXPECT_EQ(iiwa.maxDepth(), 7);
+    const RobotModel quad = makeQuadrupedArm();
+    EXPECT_EQ(quad.maxDepth(), 7); // body + 6-link arm
+}
+
+TEST(RobotModel, BranchDecomposition)
+{
+    const RobotModel quad = makeQuadrupedArm();
+    const auto b = quad.branches();
+    // Root chain (body) + 4 legs + arm.
+    ASSERT_EQ(b.size(), 6u);
+    EXPECT_EQ(b[0].size(), 1u);
+    EXPECT_EQ(b[1].size(), 3u);
+    EXPECT_EQ(b[5].size(), 6u);
+
+    const RobotModel tiago = makeTiago();
+    const auto bt = tiago.branches();
+    // Tiago is linear: a single root chain covering all links
+    // (Fig. 11a: one root + one branch, which our decomposition
+    // reports as one linear chain).
+    ASSERT_EQ(bt.size(), 1u);
+    EXPECT_EQ(bt[0].size(), static_cast<size_t>(tiago.nb()));
+}
+
+TEST(RobotModel, ExpectedSizes)
+{
+    EXPECT_EQ(makeIiwa().nv(), 7);
+    EXPECT_EQ(makeHyq().nv(), 18);
+    EXPECT_EQ(makeHyq().nb(), 13);
+    EXPECT_EQ(makeAtlas().nv(), 36);
+    EXPECT_EQ(makeTiago().nv(), 10);
+    EXPECT_EQ(makeSpotArm().nv(), 24);
+}
+
+TEST(RobotModel, NeutralConfigurationHasUnitQuaternions)
+{
+    const RobotModel r = makeHyq();
+    const VectorX q = r.neutralConfiguration();
+    EXPECT_DOUBLE_EQ(q[6], 1.0); // floating-base quaternion w
+}
+
+TEST(RobotModel, IntegrateZeroIsIdentity)
+{
+    const RobotModel r = makeAtlas();
+    std::mt19937 rng(3);
+    const VectorX q = r.randomConfiguration(rng);
+    const VectorX q2 = r.integrate(q, VectorX(r.nv()));
+    EXPECT_LT((q2 - q).maxAbs(), 1e-14);
+}
+
+TEST(RobotModel, RandomConfigurationIsOnManifold)
+{
+    const RobotModel r = makeHyq();
+    std::mt19937 rng(7);
+    for (int t = 0; t < 10; ++t) {
+        const VectorX q = r.randomConfiguration(rng);
+        const double n2 =
+            q[3] * q[3] + q[4] * q[4] + q[5] * q[5] + q[6] * q[6];
+        EXPECT_NEAR(n2, 1.0, 1e-12);
+    }
+}
+
+TEST(RobotModel, LinkTransformUsesTreeOffset)
+{
+    const RobotModel r = makeIiwa();
+    const VectorX q = r.neutralConfiguration();
+    // At q = 0 the link transform equals the fixed tree transform.
+    const auto x = r.linkTransform(1, q);
+    EXPECT_LT((x.toMatrix() - r.link(1).xtree.toMatrix()).maxAbs(), 1e-14);
+}
+
+TEST(RobotModel, GravityDefault)
+{
+    const RobotModel r = makeIiwa();
+    EXPECT_DOUBLE_EQ(r.gravity()[5], 9.81);
+}
+
+TEST(RobotModel, SerialChainSizes)
+{
+    const RobotModel c = makeSerialChain(12);
+    EXPECT_EQ(c.nb(), 12);
+    EXPECT_EQ(c.nv(), 12);
+    EXPECT_EQ(c.maxDepth(), 12);
+    EXPECT_EQ(c.branches().size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Unit and property tests for spatial algebra: Plücker transforms,
+ * cross operators, inertias.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "spatial/cross.h"
+#include "spatial/inertia.h"
+#include "spatial/transform.h"
+
+namespace {
+
+using namespace dadu::linalg;
+using namespace dadu::spatial;
+
+std::mt19937 &
+rng()
+{
+    static std::mt19937 gen(1234);
+    return gen;
+}
+
+double
+uni(double lo = -1.0, double hi = 1.0)
+{
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(rng());
+}
+
+Vec6
+randomVec6()
+{
+    Vec6 v;
+    for (int i = 0; i < 6; ++i)
+        v[i] = uni();
+    return v;
+}
+
+SpatialTransform
+randomTransform()
+{
+    const Mat3 e = rotZ(uni(-3, 3)) * rotY(uni(-3, 3)) * rotX(uni(-3, 3));
+    return SpatialTransform(e, Vec3{uni(), uni(), uni()});
+}
+
+SpatialInertia
+randomInertia()
+{
+    const double m = uni(0.5, 5.0);
+    const Vec3 com{uni(-0.2, 0.2), uni(-0.2, 0.2), uni(-0.2, 0.2)};
+    // Diagonal-dominant positive-definite rotational inertia.
+    Mat3 ic;
+    ic(0, 0) = uni(0.05, 0.5);
+    ic(1, 1) = uni(0.05, 0.5);
+    ic(2, 2) = uni(0.05, 0.5);
+    ic(0, 1) = ic(1, 0) = uni(-0.01, 0.01);
+    ic(0, 2) = ic(2, 0) = uni(-0.01, 0.01);
+    ic(1, 2) = ic(2, 1) = uni(-0.01, 0.01);
+    return SpatialInertia::fromComInertia(m, com, ic);
+}
+
+TEST(Cross, MotionMatchesMatrixForm)
+{
+    for (int t = 0; t < 20; ++t) {
+        const Vec6 v = randomVec6(), w = randomVec6();
+        EXPECT_LT((crossMotion(v, w) - crmMatrix(v) * w).maxAbs(), 1e-14);
+    }
+}
+
+TEST(Cross, ForceMatchesMatrixForm)
+{
+    for (int t = 0; t < 20; ++t) {
+        const Vec6 v = randomVec6(), f = randomVec6();
+        EXPECT_LT((crossForce(v, f) - crfMatrix(v) * f).maxAbs(), 1e-14);
+    }
+}
+
+TEST(Cross, MotionAntisymmetric)
+{
+    for (int t = 0; t < 20; ++t) {
+        const Vec6 v = randomVec6(), w = randomVec6();
+        EXPECT_LT((crossMotion(v, w) + crossMotion(w, v)).maxAbs(), 1e-14);
+    }
+}
+
+TEST(Cross, CrfIsMinusCrmTransposed)
+{
+    for (int t = 0; t < 10; ++t) {
+        const Vec6 v = randomVec6();
+        EXPECT_LT((crfMatrix(v) + crmMatrix(v).transpose()).maxAbs(),
+                  1e-14);
+    }
+}
+
+TEST(Cross, SelfCrossIsZero)
+{
+    const Vec6 v = randomVec6();
+    EXPECT_LT(crossMotion(v, v).maxAbs(), 1e-14);
+}
+
+TEST(Transform, IdentityIsNeutral)
+{
+    const Vec6 v = randomVec6();
+    const SpatialTransform id;
+    EXPECT_LT((id.applyMotion(v) - v).maxAbs(), 1e-15);
+    EXPECT_LT((id.applyForce(v) - v).maxAbs(), 1e-15);
+}
+
+TEST(Transform, MatchesDenseMatrix)
+{
+    for (int t = 0; t < 20; ++t) {
+        const SpatialTransform x = randomTransform();
+        const Vec6 v = randomVec6();
+        EXPECT_LT((x.applyMotion(v) - x.toMatrix() * v).maxAbs(), 1e-13);
+        EXPECT_LT((x.applyForce(v) - x.toForceMatrix() * v).maxAbs(),
+                  1e-13);
+        EXPECT_LT((x.applyTransposeForce(v) -
+                   x.toMatrix().transpose() * v).maxAbs(),
+                  1e-13);
+    }
+}
+
+TEST(Transform, TopRightBlockIsZero)
+{
+    // The sparsity the paper calls out in Section II.
+    const SpatialTransform x = randomTransform();
+    const Mat66 m = x.toMatrix();
+    for (int i = 0; i < 3; ++i)
+        for (int j = 3; j < 6; ++j)
+            EXPECT_DOUBLE_EQ(m(i, j), 0.0);
+}
+
+TEST(Transform, InverseRoundTrip)
+{
+    for (int t = 0; t < 20; ++t) {
+        const SpatialTransform x = randomTransform();
+        const Vec6 v = randomVec6();
+        EXPECT_LT((x.applyInverseMotion(x.applyMotion(v)) - v).maxAbs(),
+                  1e-13);
+        EXPECT_LT((x.inverse().applyMotion(x.applyMotion(v)) - v).maxAbs(),
+                  1e-13);
+    }
+}
+
+TEST(Transform, CompositionMatchesMatrixProduct)
+{
+    for (int t = 0; t < 20; ++t) {
+        const SpatialTransform x1 = randomTransform();
+        const SpatialTransform x2 = randomTransform();
+        const SpatialTransform x12 = x1 * x2;
+        EXPECT_LT((x12.toMatrix() - x1.toMatrix() * x2.toMatrix()).maxAbs(),
+                  1e-12);
+    }
+}
+
+TEST(Transform, ForceTransformIsInverseTransposeOfMotion)
+{
+    const SpatialTransform x = randomTransform();
+    const Mat66 xf = x.toForceMatrix();
+    const Mat66 xm = x.inverse().toMatrix().transpose();
+    EXPECT_LT((xf - xm).maxAbs(), 1e-12);
+}
+
+TEST(Transform, PowerConservation)
+{
+    // f·v is invariant: f_child · v_child == f_parent · v_parent.
+    for (int t = 0; t < 20; ++t) {
+        const SpatialTransform x = randomTransform();
+        const Vec6 v_parent = randomVec6();
+        const Vec6 f_child = randomVec6();
+        const Vec6 v_child = x.applyMotion(v_parent);
+        const Vec6 f_parent = x.applyTransposeForce(f_child);
+        EXPECT_NEAR(f_child.dot(v_child), f_parent.dot(v_parent), 1e-12);
+    }
+}
+
+TEST(Inertia, ApplyMatchesDense)
+{
+    for (int t = 0; t < 20; ++t) {
+        const SpatialInertia si = randomInertia();
+        const Vec6 v = randomVec6();
+        EXPECT_LT((si.apply(v) - si.toMatrix() * v).maxAbs(), 1e-13);
+    }
+}
+
+TEST(Inertia, MatrixIsSymmetric)
+{
+    const SpatialInertia si = randomInertia();
+    const Mat66 m = si.toMatrix();
+    EXPECT_LT((m - m.transpose()).maxAbs(), 1e-14);
+}
+
+TEST(Inertia, KineticEnergyPositive)
+{
+    for (int t = 0; t < 20; ++t) {
+        const SpatialInertia si = randomInertia();
+        const Vec6 v = randomVec6();
+        EXPECT_GT(v.dot(si.apply(v)), 0.0);
+    }
+}
+
+TEST(Inertia, PointMassKineticEnergy)
+{
+    // A point mass at the origin moving linearly: E = 1/2 m v².
+    const SpatialInertia si = SpatialInertia::fromComInertia(
+        2.0, Vec3::zero(), Mat3::zero());
+    const Vec6 v = join(Vec3::zero(), Vec3{3, 0, 0});
+    EXPECT_NEAR(0.5 * v.dot(si.apply(v)), 0.5 * 2.0 * 9.0, 1e-12);
+}
+
+TEST(ArticulatedInertia, CongruenceMatchesDense)
+{
+    for (int t = 0; t < 10; ++t) {
+        const SpatialInertia si = randomInertia();
+        const SpatialTransform x = randomTransform();
+        const ArticulatedInertia ai(si);
+        const Mat66 expect =
+            x.toMatrix().transpose() * si.toMatrix() * x.toMatrix();
+        EXPECT_LT((ai.transformToParent(x).matrix() - expect).maxAbs(),
+                  1e-12);
+    }
+}
+
+TEST(ArticulatedInertia, CongruencePreservesEnergy)
+{
+    // v^T (X^T I X) v == (X v)^T I (X v).
+    const SpatialInertia si = randomInertia();
+    const SpatialTransform x = randomTransform();
+    const ArticulatedInertia ai(si);
+    const ArticulatedInertia ap = ai.transformToParent(x);
+    const Vec6 v = randomVec6();
+    EXPECT_NEAR(v.dot(ap.apply(v)),
+                x.applyMotion(v).dot(ai.apply(x.applyMotion(v))), 1e-11);
+}
+
+TEST(ArticulatedInertia, AccumulateIsAdditive)
+{
+    const SpatialInertia a = randomInertia(), b = randomInertia();
+    ArticulatedInertia acc(a);
+    acc += ArticulatedInertia(b);
+    const Vec6 v = randomVec6();
+    EXPECT_LT((acc.apply(v) - (a.apply(v) + b.apply(v))).maxAbs(), 1e-13);
+}
+
+} // namespace
