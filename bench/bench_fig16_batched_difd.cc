@@ -10,14 +10,131 @@
  */
 
 #include "bench_util.h"
+#include "seed_reference.h"
 
+#include <memory>
+
+#include "algorithms/batched.h"
 #include "algorithms/dynamics.h"
+#include "algorithms/workspace.h"
 
 using namespace dadu;
 using namespace dadu::bench;
 
+namespace {
+
+/**
+ * Measured host-CPU ∆FD: the seed's allocating single-point loop
+ * against the workspace single-point loop and the batched engine
+ * (PR 1's zero-allocation batched dynamics). The configurations are
+ * timed in interleaved rounds — one sweep of each per round, best
+ * sweep kept — so load spikes hit every configuration alike instead
+ * of skewing whichever happened to be running.
+ */
+void
+measuredCpuSection(const RobotModel &robot, JsonReport &report)
+{
+    banner("measured CPU ∆FD throughput (points/sec), higher is better");
+    const int points = 128;
+    const int rounds = 7;
+    std::mt19937 rng(17);
+    std::vector<linalg::VectorX> qs, qds, taus;
+    for (int i = 0; i < points; ++i) {
+        qs.push_back(robot.randomConfiguration(rng));
+        qds.push_back(robot.randomVelocity(rng));
+        taus.push_back(robot.randomVelocity(rng));
+    }
+
+    algo::DynamicsWorkspace ws(robot);
+    algo::FdDerivatives d;
+    std::vector<std::unique_ptr<algo::BatchedDynamics>> engines;
+    const std::vector<int> engine_threads = {2, 4, 8};
+    for (int threads : engine_threads)
+        engines.push_back(
+            std::make_unique<algo::BatchedDynamics>(robot, threads));
+
+    // Sweeps: seed loop, workspace loop, one per engine config.
+    const auto seed_sweep = [&] {
+        volatile double sink = 0.0;
+        for (int i = 0; i < points; ++i) {
+            const auto fd = seedref::fdDerivatives(robot, qs[i], qds[i],
+                                                   taus[i]);
+            sink = fd.dqdd_dq(0, 0);
+        }
+        (void)sink;
+    };
+    const auto ws_sweep = [&] {
+        volatile double sink = 0.0;
+        for (int i = 0; i < points; ++i) {
+            algo::fdDerivatives(robot, ws, qs[i], qds[i], taus[i], d);
+            sink = d.dqdd_dq(0, 0);
+        }
+        (void)sink;
+    };
+    const auto engine_sweep = [&](algo::BatchedDynamics &engine) {
+        const auto &out = engine.batchFdDerivatives(qs, qds, taus);
+        volatile double sink = out[0].dqdd_dq(0, 0);
+        (void)sink;
+    };
+
+    // Warm-up once, then interleaved timed rounds, best-of kept.
+    seed_sweep();
+    ws_sweep();
+    for (auto &e : engines)
+        engine_sweep(*e);
+    double seed_us = 0.0, ws_us = 0.0;
+    std::vector<double> engine_us(engines.size(), 0.0);
+    for (int rep = 0; rep < rounds; ++rep) {
+        double t0 = nowUs();
+        seed_sweep();
+        double dt = nowUs() - t0;
+        if (rep == 0 || dt < seed_us)
+            seed_us = dt;
+        t0 = nowUs();
+        ws_sweep();
+        dt = nowUs() - t0;
+        if (rep == 0 || dt < ws_us)
+            ws_us = dt;
+        for (std::size_t e = 0; e < engines.size(); ++e) {
+            t0 = nowUs();
+            engine_sweep(*engines[e]);
+            dt = nowUs() - t0;
+            if (rep == 0 || dt < engine_us[e])
+                engine_us[e] = dt;
+        }
+    }
+
+    const double seed_pps = points / (seed_us * 1e-6);
+    const double ws_pps = points / (ws_us * 1e-6);
+    std::printf("%-34s %12.0f pts/s\n",
+                "seed single-point loop (1t):", seed_pps);
+    report.add("seed_pts_per_sec", seed_pps);
+    std::printf("%-34s %12.0f pts/s   (%.2fx seed)\n",
+                "workspace (reused arena, 1t):", ws_pps, ws_pps / seed_pps);
+    report.add("workspace_1t_pts_per_sec", ws_pps);
+
+    for (std::size_t e = 0; e < engines.size(); ++e) {
+        const int threads = engine_threads[e];
+        const double pps = points / (engine_us[e] * 1e-6);
+        char label[64];
+        std::snprintf(label, sizeof label, "batched engine (%dt, eff %dt):",
+                      threads, engines[e]->threadCount());
+        std::printf("%-34s %12.0f pts/s   (%.2fx seed, %.2fx 1t)\n",
+                    label, pps, pps / seed_pps, pps / ws_pps);
+        char key[64];
+        std::snprintf(key, sizeof key, "batched_%dt_pts_per_sec", threads);
+        report.add(key, pps);
+        if (threads == 4) {
+            report.add("batched_4t_speedup_vs_seed", pps / seed_pps);
+            report.add("batched_4t_speedup_vs_1t", pps / ws_pps);
+        }
+    }
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     banner("Fig. 16 — batched iiwa ∆iFD time (us), lower is better");
     const RobotModel robot = model::makeIiwa();
@@ -68,5 +185,15 @@ main()
                 perf::paperLatencyUs(perf::Platform::Robomorphic,
                                      perf::EvalRobot::Iiwa,
                                      FunctionType::DeltaiFD));
+
+    JsonReport report;
+    measuredCpuSection(robot, report);
+    if (hasFlag(argc, argv, "--json")) {
+        const char *path = "BENCH_batched.json";
+        if (report.writeTo(path))
+            std::printf("\nwrote %s\n", path);
+        else
+            std::printf("\nfailed to write %s\n", path);
+    }
     return 0;
 }

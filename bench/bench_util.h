@@ -11,9 +11,12 @@
 #ifndef DADU_BENCH_BENCH_UTIL_H
 #define DADU_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "accel/accelerator.h"
@@ -70,6 +73,61 @@ randomBatch(const RobotModel &robot, int n, unsigned seed = 7)
     }
     return batch;
 }
+
+/** Monotonic wall clock in microseconds. */
+inline double
+nowUs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+               .count() /
+           1000.0;
+}
+
+/** True when @p flag (e.g. "--json") appears in argv. */
+inline bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Flat key -> number metric report, written as a JSON object so
+ * future PRs can track the perf trajectory (the --json output mode
+ * of the bench binaries).
+ */
+class JsonReport
+{
+  public:
+    void add(const std::string &key, double value)
+    {
+        entries_.emplace_back(key, value);
+    }
+
+    /** Write {"k": v, ...} to @p path; returns false on I/O error. */
+    bool
+    writeTo(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            return false;
+        std::fprintf(f, "{\n");
+        for (std::size_t i = 0; i < entries_.size(); ++i)
+            std::fprintf(f, "  \"%s\": %.6f%s\n", entries_[i].first.c_str(),
+                         entries_[i].second,
+                         i + 1 < entries_.size() ? "," : "");
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        return true;
+    }
+
+  private:
+    std::vector<std::pair<std::string, double>> entries_;
+};
 
 /** Section header in the output stream. */
 inline void

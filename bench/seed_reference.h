@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Frozen copy of the seed's allocating ∆FD implementation (RNEA,
+ * MMinvGen and ∆RNEA with per-call std::vector/MatrixX temporaries,
+ * as shipped in the v0 seed). Used exclusively as the benchmark
+ * baseline for the zero-allocation workspace/batched engine, so the
+ * "seed single-point loop" column keeps measuring the original code
+ * even as the library evolves. Do not use outside the bench harness.
+ */
+
+#ifndef DADU_BENCH_SEED_REFERENCE_H
+#define DADU_BENCH_SEED_REFERENCE_H
+
+#include <vector>
+
+#include "algorithms/dynamics.h"
+#include "algorithms/mminv_gen.h"
+#include "algorithms/rnea.h"
+#include "algorithms/rnea_derivatives.h"
+#include "linalg/factorize.h"
+#include "linalg/mat.h"
+#include "model/robot_model.h"
+#include "spatial/cross.h"
+#include "spatial/transform.h"
+
+namespace dadu::bench::seedref {
+
+using algo::FdDerivatives;
+using algo::RneaDerivatives;
+using algo::RneaResult;
+using linalg::Mat66;
+using linalg::MatrixX;
+using linalg::Vec6;
+using linalg::VectorX;
+using model::RobotModel;
+using spatial::crossForce;
+using spatial::crossMotion;
+using spatial::SpatialTransform;
+
+inline RneaResult
+rnea(const RobotModel &robot, const VectorX &q, const VectorX &qd,
+     const VectorX &qdd, const std::vector<Vec6> *fext = nullptr)
+{
+    const int nb = robot.nb();
+    RneaResult res;
+    res.tau.resize(robot.nv());
+    res.v.assign(nb, Vec6::zero());
+    res.a.assign(nb, Vec6::zero());
+    res.f.assign(nb, Vec6::zero());
+
+    std::vector<SpatialTransform> xup(nb);
+
+    for (int i = 0; i < nb; ++i) {
+        const int lam = robot.parent(i);
+        xup[i] = robot.linkTransform(i, q);
+        const auto &s = robot.subspace(i);
+        const Vec6 vj = s.apply(robot.jointVelocity(i, qd));
+        const Vec6 aj = s.apply(robot.jointVelocity(i, qdd));
+
+        const Vec6 vparent =
+            lam == -1 ? Vec6::zero() : res.v[static_cast<size_t>(lam)];
+        const Vec6 aparent =
+            lam == -1 ? robot.gravity() : res.a[static_cast<size_t>(lam)];
+
+        res.v[i] = xup[i].applyMotion(vparent) + vj;
+        res.a[i] = xup[i].applyMotion(aparent) + aj +
+                   crossMotion(res.v[i], vj);
+        res.f[i] = robot.link(i).inertia.apply(res.a[i]) +
+                   crossForce(res.v[i],
+                              robot.link(i).inertia.apply(res.v[i]));
+        if (fext)
+            res.f[i] -= (*fext)[i];
+    }
+
+    for (int i = nb - 1; i >= 0; --i) {
+        const auto &s = robot.subspace(i);
+        const VectorX taui = s.applyTranspose(res.f[i]);
+        res.tau.setSegment(robot.link(i).vIndex, taui);
+        const int lam = robot.parent(i);
+        if (lam != -1)
+            res.f[lam] += xup[i].applyTransposeForce(res.f[i]);
+    }
+    return res;
+}
+
+inline VectorX
+biasForce(const RobotModel &robot, const VectorX &q, const VectorX &qd,
+          const std::vector<Vec6> *fext = nullptr)
+{
+    return rnea(robot, q, qd, VectorX(robot.nv()), fext).tau;
+}
+
+inline MatrixX
+mminvGen(const RobotModel &robot, const VectorX &q, bool out_m,
+         bool out_minv)
+{
+    const int nb = robot.nb();
+    const int nv = robot.nv();
+    MatrixX out(nv, nv);
+
+    std::vector<SpatialTransform> xup(nb);
+    std::vector<Mat66> ia(nb, Mat66::zero());
+    std::vector<MatrixX> f(nb, MatrixX(6, nv));
+    std::vector<std::vector<Vec6>> ucols(nb);
+    std::vector<MatrixX> dinv(nb);
+
+    std::vector<std::vector<int>> tree_cols(nb);
+    for (int i = 0; i < nb; ++i) {
+        for (int j : robot.subtree(i)) {
+            const int vj = robot.link(j).vIndex;
+            for (int k = 0; k < robot.subspace(j).nv(); ++k)
+                tree_cols[i].push_back(vj + k);
+        }
+    }
+
+    for (int i = nb - 1; i >= 0; --i) {
+        const int lam = robot.parent(i);
+        xup[i] = robot.linkTransform(i, q);
+        const auto &s = robot.subspace(i);
+        const int ni = s.nv();
+        const int vi = robot.link(i).vIndex;
+
+        ia[i] += robot.link(i).inertia.toMatrix();
+
+        ucols[i].resize(ni);
+        for (int k = 0; k < ni; ++k)
+            ucols[i][k] = ia[i] * s.col(k);
+        MatrixX d(ni, ni);
+        for (int r = 0; r < ni; ++r)
+            for (int k = 0; k < ni; ++k)
+                d(r, k) = s.col(r).dot(ucols[i][k]);
+        dinv[i] = linalg::Ldlt(d).inverse();
+
+        if (out_minv) {
+            out.setBlock(vi, vi, dinv[i]);
+            for (int j : tree_cols[i]) {
+                if (j >= vi && j < vi + ni)
+                    continue;
+                VectorX stf(ni);
+                for (int r = 0; r < ni; ++r) {
+                    double acc = 0.0;
+                    for (int a = 0; a < 6; ++a)
+                        acc += s.col(r)[a] * f[i](a, j);
+                    stf[r] = acc;
+                }
+                for (int r = 0; r < ni; ++r) {
+                    double val = 0.0;
+                    for (int k = 0; k < ni; ++k)
+                        val -= dinv[i](r, k) * stf[k];
+                    out(vi + r, j) = val;
+                }
+            }
+        }
+        if (out_m) {
+            out.setBlock(vi, vi, d);
+            for (int j : tree_cols[i]) {
+                if (j >= vi && j < vi + ni)
+                    continue;
+                for (int r = 0; r < ni; ++r) {
+                    double acc = 0.0;
+                    for (int a = 0; a < 6; ++a)
+                        acc += s.col(r)[a] * f[i](a, j);
+                    out(vi + r, j) = acc;
+                    out(j, vi + r) = acc;
+                }
+            }
+        }
+
+        if (lam != -1) {
+            if (out_minv) {
+                for (int j : tree_cols[i]) {
+                    for (int a = 0; a < 6; ++a) {
+                        double acc = 0.0;
+                        for (int k = 0; k < ni; ++k)
+                            acc += ucols[i][k][a] * out(vi + k, j);
+                        f[i](a, j) += acc;
+                    }
+                }
+                for (int r = 0; r < ni; ++r) {
+                    for (int k = 0; k < ni; ++k) {
+                        const double dk = dinv[i](r, k);
+                        if (dk == 0.0)
+                            continue;
+                        for (int a = 0; a < 6; ++a)
+                            for (int b = 0; b < 6; ++b)
+                                ia[i](a, b) -=
+                                    dk * ucols[i][r][a] * ucols[i][k][b];
+                    }
+                }
+            }
+            if (out_m) {
+                for (int k = 0; k < ni; ++k)
+                    for (int a = 0; a < 6; ++a)
+                        f[i](a, vi + k) = ucols[i][k][a];
+            }
+            for (int j : tree_cols[i]) {
+                Vec6 col;
+                for (int a = 0; a < 6; ++a)
+                    col[a] = f[i](a, j);
+                const Vec6 up = xup[i].applyTransposeForce(col);
+                for (int a = 0; a < 6; ++a)
+                    f[lam](a, j) += up[a];
+            }
+            const Mat66 xm = xup[i].toMatrix();
+            ia[lam] += xm.transpose() * ia[i] * xm;
+        }
+    }
+
+    if (out_minv) {
+        std::vector<MatrixX> p(nb, MatrixX(6, nv));
+        for (int i = 0; i < nb; ++i) {
+            const int lam = robot.parent(i);
+            const auto &s = robot.subspace(i);
+            const int ni = s.nv();
+            const int vi = robot.link(i).vIndex;
+
+            if (lam != -1) {
+                for (int j = vi; j < nv; ++j) {
+                    Vec6 pcol;
+                    for (int a = 0; a < 6; ++a)
+                        pcol[a] = p[lam](a, j);
+                    const Vec6 xp = xup[i].applyMotion(pcol);
+                    VectorX ut(ni);
+                    for (int r = 0; r < ni; ++r)
+                        ut[r] = ucols[i][r].dot(xp);
+                    for (int r = 0; r < ni; ++r) {
+                        double val = 0.0;
+                        for (int k = 0; k < ni; ++k)
+                            val += dinv[i](r, k) * ut[k];
+                        out(vi + r, j) -= val;
+                    }
+                }
+            }
+            for (int j = vi; j < nv; ++j) {
+                Vec6 pcol;
+                for (int k = 0; k < ni; ++k)
+                    pcol += s.col(k) * out(vi + k, j);
+                if (lam != -1) {
+                    Vec6 plam;
+                    for (int a = 0; a < 6; ++a)
+                        plam[a] = p[lam](a, j);
+                    pcol += xup[i].applyMotion(plam);
+                }
+                for (int a = 0; a < 6; ++a)
+                    p[i](a, j) = pcol[a];
+            }
+        }
+        for (int r = 0; r < nv; ++r)
+            for (int c = r + 1; c < nv; ++c)
+                out(c, r) = out(r, c);
+    }
+    return out;
+}
+
+namespace detail {
+
+struct ColJacobian
+{
+    explicit ColJacobian(int nv) : cols(nv, Vec6::zero()) {}
+
+    std::vector<Vec6> cols;
+};
+
+} // namespace detail
+
+inline RneaDerivatives
+rneaDerivatives(const RobotModel &robot, const VectorX &q,
+                const VectorX &qd, const VectorX &qdd,
+                const std::vector<Vec6> *fext = nullptr)
+{
+    using detail::ColJacobian;
+    const int nb = robot.nb();
+    const int nv = robot.nv();
+
+    RneaDerivatives res;
+    res.dtau_dq.resize(nv, nv);
+    res.dtau_dqd.resize(nv, nv);
+
+    std::vector<SpatialTransform> xup(nb);
+    std::vector<Vec6> v(nb), a(nb), f(nb);
+    std::vector<std::vector<int>> active(nb);
+
+    std::vector<ColJacobian> dv_dq(nb, ColJacobian(nv));
+    std::vector<ColJacobian> dv_dqd(nb, ColJacobian(nv));
+    std::vector<ColJacobian> da_dq(nb, ColJacobian(nv));
+    std::vector<ColJacobian> da_dqd(nb, ColJacobian(nv));
+    std::vector<ColJacobian> df_dq(nb, ColJacobian(nv));
+    std::vector<ColJacobian> df_dqd(nb, ColJacobian(nv));
+
+    for (int i = 0; i < nb; ++i) {
+        const int lam = robot.parent(i);
+        xup[i] = robot.linkTransform(i, q);
+        const auto &s = robot.subspace(i);
+        const int ni = s.nv();
+        const int vi = robot.link(i).vIndex;
+
+        if (lam != -1)
+            active[i] = active[lam];
+        for (int k = 0; k < ni; ++k)
+            active[i].push_back(vi + k);
+
+        const Vec6 vj = s.apply(robot.jointVelocity(i, qd));
+        const Vec6 aj = s.apply(robot.jointVelocity(i, qdd));
+        const Vec6 vparent = lam == -1 ? Vec6::zero() : v[lam];
+        const Vec6 aparent = lam == -1 ? robot.gravity() : a[lam];
+
+        const Vec6 vc = xup[i].applyMotion(vparent);
+        const Vec6 ac = xup[i].applyMotion(aparent);
+        v[i] = vc + vj;
+        a[i] = ac + aj + crossMotion(v[i], vj);
+
+        if (lam != -1) {
+            for (int col : active[lam]) {
+                const Vec6 dvq = xup[i].applyMotion(dv_dq[lam].cols[col]);
+                const Vec6 dvqd = xup[i].applyMotion(dv_dqd[lam].cols[col]);
+                dv_dq[i].cols[col] = dvq;
+                dv_dqd[i].cols[col] = dvqd;
+                da_dq[i].cols[col] =
+                    xup[i].applyMotion(da_dq[lam].cols[col]) +
+                    crossMotion(dvq, vj);
+                da_dqd[i].cols[col] =
+                    xup[i].applyMotion(da_dqd[lam].cols[col]) +
+                    crossMotion(dvqd, vj);
+            }
+        }
+        for (int k = 0; k < ni; ++k) {
+            const int col = vi + k;
+            const Vec6 sk = s.col(k);
+            const Vec6 dvq = crossMotion(vc, sk);
+            dv_dq[i].cols[col] = dvq;
+            dv_dqd[i].cols[col] = sk;
+            da_dq[i].cols[col] =
+                crossMotion(ac, sk) + crossMotion(dvq, vj);
+            da_dqd[i].cols[col] =
+                crossMotion(sk, vj) + crossMotion(v[i], sk);
+        }
+
+        const auto &inertia = robot.link(i).inertia;
+        const Vec6 iv = inertia.apply(v[i]);
+        f[i] = inertia.apply(a[i]) + crossForce(v[i], iv);
+        if (fext)
+            f[i] -= (*fext)[i];
+        for (int col : active[i]) {
+            df_dq[i].cols[col] =
+                inertia.apply(da_dq[i].cols[col]) +
+                crossForce(dv_dq[i].cols[col], iv) +
+                crossForce(v[i], inertia.apply(dv_dq[i].cols[col]));
+            df_dqd[i].cols[col] =
+                inertia.apply(da_dqd[i].cols[col]) +
+                crossForce(dv_dqd[i].cols[col], iv) +
+                crossForce(v[i], inertia.apply(dv_dqd[i].cols[col]));
+        }
+    }
+
+    for (int i = nb - 1; i >= 0; --i) {
+        const int lam = robot.parent(i);
+        const auto &s = robot.subspace(i);
+        const int ni = s.nv();
+        const int vi = robot.link(i).vIndex;
+
+        for (int col = 0; col < nv; ++col) {
+            for (int r = 0; r < ni; ++r) {
+                res.dtau_dq(vi + r, col) = s.col(r).dot(df_dq[i].cols[col]);
+                res.dtau_dqd(vi + r, col) =
+                    s.col(r).dot(df_dqd[i].cols[col]);
+            }
+        }
+
+        if (lam != -1) {
+            for (int col = 0; col < nv; ++col) {
+                Vec6 dq_col = df_dq[i].cols[col];
+                if (col >= vi && col < vi + ni)
+                    dq_col += crossForce(s.col(col - vi), f[i]);
+                if (dq_col.maxAbs() != 0.0) {
+                    df_dq[lam].cols[col] +=
+                        xup[i].applyTransposeForce(dq_col);
+                }
+                const Vec6 &dqd_col = df_dqd[i].cols[col];
+                if (dqd_col.maxAbs() != 0.0) {
+                    df_dqd[lam].cols[col] +=
+                        xup[i].applyTransposeForce(dqd_col);
+                }
+            }
+            f[lam] += xup[i].applyTransposeForce(f[i]);
+        }
+    }
+    return res;
+}
+
+/** The seed ∆FD: steps ①-⑥ with per-call heap temporaries. */
+inline FdDerivatives
+fdDerivatives(const RobotModel &robot, const VectorX &q, const VectorX &qd,
+              const VectorX &tau, const std::vector<Vec6> *fext = nullptr)
+{
+    FdDerivatives out;
+    const VectorX c = biasForce(robot, q, qd, fext);   // step ①
+    out.minv = mminvGen(robot, q, false, true);        // step ②
+    out.qdd = out.minv * (tau - c);                    // step ③
+    const RneaDerivatives did =
+        rneaDerivatives(robot, q, qd, out.qdd, fext);  // steps ④⑤
+    out.dqdd_dq = -(out.minv * did.dtau_dq);           // step ⑥
+    out.dqdd_dqd = -(out.minv * did.dtau_dqd);
+    return out;
+}
+
+} // namespace dadu::bench::seedref
+
+#endif // DADU_BENCH_SEED_REFERENCE_H

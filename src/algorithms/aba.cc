@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "algorithms/workspace.h"
 #include "linalg/factorize.h"
 #include "spatial/cross.h"
 #include "spatial/inertia.h"
@@ -10,50 +11,42 @@
 namespace dadu::algo {
 
 using linalg::Mat66;
-using linalg::MatrixX;
 using spatial::crossForce;
 using spatial::crossMotion;
 using spatial::SpatialTransform;
-
-namespace {
-
-/** Inverse of a small SPD matrix (joint-space D_i, at most 6x6). */
-MatrixX
-invertSmallSpd(const MatrixX &d)
-{
-    return linalg::Ldlt(d).inverse();
-}
-
-} // namespace
 
 VectorX
 aba(const RobotModel &robot, const VectorX &q, const VectorX &qd,
     const VectorX &tau, const std::vector<Vec6> *fext)
 {
-    const int nb = robot.nb();
-    VectorX qdd(robot.nv());
+    DynamicsWorkspace &ws = threadLocalWorkspace();
+    VectorX qdd;
+    aba(robot, ws, q, qd, tau, qdd, fext);
+    return qdd;
+}
 
-    std::vector<SpatialTransform> xup(nb);
-    std::vector<Vec6> v(nb), c(nb), pa(nb);
-    std::vector<Mat66> ia(nb);
-    // Per-joint U (6 x ni columns), D^-1 (ni x ni) and u (ni).
-    std::vector<std::vector<Vec6>> ucols(nb);
-    std::vector<MatrixX> dinv(nb);
-    std::vector<VectorX> uvec(nb);
+void
+aba(const RobotModel &robot, DynamicsWorkspace &ws, const VectorX &q,
+    const VectorX &qd, const VectorX &tau, VectorX &qdd,
+    const std::vector<Vec6> *fext)
+{
+    ws.ensure(robot);
+    const int nb = robot.nb();
+    qdd.resize(robot.nv());
 
     // Pass 1: velocities and bias terms.
     for (int i = 0; i < nb; ++i) {
         const int lam = robot.parent(i);
-        xup[i] = robot.linkTransform(i, q);
+        ws.xup[i] = robot.linkTransform(i, q);
         const auto &s = robot.subspace(i);
-        const Vec6 vj = s.apply(robot.jointVelocity(i, qd));
-        const Vec6 vparent = lam == -1 ? Vec6::zero() : v[lam];
-        v[i] = xup[i].applyMotion(vparent) + vj;
-        c[i] = crossMotion(v[i], vj);
-        ia[i] = robot.link(i).inertia.toMatrix();
-        pa[i] = crossForce(v[i], robot.link(i).inertia.apply(v[i]));
+        const Vec6 vj = s.applySegment(qd, robot.link(i).vIndex);
+        const Vec6 vparent = lam == -1 ? Vec6::zero() : ws.v[lam];
+        ws.v[i] = ws.xup[i].applyMotion(vparent) + vj;
+        ws.c[i] = crossMotion(ws.v[i], vj);
+        ws.ia[i] = robot.link(i).inertia.toMatrix();
+        ws.pa[i] = crossForce(ws.v[i], robot.link(i).inertia.apply(ws.v[i]));
         if (fext)
-            pa[i] -= (*fext)[i];
+            ws.pa[i] -= (*fext)[i];
     }
 
     // Pass 2: articulated-body inertias, backward.
@@ -62,75 +55,100 @@ aba(const RobotModel &robot, const VectorX &q, const VectorX &qd,
         const int ni = s.nv();
         const int vi = robot.link(i).vIndex;
 
-        ucols[i].resize(ni);
-        for (int k = 0; k < ni; ++k)
-            ucols[i][k] = ia[i] * s.col(k);
+        Vec6 *ucols = &ws.ucols[static_cast<std::size_t>(i) * 6];
+        double *dinv = &ws.dinv[static_cast<std::size_t>(i) * 36];
+        double *uvec = &ws.uvec[static_cast<std::size_t>(i) * 6];
 
-        MatrixX d(ni, ni);
-        for (int r = 0; r < ni; ++r)
+        // U = I^A S and D = S^T U: one-hot subspace columns reduce
+        // to column/element reads of I^A (bitwise identical).
+        for (int k = 0; k < ni; ++k) {
+            const int ax = s.unitAxis(k);
+            if (ax >= 0) {
+                for (int a = 0; a < 6; ++a)
+                    ucols[k][a] = ws.ia[i](a, ax);
+            } else {
+                ucols[k] = ws.ia[i] * s.col(k);
+            }
+        }
+
+        double d[36];
+        for (int r = 0; r < ni; ++r) {
+            const int ax = s.unitAxis(r);
             for (int k = 0; k < ni; ++k)
-                d(r, k) = s.col(r).dot(ucols[i][k]);
-        dinv[i] = invertSmallSpd(d);
+                d[r * ni + k] =
+                    ax >= 0 ? ucols[k][ax] : s.col(r).dot(ucols[k]);
+        }
+        if (ni == 1) {
+            // 1-DOF fast path; bitwise identical to the LDLT route.
+            dinv[0] = 1.0 / d[0];
+        } else {
+            ws.small_ldlt.compute(d, ni);
+            ws.small_ldlt.inverseInto(dinv);
+        }
 
-        uvec[i].resize(ni);
-        for (int k = 0; k < ni; ++k)
-            uvec[i][k] = tau[vi + k] - s.col(k).dot(pa[i]);
+        for (int k = 0; k < ni; ++k) {
+            const int ax = s.unitAxis(k);
+            uvec[k] = tau[vi + k] -
+                      (ax >= 0 ? ws.pa[i][ax] : s.col(k).dot(ws.pa[i]));
+        }
 
         const int lam = robot.parent(i);
         if (lam == -1)
             continue;
 
         // Ia = IA - U D^-1 U^T ; pa' = pa + Ia c + U D^-1 u.
-        Mat66 ia_articulated = ia[i];
+        Mat66 ia_articulated = ws.ia[i];
         for (int r = 0; r < ni; ++r) {
             for (int k = 0; k < ni; ++k) {
-                const double dk = dinv[i](r, k);
+                const double dk = dinv[r * ni + k];
                 if (dk == 0.0)
                     continue;
                 for (int a = 0; a < 6; ++a)
                     for (int b = 0; b < 6; ++b)
                         ia_articulated(a, b) -=
-                            dk * ucols[i][r][a] * ucols[i][k][b];
+                            dk * ucols[r][a] * ucols[k][b];
             }
         }
-        Vec6 pa_articulated = pa[i] + ia_articulated * c[i];
+        Vec6 pa_articulated = ws.pa[i] + ia_articulated * ws.c[i];
         for (int r = 0; r < ni; ++r) {
             double coef = 0.0;
             for (int k = 0; k < ni; ++k)
-                coef += dinv[i](r, k) * uvec[i][k];
-            pa_articulated += ucols[i][r] * coef;
+                coef += dinv[r * ni + k] * uvec[k];
+            pa_articulated += ucols[r] * coef;
         }
 
         // Transform into the parent frame: X^T Ia X and X^T pa.
-        const Mat66 xm = xup[i].toMatrix();
-        ia[lam] += xm.transpose() * ia_articulated * xm;
-        pa[lam] += xup[i].applyTransposeForce(pa_articulated);
+        const Mat66 xm = ws.xup[i].toMatrix();
+        ws.ia[lam] += xm.transpose() * ia_articulated * xm;
+        ws.pa[lam] += ws.xup[i].applyTransposeForce(pa_articulated);
     }
 
     // Pass 3: accelerations, forward.
-    std::vector<Vec6> a(nb);
     for (int i = 0; i < nb; ++i) {
         const int lam = robot.parent(i);
         const auto &s = robot.subspace(i);
         const int ni = s.nv();
         const int vi = robot.link(i).vIndex;
 
-        const Vec6 aparent = lam == -1 ? robot.gravity() : a[lam];
-        const Vec6 aprime = xup[i].applyMotion(aparent) + c[i];
+        const Vec6 *ucols = &ws.ucols[static_cast<std::size_t>(i) * 6];
+        const double *dinv = &ws.dinv[static_cast<std::size_t>(i) * 36];
+        const double *uvec = &ws.uvec[static_cast<std::size_t>(i) * 6];
 
-        VectorX rhs(ni);
+        const Vec6 aparent = lam == -1 ? robot.gravity() : ws.a[lam];
+        const Vec6 aprime = ws.xup[i].applyMotion(aparent) + ws.c[i];
+
+        double rhs[6];
         for (int k = 0; k < ni; ++k)
-            rhs[k] = uvec[i][k] - ucols[i][k].dot(aprime);
-        a[i] = aprime;
+            rhs[k] = uvec[k] - ucols[k].dot(aprime);
+        ws.a[i] = aprime;
         for (int r = 0; r < ni; ++r) {
             double qdd_r = 0.0;
             for (int k = 0; k < ni; ++k)
-                qdd_r += dinv[i](r, k) * rhs[k];
+                qdd_r += dinv[r * ni + k] * rhs[k];
             qdd[vi + r] = qdd_r;
-            a[i] += s.col(r) * qdd_r;
+            ws.a[i] += s.col(r) * qdd_r;
         }
     }
-    return qdd;
 }
 
 } // namespace dadu::algo

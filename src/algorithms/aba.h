@@ -24,12 +24,27 @@ using linalg::Vec6;
 using linalg::VectorX;
 using model::RobotModel;
 
+struct DynamicsWorkspace;
+
 /**
  * Forward dynamics q̈ = FD(q, q̇, τ, f_ext) by the Articulated Body
  * Algorithm.
+ *
+ * Thin wrapper over the workspace overload with a per-call arena;
+ * use the overload below in hot loops.
  */
 VectorX aba(const RobotModel &robot, const VectorX &q, const VectorX &qd,
             const VectorX &tau, const std::vector<Vec6> *fext = nullptr);
+
+/**
+ * Workspace ABA: all per-link temporaries live in @p ws and @p qdd
+ * is resized in place, so the steady state performs zero heap
+ * allocations. Results are bitwise identical to the allocating
+ * overload. @p qdd must not alias any input.
+ */
+void aba(const RobotModel &robot, DynamicsWorkspace &ws, const VectorX &q,
+         const VectorX &qd, const VectorX &tau, VectorX &qdd,
+         const std::vector<Vec6> *fext = nullptr);
 
 } // namespace dadu::algo
 

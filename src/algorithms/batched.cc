@@ -1,0 +1,123 @@
+#include "algorithms/batched.h"
+
+#include <cassert>
+#include <thread>
+
+#include "algorithms/mminv_gen.h"
+
+namespace dadu::algo {
+
+namespace {
+
+/**
+ * Oversubscribing a CPU-bound batch never helps: clamp the requested
+ * parallelism to the hardware thread count (min 1).
+ */
+int
+clampThreads(int threads)
+{
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw > 0 && threads > hw)
+        threads = hw;
+    return threads < 1 ? 1 : threads;
+}
+
+} // namespace
+
+BatchedDynamics::BatchedDynamics(const RobotModel &robot, int threads)
+    : robot_(robot), pool_(clampThreads(threads) - 1)
+{
+    // One workspace per chunk: pool workers plus the calling thread,
+    // which participates in runIndexed().
+    workspaces_.resize(static_cast<std::size_t>(pool_.threadCount()) + 1);
+    for (auto &ws : workspaces_)
+        ws.ensure(robot_);
+}
+
+void
+BatchedDynamics::runChunk(void *ctx, int chunk)
+{
+    auto *self = static_cast<BatchedDynamics *>(ctx);
+    const int chunks = self->workspaceCount();
+    const int n = self->n_;
+    const int begin = static_cast<int>(
+        static_cast<long long>(chunk) * n / chunks);
+    const int end = static_cast<int>(
+        static_cast<long long>(chunk + 1) * n / chunks);
+    DynamicsWorkspace &ws = self->workspaces_[chunk];
+
+    switch (self->mode_) {
+      case Mode::Fd:
+        for (int i = begin; i < end; ++i)
+            forwardDynamics(self->robot_, ws, (*self->in_q_)[i],
+                            (*self->in_qd_)[i], (*self->in_tau_)[i],
+                            self->qdd_out_[i]);
+        break;
+      case Mode::FdDerivatives:
+        for (int i = begin; i < end; ++i)
+            fdDerivatives(self->robot_, ws, (*self->in_q_)[i],
+                          (*self->in_qd_)[i], (*self->in_tau_)[i],
+                          self->fd_out_[i]);
+        break;
+      case Mode::Minv:
+        for (int i = begin; i < end; ++i)
+            massMatrixInverse(self->robot_, ws, (*self->in_q_)[i],
+                              self->minv_out_[i]);
+        break;
+    }
+}
+
+void
+BatchedDynamics::dispatch(Mode mode, const std::vector<VectorX> *q,
+                          const std::vector<VectorX> *qd,
+                          const std::vector<VectorX> *tau, int n)
+{
+    assert(!in_dispatch_.exchange(true) &&
+           "BatchedDynamics: concurrent batch calls on one engine");
+    mode_ = mode;
+    n_ = n;
+    in_q_ = q;
+    in_qd_ = qd;
+    in_tau_ = tau;
+    pool_.runIndexed(&BatchedDynamics::runChunk, this, workspaceCount());
+    in_q_ = in_qd_ = in_tau_ = nullptr;
+    in_dispatch_.store(false);
+}
+
+const std::vector<VectorX> &
+BatchedDynamics::batchForwardDynamics(const std::vector<VectorX> &q,
+                                      const std::vector<VectorX> &qd,
+                                      const std::vector<VectorX> &tau)
+{
+    assert(q.size() == qd.size() && q.size() == tau.size());
+    const int n = static_cast<int>(q.size());
+    if (static_cast<int>(qdd_out_.size()) < n)
+        qdd_out_.resize(n);
+    dispatch(Mode::Fd, &q, &qd, &tau, n);
+    return qdd_out_;
+}
+
+const std::vector<FdDerivatives> &
+BatchedDynamics::batchFdDerivatives(const std::vector<VectorX> &q,
+                                    const std::vector<VectorX> &qd,
+                                    const std::vector<VectorX> &tau)
+{
+    assert(q.size() == qd.size() && q.size() == tau.size());
+    const int n = static_cast<int>(q.size());
+    if (static_cast<int>(fd_out_.size()) < n)
+        fd_out_.resize(n);
+    dispatch(Mode::FdDerivatives, &q, &qd, &tau, n);
+    return fd_out_;
+}
+
+const std::vector<linalg::MatrixX> &
+BatchedDynamics::batchMinv(const std::vector<VectorX> &q)
+{
+    const int n = static_cast<int>(q.size());
+    if (static_cast<int>(minv_out_.size()) < n)
+        minv_out_.resize(n);
+    dispatch(Mode::Minv, &q, nullptr, nullptr, n);
+    return minv_out_;
+}
+
+} // namespace dadu::algo

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "algorithms/workspace.h"
 #include "spatial/inertia.h"
 #include "spatial/transform.h"
 
@@ -13,53 +14,74 @@ using spatial::SpatialTransform;
 MatrixX
 crba(const RobotModel &robot, const VectorX &q)
 {
+    DynamicsWorkspace &ws = threadLocalWorkspace();
+    MatrixX m;
+    crba(robot, ws, q, m);
+    return m;
+}
+
+void
+crba(const RobotModel &robot, DynamicsWorkspace &ws, const VectorX &q,
+     MatrixX &m)
+{
+    ws.ensure(robot);
     const int nb = robot.nb();
     const int nv = robot.nv();
-    MatrixX m(nv, nv);
+    m.resize(nv, nv); // zeroes while reusing capacity
 
-    std::vector<SpatialTransform> xup(nb);
-    std::vector<ArticulatedInertia> ic(nb);
     for (int i = 0; i < nb; ++i) {
-        xup[i] = robot.linkTransform(i, q);
-        ic[i] = ArticulatedInertia(robot.link(i).inertia);
+        ws.xup[i] = robot.linkTransform(i, q);
+        ws.ic[i] = ArticulatedInertia(robot.link(i).inertia);
     }
 
     for (int i = nb - 1; i >= 0; --i) {
         const int lam = robot.parent(i);
         if (lam != -1)
-            ic[lam] += ic[i].transformToParent(xup[i]);
+            ws.ic[lam] += ws.ic[i].transformToParent(ws.xup[i]);
 
         const auto &si = robot.subspace(i);
         const int vi = robot.link(i).vIndex;
 
         // F = I^C_i S_i, one spatial force column per DOF of joint i.
-        std::vector<linalg::Vec6> fcols(si.nv());
-        for (int c = 0; c < si.nv(); ++c)
-            fcols[c] = ic[i].apply(si.col(c));
+        // One-hot subspace columns read I^C columns directly.
+        linalg::Vec6 fcols[6];
+        for (int c = 0; c < si.nv(); ++c) {
+            const int ax = si.unitAxis(c);
+            if (ax >= 0) {
+                for (int a = 0; a < 6; ++a)
+                    fcols[c][a] = ws.ic[i].matrix()(a, ax);
+            } else {
+                fcols[c] = ws.ic[i].apply(si.col(c));
+            }
+        }
 
         for (int c = 0; c < si.nv(); ++c)
-            for (int r = 0; r < si.nv(); ++r)
-                m(vi + r, vi + c) = si.col(r).dot(fcols[c]);
+            for (int r = 0; r < si.nv(); ++r) {
+                const int ax = si.unitAxis(r);
+                m(vi + r, vi + c) =
+                    ax >= 0 ? fcols[c][ax] : si.col(r).dot(fcols[c]);
+            }
 
         // Walk up to the root, transforming the force columns and
         // projecting onto each ancestor's motion subspace.
         int j = i;
         while (robot.parent(j) != -1) {
             for (int c = 0; c < si.nv(); ++c)
-                fcols[c] = xup[j].applyTransposeForce(fcols[c]);
+                fcols[c] = ws.xup[j].applyTransposeForce(fcols[c]);
             j = robot.parent(j);
             const auto &sj = robot.subspace(j);
             const int vj = robot.link(j).vIndex;
             for (int c = 0; c < si.nv(); ++c) {
                 for (int r = 0; r < sj.nv(); ++r) {
-                    const double val = sj.col(r).dot(fcols[c]);
+                    const int ax = sj.unitAxis(r);
+                    const double val =
+                        ax >= 0 ? fcols[c][ax] : sj.col(r).dot(fcols[c]);
                     m(vj + r, vi + c) = val;
                     m(vi + c, vj + r) = val;
                 }
             }
         }
     }
-    return m;
 }
 
 } // namespace dadu::algo

@@ -19,8 +19,18 @@ using linalg::MatrixX;
 using linalg::VectorX;
 using model::RobotModel;
 
+struct DynamicsWorkspace;
+
 /** Mass matrix M(q), symmetric positive-definite, size nv x nv. */
 MatrixX crba(const RobotModel &robot, const VectorX &q);
+
+/**
+ * Workspace CRBA: per-link temporaries live in @p ws and @p m is
+ * resized in place (reusing capacity), so the steady state performs
+ * zero heap allocations.
+ */
+void crba(const RobotModel &robot, DynamicsWorkspace &ws, const VectorX &q,
+          MatrixX &m);
 
 } // namespace dadu::algo
 

@@ -2,6 +2,7 @@
 
 #include "algorithms/crba.h"
 #include "algorithms/mminv_gen.h"
+#include "algorithms/workspace.h"
 #include "linalg/factorize.h"
 
 namespace dadu::algo {
@@ -11,9 +12,23 @@ forwardDynamics(const RobotModel &robot, const VectorX &q,
                 const VectorX &qd, const VectorX &tau,
                 const std::vector<Vec6> *fext)
 {
-    const VectorX c = biasForce(robot, q, qd, fext); // step ①
-    const MatrixX minv = massMatrixInverse(robot, q); // step ②
-    return minv * (tau - c);                          // step ③
+    DynamicsWorkspace &ws = threadLocalWorkspace();
+    VectorX qdd;
+    forwardDynamics(robot, ws, q, qd, tau, qdd, fext);
+    return qdd;
+}
+
+void
+forwardDynamics(const RobotModel &robot, DynamicsWorkspace &ws,
+                const VectorX &q, const VectorX &qd, const VectorX &tau,
+                VectorX &qdd, const std::vector<Vec6> *fext)
+{
+    ws.computeTransforms(robot, q); // shared by steps ① and ②
+    biasForce(robot, ws, q, qd, ws.bias, fext, true);   // step ①
+    mminvGen(robot, ws, q, false, true,
+             ws.minv_tmp, true);                        // step ②
+    ws.tmp_nv.setDifference(tau, ws.bias);              // step ③
+    ws.minv_tmp.multiplyInto(ws.tmp_nv, qdd);
 }
 
 VectorX
@@ -31,15 +46,28 @@ FdDerivatives
 fdDerivatives(const RobotModel &robot, const VectorX &q, const VectorX &qd,
               const VectorX &tau, const std::vector<Vec6> *fext)
 {
+    DynamicsWorkspace &ws = threadLocalWorkspace();
     FdDerivatives out;
-    const VectorX c = biasForce(robot, q, qd, fext);  // step ①
-    out.minv = massMatrixInverse(robot, q);           // step ②
-    out.qdd = out.minv * (tau - c);                   // step ③
-    const RneaDerivatives did =
-        rneaDerivatives(robot, q, qd, out.qdd, fext); // steps ④⑤
-    out.dqdd_dq = -(out.minv * did.dtau_dq);          // step ⑥
-    out.dqdd_dqd = -(out.minv * did.dtau_dqd);
+    fdDerivatives(robot, ws, q, qd, tau, out, fext);
     return out;
+}
+
+void
+fdDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
+              const VectorX &q, const VectorX &qd, const VectorX &tau,
+              FdDerivatives &out, const std::vector<Vec6> *fext)
+{
+    ws.computeTransforms(robot, q); // shared by steps ①, ② and ⑤
+    biasForce(robot, ws, q, qd, ws.bias, fext, true);   // step ①
+    mminvGen(robot, ws, q, false, true, out.minv, true); // step ②
+    ws.tmp_nv.setDifference(tau, ws.bias);              // step ③
+    out.minv.multiplyInto(ws.tmp_nv, out.qdd);
+    rneaDerivatives(robot, ws, q, qd, out.qdd,
+                    ws.did, fext, true);                // steps ④⑤
+    out.minv.multiplyInto(ws.did.dtau_dq, out.dqdd_dq); // step ⑥
+    out.dqdd_dq.negate();
+    out.minv.multiplyInto(ws.did.dtau_dqd, out.dqdd_dqd);
+    out.dqdd_dqd.negate();
 }
 
 FdDerivatives
@@ -47,13 +75,26 @@ fdDerivativesGivenAccel(const RobotModel &robot, const VectorX &q,
                         const VectorX &qd, const VectorX &qdd,
                         const MatrixX &minv, const std::vector<Vec6> *fext)
 {
+    DynamicsWorkspace &ws = threadLocalWorkspace();
     FdDerivatives out;
+    fdDerivativesGivenAccel(robot, ws, q, qd, qdd, minv, out, fext);
+    return out;
+}
+
+void
+fdDerivativesGivenAccel(const RobotModel &robot, DynamicsWorkspace &ws,
+                        const VectorX &q, const VectorX &qd,
+                        const VectorX &qdd, const MatrixX &minv,
+                        FdDerivatives &out, const std::vector<Vec6> *fext)
+{
+    ws.ensure(robot);
     out.minv = minv;
     out.qdd = qdd;
-    const RneaDerivatives did = rneaDerivatives(robot, q, qd, qdd, fext);
-    out.dqdd_dq = -(minv * did.dtau_dq);
-    out.dqdd_dqd = -(minv * did.dtau_dqd);
-    return out;
+    rneaDerivatives(robot, ws, q, qd, qdd, ws.did, fext); // steps ④⑤
+    out.minv.multiplyInto(ws.did.dtau_dq, out.dqdd_dq);   // step ⑥
+    out.dqdd_dq.negate();
+    out.minv.multiplyInto(ws.did.dtau_dqd, out.dqdd_dqd);
+    out.dqdd_dqd.negate();
 }
 
 } // namespace dadu::algo

@@ -72,6 +72,37 @@ FdDerivatives fdDerivativesGivenAccel(const RobotModel &robot,
                                       const std::vector<Vec6> *fext =
                                           nullptr);
 
+struct DynamicsWorkspace;
+
+/**
+ * Workspace forward dynamics (steps ①②③): all intermediates live in
+ * @p ws and @p qdd is resized in place — zero heap allocations in
+ * the steady state. This is the per-point kernel behind
+ * BatchedDynamics::batchForwardDynamics.
+ */
+void forwardDynamics(const RobotModel &robot, DynamicsWorkspace &ws,
+                     const VectorX &q, const VectorX &qd,
+                     const VectorX &tau, VectorX &qdd,
+                     const std::vector<Vec6> *fext = nullptr);
+
+/**
+ * Workspace ∆FD (all six steps): writes q̈, ∂q̈/∂q, ∂q̈/∂q̇ and M⁻¹
+ * into @p out, reusing its storage across calls. Zero heap
+ * allocations in the steady state. The per-point kernel behind
+ * BatchedDynamics::batchFdDerivatives.
+ */
+void fdDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
+                   const VectorX &q, const VectorX &qd, const VectorX &tau,
+                   FdDerivatives &out,
+                   const std::vector<Vec6> *fext = nullptr);
+
+/** Workspace ∆iFD (steps ④⑤⑥ with q̈ and M⁻¹ supplied). */
+void fdDerivativesGivenAccel(const RobotModel &robot,
+                             DynamicsWorkspace &ws, const VectorX &q,
+                             const VectorX &qd, const VectorX &qdd,
+                             const MatrixX &minv, FdDerivatives &out,
+                             const std::vector<Vec6> *fext = nullptr);
+
 } // namespace dadu::algo
 
 #endif // DADU_ALGORITHMS_DYNAMICS_H

@@ -2,38 +2,42 @@
 
 #include "algorithms/aba.h"
 #include "algorithms/rnea.h"
+#include "algorithms/workspace.h"
 
 namespace dadu::algo {
-
-namespace {
-
-/** Tangent basis vector e_k scaled by eps. */
-VectorX
-tangentStep(int nv, int k, double eps)
-{
-    VectorX dv(nv);
-    dv[k] = eps;
-    return dv;
-}
-
-} // namespace
 
 MatrixX
 numericalDtauDq(const RobotModel &robot, const VectorX &q,
                 const VectorX &qd, const VectorX &qdd,
                 const std::vector<Vec6> *fext, double eps)
 {
-    const int nv = robot.nv();
-    MatrixX j(nv, nv);
-    for (int k = 0; k < nv; ++k) {
-        const VectorX qp = robot.integrate(q, tangentStep(nv, k, eps));
-        const VectorX qm = robot.integrate(q, tangentStep(nv, k, -eps));
-        const VectorX tp = rnea(robot, qp, qd, qdd, fext).tau;
-        const VectorX tm = rnea(robot, qm, qd, qdd, fext).tau;
-        for (int r = 0; r < nv; ++r)
-            j(r, k) = (tp[r] - tm[r]) / (2.0 * eps);
-    }
+    DynamicsWorkspace &ws = threadLocalWorkspace();
+    MatrixX j;
+    numericalDtauDq(robot, ws, q, qd, qdd, j, fext, eps);
     return j;
+}
+
+void
+numericalDtauDq(const RobotModel &robot, DynamicsWorkspace &ws,
+                const VectorX &q, const VectorX &qd, const VectorX &qdd,
+                MatrixX &j, const std::vector<Vec6> *fext, double eps)
+{
+    ws.ensure(robot);
+    const int nv = robot.nv();
+    j.resize(nv, nv);
+    ws.tangent.resize(nv); // all-zero tangent step
+    for (int k = 0; k < nv; ++k) {
+        ws.tangent[k] = eps;
+        robot.integrateInto(q, ws.tangent, ws.q_plus);
+        ws.tangent[k] = -eps;
+        robot.integrateInto(q, ws.tangent, ws.q_minus);
+        ws.tangent[k] = 0.0;
+        rnea(robot, ws, ws.q_plus, qd, qdd, ws.rnea_plus, fext);
+        rnea(robot, ws, ws.q_minus, qd, qdd, ws.rnea_minus, fext);
+        for (int r = 0; r < nv; ++r)
+            j(r, k) = (ws.rnea_plus.tau[r] - ws.rnea_minus.tau[r]) /
+                      (2.0 * eps);
+    }
 }
 
 MatrixX
@@ -41,18 +45,33 @@ numericalDtauDqd(const RobotModel &robot, const VectorX &q,
                  const VectorX &qd, const VectorX &qdd,
                  const std::vector<Vec6> *fext, double eps)
 {
-    const int nv = robot.nv();
-    MatrixX j(nv, nv);
-    for (int k = 0; k < nv; ++k) {
-        VectorX qdp = qd, qdm = qd;
-        qdp[k] += eps;
-        qdm[k] -= eps;
-        const VectorX tp = rnea(robot, q, qdp, qdd, fext).tau;
-        const VectorX tm = rnea(robot, q, qdm, qdd, fext).tau;
-        for (int r = 0; r < nv; ++r)
-            j(r, k) = (tp[r] - tm[r]) / (2.0 * eps);
-    }
+    DynamicsWorkspace &ws = threadLocalWorkspace();
+    MatrixX j;
+    numericalDtauDqd(robot, ws, q, qd, qdd, j, fext, eps);
     return j;
+}
+
+void
+numericalDtauDqd(const RobotModel &robot, DynamicsWorkspace &ws,
+                 const VectorX &q, const VectorX &qd, const VectorX &qdd,
+                 MatrixX &j, const std::vector<Vec6> *fext, double eps)
+{
+    ws.ensure(robot);
+    const int nv = robot.nv();
+    j.resize(nv, nv);
+    ws.vel_plus = qd;
+    ws.vel_minus = qd;
+    for (int k = 0; k < nv; ++k) {
+        ws.vel_plus[k] = qd[k] + eps;
+        ws.vel_minus[k] = qd[k] - eps;
+        rnea(robot, ws, q, ws.vel_plus, qdd, ws.rnea_plus, fext);
+        rnea(robot, ws, q, ws.vel_minus, qdd, ws.rnea_minus, fext);
+        ws.vel_plus[k] = qd[k];
+        ws.vel_minus[k] = qd[k];
+        for (int r = 0; r < nv; ++r)
+            j(r, k) = (ws.rnea_plus.tau[r] - ws.rnea_minus.tau[r]) /
+                      (2.0 * eps);
+    }
 }
 
 MatrixX
@@ -60,17 +79,32 @@ numericalDqddDq(const RobotModel &robot, const VectorX &q,
                 const VectorX &qd, const VectorX &tau,
                 const std::vector<Vec6> *fext, double eps)
 {
-    const int nv = robot.nv();
-    MatrixX j(nv, nv);
-    for (int k = 0; k < nv; ++k) {
-        const VectorX qp = robot.integrate(q, tangentStep(nv, k, eps));
-        const VectorX qm = robot.integrate(q, tangentStep(nv, k, -eps));
-        const VectorX ap = aba(robot, qp, qd, tau, fext);
-        const VectorX am = aba(robot, qm, qd, tau, fext);
-        for (int r = 0; r < nv; ++r)
-            j(r, k) = (ap[r] - am[r]) / (2.0 * eps);
-    }
+    DynamicsWorkspace &ws = threadLocalWorkspace();
+    MatrixX j;
+    numericalDqddDq(robot, ws, q, qd, tau, j, fext, eps);
     return j;
+}
+
+void
+numericalDqddDq(const RobotModel &robot, DynamicsWorkspace &ws,
+                const VectorX &q, const VectorX &qd, const VectorX &tau,
+                MatrixX &j, const std::vector<Vec6> *fext, double eps)
+{
+    ws.ensure(robot);
+    const int nv = robot.nv();
+    j.resize(nv, nv);
+    ws.tangent.resize(nv);
+    for (int k = 0; k < nv; ++k) {
+        ws.tangent[k] = eps;
+        robot.integrateInto(q, ws.tangent, ws.q_plus);
+        ws.tangent[k] = -eps;
+        robot.integrateInto(q, ws.tangent, ws.q_minus);
+        ws.tangent[k] = 0.0;
+        aba(robot, ws, ws.q_plus, qd, tau, ws.qdd_plus, fext);
+        aba(robot, ws, ws.q_minus, qd, tau, ws.qdd_minus, fext);
+        for (int r = 0; r < nv; ++r)
+            j(r, k) = (ws.qdd_plus[r] - ws.qdd_minus[r]) / (2.0 * eps);
+    }
 }
 
 MatrixX
@@ -78,18 +112,32 @@ numericalDqddDqd(const RobotModel &robot, const VectorX &q,
                  const VectorX &qd, const VectorX &tau,
                  const std::vector<Vec6> *fext, double eps)
 {
-    const int nv = robot.nv();
-    MatrixX j(nv, nv);
-    for (int k = 0; k < nv; ++k) {
-        VectorX qdp = qd, qdm = qd;
-        qdp[k] += eps;
-        qdm[k] -= eps;
-        const VectorX ap = aba(robot, q, qdp, tau, fext);
-        const VectorX am = aba(robot, q, qdm, tau, fext);
-        for (int r = 0; r < nv; ++r)
-            j(r, k) = (ap[r] - am[r]) / (2.0 * eps);
-    }
+    DynamicsWorkspace &ws = threadLocalWorkspace();
+    MatrixX j;
+    numericalDqddDqd(robot, ws, q, qd, tau, j, fext, eps);
     return j;
+}
+
+void
+numericalDqddDqd(const RobotModel &robot, DynamicsWorkspace &ws,
+                 const VectorX &q, const VectorX &qd, const VectorX &tau,
+                 MatrixX &j, const std::vector<Vec6> *fext, double eps)
+{
+    ws.ensure(robot);
+    const int nv = robot.nv();
+    j.resize(nv, nv);
+    ws.vel_plus = qd;
+    ws.vel_minus = qd;
+    for (int k = 0; k < nv; ++k) {
+        ws.vel_plus[k] = qd[k] + eps;
+        ws.vel_minus[k] = qd[k] - eps;
+        aba(robot, ws, q, ws.vel_plus, tau, ws.qdd_plus, fext);
+        aba(robot, ws, q, ws.vel_minus, tau, ws.qdd_minus, fext);
+        ws.vel_plus[k] = qd[k];
+        ws.vel_minus[k] = qd[k];
+        for (int r = 0; r < nv; ++r)
+            j(r, k) = (ws.qdd_plus[r] - ws.qdd_minus[r]) / (2.0 * eps);
+    }
 }
 
 } // namespace dadu::algo

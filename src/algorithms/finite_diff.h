@@ -47,6 +47,39 @@ MatrixX numericalDqddDqd(const RobotModel &robot, const VectorX &q,
                          const std::vector<Vec6> *fext = nullptr,
                          double eps = 1e-6);
 
+struct DynamicsWorkspace;
+
+/**
+ * Workspace variants: the perturbed configurations/velocities, the
+ * tangent step and the inner RNEA/ABA evaluations all reuse @p ws,
+ * and @p j is resized in place — zero heap allocations in the
+ * steady state. Results are bitwise identical to the allocating
+ * overloads above.
+ */
+void numericalDtauDq(const RobotModel &robot, DynamicsWorkspace &ws,
+                     const VectorX &q, const VectorX &qd,
+                     const VectorX &qdd, MatrixX &j,
+                     const std::vector<Vec6> *fext = nullptr,
+                     double eps = 1e-6);
+
+void numericalDtauDqd(const RobotModel &robot, DynamicsWorkspace &ws,
+                      const VectorX &q, const VectorX &qd,
+                      const VectorX &qdd, MatrixX &j,
+                      const std::vector<Vec6> *fext = nullptr,
+                      double eps = 1e-6);
+
+void numericalDqddDq(const RobotModel &robot, DynamicsWorkspace &ws,
+                     const VectorX &q, const VectorX &qd,
+                     const VectorX &tau, MatrixX &j,
+                     const std::vector<Vec6> *fext = nullptr,
+                     double eps = 1e-6);
+
+void numericalDqddDqd(const RobotModel &robot, DynamicsWorkspace &ws,
+                      const VectorX &q, const VectorX &qd,
+                      const VectorX &tau, MatrixX &j,
+                      const std::vector<Vec6> *fext = nullptr,
+                      double eps = 1e-6);
+
 } // namespace dadu::algo
 
 #endif // DADU_ALGORITHMS_FINITE_DIFF_H

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <vector>
 
+#include "algorithms/workspace.h"
 #include "linalg/factorize.h"
 #include "linalg/mat.h"
 #include "spatial/transform.h"
@@ -17,81 +18,124 @@ MatrixX
 mminvGen(const RobotModel &robot, const VectorX &q, bool out_m,
          bool out_minv)
 {
+    DynamicsWorkspace &ws = threadLocalWorkspace();
+    MatrixX out;
+    mminvGen(robot, ws, q, out_m, out_minv, out);
+    return out;
+}
+
+void
+mminvGen(const RobotModel &robot, DynamicsWorkspace &ws, const VectorX &q,
+         bool out_m, bool out_minv, MatrixX &out, bool reuse_transforms)
+{
     assert(out_m != out_minv &&
            "MMinvGen runs in exactly one output mode per invocation");
+    ws.ensure(robot);
     const int nb = robot.nb();
     const int nv = robot.nv();
-    MatrixX out(nv, nv);
+    out.resize(nv, nv); // zeroes while reusing capacity
 
-    std::vector<SpatialTransform> xup(nb);
-    std::vector<Mat66> ia(nb, Mat66::zero());
     // F_i: 6 x nv force workspace, nonzero only on tree(i) DOF
-    // columns (branch-induced sparsity, Section V-C4).
-    std::vector<MatrixX> f(nb, MatrixX(6, nv));
-    std::vector<std::vector<Vec6>> ucols(nb);
-    std::vector<MatrixX> dinv(nb);
-
-    // DOF columns spanned by each subtree, in increasing order.
-    std::vector<std::vector<int>> tree_cols(nb);
+    // columns (branch-induced sparsity, Section V-C4) — so only
+    // those columns need re-zeroing between calls. P_i needs none:
+    // the completion sweep writes every column it later reads.
     for (int i = 0; i < nb; ++i) {
-        for (int j : robot.subtree(i)) {
-            const int vj = robot.link(j).vIndex;
-            for (int k = 0; k < robot.subspace(j).nv(); ++k)
-                tree_cols[i].push_back(vj + k);
-        }
+        ws.ia[i] = Mat66::zero();
+        for (int j : ws.tree_cols[i])
+            for (int a = 0; a < 6; ++a)
+                ws.fmat[i](j, a) = 0.0;
     }
 
     // Backward sweep (Algorithm 2 lines 1-17).
     for (int i = nb - 1; i >= 0; --i) {
         const int lam = robot.parent(i);
-        xup[i] = robot.linkTransform(i, q);
+        if (!reuse_transforms)
+            ws.xup[i] = robot.linkTransform(i, q);
         const auto &s = robot.subspace(i);
         const int ni = s.nv();
         const int vi = robot.link(i).vIndex;
 
-        ia[i] += robot.link(i).inertia.toMatrix();
+        Vec6 *ucols = &ws.ucols[static_cast<std::size_t>(i) * 6];
+        double *dinv = &ws.dinv[static_cast<std::size_t>(i) * 36];
+        MatrixX &f = ws.fmat[i];
 
-        ucols[i].resize(ni);
-        for (int k = 0; k < ni; ++k)
-            ucols[i][k] = ia[i] * s.col(k);
-        MatrixX d(ni, ni);
-        for (int r = 0; r < ni; ++r)
+        ws.ia[i] += robot.link(i).inertia.toMatrix();
+
+        // U = I^A S: one-hot subspace columns read I^A columns
+        // directly; D = S^T U likewise reads elements.
+        for (int k = 0; k < ni; ++k) {
+            const int ax = s.unitAxis(k);
+            if (ax >= 0) {
+                for (int a = 0; a < 6; ++a)
+                    ucols[k][a] = ws.ia[i](a, ax);
+            } else {
+                ucols[k] = ws.ia[i] * s.col(k);
+            }
+        }
+        double d[36];
+        for (int r = 0; r < ni; ++r) {
+            const int ax = s.unitAxis(r);
             for (int k = 0; k < ni; ++k)
-                d(r, k) = s.col(r).dot(ucols[i][k]);
-        dinv[i] = linalg::Ldlt(d).inverse();
+                d[r * ni + k] =
+                    ax >= 0 ? ucols[k][ax] : s.col(r).dot(ucols[k]);
+        }
+        if (ni == 1) {
+            // 1-DOF joints (the overwhelmingly common case): the
+            // LDLT inverse of a 1x1 reduces to one reciprocal,
+            // bitwise identical to the general path.
+            dinv[0] = 1.0 / d[0];
+        } else {
+            ws.small_ldlt.compute(d, ni);
+            ws.small_ldlt.inverseInto(dinv);
+        }
 
         if (out_minv) {
             // Minv[i, i] = D^-1.
-            out.setBlock(vi, vi, dinv[i]);
+            for (int r = 0; r < ni; ++r)
+                for (int k = 0; k < ni; ++k)
+                    out(vi + r, vi + k) = dinv[r * ni + k];
             // Minv[i, treee(i)] = -D^-1 S^T F[:, treee(i)].
-            for (int j : tree_cols[i]) {
+            for (int j : ws.tree_cols[i]) {
                 if (j >= vi && j < vi + ni)
                     continue; // treee excludes i itself
-                VectorX stf(ni);
+                double stf[6];
                 for (int r = 0; r < ni; ++r) {
+                    const int ax = s.unitAxis(r);
+                    if (ax >= 0) {
+                        stf[r] = f(j, ax);
+                        continue;
+                    }
                     double acc = 0.0;
                     for (int a = 0; a < 6; ++a)
-                        acc += s.col(r)[a] * f[i](a, j);
+                        acc += s.col(r)[a] * f(j, a);
                     stf[r] = acc;
                 }
                 for (int r = 0; r < ni; ++r) {
                     double val = 0.0;
                     for (int k = 0; k < ni; ++k)
-                        val -= dinv[i](r, k) * stf[k];
+                        val -= dinv[r * ni + k] * stf[k];
                     out(vi + r, j) = val;
                 }
             }
         }
         if (out_m) {
             // M[i, i] = D; M[i, treee(i)] = S^T F[:, treee(i)].
-            out.setBlock(vi, vi, d);
-            for (int j : tree_cols[i]) {
+            for (int r = 0; r < ni; ++r)
+                for (int k = 0; k < ni; ++k)
+                    out(vi + r, vi + k) = d[r * ni + k];
+            for (int j : ws.tree_cols[i]) {
                 if (j >= vi && j < vi + ni)
                     continue;
                 for (int r = 0; r < ni; ++r) {
-                    double acc = 0.0;
-                    for (int a = 0; a < 6; ++a)
-                        acc += s.col(r)[a] * f[i](a, j);
+                    const int ax = s.unitAxis(r);
+                    double acc;
+                    if (ax >= 0) {
+                        acc = f(j, ax);
+                    } else {
+                        acc = 0.0;
+                        for (int a = 0; a < 6; ++a)
+                            acc += s.col(r)[a] * f(j, a);
+                    }
                     out(vi + r, j) = acc;
                     out(j, vi + r) = acc;
                 }
@@ -101,24 +145,24 @@ mminvGen(const RobotModel &robot, const VectorX &q, bool out_m,
         if (lam != -1) {
             if (out_minv) {
                 // F[:, tree(i)] += U Minv[i, tree(i)].
-                for (int j : tree_cols[i]) {
+                for (int j : ws.tree_cols[i]) {
                     for (int a = 0; a < 6; ++a) {
                         double acc = 0.0;
                         for (int k = 0; k < ni; ++k)
-                            acc += ucols[i][k][a] * out(vi + k, j);
-                        f[i](a, j) += acc;
+                            acc += ucols[k][a] * out(vi + k, j);
+                        f(j, a) += acc;
                     }
                 }
                 // IA -= U D^-1 U^T (articulated-body correction).
                 for (int r = 0; r < ni; ++r) {
                     for (int k = 0; k < ni; ++k) {
-                        const double dk = dinv[i](r, k);
+                        const double dk = dinv[r * ni + k];
                         if (dk == 0.0)
                             continue;
                         for (int a = 0; a < 6; ++a)
                             for (int b = 0; b < 6; ++b)
-                                ia[i](a, b) -=
-                                    dk * ucols[i][r][a] * ucols[i][k][b];
+                                ws.ia[i](a, b) -=
+                                    dk * ucols[r][a] * ucols[k][b];
                     }
                 }
             }
@@ -126,64 +170,83 @@ mminvGen(const RobotModel &robot, const VectorX &q, bool out_m,
                 // F[:, i] = U (composite-force seed for ancestors).
                 for (int k = 0; k < ni; ++k)
                     for (int a = 0; a < 6; ++a)
-                        f[i](a, vi + k) = ucols[i][k][a];
+                        f(vi + k, a) = ucols[k][a];
             }
             // F_λ[:, tree(i)] += λX* F_i[:, tree(i)] (lazy update in
             // hardware; plain accumulation here).
-            for (int j : tree_cols[i]) {
+            for (int j : ws.tree_cols[i]) {
                 Vec6 col;
                 for (int a = 0; a < 6; ++a)
-                    col[a] = f[i](a, j);
-                const Vec6 up = xup[i].applyTransposeForce(col);
+                    col[a] = f(j, a);
+                const Vec6 up = ws.xup[i].applyTransposeForce(col);
                 for (int a = 0; a < 6; ++a)
-                    f[lam](a, j) += up[a];
+                    ws.fmat[lam](j, a) += up[a];
             }
-            // IA_λ += λX* IA_i iXλ.
-            const Mat66 xm = xup[i].toMatrix();
-            ia[lam] += xm.transpose() * ia[i] * xm;
+            // IA_λ += λX* IA_i iXλ. IA is symmetric, so compute
+            // N = IA X once and only the upper triangle of X^T N,
+            // mirroring the rest (~40% fewer multiplies than two
+            // dense 6x6 products).
+            const Mat66 xm = ws.xup[i].toMatrix();
+            const Mat66 n = ws.ia[i] * xm;
+            for (int r = 0; r < 6; ++r) {
+                for (int col = r; col < 6; ++col) {
+                    double acc = 0.0;
+                    for (int k = 0; k < 6; ++k)
+                        acc += xm(k, r) * n(k, col);
+                    ws.ia[lam](r, col) += acc;
+                    if (col != r)
+                        ws.ia[lam](col, r) += acc;
+                }
+            }
         }
     }
 
     if (out_minv) {
-        // Forward completion sweep (Algorithm 2 lines 18-24).
-        std::vector<MatrixX> p(nb, MatrixX(6, nv));
+        // Forward completion sweep (Algorithm 2 lines 18-24). P
+        // needs no zeroing: P_i[:, vi:] is written before any read,
+        // and columns below vi are never touched.
         for (int i = 0; i < nb; ++i) {
             const int lam = robot.parent(i);
             const auto &s = robot.subspace(i);
             const int ni = s.nv();
             const int vi = robot.link(i).vIndex;
 
-            if (lam != -1) {
-                // Minv[i, i:] -= D^-1 U^T (iXλ P_λ[:, i:]).
-                for (int j = vi; j < nv; ++j) {
-                    Vec6 pcol;
-                    for (int a = 0; a < 6; ++a)
-                        pcol[a] = p[lam](a, j);
-                    const Vec6 xp = xup[i].applyMotion(pcol);
-                    VectorX ut(ni);
-                    for (int r = 0; r < ni; ++r)
-                        ut[r] = ucols[i][r].dot(xp);
-                    for (int r = 0; r < ni; ++r) {
-                        double val = 0.0;
-                        for (int k = 0; k < ni; ++k)
-                            val += dinv[i](r, k) * ut[k];
-                        out(vi + r, j) -= val;
-                    }
-                }
-            }
-            // P_i[:, i:] = S Minv[i, i:] (+ iXλ P_λ[:, i:]).
+            const Vec6 *ucols = &ws.ucols[static_cast<std::size_t>(i) * 6];
+            const double *dinv = &ws.dinv[static_cast<std::size_t>(i) * 36];
+
+            // Per column j >= vi, in one pass (the transformed
+            // parent column iXλ P_λ[:, j] is shared by both steps):
+            //   Minv[i, j] -= D^-1 U^T (iXλ P_λ[:, j])
+            //   P_i[:, j]   = S Minv[i, j] + iXλ P_λ[:, j]
             for (int j = vi; j < nv; ++j) {
-                Vec6 pcol;
-                for (int k = 0; k < ni; ++k)
-                    pcol += s.col(k) * out(vi + k, j);
+                Vec6 xp;
                 if (lam != -1) {
                     Vec6 plam;
                     for (int a = 0; a < 6; ++a)
-                        plam[a] = p[lam](a, j);
-                    pcol += xup[i].applyMotion(plam);
+                        plam[a] = ws.pmat[lam](j, a);
+                    xp = ws.xup[i].applyMotion(plam);
+                    double ut[6];
+                    for (int r = 0; r < ni; ++r)
+                        ut[r] = ucols[r].dot(xp);
+                    for (int r = 0; r < ni; ++r) {
+                        double val = 0.0;
+                        for (int k = 0; k < ni; ++k)
+                            val += dinv[r * ni + k] * ut[k];
+                        out(vi + r, j) -= val;
+                    }
                 }
+                Vec6 pcol;
+                for (int k = 0; k < ni; ++k) {
+                    const int ax = s.unitAxis(k);
+                    if (ax >= 0)
+                        pcol[ax] += out(vi + k, j);
+                    else
+                        pcol += s.col(k) * out(vi + k, j);
+                }
+                if (lam != -1)
+                    pcol += xp;
                 for (int a = 0; a < 6; ++a)
-                    p[i](a, j) = pcol[a];
+                    ws.pmat[i](j, a) = pcol[a];
             }
         }
         // Mirror the computed upper triangle.
@@ -191,7 +254,6 @@ mminvGen(const RobotModel &robot, const VectorX &q, bool out_m,
             for (int c = r + 1; c < nv; ++c)
                 out(c, r) = out(r, c);
     }
-    return out;
 }
 
 } // namespace dadu::algo

@@ -41,6 +41,35 @@ using model::RobotModel;
 MatrixX mminvGen(const RobotModel &robot, const VectorX &q, bool out_m,
                  bool out_minv);
 
+struct DynamicsWorkspace;
+
+/**
+ * Workspace MMinvGen: the F/P force workspaces, articulated
+ * inertias, joint-space blocks and subtree column lists all live in
+ * @p ws (the column lists are topology caches built once per model),
+ * and @p out is resized in place — zero heap allocations in the
+ * steady state.
+ */
+void mminvGen(const RobotModel &robot, DynamicsWorkspace &ws,
+              const VectorX &q, bool out_m, bool out_minv, MatrixX &out,
+              bool reuse_transforms = false);
+
+/** Workspace wrapper: M(q) via MMinvGen. */
+inline void
+massMatrix(const RobotModel &robot, DynamicsWorkspace &ws, const VectorX &q,
+           MatrixX &m)
+{
+    mminvGen(robot, ws, q, true, false, m);
+}
+
+/** Workspace wrapper: M⁻¹(q) via MMinvGen. */
+inline void
+massMatrixInverse(const RobotModel &robot, DynamicsWorkspace &ws,
+                  const VectorX &q, MatrixX &minv)
+{
+    mminvGen(robot, ws, q, false, true, minv);
+}
+
 /** Convenience wrapper: M(q) via MMinvGen. */
 inline MatrixX
 massMatrix(const RobotModel &robot, const VectorX &q)

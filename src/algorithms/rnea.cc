@@ -1,43 +1,64 @@
 #include "algorithms/rnea.h"
 
+#include "algorithms/workspace.h"
 #include "spatial/cross.h"
 
 namespace dadu::algo {
 
 using spatial::crossForce;
 using spatial::crossMotion;
+using spatial::crossMotionUnitScaled;
 using spatial::SpatialTransform;
 
 RneaResult
 rnea(const RobotModel &robot, const VectorX &q, const VectorX &qd,
      const VectorX &qdd, const std::vector<Vec6> *fext)
 {
-    const int nb = robot.nb();
+    DynamicsWorkspace &ws = threadLocalWorkspace();
     RneaResult res;
-    res.tau.resize(robot.nv());
-    res.v.assign(nb, Vec6::zero());
-    res.a.assign(nb, Vec6::zero());
-    res.f.assign(nb, Vec6::zero());
+    rnea(robot, ws, q, qd, qdd, res, fext);
+    return res;
+}
 
-    std::vector<SpatialTransform> xup(nb);
+void
+rnea(const RobotModel &robot, DynamicsWorkspace &ws, const VectorX &q,
+     const VectorX &qd, const VectorX &qdd, RneaResult &res,
+     const std::vector<Vec6> *fext, bool reuse_transforms,
+     bool qdd_is_zero)
+{
+    ws.ensure(robot);
+    const int nb = robot.nb();
+    res.tau.resize(robot.nv());
+    res.v.resize(nb);
+    res.a.resize(nb);
+    res.f.resize(nb);
 
     // Forward propagation (Algorithm 1 lines 2-6). The world base has
     // v = 0 and a = -g (gravity folded into the base acceleration).
     for (int i = 0; i < nb; ++i) {
         const int lam = robot.parent(i);
-        xup[i] = robot.linkTransform(i, q);
+        if (!reuse_transforms)
+            ws.xup[i] = robot.linkTransform(i, q);
         const auto &s = robot.subspace(i);
-        const Vec6 vj = s.apply(robot.jointVelocity(i, qd));
-        const Vec6 aj = s.apply(robot.jointVelocity(i, qdd));
+        const int vi = robot.link(i).vIndex;
+        const Vec6 vj = s.applySegment(qd, vi);
+        // Constant-folded v ×ₘ vj for 1-DOF joints (Section IV-A1).
+        const int vj_ax = s.nv() == 1 ? s.unitAxis(0) : -1;
 
         const Vec6 vparent =
             lam == -1 ? Vec6::zero() : res.v[static_cast<size_t>(lam)];
         const Vec6 aparent =
             lam == -1 ? robot.gravity() : res.a[static_cast<size_t>(lam)];
 
-        res.v[i] = xup[i].applyMotion(vparent) + vj;
-        res.a[i] = xup[i].applyMotion(aparent) + aj +
-                   crossMotion(res.v[i], vj);
+        res.v[i] = ws.xup[i].applyMotion(vparent) + vj;
+        const Vec6 vxvj =
+            vj_ax >= 0 ? crossMotionUnitScaled(res.v[i], vj_ax, qd[vi])
+                       : crossMotion(res.v[i], vj);
+        if (qdd_is_zero)
+            res.a[i] = ws.xup[i].applyMotion(aparent) + vxvj;
+        else
+            res.a[i] = ws.xup[i].applyMotion(aparent) +
+                       s.applySegment(qdd, vi) + vxvj;
         res.f[i] = robot.link(i).inertia.apply(res.a[i]) +
                    crossForce(res.v[i],
                               robot.link(i).inertia.apply(res.v[i]));
@@ -48,13 +69,16 @@ rnea(const RobotModel &robot, const VectorX &q, const VectorX &qd,
     // Backward propagation (Algorithm 1 lines 7-10).
     for (int i = nb - 1; i >= 0; --i) {
         const auto &s = robot.subspace(i);
-        const VectorX taui = s.applyTranspose(res.f[i]);
-        res.tau.setSegment(robot.link(i).vIndex, taui);
+        const int vi = robot.link(i).vIndex;
+        for (int k = 0; k < s.nv(); ++k) {
+            const int ax = s.unitAxis(k);
+            res.tau[vi + k] =
+                ax >= 0 ? res.f[i][ax] : s.col(k).dot(res.f[i]);
+        }
         const int lam = robot.parent(i);
         if (lam != -1)
-            res.f[lam] += xup[i].applyTransposeForce(res.f[i]);
+            res.f[lam] += ws.xup[i].applyTransposeForce(res.f[i]);
     }
-    return res;
 }
 
 VectorX
@@ -62,6 +86,17 @@ biasForce(const RobotModel &robot, const VectorX &q, const VectorX &qd,
           const std::vector<Vec6> *fext)
 {
     return rnea(robot, q, qd, VectorX(robot.nv()), fext).tau;
+}
+
+void
+biasForce(const RobotModel &robot, DynamicsWorkspace &ws, const VectorX &q,
+          const VectorX &qd, VectorX &tau_out, const std::vector<Vec6> *fext,
+          bool reuse_transforms)
+{
+    ws.ensure(robot);
+    rnea(robot, ws, q, qd, ws.zero_nv, ws.rnea_res, fext,
+         reuse_transforms, /*qdd_is_zero=*/true);
+    tau_out = ws.rnea_res.tau;
 }
 
 } // namespace dadu::algo

@@ -33,6 +33,8 @@ struct RneaResult
                              ///< accumulation (per link).
 };
 
+struct DynamicsWorkspace;
+
 /**
  * Inverse dynamics τ = ID(q, q̇, q̈, f_ext).
  *
@@ -47,6 +49,29 @@ struct RneaResult
 RneaResult rnea(const RobotModel &robot, const VectorX &q,
                 const VectorX &qd, const VectorX &qdd,
                 const std::vector<Vec6> *fext = nullptr);
+
+/**
+ * Workspace RNEA: link transforms come from @p ws and the result is
+ * written into @p res (resized reusing capacity), so the steady
+ * state performs zero heap allocations. @p res may be a workspace
+ * member (e.g. ws.rnea_res) or caller storage; it must not alias
+ * the inputs. Pass reuse_transforms = true when ws.xup already holds
+ * the transforms for @p q (ws.computeTransforms) to skip the joint
+ * trigonometry.
+ */
+void rnea(const RobotModel &robot, DynamicsWorkspace &ws, const VectorX &q,
+          const VectorX &qd, const VectorX &qdd, RneaResult &res,
+          const std::vector<Vec6> *fext = nullptr,
+          bool reuse_transforms = false, bool qdd_is_zero = false);
+
+/**
+ * Workspace bias force: C(q, q̇, f_ext) written into @p tau_out
+ * without heap allocation in the steady state.
+ */
+void biasForce(const RobotModel &robot, DynamicsWorkspace &ws,
+               const VectorX &q, const VectorX &qd, VectorX &tau_out,
+               const std::vector<Vec6> *fext = nullptr,
+               bool reuse_transforms = false);
 
 /**
  * Generalized bias force C(q, q̇, f_ext) = ID(q, q̇, 0, f_ext):

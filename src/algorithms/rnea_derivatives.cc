@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "algorithms/workspace.h"
 #include "spatial/cross.h"
 #include "spatial/transform.h"
 
@@ -9,115 +10,131 @@ namespace dadu::algo {
 
 using spatial::crossForce;
 using spatial::crossMotion;
+using spatial::crossMotionUnit;
+using spatial::crossMotionUnitScaled;
 using spatial::SpatialTransform;
-
-namespace {
-
-/**
- * 6 x nv Jacobian with a list of active (nonzero) columns — the
- * incremental column vectors of Fig. 7b.
- */
-struct ColJacobian
-{
-    explicit ColJacobian(int nv) : cols(nv, Vec6::zero()) {}
-
-    std::vector<Vec6> cols;
-};
-
-} // namespace
 
 RneaDerivatives
 rneaDerivatives(const RobotModel &robot, const VectorX &q,
                 const VectorX &qd, const VectorX &qdd,
                 const std::vector<Vec6> *fext)
 {
+    DynamicsWorkspace &ws = threadLocalWorkspace();
+    RneaDerivatives res;
+    rneaDerivatives(robot, ws, q, qd, qdd, res, fext);
+    return res;
+}
+
+void
+rneaDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
+                const VectorX &q, const VectorX &qd, const VectorX &qdd,
+                RneaDerivatives &res, const std::vector<Vec6> *fext,
+                bool reuse_transforms)
+{
+    ws.ensure(robot);
     const int nb = robot.nb();
     const int nv = robot.nv();
 
-    RneaDerivatives res;
     res.dtau_dq.resize(nv, nv);
     res.dtau_dqd.resize(nv, nv);
 
-    std::vector<SpatialTransform> xup(nb);
-    std::vector<Vec6> v(nb), a(nb), f(nb);
-    // Active columns for link i: DOF indices of all its ancestors and
-    // itself, in increasing order.
-    std::vector<std::vector<int>> active(nb);
+    // The incremental column Jacobians of Fig. 7b live in one flat
+    // (nb x nv) cell arena: cell [i*nv + col] holds column `col` of
+    // all six of link i's Jacobians. Only the force Jacobians need
+    // re-zeroing, and only at the related (possibly nonzero)
+    // columns the backward sweep visits: the dv/da members are only
+    // ever read at columns the forward pass wrote this call.
+    for (int i = 0; i < nb; ++i) {
+        DynamicsWorkspace::DerivCell *row =
+            &ws.dcells[static_cast<std::size_t>(i) * nv];
+        for (int col : ws.rel_cols[i]) {
+            row[col].df_dq = Vec6::zero();
+            row[col].df_dqd = Vec6::zero();
+        }
+    }
 
-    std::vector<ColJacobian> dv_dq(nb, ColJacobian(nv));
-    std::vector<ColJacobian> dv_dqd(nb, ColJacobian(nv));
-    std::vector<ColJacobian> da_dq(nb, ColJacobian(nv));
-    std::vector<ColJacobian> da_dqd(nb, ColJacobian(nv));
-    std::vector<ColJacobian> df_dq(nb, ColJacobian(nv));
-    std::vector<ColJacobian> df_dqd(nb, ColJacobian(nv));
+    const auto cell = [&ws, nv](int i,
+                                int col) -> DynamicsWorkspace::DerivCell & {
+        return ws.dcells[static_cast<std::size_t>(i) * nv + col];
+    };
 
     // ---------------- Forward propagation ----------------
     for (int i = 0; i < nb; ++i) {
         const int lam = robot.parent(i);
-        xup[i] = robot.linkTransform(i, q);
+        if (!reuse_transforms)
+            ws.xup[i] = robot.linkTransform(i, q);
         const auto &s = robot.subspace(i);
         const int ni = s.nv();
         const int vi = robot.link(i).vIndex;
 
-        if (lam != -1)
-            active[i] = active[lam];
-        for (int k = 0; k < ni; ++k)
-            active[i].push_back(vi + k);
+        const Vec6 vj = s.applySegment(qd, vi);
+        const Vec6 aj = s.applySegment(qdd, vi);
+        const Vec6 vparent = lam == -1 ? Vec6::zero() : ws.v[lam];
+        const Vec6 aparent = lam == -1 ? robot.gravity() : ws.a[lam];
 
-        const Vec6 vj = s.apply(robot.jointVelocity(i, qd));
-        const Vec6 aj = s.apply(robot.jointVelocity(i, qdd));
-        const Vec6 vparent = lam == -1 ? Vec6::zero() : v[lam];
-        const Vec6 aparent = lam == -1 ? robot.gravity() : a[lam];
+        // Constant-folded vj cross (Section IV-A1): for a 1-DOF
+        // joint vj = S q̇ is one nonzero entry, so x ×ₘ vj collapses.
+        const int vj_ax = ni == 1 ? s.unitAxis(0) : -1;
+        const double vj_w = ni == 1 ? qd[vi] : 0.0;
+        const auto crossVj = [&](const Vec6 &x) {
+            return vj_ax >= 0 ? crossMotionUnitScaled(x, vj_ax, vj_w)
+                              : crossMotion(x, vj);
+        };
 
-        const Vec6 vc = xup[i].applyMotion(vparent); // X v_λ
-        const Vec6 ac = xup[i].applyMotion(aparent); // X a_λ
-        v[i] = vc + vj;
-        a[i] = ac + aj + crossMotion(v[i], vj);
+        const Vec6 vc = ws.xup[i].applyMotion(vparent); // X v_λ
+        const Vec6 ac = ws.xup[i].applyMotion(aparent); // X a_λ
+        ws.v[i] = vc + vj;
+        ws.a[i] = ac + aj + crossVj(ws.v[i]);
 
         // Ancestor columns: transform the parent Jacobians and add
         // the velocity-product coupling.
         if (lam != -1) {
-            for (int col : active[lam]) {
-                const Vec6 dvq = xup[i].applyMotion(dv_dq[lam].cols[col]);
-                const Vec6 dvqd = xup[i].applyMotion(dv_dqd[lam].cols[col]);
-                dv_dq[i].cols[col] = dvq;
-                dv_dqd[i].cols[col] = dvqd;
-                da_dq[i].cols[col] =
-                    xup[i].applyMotion(da_dq[lam].cols[col]) +
-                    crossMotion(dvq, vj);
-                da_dqd[i].cols[col] =
-                    xup[i].applyMotion(da_dqd[lam].cols[col]) +
-                    crossMotion(dvqd, vj);
+            for (int col : ws.active_cols[lam]) {
+                const DynamicsWorkspace::DerivCell &pc = cell(lam, col);
+                DynamicsWorkspace::DerivCell &cc = cell(i, col);
+                const Vec6 dvq = ws.xup[i].applyMotion(pc.dv_dq);
+                const Vec6 dvqd = ws.xup[i].applyMotion(pc.dv_dqd);
+                cc.dv_dq = dvq;
+                cc.dv_dqd = dvqd;
+                cc.da_dq = ws.xup[i].applyMotion(pc.da_dq) + crossVj(dvq);
+                cc.da_dqd =
+                    ws.xup[i].applyMotion(pc.da_dqd) + crossVj(dvqd);
             }
         }
         // Own-DOF columns (new columns of the incremental Jacobian).
         for (int k = 0; k < ni; ++k) {
             const int col = vi + k;
             const Vec6 sk = s.col(k);
-            const Vec6 dvq = crossMotion(vc, sk);  // ∂(X v_λ)/∂q_k
-            dv_dq[i].cols[col] = dvq;
-            dv_dqd[i].cols[col] = sk;
-            da_dq[i].cols[col] =
-                crossMotion(ac, sk) + crossMotion(dvq, vj);
-            da_dqd[i].cols[col] =
-                crossMotion(sk, vj) + crossMotion(v[i], sk);
+            const int sk_ax = s.unitAxis(k);
+            // ∂(X v_λ)/∂q_k and friends: sk is one-hot, so the
+            // crosses against it collapse the same way.
+            const Vec6 dvq = sk_ax >= 0 ? crossMotionUnit(vc, sk_ax)
+                                        : crossMotion(vc, sk);
+            DynamicsWorkspace::DerivCell &cc = cell(i, col);
+            cc.dv_dq = dvq;
+            cc.dv_dqd = sk;
+            cc.da_dq = (sk_ax >= 0 ? crossMotionUnit(ac, sk_ax)
+                                   : crossMotion(ac, sk)) +
+                       crossVj(dvq);
+            cc.da_dqd = crossMotion(sk, vj) +
+                        (sk_ax >= 0 ? crossMotionUnit(ws.v[i], sk_ax)
+                                    : crossMotion(ws.v[i], sk));
         }
 
         // f and its Jacobians.
         const auto &inertia = robot.link(i).inertia;
-        const Vec6 iv = inertia.apply(v[i]);
-        f[i] = inertia.apply(a[i]) + crossForce(v[i], iv);
+        const Vec6 iv = inertia.apply(ws.v[i]);
+        ws.f[i] = inertia.apply(ws.a[i]) + crossForce(ws.v[i], iv);
         if (fext)
-            f[i] -= (*fext)[i];
-        for (int col : active[i]) {
-            df_dq[i].cols[col] =
-                inertia.apply(da_dq[i].cols[col]) +
-                crossForce(dv_dq[i].cols[col], iv) +
-                crossForce(v[i], inertia.apply(dv_dq[i].cols[col]));
-            df_dqd[i].cols[col] =
-                inertia.apply(da_dqd[i].cols[col]) +
-                crossForce(dv_dqd[i].cols[col], iv) +
-                crossForce(v[i], inertia.apply(dv_dqd[i].cols[col]));
+            ws.f[i] -= (*fext)[i];
+        for (int col : ws.active_cols[i]) {
+            DynamicsWorkspace::DerivCell &cc = cell(i, col);
+            cc.df_dq = inertia.apply(cc.da_dq) +
+                       crossForce(cc.dv_dq, iv) +
+                       crossForce(ws.v[i], inertia.apply(cc.dv_dq));
+            cc.df_dqd = inertia.apply(cc.da_dqd) +
+                        crossForce(cc.dv_dqd, iv) +
+                        crossForce(ws.v[i], inertia.apply(cc.dv_dqd));
         }
     }
 
@@ -128,38 +145,44 @@ rneaDerivatives(const RobotModel &robot, const VectorX &q,
         const int ni = s.nv();
         const int vi = robot.link(i).vIndex;
 
-        // ∂τ_i/∂x = S^T ∂f_i/∂x. Columns outside the subtree of the
-        // root-path are zero, but columns of descendants were merged
-        // in through the child accumulation below, so sweep all nv.
-        for (int col = 0; col < nv; ++col) {
+        // ∂τ_i/∂x = S^T ∂f_i/∂x. Only the related columns (root
+        // path + subtree of i) can be nonzero — descendant columns
+        // were merged in through the child accumulation below — so
+        // sweep rel_cols instead of all nv (branch-induced
+        // sparsity; everything else stays zero from the resize).
+        // One-hot subspace rows project by element read.
+        for (int col : ws.rel_cols[i]) {
+            const DynamicsWorkspace::DerivCell &cc = cell(i, col);
             for (int r = 0; r < ni; ++r) {
-                res.dtau_dq(vi + r, col) = s.col(r).dot(df_dq[i].cols[col]);
-                res.dtau_dqd(vi + r, col) =
-                    s.col(r).dot(df_dqd[i].cols[col]);
+                const int ax = s.unitAxis(r);
+                if (ax >= 0) {
+                    res.dtau_dq(vi + r, col) = cc.df_dq[ax];
+                    res.dtau_dqd(vi + r, col) = cc.df_dqd[ax];
+                } else {
+                    res.dtau_dq(vi + r, col) = s.col(r).dot(cc.df_dq);
+                    res.dtau_dqd(vi + r, col) = s.col(r).dot(cc.df_dqd);
+                }
             }
         }
 
         if (lam != -1) {
             // ∂f_λ/∂x += λX*( ∂f_i/∂x + [x = q_i] S ×* f_i )
-            // (the paper's backward transfer, Fig. 7).
-            for (int col = 0; col < nv; ++col) {
-                Vec6 dq_col = df_dq[i].cols[col];
+            // (the paper's backward transfer, Fig. 7), restricted to
+            // the related columns — a superset of the nonzero ones
+            // (rel_cols[i] ⊆ rel_cols[λ], so the accumulation targets
+            // are zero-initialized).
+            for (int col : ws.rel_cols[i]) {
+                const DynamicsWorkspace::DerivCell &cc = cell(i, col);
+                DynamicsWorkspace::DerivCell &pc = cell(lam, col);
+                Vec6 dq_col = cc.df_dq;
                 if (col >= vi && col < vi + ni)
-                    dq_col += crossForce(s.col(col - vi), f[i]);
-                if (dq_col.maxAbs() != 0.0) {
-                    df_dq[lam].cols[col] +=
-                        xup[i].applyTransposeForce(dq_col);
-                }
-                const Vec6 &dqd_col = df_dqd[i].cols[col];
-                if (dqd_col.maxAbs() != 0.0) {
-                    df_dqd[lam].cols[col] +=
-                        xup[i].applyTransposeForce(dqd_col);
-                }
+                    dq_col += crossForce(s.col(col - vi), ws.f[i]);
+                pc.df_dq += ws.xup[i].applyTransposeForce(dq_col);
+                pc.df_dqd += ws.xup[i].applyTransposeForce(cc.df_dqd);
             }
-            f[lam] += xup[i].applyTransposeForce(f[i]);
+            ws.f[lam] += ws.xup[i].applyTransposeForce(ws.f[i]);
         }
     }
-    return res;
 }
 
 } // namespace dadu::algo

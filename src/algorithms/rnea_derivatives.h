@@ -49,6 +49,20 @@ RneaDerivatives rneaDerivatives(const RobotModel &robot, const VectorX &q,
                                 const VectorX &qd, const VectorX &qdd,
                                 const std::vector<Vec6> *fext = nullptr);
 
+struct DynamicsWorkspace;
+
+/**
+ * Workspace ∆RNEA: the six 6 x nv column-Jacobian arenas (the
+ * dominant allocations of the seed implementation), link states and
+ * the per-link active-column lists all live in @p ws; @p out is
+ * resized in place. Zero heap allocations in the steady state.
+ */
+void rneaDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
+                     const VectorX &q, const VectorX &qd,
+                     const VectorX &qdd, RneaDerivatives &out,
+                     const std::vector<Vec6> *fext = nullptr,
+                     bool reuse_transforms = false);
+
 } // namespace dadu::algo
 
 #endif // DADU_ALGORITHMS_RNEA_DERIVATIVES_H

@@ -22,9 +22,13 @@
 #ifndef DADU_APP_MPC_WORKLOAD_H
 #define DADU_APP_MPC_WORKLOAD_H
 
+#include <memory>
 #include <vector>
 
 #include "accel/accelerator.h"
+#include "algorithms/batched.h"
+#include "algorithms/dynamics.h"
+#include "algorithms/workspace.h"
 #include "model/robot_model.h"
 
 namespace dadu::app {
@@ -37,6 +41,7 @@ struct MpcConfig
 {
     int horizon_points = 100; ///< ~1 s horizon at 0.01 s steps
     double dt = 0.01;         ///< integration step
+    int threads = 4;          ///< batched-engine parallelism (Fig. 2b)
 };
 
 /** Wall-clock shares of one MPC iteration (Fig. 2c). */
@@ -63,9 +68,21 @@ class MpcWorkload
 
     /**
      * Run one LQ-approximation + rollout iteration single-threaded on
-     * the host and return the measured per-phase times.
+     * the host and return the measured per-phase times. Dynamics
+     * evaluations reuse the workload's workspace, so steady-state
+     * iterations perform no heap allocation in the dynamics phases.
      */
     MpcBreakdown measureCpu();
+
+    /**
+     * Like measureCpu(), but the LQ-approximation phase — ∆FD at
+     * every horizon point, the dominant share of Fig. 2c — runs
+     * through the BatchedDynamics engine across cfg.threads
+     * workspaces. The rollout (serial per point) and Riccati sweep
+     * are unchanged, so lq_us is the directly measured batched
+     * wall-clock time.
+     */
+    MpcBreakdown measureCpuBatched();
 
     /**
      * Modeled iteration time with @p threads CPU threads: measured
@@ -84,10 +101,23 @@ class MpcWorkload
 
     const MpcConfig &config() const { return cfg_; }
 
+    /** The batched engine driving the LQ-approximation phase. */
+    algo::BatchedDynamics &engine() { return engine_; }
+
   private:
+    /** RK4 rollout shared by the measured variants (workspace-based). */
+    double measureRolloutUs();
+
+    /** Serial Riccati-style solver sweep. */
+    double measureSolverUs();
+
     const RobotModel &robot_;
     MpcConfig cfg_;
     std::vector<linalg::VectorX> qs_, qds_, taus_;
+    algo::DynamicsWorkspace ws_;
+    algo::BatchedDynamics engine_;
+    algo::FdDerivatives fd_tmp_;
+    linalg::VectorX qdd_tmp_, step_tmp_, q_cur_, q_next_, qd_cur_;
 };
 
 } // namespace dadu::app

@@ -33,6 +33,17 @@ class ThreadPool
     /** Block until every submitted task has finished. */
     void waitAll();
 
+    /**
+     * Run task(ctx, index) for every index in [0, count) across the
+     * worker threads (the calling thread participates) and block
+     * until all of them have completed. Unlike submit(), dispatch is
+     * allocation-free — no std::function, no queue nodes — which
+     * keeps the batched dynamics hot loop heap-silent. Not
+     * reentrant: one runIndexed() at a time per pool.
+     */
+    void runIndexed(void (*task)(void *ctx, int index), void *ctx,
+                    int count);
+
     int threadCount() const { return static_cast<int>(workers_.size()); }
 
   private:
@@ -45,6 +56,13 @@ class ThreadPool
     std::condition_variable done_cv_;
     int in_flight_ = 0;
     bool stop_ = false;
+
+    // Bulk (indexed) dispatch state, guarded by mutex_.
+    void (*bulk_task_)(void *, int) = nullptr;
+    void *bulk_ctx_ = nullptr;
+    int bulk_count_ = 0;
+    int bulk_next_ = 0;
+    int bulk_done_ = 0;
 };
 
 } // namespace dadu::app

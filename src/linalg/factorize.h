@@ -58,7 +58,17 @@ class Cholesky
 class Ldlt
 {
   public:
+    /** Empty factorization; call compute() before use. */
+    Ldlt() = default;
+
     explicit Ldlt(const MatrixX &m);
+
+    /**
+     * Refactorize @p m into the existing L/D storage. Reuses the
+     * previously allocated capacity, so repeated factorizations of
+     * same-sized matrices perform no heap allocation.
+     */
+    bool compute(const MatrixX &m);
 
     bool ok() const { return ok_; }
 
@@ -69,10 +79,49 @@ class Ldlt
     MatrixX solve(const MatrixX &b) const;
     MatrixX inverse() const;
 
+    /** Solve M x = b overwriting @p b with x; no allocation. */
+    void solveInPlace(VectorX &b) const;
+
   private:
     MatrixX l_;
     VectorX d_;
-    bool ok_ = true;
+    bool ok_ = false; // false until a compute() succeeds
+};
+
+/**
+ * LDL^T factorization of a small (n <= 6) SPD matrix with fixed,
+ * stack-resident storage — the joint-space D_i blocks of ABA and
+ * MMinvGen (Algorithm 2) are at most 6x6 (one per joint, N_i DOF).
+ * The whole factor-solve-invert path performs no heap allocation,
+ * writing results into caller-provided storage.
+ */
+class SmallLdlt
+{
+  public:
+    static constexpr int kMaxDim = 6;
+
+    SmallLdlt() = default;
+
+    /** Factorize the n x n row-major matrix @p a (stride n). */
+    bool compute(const double *a, int n);
+
+    /** Factorize @p m (must be at most 6x6). */
+    bool compute(const MatrixX &m);
+
+    int dim() const { return n_; }
+    bool ok() const { return ok_; }
+
+    /** Solve M x = b overwriting the n entries of @p b. */
+    void solveInPlace(double *b) const;
+
+    /** Write the n x n inverse into row-major @p out (stride n). */
+    void inverseInto(double *out) const;
+
+  private:
+    double l_[kMaxDim * kMaxDim] = {};
+    double d_[kMaxDim] = {};
+    int n_ = 0;
+    bool ok_ = false;
 };
 
 /** Solve L x = b with L lower-triangular (forward substitution). */

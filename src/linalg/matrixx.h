@@ -147,6 +147,26 @@ class VectorX
             data_[begin + i] = v[i];
     }
 
+    /** this = a - b without a temporary; reuses existing capacity. */
+    void
+    setDifference(const VectorX &a, const VectorX &b)
+    {
+        assert(a.size() == b.size());
+        resize(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i)
+            data_[i] = a[i] - b[i];
+    }
+
+    /** In-place negation. */
+    void
+    negate()
+    {
+        for (double &v : data_)
+            v = -v;
+    }
+
+    void setAll(double c) { data_.assign(data_.size(), c); }
+
   private:
     std::vector<double> data_;
 };
@@ -297,6 +317,54 @@ class MatrixX
             }
         }
         return r;
+    }
+
+    /**
+     * out = (*this) * x without allocating in the steady state
+     * (@p out is resized, which reuses its capacity). @p out must not
+     * alias @p x. Accumulation order matches operator*, so results
+     * are bitwise identical to the allocating product.
+     */
+    void
+    multiplyInto(const VectorX &x, VectorX &out) const
+    {
+        assert(cols_ == x.size() && &x != &out);
+        out.resize(rows_);
+        for (std::size_t i = 0; i < rows_; ++i) {
+            double s = 0.0;
+            for (std::size_t j = 0; j < cols_; ++j)
+                s += (*this)(i, j) * x[j];
+            out[i] = s;
+        }
+    }
+
+    /**
+     * out = (*this) * o without allocating in the steady state.
+     * @p out must not alias either operand. Bitwise identical to
+     * operator* (same zero-skip accumulation order).
+     */
+    void
+    multiplyInto(const MatrixX &o, MatrixX &out) const
+    {
+        assert(cols_ == o.rows_ && &o != &out && this != &out);
+        out.resize(rows_, o.cols_);
+        for (std::size_t i = 0; i < rows_; ++i) {
+            for (std::size_t j = 0; j < cols_; ++j) {
+                const double a = (*this)(i, j);
+                if (a == 0.0)
+                    continue;
+                for (std::size_t k = 0; k < o.cols_; ++k)
+                    out(i, k) += a * o(j, k);
+            }
+        }
+    }
+
+    /** In-place negation of every entry. */
+    void
+    negate()
+    {
+        for (double &v : data_)
+            v = -v;
     }
 
     MatrixX

@@ -94,6 +94,22 @@ MotionSubspace::forType(JointType t)
             s.cols_[i] = Vec6::unit(i);
         break;
     }
+    // Detect one-hot columns (true for every current joint type) so
+    // the algorithms can fold S projections into element reads.
+    for (int c = 0; c < s.nv_; ++c) {
+        int axis = -1;
+        bool one_hot = true;
+        for (int a = 0; a < 6; ++a) {
+            const double v = s.cols_[c][a];
+            if (v == 0.0)
+                continue;
+            if (v == 1.0 && axis == -1)
+                axis = a;
+            else
+                one_hot = false;
+        }
+        s.axes_[c] = one_hot && axis != -1 ? axis : -1;
+    }
     return s;
 }
 
@@ -101,29 +117,37 @@ SpatialTransform
 jointTransform(JointType t, const VectorX &q)
 {
     assert(static_cast<int>(q.size()) == jointNq(t));
+    return jointTransformAt(t, q, 0);
+}
+
+SpatialTransform
+jointTransformAt(JointType t, const VectorX &q, int qIndex)
+{
+    assert(qIndex + jointNq(t) <= static_cast<int>(q.size()));
+    const int o = qIndex;
     switch (t) {
       case JointType::RevoluteX:
-        return SpatialTransform::rotation(linalg::rotX(q[0]));
+        return SpatialTransform::rotation(linalg::rotX(q[o]));
       case JointType::RevoluteY:
-        return SpatialTransform::rotation(linalg::rotY(q[0]));
+        return SpatialTransform::rotation(linalg::rotY(q[o]));
       case JointType::RevoluteZ:
-        return SpatialTransform::rotation(linalg::rotZ(q[0]));
+        return SpatialTransform::rotation(linalg::rotZ(q[o]));
       case JointType::PrismaticX:
-        return SpatialTransform::translation(Vec3{q[0], 0, 0});
+        return SpatialTransform::translation(Vec3{q[o], 0, 0});
       case JointType::PrismaticY:
-        return SpatialTransform::translation(Vec3{0, q[0], 0});
+        return SpatialTransform::translation(Vec3{0, q[o], 0});
       case JointType::PrismaticZ:
-        return SpatialTransform::translation(Vec3{0, 0, q[0]});
+        return SpatialTransform::translation(Vec3{0, 0, q[o]});
       case JointType::Spherical: {
-        const Quaternion quat{q[0], q[1], q[2], q[3]};
+        const Quaternion quat{q[o + 0], q[o + 1], q[o + 2], q[o + 3]};
         return SpatialTransform::rotation(quat.toRotation().transpose());
       }
       case JointType::Translation3:
-        return SpatialTransform::translation(Vec3{q[0], q[1], q[2]});
+        return SpatialTransform::translation(Vec3{q[o], q[o + 1], q[o + 2]});
       case JointType::Floating: {
-        const Quaternion quat{q[3], q[4], q[5], q[6]};
+        const Quaternion quat{q[o + 3], q[o + 4], q[o + 5], q[o + 6]};
         return SpatialTransform(quat.toRotation().transpose(),
-                                Vec3{q[0], q[1], q[2]});
+                                Vec3{q[o], q[o + 1], q[o + 2]});
       }
     }
     return SpatialTransform::identity();
@@ -134,27 +158,53 @@ jointIntegrate(JointType t, const VectorX &q, const VectorX &v)
 {
     assert(static_cast<int>(q.size()) == jointNq(t));
     assert(static_cast<int>(v.size()) == jointNv(t));
+    VectorX out(jointNq(t));
+    jointIntegrateAt(t, q, 0, v, 0, out);
+    return out;
+}
+
+void
+jointIntegrateAt(JointType t, const VectorX &q, int qIndex,
+                 const VectorX &v, int vIndex, VectorX &out)
+{
+    assert(qIndex + jointNq(t) <= static_cast<int>(q.size()));
+    assert(vIndex + jointNv(t) <= static_cast<int>(v.size()));
+    assert(qIndex + jointNq(t) <= static_cast<int>(out.size()));
+    const int qi = qIndex;
+    const int vi = vIndex;
     switch (t) {
       case JointType::Spherical: {
-        const Quaternion quat{q[0], q[1], q[2], q[3]};
-        const Quaternion nq = quat.integrated(Vec3{v[0], v[1], v[2]});
-        return VectorX{nq.x, nq.y, nq.z, nq.w};
+        const Quaternion quat{q[qi], q[qi + 1], q[qi + 2], q[qi + 3]};
+        const Quaternion nq =
+            quat.integrated(Vec3{v[vi], v[vi + 1], v[vi + 2]});
+        out[qi] = nq.x;
+        out[qi + 1] = nq.y;
+        out[qi + 2] = nq.z;
+        out[qi + 3] = nq.w;
+        break;
       }
       case JointType::Floating: {
-        const Quaternion quat{q[3], q[4], q[5], q[6]};
+        const Quaternion quat{q[qi + 3], q[qi + 4], q[qi + 5], q[qi + 6]};
         // Linear displacement is expressed in the body frame; map it
         // to the world frame with R before adding.
         const linalg::Mat3 r = quat.toRotation();
-        const Vec3 dp = r * Vec3{v[3], v[4], v[5]};
-        const Quaternion nq = quat.integrated(Vec3{v[0], v[1], v[2]});
-        return VectorX{q[0] + dp[0], q[1] + dp[1], q[2] + dp[2],
-                       nq.x, nq.y, nq.z, nq.w};
+        const Vec3 dp = r * Vec3{v[vi + 3], v[vi + 4], v[vi + 5]};
+        const Quaternion nq =
+            quat.integrated(Vec3{v[vi], v[vi + 1], v[vi + 2]});
+        out[qi] = q[qi] + dp[0];
+        out[qi + 1] = q[qi + 1] + dp[1];
+        out[qi + 2] = q[qi + 2] + dp[2];
+        out[qi + 3] = nq.x;
+        out[qi + 4] = nq.y;
+        out[qi + 5] = nq.z;
+        out[qi + 6] = nq.w;
+        break;
       }
       default: {
-        VectorX r = q;
-        for (std::size_t i = 0; i < v.size(); ++i)
-            r[i] += v[i];
-        return r;
+        const int n = jointNv(t);
+        for (int k = 0; k < n; ++k)
+            out[qi + k] = q[qi + k] + v[vi + k];
+        break;
       }
     }
 }

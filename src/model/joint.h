@@ -79,6 +79,16 @@ class MotionSubspace
 
     const Vec6 &col(int i) const { return cols_[i]; }
 
+    /**
+     * Index of the single unit entry of column @p i, or -1 when the
+     * column is not one-hot. Every joint type in Section II has
+     * one-hot subspace columns, which turns S^T f projections and
+     * I S e_k products into plain element/column reads — the same
+     * constant-folding the paper's submodules apply (Section IV-A1).
+     * Results are bitwise identical to the generic dot products.
+     */
+    int unitAxis(int i) const { return axes_[i]; }
+
     /** S q̇ for a joint velocity segment (size nv). */
     Vec6
     apply(const VectorX &qdot) const
@@ -86,6 +96,20 @@ class MotionSubspace
         Vec6 v;
         for (int i = 0; i < nv_; ++i)
             v += cols_[i] * qdot[i];
+        return v;
+    }
+
+    /**
+     * S q̇ reading the joint's segment directly from a full-robot
+     * velocity vector at offset @p vIndex — avoids materializing the
+     * segment (the allocation-free path of the workspace algorithms).
+     */
+    Vec6
+    applySegment(const VectorX &full, int vIndex) const
+    {
+        Vec6 v;
+        for (int i = 0; i < nv_; ++i)
+            v += cols_[i] * full[vIndex + i];
         return v;
     }
 
@@ -102,6 +126,7 @@ class MotionSubspace
   private:
     int nv_;
     Vec6 cols_[6];
+    int axes_[6] = {-1, -1, -1, -1, -1, -1};
 };
 
 /**
@@ -112,12 +137,32 @@ class MotionSubspace
 SpatialTransform jointTransform(JointType t, const VectorX &q);
 
 /**
+ * Joint transform X_J(q) reading the joint's nq-sized configuration
+ * segment directly from the full-robot vector @p q at offset
+ * @p qIndex. Identical math to jointTransform without the segment
+ * copy (and therefore without its heap allocation).
+ */
+SpatialTransform jointTransformAt(JointType t, const VectorX &q,
+                                  int qIndex);
+
+/**
  * Integrate a joint configuration: q' = q ⊕ (v·1), where @p v is a
  * tangent-space (joint velocity) segment of size nv. Quaternion
  * joints compose on the right (local frame), matching the analytical
  * derivatives.
  */
 VectorX jointIntegrate(JointType t, const VectorX &q, const VectorX &v);
+
+/**
+ * jointIntegrate reading/writing at offsets into full-robot
+ * vectors: the joint's nq segment of @p q at @p qIndex and nv
+ * segment of @p v at @p vIndex, result written to @p out at
+ * @p qIndex. The single home of the quaternion-integration
+ * conventions, shared by RobotModel::integrate/integrateInto;
+ * performs no heap allocation.
+ */
+void jointIntegrateAt(JointType t, const VectorX &q, int qIndex,
+                      const VectorX &v, int vIndex, VectorX &out);
 
 /** Neutral (zero) configuration for a joint type (size nq). */
 VectorX jointNeutral(JointType t);

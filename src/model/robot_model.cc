@@ -135,16 +135,23 @@ RobotModel::neutralConfiguration() const
 VectorX
 RobotModel::integrate(const VectorX &q, const VectorX &dv) const
 {
+    VectorX out;
+    integrateInto(q, dv, out);
+    return out;
+}
+
+void
+RobotModel::integrateInto(const VectorX &q, const VectorX &dv,
+                          VectorX &out) const
+{
     assert(static_cast<int>(q.size()) == nq_);
     assert(static_cast<int>(dv.size()) == nv_);
-    VectorX out(nq_);
+    assert(&out != &q && &out != &dv);
+    out.resize(nq_);
     for (int i = 0; i < nb(); ++i) {
         const Link &l = links_[i];
-        const VectorX jq = q.segment(l.qIndex, jointNq(l.joint));
-        const VectorX jv = dv.segment(l.vIndex, jointNv(l.joint));
-        out.setSegment(l.qIndex, jointIntegrate(l.joint, jq, jv));
+        jointIntegrateAt(l.joint, q, l.qIndex, dv, l.vIndex, out);
     }
-    return out;
 }
 
 VectorX
@@ -196,8 +203,7 @@ SpatialTransform
 RobotModel::linkTransform(int i, const VectorX &q) const
 {
     const Link &l = links_[i];
-    const VectorX jq = q.segment(l.qIndex, jointNq(l.joint));
-    return jointTransform(l.joint, jq) * l.xtree;
+    return jointTransformAt(l.joint, q, l.qIndex) * l.xtree;
 }
 
 VectorX

@@ -124,6 +124,15 @@ class RobotModel
      */
     VectorX integrate(const VectorX &q, const VectorX &dv) const;
 
+    /**
+     * integrate() writing into caller storage: @p out is resized
+     * (reusing capacity), so repeated calls with the same model
+     * perform no heap allocation. @p out must not alias @p q or
+     * @p dv.
+     */
+    void integrateInto(const VectorX &q, const VectorX &dv,
+                       VectorX &out) const;
+
     /** Uniform random configuration (angles in [-π, π], etc.). */
     VectorX randomConfiguration(std::mt19937 &rng) const;
 

@@ -48,6 +48,56 @@ crossForce(const Vec6 &v, const Vec6 &f)
                         linalg::cross(omega, flin));
 }
 
+/**
+ * v ×ₘ (s · e_axis) for a one-hot motion axis (axis ∈ [0, 6)) — the
+ * constant-folded form of Section IV-A1: a joint's S columns and
+ * S q̇ are one-hot(-scaled) for every supported joint type, so the
+ * full 6D cross collapses to four (angular axis) or two (linear
+ * axis) multiplies. Numerically identical to
+ * crossMotion(v, s * Vec6::unit(axis)).
+ */
+constexpr Vec6
+crossMotionUnitScaled(const Vec6 &v, int axis, double s)
+{
+    switch (axis) {
+      case 0: // ω_w = s e_x
+        return Vec6{0.0, s * v[2], -(s * v[1]),
+                    0.0, s * v[5], -(s * v[4])};
+      case 1: // ω_w = s e_y
+        return Vec6{-(s * v[2]), 0.0, s * v[0],
+                    -(s * v[5]), 0.0, s * v[3]};
+      case 2: // ω_w = s e_z
+        return Vec6{s * v[1], -(s * v[0]), 0.0,
+                    s * v[4], -(s * v[3]), 0.0};
+      case 3: // v_w = s e_x
+        return Vec6{0.0, 0.0, 0.0, 0.0, s * v[2], -(s * v[1])};
+      case 4: // v_w = s e_y
+        return Vec6{0.0, 0.0, 0.0, -(s * v[2]), 0.0, s * v[0]};
+      default: // v_w = s e_z
+        return Vec6{0.0, 0.0, 0.0, s * v[1], -(s * v[0]), 0.0};
+    }
+}
+
+/** v ×ₘ e_axis for a unit motion axis (unscaled form). */
+constexpr Vec6
+crossMotionUnit(const Vec6 &v, int axis)
+{
+    switch (axis) {
+      case 0:
+        return Vec6{0.0, v[2], -v[1], 0.0, v[5], -v[4]};
+      case 1:
+        return Vec6{-v[2], 0.0, v[0], -v[5], 0.0, v[3]};
+      case 2:
+        return Vec6{v[1], -v[0], 0.0, v[4], -v[3], 0.0};
+      case 3:
+        return Vec6{0.0, 0.0, 0.0, 0.0, v[2], -v[1]};
+      case 4:
+        return Vec6{0.0, 0.0, 0.0, -v[2], 0.0, v[0]};
+      default:
+        return Vec6{0.0, 0.0, 0.0, v[1], -v[0], 0.0};
+    }
+}
+
 /** Matrix form of the motion cross product: crm(v) w == v ×ₘ w. */
 constexpr Mat66
 crmMatrix(const Vec6 &v)

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Tests for the workspace/batched dynamics engine:
+ *
+ *  - batched results match the single-point reference bitwise for a
+ *    quadruped (HyQ) and a humanoid (Atlas);
+ *  - a reused workspace produces identical results across repeated
+ *    calls with different inputs;
+ *  - a counted global allocator shows zero heap allocations in the
+ *    steady-state hot loop, both for the single-thread workspace
+ *    path and for a whole batched dispatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <random>
+#include <vector>
+
+#include "algorithms/aba.h"
+#include "algorithms/batched.h"
+#include "algorithms/crba.h"
+#include "algorithms/dynamics.h"
+#include "algorithms/finite_diff.h"
+#include "algorithms/mminv_gen.h"
+#include "algorithms/rnea.h"
+#include "algorithms/workspace.h"
+#include "linalg/factorize.h"
+#include "model/builders.h"
+
+// ---------------------------------------------------------------------
+// Counted global allocator. Counting is off by default so the test
+// harness itself is unaffected; the zero-allocation tests switch it
+// on around the measured region only.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::atomic<bool> g_count_allocs{false};
+std::atomic<long> g_alloc_count{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    if (g_count_allocs.load(std::memory_order_relaxed))
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+using namespace dadu::algo;
+using dadu::linalg::MatrixX;
+using dadu::linalg::VectorX;
+using dadu::model::makeAtlas;
+using dadu::model::makeHyq;
+using dadu::model::RobotModel;
+
+struct Batch
+{
+    std::vector<VectorX> q, qd, tau;
+};
+
+Batch
+randomBatch(const RobotModel &robot, int n, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    Batch b;
+    for (int i = 0; i < n; ++i) {
+        b.q.push_back(robot.randomConfiguration(rng));
+        b.qd.push_back(robot.randomVelocity(rng));
+        b.tau.push_back(robot.randomVelocity(rng));
+    }
+    return b;
+}
+
+void
+expectBitwiseEqual(const VectorX &a, const VectorX &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+void
+expectBitwiseEqual(const MatrixX &a, const MatrixX &b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            EXPECT_EQ(a(r, c), b(r, c));
+}
+
+class BatchedTest : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    RobotModel
+    robot() const
+    {
+        return std::string(GetParam()) == "hyq" ? makeHyq() : makeAtlas();
+    }
+};
+
+TEST_P(BatchedTest, ForwardDynamicsMatchesSinglePointBitwise)
+{
+    const RobotModel robot = this->robot();
+    const Batch in = randomBatch(robot, 24, 42);
+    BatchedDynamics engine(robot, 4);
+    const auto &batch = engine.batchForwardDynamics(in.q, in.qd, in.tau);
+
+    DynamicsWorkspace ws(robot);
+    VectorX qdd;
+    for (int i = 0; i < 24; ++i) {
+        forwardDynamics(robot, ws, in.q[i], in.qd[i], in.tau[i], qdd);
+        expectBitwiseEqual(batch[i], qdd);
+    }
+}
+
+TEST_P(BatchedTest, FdDerivativesMatchSinglePointBitwise)
+{
+    const RobotModel robot = this->robot();
+    const Batch in = randomBatch(robot, 16, 7);
+    BatchedDynamics engine(robot, 3);
+    const auto &batch = engine.batchFdDerivatives(in.q, in.qd, in.tau);
+
+    DynamicsWorkspace ws(robot);
+    FdDerivatives single;
+    for (int i = 0; i < 16; ++i) {
+        fdDerivatives(robot, ws, in.q[i], in.qd[i], in.tau[i], single);
+        expectBitwiseEqual(batch[i].qdd, single.qdd);
+        expectBitwiseEqual(batch[i].minv, single.minv);
+        expectBitwiseEqual(batch[i].dqdd_dq, single.dqdd_dq);
+        expectBitwiseEqual(batch[i].dqdd_dqd, single.dqdd_dqd);
+    }
+}
+
+TEST_P(BatchedTest, MinvMatchesSinglePointBitwise)
+{
+    const RobotModel robot = this->robot();
+    const Batch in = randomBatch(robot, 12, 99);
+    BatchedDynamics engine(robot, 4);
+    const auto &batch = engine.batchMinv(in.q);
+
+    DynamicsWorkspace ws(robot);
+    MatrixX minv;
+    for (int i = 0; i < 12; ++i) {
+        massMatrixInverse(robot, ws, in.q[i], minv);
+        expectBitwiseEqual(batch[i], minv);
+    }
+}
+
+TEST_P(BatchedTest, AllocatingWrappersMatchWorkspaceOverloads)
+{
+    const RobotModel robot = this->robot();
+    const Batch in = randomBatch(robot, 4, 3);
+    DynamicsWorkspace ws(robot);
+    VectorX qdd;
+    FdDerivatives fd;
+    for (int i = 0; i < 4; ++i) {
+        aba(robot, ws, in.q[i], in.qd[i], in.tau[i], qdd);
+        expectBitwiseEqual(aba(robot, in.q[i], in.qd[i], in.tau[i]), qdd);
+        fdDerivatives(robot, ws, in.q[i], in.qd[i], in.tau[i], fd);
+        const FdDerivatives ref =
+            fdDerivatives(robot, in.q[i], in.qd[i], in.tau[i]);
+        expectBitwiseEqual(ref.qdd, fd.qdd);
+        expectBitwiseEqual(ref.dqdd_dq, fd.dqdd_dq);
+    }
+}
+
+TEST_P(BatchedTest, ReusedWorkspaceIsDeterministicAcrossInputs)
+{
+    // Evaluate A, then B (different input), then A again with the
+    // same workspace: the second A result must be bitwise identical
+    // to the first — no state may leak between calls.
+    const RobotModel robot = this->robot();
+    const Batch in = randomBatch(robot, 2, 1234);
+    DynamicsWorkspace ws(robot);
+
+    FdDerivatives first_a, b, second_a;
+    fdDerivatives(robot, ws, in.q[0], in.qd[0], in.tau[0], first_a);
+    // Copy: the next calls overwrite the output struct.
+    const MatrixX dq_a = first_a.dqdd_dq;
+    const MatrixX dqd_a = first_a.dqdd_dqd;
+    const VectorX qdd_a = first_a.qdd;
+
+    fdDerivatives(robot, ws, in.q[1], in.qd[1], in.tau[1], b);
+    fdDerivatives(robot, ws, in.q[0], in.qd[0], in.tau[0], second_a);
+
+    expectBitwiseEqual(qdd_a, second_a.qdd);
+    expectBitwiseEqual(dq_a, second_a.dqdd_dq);
+    expectBitwiseEqual(dqd_a, second_a.dqdd_dqd);
+
+    // Same for ABA and the finite-difference helpers.
+    VectorX aba_a, aba_b, aba_a2;
+    aba(robot, ws, in.q[0], in.qd[0], in.tau[0], aba_a);
+    const VectorX aba_a_copy = aba_a;
+    aba(robot, ws, in.q[1], in.qd[1], in.tau[1], aba_b);
+    aba(robot, ws, in.q[0], in.qd[0], in.tau[0], aba_a2);
+    expectBitwiseEqual(aba_a_copy, aba_a2);
+
+    MatrixX j_a, j_b, j_a2;
+    numericalDqddDq(robot, ws, in.q[0], in.qd[0], in.tau[0], j_a);
+    const MatrixX j_a_copy = j_a;
+    numericalDqddDq(robot, ws, in.q[1], in.qd[1], in.tau[1], j_b);
+    numericalDqddDq(robot, ws, in.q[0], in.qd[0], in.tau[0], j_a2);
+    expectBitwiseEqual(j_a_copy, j_a2);
+}
+
+TEST_P(BatchedTest, WorkspaceHotLoopIsAllocationFree)
+{
+    const RobotModel robot = this->robot();
+    const Batch in = randomBatch(robot, 8, 5);
+    DynamicsWorkspace ws(robot);
+    VectorX qdd;
+    FdDerivatives fd;
+    RneaResult rnea_res;
+    MatrixX m;
+
+    // Warm up: first calls size every output buffer.
+    for (int i = 0; i < 8; ++i) {
+        fdDerivatives(robot, ws, in.q[i], in.qd[i], in.tau[i], fd);
+        aba(robot, ws, in.q[i], in.qd[i], in.tau[i], qdd);
+        rnea(robot, ws, in.q[i], in.qd[i], in.tau[i], rnea_res);
+        crba(robot, ws, in.q[i], m);
+        massMatrixInverse(robot, ws, in.q[i], m);
+    }
+
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    for (int rep = 0; rep < 3; ++rep) {
+        for (int i = 0; i < 8; ++i) {
+            fdDerivatives(robot, ws, in.q[i], in.qd[i], in.tau[i], fd);
+            aba(robot, ws, in.q[i], in.qd[i], in.tau[i], qdd);
+            rnea(robot, ws, in.q[i], in.qd[i], in.tau[i], rnea_res);
+            crba(robot, ws, in.q[i], m);
+            massMatrixInverse(robot, ws, in.q[i], m);
+        }
+    }
+    g_count_allocs.store(false);
+    EXPECT_EQ(g_alloc_count.load(), 0)
+        << "steady-state workspace loop allocated";
+}
+
+TEST_P(BatchedTest, BatchedSteadyStateIsAllocationFree)
+{
+    const RobotModel robot = this->robot();
+    const Batch in = randomBatch(robot, 32, 77);
+    BatchedDynamics engine(robot, 4);
+
+    // Warm up: sizes the engine outputs and every chunk workspace.
+    engine.batchFdDerivatives(in.q, in.qd, in.tau);
+    engine.batchForwardDynamics(in.q, in.qd, in.tau);
+    engine.batchMinv(in.q);
+
+    // Steady state: the whole dispatch — runIndexed fan-out across
+    // the pool included — must stay off the heap.
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    for (int rep = 0; rep < 3; ++rep) {
+        engine.batchFdDerivatives(in.q, in.qd, in.tau);
+        engine.batchForwardDynamics(in.q, in.qd, in.tau);
+        engine.batchMinv(in.q);
+    }
+    g_count_allocs.store(false);
+    EXPECT_EQ(g_alloc_count.load(), 0)
+        << "steady-state batched dispatch allocated";
+}
+
+INSTANTIATE_TEST_SUITE_P(Robots, BatchedTest,
+                         ::testing::Values("hyq", "atlas"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(BatchedEngine, GrowAndShrinkBatches)
+{
+    // Batch size may change between calls; results stay correct.
+    const RobotModel robot = makeHyq();
+    BatchedDynamics engine(robot, 4);
+    DynamicsWorkspace ws(robot);
+    VectorX qdd;
+    for (int n : {5, 17, 3, 32}) {
+        const Batch in = randomBatch(robot, n, 50 + n);
+        const auto &batch =
+            engine.batchForwardDynamics(in.q, in.qd, in.tau);
+        for (int i = 0; i < n; ++i) {
+            forwardDynamics(robot, ws, in.q[i], in.qd[i], in.tau[i], qdd);
+            for (std::size_t k = 0; k < qdd.size(); ++k)
+                EXPECT_EQ(batch[i][k], qdd[k]);
+        }
+    }
+}
+
+TEST(BatchedEngine, SingleThreadEngineRunsInline)
+{
+    // threads = 1 spawns no pool workers; everything runs on the
+    // calling thread and still matches the reference.
+    const RobotModel robot = makeHyq();
+    BatchedDynamics engine(robot, 1);
+    EXPECT_EQ(engine.workspaceCount(), 1);
+    const Batch in = randomBatch(robot, 6, 9);
+    const auto &batch = engine.batchForwardDynamics(in.q, in.qd, in.tau);
+    DynamicsWorkspace ws(robot);
+    VectorX qdd;
+    for (int i = 0; i < 6; ++i) {
+        forwardDynamics(robot, ws, in.q[i], in.qd[i], in.tau[i], qdd);
+        for (std::size_t k = 0; k < qdd.size(); ++k)
+            EXPECT_EQ(batch[i][k], qdd[k]);
+    }
+}
+
+TEST(SmallLdltTest, MatchesGeneralLdltInverse)
+{
+    std::mt19937 rng(2024);
+    std::uniform_real_distribution<double> d(-1.0, 1.0);
+    for (int n = 1; n <= 6; ++n) {
+        // SPD matrix A = B B^T + n I.
+        MatrixX b(n, n);
+        for (int r = 0; r < n; ++r)
+            for (int c = 0; c < n; ++c)
+                b(r, c) = d(rng);
+        MatrixX a = b * b.transpose();
+        for (int i = 0; i < n; ++i)
+            a(i, i) += n;
+
+        dadu::linalg::SmallLdlt small;
+        ASSERT_TRUE(small.compute(a));
+        double inv[36];
+        small.inverseInto(inv);
+
+        const MatrixX ref = dadu::linalg::Ldlt(a).inverse();
+        for (int r = 0; r < n; ++r)
+            for (int c = 0; c < n; ++c)
+                EXPECT_EQ(inv[r * n + c], ref(r, c))
+                    << "n=" << n << " r=" << r << " c=" << c;
+    }
+}
+
+TEST(LdltInPlace, RefactorizeReusesStorage)
+{
+    std::mt19937 rng(7);
+    std::uniform_real_distribution<double> d(-1.0, 1.0);
+    dadu::linalg::Ldlt ldlt;
+    for (int round = 0; round < 3; ++round) {
+        MatrixX b(5, 5);
+        for (int r = 0; r < 5; ++r)
+            for (int c = 0; c < 5; ++c)
+                b(r, c) = d(rng);
+        MatrixX a = b * b.transpose();
+        for (int i = 0; i < 5; ++i)
+            a(i, i) += 5.0;
+        ASSERT_TRUE(ldlt.compute(a));
+        VectorX rhs(5);
+        for (int i = 0; i < 5; ++i)
+            rhs[i] = d(rng);
+        VectorX x = rhs;
+        ldlt.solveInPlace(x);
+        const VectorX ref = dadu::linalg::Ldlt(a).solve(rhs);
+        for (int i = 0; i < 5; ++i)
+            EXPECT_EQ(x[i], ref[i]);
+    }
+}
+
+} // namespace
