@@ -7,13 +7,20 @@
  * CPU implementation. The paper reports an 11.2x speedup on the
  * accelerated tasks and an 80% control-frequency improvement for the
  * whole system.
+ *
+ * Since the runtime layer, every variant goes through the one
+ * DynamicsBackend interface: the accelerated number is produced by
+ * real batches on the cycle-accurate simulator (AcceleratorBackend),
+ * with the closed-form AnalyticBackend printed alongside as the
+ * model cross-check and the CpuBatchedBackend as the measured host
+ * path.
  */
 
 #include "bench_util.h"
 
 #include "app/mpc_workload.h"
-#include "app/scheduler.h"
 #include "perf/timing.h"
+#include "runtime/backends.h"
 
 using namespace dadu;
 using namespace dadu::bench;
@@ -33,9 +40,10 @@ main(int argc, char **argv)
     const double accel_tasks_cpu4 =
         (b.lq_us + b.rollout_us) / perf::threadScaling(4);
 
-    // Measured multi-threaded CPU: the LQ phase through the
-    // zero-allocation batched engine (4 workspaces over the pool),
-    // instead of the modeled thread-scaling curve.
+    // Measured multi-threaded CPU: the LQ phase submitted through
+    // the runtime's CPU backend (zero-allocation batched engine, 4
+    // workspaces over the pool), instead of the modeled
+    // thread-scaling curve.
     const app::MpcBreakdown bm = workload.measureCpuBatched();
     std::printf("LQ approximation (∆FD x %d points):\n",
                 cfg.horizon_points);
@@ -43,43 +51,61 @@ main(int argc, char **argv)
     std::printf("  4-thread batched (meas):%8.0f us   (%.2fx)\n",
                 bm.lq_us, b.lq_us / bm.lq_us);
 
-    // Accelerated dynamics-task time (the supported-task classes).
-    const auto dfd = accel.analytic(FunctionType::DeltaFD);
-    const auto fd = accel.analytic(FunctionType::FD);
-    const double freq = accel.config().freq_mhz * 1e6;
-    const double lq_accel =
-        (cfg.horizon_points * dfd.ii_cycles + dfd.latency_cycles) /
-        freq * 1e6;
-    const double rollout_accel = app::scheduleSerialStagesUs(
-        cfg.horizon_points, 4, fd.ii_cycles, fd.latency_cycles,
-        accel.config().freq_mhz);
-    const double accel_tasks = lq_accel + rollout_accel;
+    // The three backends behind the single runtime interface.
+    runtime::AcceleratorBackend sim_backend(accel);
+    runtime::AnalyticBackend analytic_backend(accel);
+    runtime::DynamicsBackend *backends[] = {&workload.cpuBackend(),
+                                            &sim_backend,
+                                            &analytic_backend};
 
-    std::printf("accelerated task classes (FD + ∆FD):\n");
+    std::printf("\ndynamics phases through the runtime "
+                "(DynamicsServer, Fig. 13 scheduling):\n");
+    std::printf("%16s %12s %12s %12s\n", "backend", "LQ us",
+                "rollout us", "iter us");
+    app::MpcBreakdown sim_breakdown;
+    double iter_us[3] = {0, 0, 0};
+    for (int i = 0; i < 3; ++i) {
+        const app::MpcBreakdown rb =
+            workload.backendBreakdown(*backends[i]);
+        iter_us[i] = app::MpcWorkload::iterationUsFrom(
+            rb, backends[i]->offloaded());
+        if (backends[i] == &sim_backend)
+            sim_breakdown = rb;
+        std::printf("%16s %12.0f %12.0f %12.0f\n", backends[i]->name(),
+                    rb.lq_us, rb.rollout_us, iter_us[i]);
+    }
+
+    // Accelerated dynamics-task time (the supported-task classes),
+    // now backed by simulated execution on the pipelines.
+    const double accel_tasks =
+        sim_breakdown.lq_us + sim_breakdown.rollout_us;
+    std::printf("\naccelerated task classes (FD + ∆FD):\n");
     std::printf("  4-thread CPU: %8.0f us\n", accel_tasks_cpu4);
-    std::printf("  Dadu-RBD:     %8.0f us\n", accel_tasks);
+    std::printf("  Dadu-RBD:     %8.0f us  (cycle-accurate sim)\n",
+                accel_tasks);
     std::printf("  speedup:      %8.1fx   (paper: 11.2x)\n",
                 accel_tasks_cpu4 / accel_tasks);
 
     // Control frequency: iteration time determines achievable rate.
     const double cpu_iter = workload.cpuIterationUs(4);
-    const double accel_iter = workload.acceleratedIterationUs(accel);
+    const double accel_iter = iter_us[1];
     std::printf("\nwhole-iteration control frequency:\n");
     std::printf("  4-thread CPU: %8.1f Hz\n", 1e6 / cpu_iter);
     std::printf("  with Dadu:    %8.1f Hz\n", 1e6 / accel_iter);
     std::printf("  improvement:  %8.0f%%   (paper: +80%%)\n",
                 100.0 * (cpu_iter / accel_iter - 1.0));
 
-    if (hasFlag(argc, argv, "--json")) {
-        JsonReport report;
-        report.add("lq_1t_us", b.lq_us);
-        report.add("lq_batched_4t_us", bm.lq_us);
-        report.add("lq_batched_speedup", b.lq_us / bm.lq_us);
-        report.add("cpu_iter_us", cpu_iter);
-        report.add("accel_iter_us", accel_iter);
-        const char *path = "BENCH_e2e.json";
-        if (report.writeTo(path))
-            std::printf("\nwrote %s\n", path);
-    }
+    JsonReport report;
+    report.add("lq_1t_us", b.lq_us);
+    report.add("lq_batched_4t_us", bm.lq_us);
+    report.add("lq_batched_speedup", b.lq_us / bm.lq_us);
+    report.add("cpu_iter_us", cpu_iter);
+    report.add("accel_iter_us", accel_iter);
+    report.add("accel_analytic_iter_us", iter_us[2]);
+    report.add("cpu_backend_iter_us", iter_us[0]);
+    report.add("accel_tasks_sim_us", accel_tasks);
+    report.add("accel_tasks_speedup_vs_cpu4",
+               accel_tasks_cpu4 / accel_tasks);
+    maybeWriteJson(argc, argv, report, "BENCH_e2e.json");
     return 0;
 }

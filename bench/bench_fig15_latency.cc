@@ -14,22 +14,30 @@
 
 #include "bench_util.h"
 
+#include <string>
+
 #include "perf/timing.h"
+#include "runtime/backends.h"
 
 using namespace dadu;
 using namespace dadu::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Fig. 15 a/c/e — latency (us/task), lower is better");
     double sum_agx_ratio = 0.0, sum_i9_ratio = 0.0;
     double min_agx = 1e9, max_agx = 0.0;
     int count = 0;
+    JsonReport report;
 
     for (const auto &entry : evalRobots()) {
         const RobotModel robot = entry.make();
         Accelerator accel(robot);
+        // The simulated column goes through the runtime interface —
+        // the same submit() path every other consumer uses.
+        runtime::AcceleratorBackend backend(accel);
+        std::vector<runtime::DynamicsResult> outputs;
         std::printf("\n[%s]  (configured: %s)\n", entry.name,
                     accel.plan().summary().c_str());
         std::printf("%6s %12s %12s %12s %12s %12s\n", "fn",
@@ -43,11 +51,14 @@ main()
             const double i9 = perf::paperLatencyUs(
                 perf::Platform::I9Cpu, entry.key, fn);
             accel::BatchStats stats;
-            accel.run(fn, randomBatch(robot, 16), &stats);
+            backend.submit(fn, randomBatch(robot, 16), outputs, &stats);
             const auto est = accel.analytic(fn);
             std::printf("%6s %12.2f %12.2f %12.2f %12.2f %12.2f\n",
                         accel::functionName(fn), host, agx, i9,
                         stats.latency_us, est.latency_us);
+            report.add(std::string("latency_") + entry.name + "_" +
+                           accel::functionName(fn) + "_us",
+                       stats.latency_us);
             const double r_agx = stats.latency_us / agx;
             const double r_i9 = stats.latency_us / i9;
             sum_agx_ratio += r_agx;
@@ -65,5 +76,10 @@ main()
     std::printf("vs i9-13900HX: average %.2fx "
                 "(paper: 0.34x-1.91x, avg 0.82x)\n",
                 sum_i9_ratio / count);
+
+    report.add("latency_ratio_vs_agx_avg", sum_agx_ratio / count);
+    report.add("latency_ratio_vs_i9_avg", sum_i9_ratio / count);
+    maybeWriteJson(argc, argv, report, "BENCH_fig15.json",
+                   /*merge=*/true);
     return 0;
 }

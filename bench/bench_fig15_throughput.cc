@@ -15,13 +15,18 @@
 
 #include "bench_util.h"
 
+#include <string>
+
+#include "runtime/backends.h"
+
 using namespace dadu;
 using namespace dadu::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Fig. 15 b/d/f — throughput (Mtasks/s), 256-task batches");
+    JsonReport report;
     struct Acc
     {
         double sum = 0, lo = 1e9, hi = 0;
@@ -39,6 +44,9 @@ main()
     for (const auto &entry : evalRobots()) {
         const RobotModel robot = entry.make();
         Accelerator accel(robot);
+        // Simulated batches submitted through the runtime interface.
+        runtime::AcceleratorBackend backend(accel);
+        std::vector<runtime::DynamicsResult> outputs;
         std::printf("\n[%s]\n", entry.name);
         std::printf("%6s %11s %11s %11s %11s %11s\n", "fn", "AGX-CPU",
                     "AGX-GPU", "i9", "RTX4090M", "Dadu(sim)");
@@ -52,11 +60,14 @@ main()
             const double rtx = perf::paperThroughputMtasks(
                 perf::Platform::Rtx4090m, entry.key, fn);
             accel::BatchStats stats;
-            accel.run(fn, randomBatch(robot, 256), &stats);
+            backend.submit(fn, randomBatch(robot, 256), outputs, &stats);
             const double dadu = stats.throughput_mtasks;
             std::printf("%6s %11.2f %11.2f %11.2f %11.2f %11.2f\n",
                         accel::functionName(fn), agx_cpu, agx_gpu, i9,
                         rtx, dadu);
+            report.add(std::string("throughput_") + entry.name + "_" +
+                           accel::functionName(fn) + "_mtps",
+                       dadu);
             vs_agx_cpu.add(dadu / agx_cpu);
             if (agx_gpu > 0)
                 vs_agx_gpu.add(dadu / agx_gpu);
@@ -82,5 +93,11 @@ main()
     std::printf("vs RTX4090M: %5.1fx-%5.1fx avg %5.1fx "
                 "(paper: 0.5x-2.8x avg 1.4x)\n",
                 vs_rtx.lo, vs_rtx.hi, vs_rtx.sum / vs_rtx.n);
+
+    report.add("throughput_ratio_vs_agx_cpu_avg",
+               vs_agx_cpu.sum / vs_agx_cpu.n);
+    report.add("throughput_ratio_vs_i9_avg", vs_i9.sum / vs_i9.n);
+    maybeWriteJson(argc, argv, report, "BENCH_fig15.json",
+                   /*merge=*/true);
     return 0;
 }

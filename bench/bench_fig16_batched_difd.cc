@@ -17,6 +17,7 @@
 #include "algorithms/batched.h"
 #include "algorithms/dynamics.h"
 #include "algorithms/workspace.h"
+#include "runtime/backends.h"
 
 using namespace dadu;
 using namespace dadu::bench;
@@ -139,6 +140,8 @@ main(int argc, char **argv)
     banner("Fig. 16 — batched iiwa ∆iFD time (us), lower is better");
     const RobotModel robot = model::makeIiwa();
     Accelerator accel(robot);
+    runtime::AcceleratorBackend backend(accel);
+    std::vector<runtime::DynamicsResult> outputs;
 
     // ∆iFD inputs include q̈ and M⁻¹ (computed up front, as in the
     // Robomorphic protocol where the CPU supplies them).
@@ -166,7 +169,8 @@ main(int argc, char **argv)
             perf::Platform::Robomorphic, perf::EvalRobot::Iiwa,
             FunctionType::DeltaiFD, batch);
         accel::BatchStats stats;
-        accel.run(FunctionType::DeltaiFD, make_batch(batch), &stats);
+        backend.submit(FunctionType::DeltaiFD, make_batch(batch), outputs,
+                       &stats);
         std::printf("%8d %14.2f %14.2f %14.2f %14.2f   "
                     "(speedup: %4.1fx cpu, %4.1fx gpu, %4.1fx fpga)\n",
                     batch, cpu, gpu, robo, stats.total_us,
@@ -178,7 +182,8 @@ main(int argc, char **argv)
 
     banner("Section VI-A — single-task iiwa ∆iFD latency");
     accel::BatchStats single;
-    accel.run(FunctionType::DeltaiFD, make_batch(1), &single);
+    backend.submit(FunctionType::DeltaiFD, make_batch(1), outputs,
+                   &single);
     std::printf("Dadu-RBD (sim):    %.2f us  (paper: 0.76 us)\n",
                 single.latency_us);
     std::printf("Robomorphic model: %.2f us  (paper: 0.61 us)\n",
@@ -188,12 +193,6 @@ main(int argc, char **argv)
 
     JsonReport report;
     measuredCpuSection(robot, report);
-    if (hasFlag(argc, argv, "--json")) {
-        const char *path = "BENCH_batched.json";
-        if (report.writeTo(path))
-            std::printf("\nwrote %s\n", path);
-        else
-            std::printf("\nfailed to write %s\n", path);
-    }
+    maybeWriteJson(argc, argv, report, "BENCH_batched.json");
     return 0;
 }

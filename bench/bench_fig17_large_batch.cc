@@ -13,15 +13,22 @@
 
 #include "bench_util.h"
 
+#include <string>
+
+#include "runtime/backends.h"
+
 using namespace dadu;
 using namespace dadu::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Fig. 17 — batched iiwa ∆FD time (us), log-log shape");
     const RobotModel robot = model::makeIiwa();
     Accelerator accel(robot);
+    runtime::AcceleratorBackend backend(accel);
+    std::vector<runtime::DynamicsResult> outputs;
+    JsonReport report;
     const auto est = accel.analytic(FunctionType::DeltaFD);
     const double freq = accel.config().freq_mhz * 1e6;
 
@@ -39,8 +46,8 @@ main()
         const char *mode;
         if (batch <= 512) {
             accel::BatchStats stats;
-            accel.run(FunctionType::DeltaFD, randomBatch(robot, batch),
-                      &stats);
+            backend.submit(FunctionType::DeltaFD,
+                           randomBatch(robot, batch), outputs, &stats);
             dadu = stats.total_us;
             mode = "(sim)";
         } else {
@@ -50,11 +57,15 @@ main()
         }
         std::printf("%8d %14.1f %14.1f %14.1f %s\n", batch, agx, rtx,
                     dadu, mode);
+        report.add("fig17_dadu_batch_" + std::to_string(batch) + "_us",
+                   dadu);
         if (crossover < 0 && rtx < dadu)
             crossover = batch;
     }
     std::printf("\nRTX 4090M overtakes Dadu-RBD at batch %d "
                 "(paper: > 512)\n",
                 crossover);
+    report.add("fig17_rtx_crossover_batch", crossover);
+    maybeWriteJson(argc, argv, report, "BENCH_fig17.json");
     return 0;
 }

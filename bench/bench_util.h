@@ -22,6 +22,7 @@
 #include "accel/accelerator.h"
 #include "model/builders.h"
 #include "perf/baselines.h"
+#include "perf/timing.h"
 
 namespace dadu::bench {
 
@@ -75,14 +76,7 @@ randomBatch(const RobotModel &robot, int n, unsigned seed = 7)
 }
 
 /** Monotonic wall clock in microseconds. */
-inline double
-nowUs()
-{
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(
-               std::chrono::steady_clock::now().time_since_epoch())
-               .count() /
-           1000.0;
-}
+using perf::nowUs;
 
 /** True when @p flag (e.g. "--json") appears in argv. */
 inline bool
@@ -112,22 +106,88 @@ class JsonReport
     bool
     writeTo(const std::string &path) const
     {
+        return writeEntries(path, entries_);
+    }
+
+    /**
+     * Merge this report into @p path: existing keys written by other
+     * bench binaries sharing the file are preserved (this report's
+     * values win on collision), so e.g. the two Fig. 15 benches can
+     * both contribute to one BENCH_fig15.json.
+     */
+    bool
+    mergeTo(const std::string &path) const
+    {
+        std::vector<std::pair<std::string, double>> merged;
+        if (std::FILE *f = std::fopen(path.c_str(), "r")) {
+            // The flat {"k": v} format writeEntries produces.
+            char line[512];
+            char key[256];
+            double value;
+            while (std::fgets(line, sizeof line, f)) {
+                if (std::sscanf(line, " \"%255[^\"]\" : %lf", key,
+                                &value) == 2)
+                    merged.emplace_back(key, value);
+            }
+            std::fclose(f);
+        }
+        for (const auto &e : entries_) {
+            bool found = false;
+            for (auto &m : merged) {
+                if (m.first == e.first) {
+                    m.second = e.second;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                merged.push_back(e);
+        }
+        return writeEntries(path, merged);
+    }
+
+  private:
+    static bool
+    writeEntries(const std::string &path,
+                 const std::vector<std::pair<std::string, double>> &entries)
+    {
         std::FILE *f = std::fopen(path.c_str(), "w");
         if (!f)
             return false;
         std::fprintf(f, "{\n");
-        for (std::size_t i = 0; i < entries_.size(); ++i)
-            std::fprintf(f, "  \"%s\": %.6f%s\n", entries_[i].first.c_str(),
-                         entries_[i].second,
-                         i + 1 < entries_.size() ? "," : "");
+        for (std::size_t i = 0; i < entries.size(); ++i)
+            std::fprintf(f, "  \"%s\": %.6f%s\n", entries[i].first.c_str(),
+                         entries[i].second,
+                         i + 1 < entries.size() ? "," : "");
         std::fprintf(f, "}\n");
         std::fclose(f);
         return true;
     }
 
-  private:
     std::vector<std::pair<std::string, double>> entries_;
 };
+
+/**
+ * The shared --json epilogue of every bench binary: when the flag is
+ * present, write @p report to @p path and report the outcome. A
+ * single-writer file is overwritten (dropped keys disappear); pass
+ * @p merge = true only when several binaries share @p path (the two
+ * Fig. 15 benches), so each preserves the other's keys.
+ * @return true when the file was written.
+ */
+inline bool
+maybeWriteJson(int argc, char **argv, const JsonReport &report,
+               const char *path, bool merge = false)
+{
+    if (!hasFlag(argc, argv, "--json"))
+        return false;
+    if (merge ? report.mergeTo(path) : report.writeTo(path)) {
+        std::printf("\nwrote %s\n", path);
+        return true;
+    }
+    std::printf("\nfailed to write %s\n", path);
+    return false;
+}
 
 /** Section header in the output stream. */
 inline void

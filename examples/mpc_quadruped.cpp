@@ -1,9 +1,12 @@
 /**
  * @file
  * Whole-body MPC for the quadruped-with-arm (the Fig. 3 robot):
- * runs LQ-approximation iterations with the dynamics offloaded to
- * the accelerator, and reports the achievable control frequency vs
- * a multi-threaded CPU — the end-to-end scenario of Section VI-B.
+ * runs LQ-approximation iterations with the dynamics submitted
+ * through the unified runtime layer, and reports the achievable
+ * control frequency per backend — multi-threaded CPU, cycle-accurate
+ * accelerator simulation, and the closed-form analytic model — the
+ * end-to-end scenario of Section VI-B behind one DynamicsBackend
+ * interface.
  */
 
 #include <cstdio>
@@ -11,6 +14,7 @@
 #include "accel/accelerator.h"
 #include "app/mpc_workload.h"
 #include "model/builders.h"
+#include "runtime/backends.h"
 
 int
 main()
@@ -43,7 +47,21 @@ main()
         std::printf("CPU x%-2d: %8.0f us/iter -> %6.1f Hz\n", threads,
                     t, 1e6 / t);
     }
-    const double ta = mpc.acceleratedIterationUs(dadu);
-    std::printf("Dadu:    %8.0f us/iter -> %6.1f Hz\n", ta, 1e6 / ta);
+
+    // Every execution path is a DynamicsBackend; the workload
+    // submits the same request batches to each (the accelerated
+    // number runs on the cycle-accurate simulator).
+    runtime::AcceleratorBackend sim_backend(dadu);
+    runtime::AnalyticBackend analytic_backend(dadu);
+    runtime::DynamicsBackend *backends[] = {&mpc.cpuBackend(),
+                                            &sim_backend,
+                                            &analytic_backend};
+    std::printf("\nthrough the runtime layer "
+                "(workload -> DynamicsServer -> backend):\n");
+    for (runtime::DynamicsBackend *backend : backends) {
+        const double t = mpc.backendIterationUs(*backend);
+        std::printf("%-16s %8.0f us/iter -> %6.1f Hz\n",
+                    backend->name(), t, 1e6 / t);
+    }
     return 0;
 }

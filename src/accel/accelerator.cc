@@ -7,21 +7,6 @@
 
 namespace dadu::accel {
 
-const char *
-functionName(FunctionType fn)
-{
-    switch (fn) {
-      case FunctionType::ID: return "ID";
-      case FunctionType::FD: return "FD";
-      case FunctionType::M: return "M";
-      case FunctionType::Minv: return "Minv";
-      case FunctionType::DeltaID: return "dID";
-      case FunctionType::DeltaFD: return "dFD";
-      case FunctionType::DeltaiFD: return "diFD";
-    }
-    return "?";
-}
-
 Accelerator::Accelerator(const RobotModel &robot, AccelConfig cfg)
     : robot_(robot), cfg_(cfg), plan_(compileSap(robot_, cfg.sap))
 {
@@ -71,11 +56,11 @@ Accelerator::Accelerator(const RobotModel &robot, AccelConfig cfg)
 
 Accelerator::~Accelerator() = default;
 
-std::vector<TaskOutput>
-Accelerator::run(FunctionType fn, const std::vector<TaskInput> &inputs,
-                 BatchStats *stats)
+void
+Accelerator::run(FunctionType fn, const TaskInput *inputs,
+                 std::size_t count, TaskOutput *outputs, BatchStats *stats)
 {
-    return sim_->run(fn, inputs, stats);
+    sim_->run(fn, inputs, count, outputs, stats);
 }
 
 namespace {

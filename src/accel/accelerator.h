@@ -72,10 +72,24 @@ class Accelerator
     Accelerator(const Accelerator &) = delete;
     Accelerator &operator=(const Accelerator &) = delete;
 
-    /** Cycle-accurate batch execution. */
-    std::vector<TaskOutput> run(FunctionType fn,
-                                const std::vector<TaskInput> &inputs,
-                                BatchStats *stats = nullptr);
+    /**
+     * Cycle-accurate batch execution of @p count tasks, writing
+     * @c outputs[i] into caller-provided storage (resized in place,
+     * reusing capacity) — the allocation-lean steady path the
+     * runtime layer submits through.
+     */
+    void run(FunctionType fn, const TaskInput *inputs, std::size_t count,
+             TaskOutput *outputs, BatchStats *stats = nullptr);
+
+    /** Vector convenience over the span entry point. */
+    std::vector<TaskOutput>
+    run(FunctionType fn, const std::vector<TaskInput> &inputs,
+        BatchStats *stats = nullptr)
+    {
+        std::vector<TaskOutput> outputs(inputs.size());
+        run(fn, inputs.data(), inputs.size(), outputs.data(), stats);
+        return outputs;
+    }
 
     /** Closed-form timing for a saturated pipeline. */
     TimingEstimate analytic(FunctionType fn) const;

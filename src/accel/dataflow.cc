@@ -29,13 +29,14 @@ symmetrized(const MatrixX &m)
 class InputStream : public sim::Module
 {
   public:
-    InputStream(TaskTable &tasks, const std::vector<TaskInput> &inputs,
-                FunctionType fn, const RobotModel &robot,
-                TokenFifo *rf_root, std::vector<TokenFifo *> leaf_mb,
-                int issue_ii, std::vector<char> &done_flags,
+    InputStream(TaskTable &tasks, const TaskInput *inputs,
+                std::size_t count, FunctionType fn,
+                const RobotModel &robot, TokenFifo *rf_root,
+                std::vector<TokenFifo *> leaf_mb, int issue_ii,
+                std::vector<char> &done_flags,
                 std::vector<std::uint64_t> &issue_cycles)
         : Module("input_stream"), tasks_(tasks), inputs_(inputs),
-          fn_(fn), robot_(robot), rf_root_(rf_root),
+          count_(count), fn_(fn), robot_(robot), rf_root_(rf_root),
           leaf_mb_(std::move(leaf_mb)), issue_ii_(issue_ii),
           done_(done_flags), issue_cycles_(issue_cycles)
     {}
@@ -43,7 +44,7 @@ class InputStream : public sim::Module
     void
     tick(sim::Cycle now) override
     {
-        if (next_ >= static_cast<int>(inputs_.size()))
+        if (next_ >= static_cast<int>(count_))
             return;
         if (now < next_time_)
             return;
@@ -100,12 +101,13 @@ class InputStream : public sim::Module
     bool
     idle() const override
     {
-        return next_ >= static_cast<int>(inputs_.size());
+        return next_ >= static_cast<int>(count_);
     }
 
   private:
     TaskTable &tasks_;
-    const std::vector<TaskInput> &inputs_;
+    const TaskInput *inputs_;
+    std::size_t count_;
     FunctionType fn_;
     const RobotModel &robot_;
     TokenFifo *rf_root_;
@@ -128,14 +130,14 @@ class ScheduleModule : public sim::Module
                    const RobotModel &robot, const AccelConfig &cfg,
                    TokenFifo *fb_done, TokenFifo *m_done,
                    TokenFifo *row_out, TokenFifo *rf_root,
-                   std::vector<TaskOutput> &results,
+                   TaskOutput *results, std::size_t count,
                    std::vector<char> &done_flags,
                    std::vector<std::uint64_t> &done_cycles)
         : Module("schedule"), tasks_(tasks), fn_(fn), robot_(robot),
           cfg_(cfg), fb_done_(fb_done), m_done_(m_done),
           row_out_(row_out), rf_root_(rf_root), results_(results),
-          done_(done_flags), done_cycles_(done_cycles),
-          progress_(results.size())
+          count_(count), done_(done_flags), done_cycles_(done_cycles),
+          progress_(count)
     {}
 
     void
@@ -160,8 +162,7 @@ class ScheduleModule : public sim::Module
     bool
     idle() const override
     {
-        return doneCount_ == results_.size() && jobs_.empty() &&
-               !executing_;
+        return doneCount_ == count_ && jobs_.empty() && !executing_;
     }
 
   private:
@@ -325,7 +326,8 @@ class ScheduleModule : public sim::Module
     TokenFifo *m_done_;
     TokenFifo *row_out_;
     TokenFifo *rf_root_;
-    std::vector<TaskOutput> &results_;
+    TaskOutput *results_;
+    std::size_t count_;
     std::vector<char> &done_;
     std::vector<std::uint64_t> &done_cycles_;
     std::vector<Progress> progress_;
@@ -362,14 +364,14 @@ AccelSim::AccelSim(const RobotModel &robot, const SapPlan &plan,
 
 AccelSim::~AccelSim() = default;
 
-std::vector<TaskOutput>
-AccelSim::run(FunctionType fn, const std::vector<TaskInput> &inputs,
-              BatchStats *stats)
+void
+AccelSim::run(FunctionType fn, const TaskInput *inputs, std::size_t count,
+              TaskOutput *outputs, BatchStats *stats)
 {
     const RobotModel &robot = impl_->robot;
     const AccelConfig &cfg = impl_->cfg;
     const int nb = robot.nb();
-    const int n = static_cast<int>(inputs.size());
+    const int n = static_cast<int>(count);
 
     sim::Kernel kernel;
     TaskTable tasks(impl_->core,
@@ -506,16 +508,15 @@ AccelSim::run(FunctionType fn, const std::vector<TaskInput> &inputs,
         }
     }
 
-    std::vector<TaskOutput> results(n);
     std::vector<char> done_flags(n, 0);
     std::vector<std::uint64_t> issue_cycles(n, 0), done_cycles(n, 0);
 
-    InputStream input(tasks, inputs, fn, robot,
+    InputStream input(tasks, inputs, count, fn, robot,
                       use_fb ? rf_in[routing.rep[0]] : nullptr, leaf_mb,
                       cfg.input_issue_ii, done_flags, issue_cycles);
     ScheduleModule sched(tasks, fn, robot, cfg, fb_done, m_done, row_out,
                          use_fb ? rf_in[routing.rep[0]] : nullptr,
-                         results, done_flags, done_cycles);
+                         outputs, count, done_flags, done_cycles);
     kernel.addModule(&input);
     kernel.addModule(&sched);
 
@@ -539,7 +540,6 @@ AccelSim::run(FunctionType fn, const std::vector<TaskInput> &inputs,
             stats->fifo_stalls += f->fullStalls();
         }
     }
-    return results;
 }
 
 } // namespace dadu::accel

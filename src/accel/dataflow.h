@@ -47,16 +47,12 @@ struct AccelConfig
     SapConfig sap;
 };
 
-/** Timing and occupancy results of a simulated batch. */
-struct BatchStats
-{
-    std::uint64_t cycles = 0;        ///< makespan in cycles
-    double total_us = 0.0;           ///< makespan in microseconds
-    double throughput_mtasks = 0.0;  ///< million tasks per second
-    double latency_us = 0.0;         ///< mean single-task latency
-    std::size_t fifo_high_water = 0; ///< deepest FIFO occupancy
-    std::uint64_t fifo_stalls = 0;   ///< full-FIFO push rejections
-};
+/**
+ * Timing and occupancy results of a simulated batch — the runtime
+ * layer's per-batch stats type (the simulator fills the cycle and
+ * FIFO fields that CPU backends leave at zero).
+ */
+using BatchStats = runtime::BatchStats;
 
 /**
  * One fully wired accelerator instance (kernel + submodules) for one
@@ -73,12 +69,23 @@ class AccelSim
     AccelSim &operator=(const AccelSim &) = delete;
 
     /**
-     * Run a batch of tasks through the simulated pipelines.
-     * @return outputs in task order; stats via @p stats.
+     * Run a batch of @p count tasks through the simulated pipelines,
+     * writing @c outputs[i] (caller-provided storage, resized in
+     * place) for task i; stats via @p stats. Allocation-lean on the
+     * caller side: the batch path owns no output storage.
      */
-    std::vector<TaskOutput> run(FunctionType fn,
-                                const std::vector<TaskInput> &inputs,
-                                BatchStats *stats = nullptr);
+    void run(FunctionType fn, const TaskInput *inputs, std::size_t count,
+             TaskOutput *outputs, BatchStats *stats = nullptr);
+
+    /** Vector convenience over the span entry point. */
+    std::vector<TaskOutput>
+    run(FunctionType fn, const std::vector<TaskInput> &inputs,
+        BatchStats *stats = nullptr)
+    {
+        std::vector<TaskOutput> outputs(inputs.size());
+        run(fn, inputs.data(), inputs.size(), outputs.data(), stats);
+        return outputs;
+    }
 
   private:
     struct Impl;

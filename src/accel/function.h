@@ -5,15 +5,18 @@
  * `type` in the paper's input stream selects which rigid-body
  * dynamics function the pipelines compute; inputs and outputs are
  * unified so every function can share the same decode/encode path.
+ *
+ * The concrete types live in runtime/request.h: the accelerator is
+ * one backend of the unified dynamics runtime, and its task types
+ * ARE the runtime's request/result types (no conversion layer).
+ * The names below are the accelerator-side spelling of the same
+ * types, kept for the hardware-model code and its tests.
  */
 
 #ifndef DADU_ACCEL_FUNCTION_H
 #define DADU_ACCEL_FUNCTION_H
 
-#include <vector>
-
-#include "linalg/matrixx.h"
-#include "linalg/vec.h"
+#include "runtime/request.h"
 
 namespace dadu::accel {
 
@@ -22,42 +25,16 @@ using linalg::Vec6;
 using linalg::VectorX;
 
 /** Rigid body dynamics functions (Table I). */
-enum class FunctionType
-{
-    ID,       ///< τ = ID(q, q̇, q̈, f_ext)
-    FD,       ///< q̈ = FD(q, q̇, τ, f_ext)
-    M,        ///< mass matrix M(q)
-    Minv,     ///< M⁻¹(q)
-    DeltaID,  ///< ∂uτ = ∆ID(q, q̇, q̈, f_ext)
-    DeltaFD,  ///< ∂u q̈ = ∆FD(q, q̇, τ, f_ext)
-    DeltaiFD, ///< ∂u q̈ = ∆iFD(q, q̇, q̈, M⁻¹, f_ext)
-};
+using FunctionType = runtime::FunctionType;
 
 /** Human-readable function name as used in the paper's figures. */
-const char *functionName(FunctionType fn);
+using runtime::functionName;
 
 /** Unified task input (Decode Module payload). */
-struct TaskInput
-{
-    VectorX q;                 ///< configuration (nq)
-    VectorX qd;                ///< velocity (nv)
-    VectorX qdd_or_tau;        ///< q̈ (ID/∆ID/∆iFD) or τ (FD/∆FD)
-    std::vector<Vec6> fext;    ///< optional external forces (per link)
-    MatrixX minv;              ///< M⁻¹ input, ∆iFD only
-};
+using TaskInput = runtime::DynamicsRequest;
 
 /** Unified task output (Encode Module payload). */
-struct TaskOutput
-{
-    VectorX tau;       ///< ID/∆ID
-    VectorX qdd;       ///< FD/∆FD
-    MatrixX m;         ///< M
-    MatrixX minv;      ///< Minv (also optional ∆FD byproduct)
-    MatrixX dtau_dq;   ///< ∆ID
-    MatrixX dtau_dqd;  ///< ∆ID
-    MatrixX dqdd_dq;   ///< ∆FD/∆iFD
-    MatrixX dqdd_dqd;  ///< ∆FD/∆iFD
-};
+using TaskOutput = runtime::DynamicsResult;
 
 } // namespace dadu::accel
 

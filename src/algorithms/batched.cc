@@ -49,28 +49,27 @@ BatchedDynamics::runChunk(void *ctx, int chunk)
     switch (self->mode_) {
       case Mode::Fd:
         for (int i = begin; i < end; ++i)
-            forwardDynamics(self->robot_, ws, (*self->in_q_)[i],
-                            (*self->in_qd_)[i], (*self->in_tau_)[i],
+            forwardDynamics(self->robot_, ws, self->in_q_[i],
+                            self->in_qd_[i], self->in_tau_[i],
                             self->qdd_out_[i]);
         break;
       case Mode::FdDerivatives:
         for (int i = begin; i < end; ++i)
-            fdDerivatives(self->robot_, ws, (*self->in_q_)[i],
-                          (*self->in_qd_)[i], (*self->in_tau_)[i],
+            fdDerivatives(self->robot_, ws, self->in_q_[i],
+                          self->in_qd_[i], self->in_tau_[i],
                           self->fd_out_[i]);
         break;
       case Mode::Minv:
         for (int i = begin; i < end; ++i)
-            massMatrixInverse(self->robot_, ws, (*self->in_q_)[i],
+            massMatrixInverse(self->robot_, ws, self->in_q_[i],
                               self->minv_out_[i]);
         break;
     }
 }
 
 void
-BatchedDynamics::dispatch(Mode mode, const std::vector<VectorX> *q,
-                          const std::vector<VectorX> *qd,
-                          const std::vector<VectorX> *tau, int n)
+BatchedDynamics::dispatch(Mode mode, const VectorX *q, const VectorX *qd,
+                          const VectorX *tau, int n)
 {
     assert(!in_dispatch_.exchange(true) &&
            "BatchedDynamics: concurrent batch calls on one engine");
@@ -90,10 +89,17 @@ BatchedDynamics::batchForwardDynamics(const std::vector<VectorX> &q,
                                       const std::vector<VectorX> &tau)
 {
     assert(q.size() == qd.size() && q.size() == tau.size());
-    const int n = static_cast<int>(q.size());
+    return batchForwardDynamics(q.data(), qd.data(), tau.data(),
+                                static_cast<int>(q.size()));
+}
+
+const std::vector<VectorX> &
+BatchedDynamics::batchForwardDynamics(const VectorX *q, const VectorX *qd,
+                                      const VectorX *tau, int n)
+{
     if (static_cast<int>(qdd_out_.size()) < n)
         qdd_out_.resize(n);
-    dispatch(Mode::Fd, &q, &qd, &tau, n);
+    dispatch(Mode::Fd, q, qd, tau, n);
     return qdd_out_;
 }
 
@@ -103,20 +109,32 @@ BatchedDynamics::batchFdDerivatives(const std::vector<VectorX> &q,
                                     const std::vector<VectorX> &tau)
 {
     assert(q.size() == qd.size() && q.size() == tau.size());
-    const int n = static_cast<int>(q.size());
+    return batchFdDerivatives(q.data(), qd.data(), tau.data(),
+                              static_cast<int>(q.size()));
+}
+
+const std::vector<FdDerivatives> &
+BatchedDynamics::batchFdDerivatives(const VectorX *q, const VectorX *qd,
+                                    const VectorX *tau, int n)
+{
     if (static_cast<int>(fd_out_.size()) < n)
         fd_out_.resize(n);
-    dispatch(Mode::FdDerivatives, &q, &qd, &tau, n);
+    dispatch(Mode::FdDerivatives, q, qd, tau, n);
     return fd_out_;
 }
 
 const std::vector<linalg::MatrixX> &
 BatchedDynamics::batchMinv(const std::vector<VectorX> &q)
 {
-    const int n = static_cast<int>(q.size());
+    return batchMinv(q.data(), static_cast<int>(q.size()));
+}
+
+const std::vector<linalg::MatrixX> &
+BatchedDynamics::batchMinv(const VectorX *q, int n)
+{
     if (static_cast<int>(minv_out_.size()) < n)
         minv_out_.resize(n);
-    dispatch(Mode::Minv, &q, nullptr, nullptr, n);
+    dispatch(Mode::Minv, q, nullptr, nullptr, n);
     return minv_out_;
 }
 

@@ -80,15 +80,32 @@ class BatchedDynamics
                          const std::vector<VectorX> &qd,
                          const std::vector<VectorX> &tau);
 
+    /**
+     * Span overload: @p n sample points read from raw arrays, so
+     * callers staging inputs in grow-only storage (the runtime's CPU
+     * backend) can batch fewer points than their staging capacity.
+     */
+    const std::vector<VectorX> &
+    batchForwardDynamics(const VectorX *q, const VectorX *qd,
+                         const VectorX *tau, int n);
+
     /** ∆FD (q̈, ∂q̈/∂q, ∂q̈/∂q̇, M⁻¹) at every sample point. */
     const std::vector<FdDerivatives> &
     batchFdDerivatives(const std::vector<VectorX> &q,
                        const std::vector<VectorX> &qd,
                        const std::vector<VectorX> &tau);
 
+    /** Span overload of batchFdDerivatives. */
+    const std::vector<FdDerivatives> &
+    batchFdDerivatives(const VectorX *q, const VectorX *qd,
+                       const VectorX *tau, int n);
+
     /** M⁻¹(q) at every sample point. */
     const std::vector<linalg::MatrixX> &
     batchMinv(const std::vector<VectorX> &q);
+
+    /** Span overload of batchMinv. */
+    const std::vector<linalg::MatrixX> &batchMinv(const VectorX *q, int n);
 
   private:
     enum class Mode
@@ -99,9 +116,8 @@ class BatchedDynamics
     };
 
     static void runChunk(void *ctx, int chunk);
-    void dispatch(Mode mode, const std::vector<VectorX> *q,
-                  const std::vector<VectorX> *qd,
-                  const std::vector<VectorX> *tau, int n);
+    void dispatch(Mode mode, const VectorX *q, const VectorX *qd,
+                  const VectorX *tau, int n);
 
     const RobotModel &robot_;
     app::ThreadPool pool_;
@@ -111,9 +127,9 @@ class BatchedDynamics
     std::atomic<bool> in_dispatch_{false}; ///< misuse guard (debug)
     Mode mode_ = Mode::Fd;
     int n_ = 0;
-    const std::vector<VectorX> *in_q_ = nullptr;
-    const std::vector<VectorX> *in_qd_ = nullptr;
-    const std::vector<VectorX> *in_tau_ = nullptr;
+    const VectorX *in_q_ = nullptr;
+    const VectorX *in_qd_ = nullptr;
+    const VectorX *in_tau_ = nullptr;
 
     // Engine-owned outputs, reused across calls.
     std::vector<VectorX> qdd_out_;

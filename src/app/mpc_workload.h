@@ -15,13 +15,16 @@
  *  - a backward Riccati-style solver sweep (inherently serial).
  *
  * The workload runs the real reference algorithms, so CPU timings
- * are measured; the accelerated variant offloads the dynamics tasks
- * to the Dadu-RBD model with the Fig. 13 scheduling policy.
+ * are measured; the offloaded variants submit the dynamics tasks
+ * through the unified runtime::DynamicsBackend interface, with the
+ * Fig. 13 serial-stage scheduling executed by a
+ * runtime::DynamicsServer (one full-width batch per RK4 stage).
  */
 
 #ifndef DADU_APP_MPC_WORKLOAD_H
 #define DADU_APP_MPC_WORKLOAD_H
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -30,6 +33,7 @@
 #include "algorithms/dynamics.h"
 #include "algorithms/workspace.h"
 #include "model/robot_model.h"
+#include "runtime/backends.h"
 
 namespace dadu::app {
 
@@ -56,7 +60,8 @@ struct MpcBreakdown
     double
     derivativeShare() const
     {
-        return lq_us / total();
+        const double t = total();
+        return t > 0.0 ? lq_us / t : 0.0;
     }
 };
 
@@ -76,11 +81,12 @@ class MpcWorkload
 
     /**
      * Like measureCpu(), but the LQ-approximation phase — ∆FD at
-     * every horizon point, the dominant share of Fig. 2c — runs
-     * through the BatchedDynamics engine across cfg.threads
-     * workspaces. The rollout (serial per point) and Riccati sweep
-     * are unchanged, so lq_us is the directly measured batched
-     * wall-clock time.
+     * every horizon point, the dominant share of Fig. 2c — is
+     * submitted through the workload's CpuBatchedBackend (the
+     * runtime interface over the BatchedDynamics engine across
+     * cfg.threads workspaces). The rollout (serial per point) and
+     * Riccati sweep are unchanged, so lq_us is the directly measured
+     * batched wall-clock time.
      */
     MpcBreakdown measureCpuBatched();
 
@@ -92,17 +98,63 @@ class MpcWorkload
     double cpuIterationUs(int threads);
 
     /**
-     * Iteration time with the dynamics tasks offloaded to @p accel
-     * (FD + ∆FD batches through the pipelines, Fig. 13 interleaving
-     * of the four serial RK4 stages), while the CPU keeps the solver
-     * sweep.
+     * The thread-scaling model of cpuIterationUs() applied to an
+     * already-measured breakdown — lets callers compare thread
+     * counts from ONE measurement instead of re-measuring per count
+     * (wall-clock jitter between measurements would otherwise leak
+     * into the comparison).
+     */
+    static double cpuIterationUsFrom(const MpcBreakdown &b, int threads);
+
+    /**
+     * Per-phase times with the dynamics tasks served by @p backend
+     * through a DynamicsServer: lq is one ∆FD batch over the
+     * horizon, rollout is the Fig. 13 serial-stage job (four chained
+     * full-width FD batches with the RK4 half-step advance between
+     * stages), and solver is the measured CPU sweep. lq/rollout are
+     * in backend time (measured for CPU backends, modeled
+     * microseconds for the accelerator paths); the stage outputs are
+     * really computed, so every backend returns the same rollout
+     * trajectory.
+     */
+    MpcBreakdown backendBreakdown(runtime::DynamicsBackend &backend);
+
+    /**
+     * Iteration time with the dynamics on @p backend. Offloaded
+     * backends overlap the CPU-kept solver sweep except for the
+     * data dependency at the end of the iteration; host backends
+     * share the CPU with the solver, so their phases add up.
+     */
+    double backendIterationUs(runtime::DynamicsBackend &backend);
+
+    /**
+     * Combine an already-computed backendBreakdown() into the
+     * iteration time under backendIterationUs()'s overlap rule,
+     * without re-running the workload.
+     */
+    static double
+    iterationUsFrom(const MpcBreakdown &b, bool offloaded)
+    {
+        if (offloaded)
+            return std::max(b.lq_us + b.rollout_us, b.solver_us);
+        return b.total();
+    }
+
+    /**
+     * Iteration time with the dynamics tasks offloaded to @p accel:
+     * FD + ∆FD batches execute on the cycle-accurate simulator
+     * through an AcceleratorBackend (Fig. 13 interleaving of the
+     * four serial RK4 stages), while the CPU keeps the solver sweep.
      */
     double acceleratedIterationUs(Accelerator &accel);
 
     const MpcConfig &config() const { return cfg_; }
 
-    /** The batched engine driving the LQ-approximation phase. */
-    algo::BatchedDynamics &engine() { return engine_; }
+    /** The CPU runtime backend driving the LQ-approximation phase. */
+    runtime::CpuBatchedBackend &cpuBackend() { return cpu_backend_; }
+
+    /** The batched engine behind cpuBackend(). */
+    algo::BatchedDynamics &engine() { return cpu_backend_.engine(); }
 
   private:
     /** RK4 rollout shared by the measured variants (workspace-based). */
@@ -111,13 +163,22 @@ class MpcWorkload
     /** Serial Riccati-style solver sweep. */
     double measureSolverUs();
 
+    /** Stage-boundary RK4 half-step advance (DynamicsServer hook). */
+    static void advanceRollout(void *ctx, int next_stage,
+                               const runtime::DynamicsResult *results,
+                               runtime::DynamicsRequest *requests,
+                               std::size_t points);
+
     const RobotModel &robot_;
     MpcConfig cfg_;
     std::vector<linalg::VectorX> qs_, qds_, taus_;
     algo::DynamicsWorkspace ws_;
-    algo::BatchedDynamics engine_;
+    runtime::CpuBatchedBackend cpu_backend_;
     algo::FdDerivatives fd_tmp_;
     linalg::VectorX qdd_tmp_, step_tmp_, q_cur_, q_next_, qd_cur_;
+    // Runtime staging (grow-only, reused across backend iterations).
+    std::vector<runtime::DynamicsRequest> lq_req_, ro_req_;
+    std::vector<runtime::DynamicsResult> lq_res_, ro_res_;
 };
 
 } // namespace dadu::app

@@ -22,6 +22,20 @@ namespace dadu::perf {
 using accel::FunctionType;
 using model::RobotModel;
 
+/**
+ * Monotonic wall clock in microseconds — the one timing source for
+ * every measured path (workload phases, CPU-backend batch stats,
+ * bench harness rounds).
+ */
+inline double
+nowUs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+               .count() /
+           1000.0;
+}
+
 /** Average wall-clock microseconds per call of @p fn over @p reps. */
 double timeUs(const std::function<void()> &fn, int reps);
 

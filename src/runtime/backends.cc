@@ -1,0 +1,248 @@
+#include "runtime/backends.h"
+
+#include <cassert>
+
+#include "algorithms/crba.h"
+#include "algorithms/dynamics.h"
+#include "algorithms/mminv_gen.h"
+#include "perf/timing.h"
+
+namespace dadu::runtime {
+
+const char *
+functionName(FunctionType fn)
+{
+    switch (fn) {
+      case FunctionType::ID: return "ID";
+      case FunctionType::FD: return "FD";
+      case FunctionType::M: return "M";
+      case FunctionType::Minv: return "Minv";
+      case FunctionType::DeltaID: return "dID";
+      case FunctionType::DeltaFD: return "dFD";
+      case FunctionType::DeltaiFD: return "diFD";
+    }
+    return "?";
+}
+
+namespace {
+
+using perf::nowUs;
+
+/**
+ * Single-point reference execution of one Table I function through
+ * the workspace kernels. Shared by the CPU backend's non-batched
+ * functions and by the analytic backend's functional path.
+ */
+void
+referenceExecute(const RobotModel &robot, algo::DynamicsWorkspace &ws,
+                 algo::FdDerivatives &fd_tmp, FunctionType fn,
+                 const DynamicsRequest &req, DynamicsResult &out)
+{
+    const std::vector<Vec6> *fext = req.fext.empty() ? nullptr : &req.fext;
+    switch (fn) {
+      case FunctionType::ID:
+        algo::rnea(robot, ws, req.q, req.qd, req.qdd_or_tau, ws.rnea_res,
+                   fext);
+        out.tau = ws.rnea_res.tau;
+        break;
+      case FunctionType::FD:
+        algo::forwardDynamics(robot, ws, req.q, req.qd, req.qdd_or_tau,
+                              out.qdd, fext);
+        break;
+      case FunctionType::M:
+        algo::crba(robot, ws, req.q, out.m);
+        break;
+      case FunctionType::Minv:
+        algo::massMatrixInverse(robot, ws, req.q, out.minv);
+        break;
+      case FunctionType::DeltaID:
+        algo::rnea(robot, ws, req.q, req.qd, req.qdd_or_tau, ws.rnea_res,
+                   fext);
+        out.tau = ws.rnea_res.tau;
+        algo::rneaDerivatives(robot, ws, req.q, req.qd, req.qdd_or_tau,
+                              ws.did, fext);
+        out.dtau_dq = ws.did.dtau_dq;
+        out.dtau_dqd = ws.did.dtau_dqd;
+        break;
+      case FunctionType::DeltaFD:
+        algo::fdDerivatives(robot, ws, req.q, req.qd, req.qdd_or_tau,
+                            fd_tmp, fext);
+        out.qdd = fd_tmp.qdd;
+        out.minv = fd_tmp.minv;
+        out.dqdd_dq = fd_tmp.dqdd_dq;
+        out.dqdd_dqd = fd_tmp.dqdd_dqd;
+        break;
+      case FunctionType::DeltaiFD:
+        algo::fdDerivativesGivenAccel(robot, ws, req.q, req.qd,
+                                      req.qdd_or_tau, req.minv, fd_tmp,
+                                      fext);
+        out.qdd = req.qdd_or_tau;
+        out.dqdd_dq = fd_tmp.dqdd_dq;
+        out.dqdd_dqd = fd_tmp.dqdd_dqd;
+        break;
+    }
+}
+
+void
+fillMeasuredStats(BatchStats *stats, double elapsed_us, std::size_t count)
+{
+    if (!stats)
+        return;
+    *stats = BatchStats{};
+    stats->total_us = elapsed_us;
+    stats->latency_us = count ? elapsed_us / count : 0.0;
+    stats->throughput_mtasks =
+        elapsed_us > 0.0 ? count / elapsed_us : 0.0;
+}
+
+} // namespace
+
+// -----------------------------------------------------------------
+// CpuBatchedBackend
+// -----------------------------------------------------------------
+
+CpuBatchedBackend::CpuBatchedBackend(const RobotModel &robot, int threads)
+    : robot_(robot), engine_(robot, threads), ws_(robot)
+{}
+
+void
+CpuBatchedBackend::submit(FunctionType fn, const DynamicsRequest *requests,
+                          std::size_t count, DynamicsResult *results,
+                          BatchStats *stats)
+{
+    // The engine's columnar fast path covers the batch-shaped
+    // functions; external forces (rare in the MPC workloads) and the
+    // remaining Table I entries take the single-thread reference
+    // kernels.
+    bool engine_path = fn == FunctionType::FD ||
+                       fn == FunctionType::DeltaFD ||
+                       fn == FunctionType::Minv;
+    for (std::size_t i = 0; engine_path && i < count; ++i) {
+        if (!requests[i].fext.empty())
+            engine_path = false;
+    }
+
+    const double t0 = nowUs();
+    if (!engine_path) {
+        for (std::size_t i = 0; i < count; ++i)
+            referenceExecute(robot_, ws_, fd_tmp_, fn, requests[i],
+                             results[i]);
+        fillMeasuredStats(stats, nowUs() - t0, count);
+        return;
+    }
+
+    // Stage the struct-of-arrays views the engine dispatches over
+    // (grow-only; element assignment reuses each vector's capacity).
+    if (q_.size() < count) {
+        q_.resize(count);
+        qd_.resize(count);
+        tau_.resize(count);
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+        q_[i] = requests[i].q;
+        if (fn != FunctionType::Minv) {
+            qd_[i] = requests[i].qd;
+            tau_[i] = requests[i].qdd_or_tau;
+        }
+    }
+    runEngine(fn, q_.data(), qd_.data(), tau_.data(), count, results);
+    fillMeasuredStats(stats, nowUs() - t0, count);
+}
+
+void
+CpuBatchedBackend::submitColumns(FunctionType fn, const VectorX *q,
+                                 const VectorX *qd, const VectorX *tau,
+                                 std::size_t count, DynamicsResult *results,
+                                 BatchStats *stats)
+{
+    assert((fn == FunctionType::FD || fn == FunctionType::DeltaFD ||
+            fn == FunctionType::Minv) &&
+           "submitColumns covers the engine-shaped functions only");
+    const double t0 = nowUs();
+    runEngine(fn, q, qd, tau, count, results);
+    fillMeasuredStats(stats, nowUs() - t0, count);
+}
+
+void
+CpuBatchedBackend::runEngine(FunctionType fn, const VectorX *q,
+                             const VectorX *qd, const VectorX *tau,
+                             std::size_t count, DynamicsResult *results)
+{
+    const int n = static_cast<int>(count);
+    switch (fn) {
+      case FunctionType::FD: {
+        const auto &qdd = engine_.batchForwardDynamics(q, qd, tau, n);
+        for (std::size_t i = 0; i < count; ++i)
+            results[i].qdd = qdd[i];
+        break;
+      }
+      case FunctionType::DeltaFD: {
+        const auto &fd = engine_.batchFdDerivatives(q, qd, tau, n);
+        for (std::size_t i = 0; i < count; ++i) {
+            results[i].qdd = fd[i].qdd;
+            results[i].minv = fd[i].minv;
+            results[i].dqdd_dq = fd[i].dqdd_dq;
+            results[i].dqdd_dqd = fd[i].dqdd_dqd;
+        }
+        break;
+      }
+      case FunctionType::Minv: {
+        const auto &minv = engine_.batchMinv(q, n);
+        for (std::size_t i = 0; i < count; ++i)
+            results[i].minv = minv[i];
+        break;
+      }
+      default:
+        assert(false && "engine path covers FD/DeltaFD/Minv only");
+    }
+}
+
+// -----------------------------------------------------------------
+// AcceleratorBackend
+// -----------------------------------------------------------------
+
+AcceleratorBackend::AcceleratorBackend(accel::Accelerator &accel)
+    : accel_(accel)
+{}
+
+void
+AcceleratorBackend::submit(FunctionType fn, const DynamicsRequest *requests,
+                           std::size_t count, DynamicsResult *results,
+                           BatchStats *stats)
+{
+    // DynamicsRequest/DynamicsResult ARE the accelerator task types
+    // (accel::TaskInput/TaskOutput alias them), so the batch goes to
+    // the cycle-accurate simulator without conversion.
+    accel_.run(fn, requests, count, results, stats);
+}
+
+// -----------------------------------------------------------------
+// AnalyticBackend
+// -----------------------------------------------------------------
+
+AnalyticBackend::AnalyticBackend(accel::Accelerator &accel)
+    : accel_(accel), ws_(accel.robot())
+{}
+
+void
+AnalyticBackend::submit(FunctionType fn, const DynamicsRequest *requests,
+                        std::size_t count, DynamicsResult *results,
+                        BatchStats *stats)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        referenceExecute(accel_.robot(), ws_, fd_tmp_, fn, requests[i],
+                         results[i]);
+
+    if (stats) {
+        *stats = BatchStats{};
+        const accel::TimingEstimate est = accel_.analytic(fn);
+        const double cycles = count * est.ii_cycles + est.latency_cycles;
+        const double freq_hz = accel_.config().freq_mhz * 1e6;
+        stats->cycles = static_cast<std::uint64_t>(cycles);
+        stats->total_us = cycles / freq_hz * 1e6;
+        stats->latency_us = est.latency_us;
+        stats->throughput_mtasks = est.throughput_mtasks;
+    }
+}
+
+} // namespace dadu::runtime

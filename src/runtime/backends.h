@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The three DynamicsBackend implementations:
+ *
+ *  - CpuBatchedBackend:  host execution through the zero-allocation
+ *                        algo::BatchedDynamics thread-pool engine
+ *                        (measured wall-clock timing);
+ *  - AcceleratorBackend: cycle-accurate simulation through
+ *                        accel::Accelerator::run(), with simulated
+ *                        cycles converted to modeled microseconds at
+ *                        the configured clock;
+ *  - AnalyticBackend:    the closed-form initiation-interval/latency
+ *                        estimates of Accelerator::analytic() for the
+ *                        timing, with the reference CPU kernels
+ *                        supplying the numeric results so chained
+ *                        (serial-stage) jobs still make progress.
+ */
+
+#ifndef DADU_RUNTIME_BACKENDS_H
+#define DADU_RUNTIME_BACKENDS_H
+
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "algorithms/batched.h"
+#include "algorithms/rnea.h"
+#include "algorithms/rnea_derivatives.h"
+#include "algorithms/workspace.h"
+#include "runtime/backend.h"
+
+namespace dadu::runtime {
+
+/**
+ * Host CPU backend over the zero-allocation batched engine.
+ *
+ * FD / ∆FD / M⁻¹ batches fan out over the engine's thread pool; the
+ * remaining Table I functions (ID, M, ∆ID, ∆iFD) and any request
+ * carrying external forces run through the single-thread workspace
+ * reference kernels. Steady-state submission with stable batch
+ * sizes performs no heap allocation: inputs are staged into
+ * grow-only engine vectors and outputs are copied into the caller's
+ * reused result storage.
+ *
+ * Not thread-safe (one submit at a time), like the engine it wraps.
+ */
+class CpuBatchedBackend : public DynamicsBackend
+{
+  public:
+    CpuBatchedBackend(const RobotModel &robot, int threads);
+
+    const char *name() const override { return "cpu-batched"; }
+    const RobotModel &robot() const override { return robot_; }
+    bool offloaded() const override { return false; }
+    void submit(FunctionType fn, const DynamicsRequest *requests,
+                std::size_t count, DynamicsResult *results,
+                BatchStats *stats = nullptr) override;
+    using DynamicsBackend::submit;
+
+    /**
+     * Columnar fast path for callers that already hold
+     * struct-of-arrays inputs (the MPC workload's horizon vectors):
+     * same semantics as submit() for the engine-shaped functions
+     * (FD / ∆FD / M⁻¹, no external forces), minus the AoS staging
+     * copy. @p qd and @p tau may be null for Minv.
+     */
+    void submitColumns(FunctionType fn, const VectorX *q,
+                       const VectorX *qd, const VectorX *tau,
+                       std::size_t count, DynamicsResult *results,
+                       BatchStats *stats = nullptr);
+
+    /** The wrapped engine (e.g. for thread-count introspection). */
+    algo::BatchedDynamics &engine() { return engine_; }
+
+  private:
+    /** Engine dispatch + result copy shared by both submit paths. */
+    void runEngine(FunctionType fn, const VectorX *q, const VectorX *qd,
+                   const VectorX *tau, std::size_t count,
+                   DynamicsResult *results);
+
+    const RobotModel &robot_;
+    algo::BatchedDynamics engine_;
+    algo::DynamicsWorkspace ws_;  ///< reference path for non-batched fns
+    algo::FdDerivatives fd_tmp_;  ///< reference-path ∆FD scratch
+    // Grow-only input staging for the engine's columnar batch API.
+    std::vector<VectorX> q_, qd_, tau_;
+};
+
+/**
+ * Cycle-accurate accelerator backend: every batch actually runs
+ * through the simulated FB/BF pipeline arrays, and total_us is the
+ * simulated makespan at the configured clock.
+ */
+class AcceleratorBackend : public DynamicsBackend
+{
+  public:
+    /** Non-owning: @p accel must outlive the backend. */
+    explicit AcceleratorBackend(accel::Accelerator &accel);
+
+    const char *name() const override { return "accel-sim"; }
+    const RobotModel &robot() const override { return accel_.robot(); }
+    bool offloaded() const override { return true; }
+    void submit(FunctionType fn, const DynamicsRequest *requests,
+                std::size_t count, DynamicsResult *results,
+                BatchStats *stats = nullptr) override;
+    using DynamicsBackend::submit;
+
+    accel::Accelerator &accelerator() { return accel_; }
+
+  private:
+    accel::Accelerator &accel_;
+};
+
+/**
+ * Closed-form backend: timing comes from Accelerator::analytic()
+ * (batch makespan = count·II + latency cycles at the configured
+ * clock — the pre-runtime modeling path), numerics from the
+ * single-thread workspace reference kernels so chained jobs can
+ * still consume real stage outputs.
+ */
+class AnalyticBackend : public DynamicsBackend
+{
+  public:
+    /** Non-owning: @p accel must outlive the backend. */
+    explicit AnalyticBackend(accel::Accelerator &accel);
+
+    const char *name() const override { return "accel-analytic"; }
+    const RobotModel &robot() const override { return accel_.robot(); }
+    bool offloaded() const override { return true; }
+    void submit(FunctionType fn, const DynamicsRequest *requests,
+                std::size_t count, DynamicsResult *results,
+                BatchStats *stats = nullptr) override;
+    using DynamicsBackend::submit;
+
+  private:
+    accel::Accelerator &accel_;
+    algo::DynamicsWorkspace ws_;
+    algo::FdDerivatives fd_tmp_;
+};
+
+} // namespace dadu::runtime
+
+#endif // DADU_RUNTIME_BACKENDS_H

@@ -1,0 +1,90 @@
+#include "runtime/server.h"
+
+#include <cassert>
+
+namespace dadu::runtime {
+
+DynamicsServer::DynamicsServer(DynamicsBackend &backend)
+{
+    addBackend(backend);
+}
+
+int
+DynamicsServer::addBackend(DynamicsBackend &backend)
+{
+    backends_.push_back(&backend);
+    return static_cast<int>(backends_.size()) - 1;
+}
+
+int
+DynamicsServer::submit(FunctionType fn, const DynamicsRequest *requests,
+                       std::size_t count, DynamicsResult *results,
+                       int backend_id)
+{
+    assert(backend_id >= 0 && backend_id < backendCount());
+    Job job;
+    job.fn = fn;
+    job.const_requests = requests;
+    job.results = results;
+    job.count = count;
+    job.backend = backend_id;
+    queue_.push_back(job);
+    return static_cast<int>(queue_.size()) - 1;
+}
+
+int
+DynamicsServer::submitSerialStages(FunctionType fn,
+                                   DynamicsRequest *requests,
+                                   std::size_t points, int stages,
+                                   AdvanceFn advance, void *ctx,
+                                   DynamicsResult *results, int backend_id)
+{
+    assert(backend_id >= 0 && backend_id < backendCount());
+    assert(stages >= 1);
+    Job job;
+    job.fn = fn;
+    job.requests = requests;
+    job.const_requests = requests;
+    job.results = results;
+    job.count = points;
+    job.stages = stages;
+    job.advance = advance;
+    job.ctx = ctx;
+    job.backend = backend_id;
+    queue_.push_back(job);
+    return static_cast<int>(queue_.size()) - 1;
+}
+
+double
+DynamicsServer::drain(ServerStats *stats)
+{
+    double busy_us = 0.0;
+    ServerStats local;
+    for (; next_ < queue_.size(); ++next_) {
+        Job &job = queue_[next_];
+        DynamicsBackend &backend = *backends_[job.backend];
+        // Fig. 13 interleaving: one full-width batch per stage, so
+        // the pipeline drains once per stage boundary and streams
+        // back-to-back within a stage. A flat batch is the
+        // degenerate single-stage case.
+        for (int stage = 0; stage < job.stages; ++stage) {
+            if (stage > 0 && job.advance)
+                job.advance(job.ctx, stage, job.results, job.requests,
+                            job.count);
+            backend.submit(job.fn, job.const_requests, job.count,
+                           job.results, &job.last_stats);
+            job.busy_us += job.last_stats.total_us;
+            ++local.batches;
+            local.tasks += job.count;
+        }
+        job.done = true;
+        busy_us += job.busy_us;
+        ++local.jobs;
+    }
+    local.busy_us = busy_us;
+    if (stats)
+        *stats = local;
+    return busy_us;
+}
+
+} // namespace dadu::runtime

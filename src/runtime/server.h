@@ -1,0 +1,138 @@
+/**
+ * @file
+ * DynamicsServer: a queueing front-end over the DynamicsBackend
+ * interface.
+ *
+ * Multiple clients (robots, workloads, benchmark harnesses) enqueue
+ * jobs; drain() serves them in FIFO order over the registered
+ * backends and accounts the makespan in backend time. Two job
+ * shapes exist:
+ *
+ *  - flat batches: N independent requests of one function;
+ *  - serial-stage jobs (Fig. 13 of the paper): P points x S stages
+ *    where stage k+1 of a point consumes stage k's result of the
+ *    *same* point. The server realizes the paper's interleaving as
+ *    executable scheduling: each stage is submitted as ONE batch of
+ *    all P points — the pipeline stays full within a stage and the
+ *    latency is paid once per stage boundary — and a caller-supplied
+ *    advance callback turns stage-k results into stage-(k+1)
+ *    requests between submissions. The resulting makespan matches
+ *    the closed-form app::scheduleSerialStagesUs model (validated in
+ *    tests), but is now produced by real execution.
+ */
+
+#ifndef DADU_RUNTIME_SERVER_H
+#define DADU_RUNTIME_SERVER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/backend.h"
+
+namespace dadu::runtime {
+
+/** Aggregate accounting of one drain(). */
+struct ServerStats
+{
+    double busy_us = 0.0;         ///< total backend busy time
+    std::size_t jobs = 0;         ///< jobs served
+    std::size_t batches = 0;      ///< backend submissions issued
+    std::size_t tasks = 0;        ///< individual requests executed
+};
+
+/** FIFO job server over one or more dynamics backends. */
+class DynamicsServer
+{
+  public:
+    /** Convenience: a server with @p backend pre-registered as id 0. */
+    explicit DynamicsServer(DynamicsBackend &backend);
+
+    DynamicsServer() = default;
+
+    /**
+     * Register a backend (non-owning; must outlive the server).
+     * @return the backend id to tag jobs with.
+     */
+    int addBackend(DynamicsBackend &backend);
+
+    int backendCount() const { return static_cast<int>(backends_.size()); }
+    DynamicsBackend &backend(int id) { return *backends_[id]; }
+
+    /**
+     * Stage-boundary callback of a serial-stage job: build the
+     * requests of stage @p next_stage (1-based from the second
+     * stage) from the previous stage's @p results, updating
+     * @p requests in place for all @p points.
+     */
+    using AdvanceFn = void (*)(void *ctx, int next_stage,
+                               const DynamicsResult *results,
+                               DynamicsRequest *requests,
+                               std::size_t points);
+
+    /**
+     * Enqueue a flat batch of @p count requests. Storage for
+     * requests and results stays caller-owned and must live until
+     * drain() returns.
+     * @return a job id for jobUs()/jobStats() after the drain.
+     */
+    int submit(FunctionType fn, const DynamicsRequest *requests,
+               std::size_t count, DynamicsResult *results,
+               int backend_id = 0);
+
+    /**
+     * Enqueue a Fig. 13 serial-stage job: @p stages chained batches
+     * over @p points requests. @p requests is mutated between stages
+     * by @p advance (skipped when advance is null); @p results holds
+     * the final stage's outputs after the drain.
+     */
+    int submitSerialStages(FunctionType fn, DynamicsRequest *requests,
+                           std::size_t points, int stages,
+                           AdvanceFn advance, void *ctx,
+                           DynamicsResult *results, int backend_id = 0);
+
+    /** Jobs enqueued but not yet drained. */
+    std::size_t pending() const { return queue_.size() - next_; }
+
+    /**
+     * Serve every queued job in FIFO order.
+     * @return the total backend busy time in microseconds (the
+     *         makespan of the drained work on the single-server
+     *         backend queue, excluding host time spent in advance
+     *         callbacks).
+     */
+    double drain(ServerStats *stats = nullptr);
+
+    /** Backend busy time of one completed job (µs). */
+    double jobUs(int job) const { return queue_[job].busy_us; }
+
+    /** Per-job stats of the *last* submitted batch of the job. */
+    const BatchStats &jobStats(int job) const
+    {
+        return queue_[job].last_stats;
+    }
+
+  private:
+    struct Job
+    {
+        FunctionType fn{};
+        DynamicsRequest *requests = nullptr;
+        const DynamicsRequest *const_requests = nullptr;
+        DynamicsResult *results = nullptr;
+        std::size_t count = 0;
+        int stages = 1;
+        AdvanceFn advance = nullptr;
+        void *ctx = nullptr;
+        int backend = 0;
+        bool done = false;
+        double busy_us = 0.0;
+        BatchStats last_stats{};
+    };
+
+    std::vector<DynamicsBackend *> backends_;
+    std::vector<Job> queue_;
+    std::size_t next_ = 0; ///< first un-served job
+};
+
+} // namespace dadu::runtime
+
+#endif // DADU_RUNTIME_SERVER_H

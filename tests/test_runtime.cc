@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Tests for the unified dynamics runtime:
+ *
+ *  - backend equivalence: CpuBatchedBackend results bitwise-match
+ *    the direct algo:: workspace kernels, AcceleratorBackend results
+ *    bitwise-match Accelerator::run();
+ *  - DynamicsServer: FIFO multi-client accounting, serial-stage
+ *    chaining semantics, and the executable Fig. 13 makespan against
+ *    the closed-form app::scheduleSerialStagesUs model;
+ *  - a counted global allocator shows steady-state CPU-backend
+ *    submission performs zero heap allocations;
+ *  - the MPC accelerated iteration (cycle-accurate simulation)
+ *    stays within tolerance of the AnalyticBackend estimate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <random>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "algorithms/dynamics.h"
+#include "algorithms/mminv_gen.h"
+#include "algorithms/rnea.h"
+#include "algorithms/workspace.h"
+#include "app/mpc_workload.h"
+#include "app/scheduler.h"
+#include "model/builders.h"
+#include "runtime/backends.h"
+#include "runtime/server.h"
+
+// ---------------------------------------------------------------------
+// Counted global allocator (see tests/test_batched.cc): off by
+// default, switched on around the measured region only.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::atomic<bool> g_count_allocs{false};
+std::atomic<long> g_alloc_count{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    if (g_count_allocs.load(std::memory_order_relaxed))
+        g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+using namespace dadu;
+using dadu::linalg::MatrixX;
+using dadu::linalg::VectorX;
+using dadu::model::RobotModel;
+using dadu::runtime::BatchStats;
+using dadu::runtime::DynamicsRequest;
+using dadu::runtime::DynamicsResult;
+using dadu::runtime::FunctionType;
+
+std::vector<DynamicsRequest>
+randomRequests(const RobotModel &robot, int n, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::vector<DynamicsRequest> reqs(n);
+    for (auto &r : reqs) {
+        r.q = robot.randomConfiguration(rng);
+        r.qd = robot.randomVelocity(rng);
+        r.qdd_or_tau = robot.randomVelocity(rng);
+    }
+    return reqs;
+}
+
+void
+expectBitwiseEqual(const VectorX &a, const VectorX &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+void
+expectBitwiseEqual(const MatrixX &a, const MatrixX &b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            EXPECT_EQ(a(r, c), b(r, c));
+}
+
+// ---------------------------------------------------------------------
+// Backend equivalence
+// ---------------------------------------------------------------------
+
+TEST(CpuBatchedBackend, MatchesDirectAlgoCallsBitwise)
+{
+    const RobotModel robot = model::makeHyq();
+    runtime::CpuBatchedBackend backend(robot, 4);
+    const auto reqs = randomRequests(robot, 16, 11);
+    std::vector<DynamicsResult> results;
+
+    algo::DynamicsWorkspace ws(robot);
+    VectorX qdd;
+    algo::FdDerivatives fd;
+    MatrixX minv;
+
+    backend.submit(FunctionType::FD, reqs, results);
+    for (int i = 0; i < 16; ++i) {
+        algo::forwardDynamics(robot, ws, reqs[i].q, reqs[i].qd,
+                              reqs[i].qdd_or_tau, qdd);
+        expectBitwiseEqual(results[i].qdd, qdd);
+    }
+
+    backend.submit(FunctionType::DeltaFD, reqs, results);
+    for (int i = 0; i < 16; ++i) {
+        algo::fdDerivatives(robot, ws, reqs[i].q, reqs[i].qd,
+                            reqs[i].qdd_or_tau, fd);
+        expectBitwiseEqual(results[i].qdd, fd.qdd);
+        expectBitwiseEqual(results[i].minv, fd.minv);
+        expectBitwiseEqual(results[i].dqdd_dq, fd.dqdd_dq);
+        expectBitwiseEqual(results[i].dqdd_dqd, fd.dqdd_dqd);
+    }
+
+    backend.submit(FunctionType::Minv, reqs, results);
+    for (int i = 0; i < 16; ++i) {
+        algo::massMatrixInverse(robot, ws, reqs[i].q, minv);
+        expectBitwiseEqual(results[i].minv, minv);
+    }
+
+    // Non-engine Table I functions route through the reference
+    // kernels and must equal the allocating reference calls.
+    backend.submit(FunctionType::ID, reqs, results);
+    for (int i = 0; i < 16; ++i) {
+        const auto ref =
+            algo::rnea(robot, reqs[i].q, reqs[i].qd, reqs[i].qdd_or_tau);
+        expectBitwiseEqual(results[i].tau, ref.tau);
+    }
+}
+
+TEST(AcceleratorBackend, MatchesAcceleratorRunBitwise)
+{
+    const RobotModel robot = model::makeIiwa();
+    accel::Accelerator accel(robot);
+    runtime::AcceleratorBackend backend(accel);
+    const auto reqs = randomRequests(robot, 6, 21);
+
+    for (FunctionType fn : {FunctionType::FD, FunctionType::DeltaFD}) {
+        std::vector<DynamicsResult> via_backend;
+        BatchStats backend_stats;
+        backend.submit(fn, reqs, via_backend, &backend_stats);
+
+        BatchStats direct_stats;
+        const auto direct = accel.run(fn, reqs, &direct_stats);
+        ASSERT_EQ(direct.size(), reqs.size());
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+            expectBitwiseEqual(via_backend[i].qdd, direct[i].qdd);
+            if (fn == FunctionType::DeltaFD) {
+                expectBitwiseEqual(via_backend[i].dqdd_dq,
+                                   direct[i].dqdd_dq);
+                expectBitwiseEqual(via_backend[i].dqdd_dqd,
+                                   direct[i].dqdd_dqd);
+            }
+        }
+        // Same simulated schedule on both paths.
+        EXPECT_EQ(backend_stats.cycles, direct_stats.cycles);
+    }
+}
+
+TEST(AnalyticBackend, NumericsMatchReferenceAndTimingMatchesEstimate)
+{
+    const RobotModel robot = model::makeIiwa();
+    accel::Accelerator accel(robot);
+    runtime::AnalyticBackend backend(accel);
+    const auto reqs = randomRequests(robot, 8, 5);
+
+    std::vector<DynamicsResult> results;
+    BatchStats stats;
+    backend.submit(FunctionType::DeltaFD, reqs, results, &stats);
+
+    algo::DynamicsWorkspace ws(robot);
+    algo::FdDerivatives fd;
+    for (int i = 0; i < 8; ++i) {
+        algo::fdDerivatives(robot, ws, reqs[i].q, reqs[i].qd,
+                            reqs[i].qdd_or_tau, fd);
+        expectBitwiseEqual(results[i].qdd, fd.qdd);
+        expectBitwiseEqual(results[i].dqdd_dq, fd.dqdd_dq);
+    }
+
+    const auto est = accel.analytic(FunctionType::DeltaFD);
+    const double freq_hz = accel.config().freq_mhz * 1e6;
+    const double expect_us =
+        (8 * est.ii_cycles + est.latency_cycles) / freq_hz * 1e6;
+    EXPECT_NEAR(stats.total_us, expect_us, 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// DynamicsServer
+// ---------------------------------------------------------------------
+
+/** Deterministic test backend: fixed cost per batch, echoes q̇ as q̈. */
+class FixedCostBackend : public runtime::DynamicsBackend
+{
+  public:
+    FixedCostBackend(const RobotModel &robot, double batch_us)
+        : robot_(robot), batch_us_(batch_us)
+    {}
+
+    const char *name() const override { return "fixed-cost"; }
+    const RobotModel &robot() const override { return robot_; }
+    bool offloaded() const override { return true; }
+
+    void
+    submit(FunctionType, const DynamicsRequest *requests,
+           std::size_t count, DynamicsResult *results,
+           BatchStats *stats) override
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            results[i].qdd = requests[i].qd;
+        ++batches_;
+        if (stats) {
+            *stats = BatchStats{};
+            stats->total_us = batch_us_;
+        }
+    }
+
+    int batches() const { return batches_; }
+
+  private:
+    const RobotModel &robot_;
+    double batch_us_;
+    int batches_ = 0;
+};
+
+TEST(DynamicsServer, FifoMultiClientAccounting)
+{
+    const RobotModel robot = model::makeHyq();
+    FixedCostBackend backend(robot, 10.0);
+    runtime::DynamicsServer server(backend);
+
+    // Two clients enqueue before anything runs.
+    auto reqs_a = randomRequests(robot, 4, 1);
+    auto reqs_b = randomRequests(robot, 7, 2);
+    std::vector<DynamicsResult> res_a(4), res_b(7);
+    const int a = server.submit(FunctionType::FD, reqs_a.data(), 4,
+                                res_a.data());
+    const int b = server.submit(FunctionType::FD, reqs_b.data(), 7,
+                                res_b.data());
+    EXPECT_EQ(server.pending(), 2u);
+    EXPECT_EQ(backend.batches(), 0);
+
+    runtime::ServerStats stats;
+    const double busy = server.drain(&stats);
+    EXPECT_EQ(server.pending(), 0u);
+    EXPECT_EQ(backend.batches(), 2);
+    EXPECT_DOUBLE_EQ(busy, 20.0);
+    EXPECT_DOUBLE_EQ(server.jobUs(a), 10.0);
+    EXPECT_DOUBLE_EQ(server.jobUs(b), 10.0);
+    EXPECT_EQ(stats.jobs, 2u);
+    EXPECT_EQ(stats.batches, 2u);
+    EXPECT_EQ(stats.tasks, 11u);
+
+    // Both clients' results were written.
+    for (int i = 0; i < 4; ++i)
+        expectBitwiseEqual(res_a[i].qdd, reqs_a[i].qd);
+    for (int i = 0; i < 7; ++i)
+        expectBitwiseEqual(res_b[i].qdd, reqs_b[i].qd);
+}
+
+namespace serialstage {
+
+/** Counts advance invocations; doubles q̇ every stage boundary. */
+void
+advance(void *ctx, int /*next_stage*/, const DynamicsResult *results,
+        DynamicsRequest *requests, std::size_t points)
+{
+    ++*static_cast<int *>(ctx);
+    for (std::size_t p = 0; p < points; ++p) {
+        requests[p].qd = results[p].qdd;
+        for (std::size_t j = 0; j < requests[p].qd.size(); ++j)
+            requests[p].qd[j] *= 2.0;
+    }
+}
+
+} // namespace serialstage
+
+TEST(DynamicsServer, SerialStagesChainAndCostPerStage)
+{
+    const RobotModel robot = model::makeHyq();
+    FixedCostBackend backend(robot, 7.0);
+    runtime::DynamicsServer server(backend);
+
+    auto reqs = randomRequests(robot, 5, 3);
+    const auto qd0 = reqs[2].qd;
+    std::vector<DynamicsResult> res(5);
+    int advances = 0;
+    const int job = server.submitSerialStages(
+        FunctionType::FD, reqs.data(), 5, 4, &serialstage::advance,
+        &advances, res.data());
+    server.drain();
+
+    // Four stage batches, three stage boundaries.
+    EXPECT_EQ(backend.batches(), 4);
+    EXPECT_EQ(advances, 3);
+    EXPECT_DOUBLE_EQ(server.jobUs(job), 4 * 7.0);
+
+    // The echo backend + doubling advance chain: each boundary sets
+    // q̇ <- 2 q̈ = 2 q̇, so the final q̈ is 2^3 the initial q̇.
+    for (std::size_t j = 0; j < qd0.size(); ++j)
+        EXPECT_EQ(res[2].qdd[j], 8.0 * qd0[j]);
+}
+
+TEST(DynamicsServer, ExecutedSerialStageMakespanMatchesFormula)
+{
+    // The Fig. 13 claim, now executable: a points x stages job on
+    // the cycle-accurate simulator lands near the closed-form
+    // schedule model stages·(points·II + latency).
+    const RobotModel robot = model::makeIiwa();
+    accel::Accelerator accel(robot);
+    runtime::AcceleratorBackend backend(accel);
+    runtime::DynamicsServer server(backend);
+
+    const int points = 32, stages = 4;
+    auto reqs = randomRequests(robot, points, 9);
+    std::vector<DynamicsResult> res(points);
+    const int job = server.submitSerialStages(FunctionType::FD,
+                                              reqs.data(), points, stages,
+                                              nullptr, nullptr, res.data());
+    server.drain();
+
+    const auto est = accel.analytic(FunctionType::FD);
+    const double model_us = app::scheduleSerialStagesUs(
+        points, stages, est.ii_cycles, est.latency_cycles,
+        accel.config().freq_mhz);
+    const double executed_us = server.jobUs(job);
+    EXPECT_GT(executed_us, 0.0);
+    // Both sides are deterministic (simulated cycles vs the closed
+    // form), so the band can be tight: within 15%.
+    EXPECT_NEAR(executed_us / model_us, 1.0, 0.15)
+        << "executed " << executed_us << " us vs model " << model_us;
+}
+
+// ---------------------------------------------------------------------
+// Allocation behavior
+// ---------------------------------------------------------------------
+
+TEST(CpuBatchedBackend, SteadyStateSubmissionIsAllocationFree)
+{
+    const RobotModel robot = model::makeHyq();
+    runtime::CpuBatchedBackend backend(robot, 4);
+    const auto reqs = randomRequests(robot, 24, 77);
+    std::vector<DynamicsResult> results(24);
+    BatchStats stats;
+
+    // Columnar views for the submitColumns fast path.
+    std::vector<VectorX> q(24), qd(24), tau(24);
+    for (int i = 0; i < 24; ++i) {
+        q[i] = reqs[i].q;
+        qd[i] = reqs[i].qd;
+        tau[i] = reqs[i].qdd_or_tau;
+    }
+
+    // Warm up: sizes staging, engine outputs and result storage.
+    backend.submit(FunctionType::DeltaFD, reqs.data(), 24, results.data(),
+                   &stats);
+    backend.submit(FunctionType::FD, reqs.data(), 24, results.data(),
+                   &stats);
+    backend.submit(FunctionType::Minv, reqs.data(), 24, results.data(),
+                   &stats);
+
+    g_alloc_count.store(0);
+    g_count_allocs.store(true);
+    for (int rep = 0; rep < 3; ++rep) {
+        backend.submit(FunctionType::DeltaFD, reqs.data(), 24,
+                       results.data(), &stats);
+        backend.submit(FunctionType::FD, reqs.data(), 24, results.data(),
+                       &stats);
+        backend.submit(FunctionType::Minv, reqs.data(), 24,
+                       results.data(), &stats);
+        backend.submitColumns(FunctionType::DeltaFD, q.data(), qd.data(),
+                              tau.data(), 24, results.data(), &stats);
+    }
+    g_count_allocs.store(false);
+    EXPECT_EQ(g_alloc_count.load(), 0)
+        << "steady-state CPU-backend submission allocated";
+}
+
+// ---------------------------------------------------------------------
+// MPC through the runtime
+// ---------------------------------------------------------------------
+
+TEST(MpcRuntime, AcceleratedExecutionWithinToleranceOfAnalytic)
+{
+    // Acceptance: the simulated accelerated iteration (LQ ∆FD batch
+    // + Fig. 13 rollout on the cycle-accurate backend) stays within
+    // the stated tolerance band of the closed-form AnalyticBackend
+    // estimate, and every backend is reachable through the one
+    // DynamicsBackend interface.
+    const auto robot = model::makeQuadrupedArm();
+    app::MpcConfig cfg;
+    cfg.horizon_points = 12;
+    app::MpcWorkload workload(robot, cfg);
+    accel::Accelerator accel(robot);
+
+    runtime::AcceleratorBackend sim_backend(accel);
+    runtime::AnalyticBackend analytic_backend(accel);
+
+    const app::MpcBreakdown sim = workload.backendBreakdown(sim_backend);
+    const app::MpcBreakdown est =
+        workload.backendBreakdown(analytic_backend);
+    const double sim_dyn = sim.lq_us + sim.rollout_us;
+    const double est_dyn = est.lq_us + est.rollout_us;
+    ASSERT_GT(sim_dyn, 0.0);
+    ASSERT_GT(est_dyn, 0.0);
+    // Stated tolerance: simulated execution within 25% of the
+    // analytic estimate (same II model, plus simulated contention;
+    // both sides deterministic).
+    EXPECT_LT(sim_dyn / est_dyn, 1.25);
+    EXPECT_GT(sim_dyn / est_dyn, 0.75);
+}
+
+TEST(MpcRuntime, AllBackendsProduceSameRolloutResults)
+{
+    // The serial-stage job really executes on every backend: the
+    // final-stage FD results agree across CPU, simulator and
+    // analytic backends (approximately — the simulator's functional
+    // core models the fixed-point hardware datapath).
+    const auto robot = model::makeIiwa();
+    accel::Accelerator accel(robot);
+    runtime::CpuBatchedBackend cpu(robot, 2);
+    runtime::AcceleratorBackend sim(accel);
+    runtime::AnalyticBackend analytic(accel);
+
+    const int points = 4, stages = 3;
+    std::vector<std::vector<DynamicsResult>> finals;
+    for (runtime::DynamicsBackend *backend :
+         std::initializer_list<runtime::DynamicsBackend *>{&cpu, &sim,
+                                                           &analytic}) {
+        auto reqs = randomRequests(robot, points, 31);
+        std::vector<DynamicsResult> res(points);
+        int advances = 0;
+        runtime::DynamicsServer server(*backend);
+        server.submitSerialStages(FunctionType::FD, reqs.data(), points,
+                                  stages, &serialstage::advance, &advances,
+                                  res.data());
+        server.drain();
+        EXPECT_EQ(advances, stages - 1);
+        finals.push_back(res);
+    }
+    for (int p = 0; p < points; ++p) {
+        ASSERT_EQ(finals[0][p].qdd.size(), finals[1][p].qdd.size());
+        for (std::size_t j = 0; j < finals[0][p].qdd.size(); ++j) {
+            EXPECT_NEAR(finals[1][p].qdd[j], finals[0][p].qdd[j],
+                        2e-2 * std::max(1.0,
+                                        std::abs(finals[0][p].qdd[j])));
+            EXPECT_EQ(finals[2][p].qdd[j], finals[0][p].qdd[j]);
+        }
+    }
+}
+
+TEST(MpcRuntime, SimulatedAcceleratorBeatsCpuBackend)
+{
+    const auto robot = model::makeQuadrupedArm();
+    app::MpcConfig cfg;
+    cfg.horizon_points = 12;
+    app::MpcWorkload workload(robot, cfg);
+    accel::Accelerator accel(robot);
+    runtime::AcceleratorBackend sim_backend(accel);
+
+    // Shared measured phases on both sides (see the rationale in
+    // test_app.cc's AcceleratorBeatsFourThreadCpu): only the
+    // deterministic simulated dynamics differ.
+    const app::MpcBreakdown cpu = workload.measureCpu();
+    const app::MpcBreakdown sim = workload.backendBreakdown(sim_backend);
+    const double accelerated = app::MpcWorkload::iterationUsFrom(
+        app::MpcBreakdown{sim.lq_us, sim.rollout_us, cpu.solver_us},
+        /*offloaded=*/true);
+    const double cpu4 = app::MpcWorkload::cpuIterationUsFrom(cpu, 4);
+    EXPECT_LT(accelerated, cpu4);
+}
+
+} // namespace
