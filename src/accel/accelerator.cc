@@ -54,6 +54,19 @@ Accelerator::Accelerator(const RobotModel &robot, AccelConfig cfg)
     sim_ = std::make_unique<AccelSim>(robot_, simPlan_, cfg_);
 }
 
+Accelerator::Accelerator(const Accelerator &other, CloneTag)
+    : robot_(other.robot_), cfg_(other.cfg_), plan_(other.plan_),
+      simPlan_(other.simPlan_)
+{
+    sim_ = std::make_unique<AccelSim>(robot_, simPlan_, cfg_);
+}
+
+std::unique_ptr<Accelerator>
+Accelerator::clone() const
+{
+    return std::unique_ptr<Accelerator>(new Accelerator(*this, CloneTag{}));
+}
+
 Accelerator::~Accelerator() = default;
 
 void

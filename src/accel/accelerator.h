@@ -73,6 +73,17 @@ class Accelerator
     Accelerator &operator=(const Accelerator &) = delete;
 
     /**
+     * Cheap clone: a second accelerator instance of the SAME
+     * configured bitstream — the fitted config and compiled SAP
+     * plans are reused as-is (no auto-fit search, no SAP
+     * recompilation), only the simulator state is fresh. This is the
+     * software analogue of programming one more FPGA with an
+     * already-built bitstream, and what the runtime layer shards
+     * batches across.
+     */
+    std::unique_ptr<Accelerator> clone() const;
+
+    /**
      * Cycle-accurate batch execution of @p count tasks, writing
      * @c outputs[i] into caller-provided storage (resized in place,
      * reusing capacity) — the allocation-lean steady path the
@@ -102,6 +113,10 @@ class Accelerator
     const RobotModel &robot() const { return robot_; }
 
   private:
+    struct CloneTag
+    {};
+    Accelerator(const Accelerator &other, CloneTag);
+
     RobotModel robot_; ///< owned copy: one accelerator per robot
     AccelConfig cfg_;
     SapPlan plan_;     ///< analysis plan (re-rooting allowed)

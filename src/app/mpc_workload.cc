@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <random>
+#include <thread>
 
 #include "algorithms/aba.h"
 #include "algorithms/dynamics.h"
@@ -152,16 +153,17 @@ MpcWorkload::advanceRollout(void *ctx, int /*next_stage*/,
 {
     // The same half-step recurrence as measureRolloutUs: q advances
     // with the pre-update velocity, then q̇ absorbs the stage's q̈.
-    auto *self = static_cast<MpcWorkload *>(ctx);
-    const double h = 0.5 * self->cfg_.dt;
+    // ctx is a per-job RolloutCtx so concurrently-served rollouts
+    // (different server worker threads) never share scratch.
+    auto *rc = static_cast<RolloutCtx *>(ctx);
+    const double h = rc->half_dt;
     for (std::size_t p = 0; p < points; ++p) {
         runtime::DynamicsRequest &req = requests[p];
-        self->step_tmp_.resize(req.qd.size());
+        rc->step.resize(req.qd.size());
         for (std::size_t j = 0; j < req.qd.size(); ++j)
-            self->step_tmp_[j] = req.qd[j] * h;
-        self->robot_.integrateInto(req.q, self->step_tmp_,
-                                   self->q_next_);
-        req.q = self->q_next_;
+            rc->step[j] = req.qd[j] * h;
+        rc->robot->integrateInto(req.q, rc->step, rc->q_next);
+        req.q = rc->q_next;
         for (std::size_t j = 0; j < req.qd.size(); ++j)
             req.qd[j] += results[p].qdd[j] * h;
     }
@@ -191,11 +193,13 @@ MpcWorkload::backendBreakdown(runtime::DynamicsBackend &backend)
     }
 
     runtime::DynamicsServer server(backend);
+    ro_ctx_.robot = &robot_;
+    ro_ctx_.half_dt = 0.5 * cfg_.dt;
     const int lq = server.submit(runtime::FunctionType::DeltaFD,
                                  lq_req_.data(), n, lq_res_.data());
     const int ro = server.submitSerialStages(
         runtime::FunctionType::FD, ro_req_.data(), n, 4,
-        &MpcWorkload::advanceRollout, this, ro_res_.data());
+        &MpcWorkload::advanceRollout, &ro_ctx_, ro_res_.data());
     server.drain();
 
     MpcBreakdown b;
@@ -210,6 +214,81 @@ MpcWorkload::backendIterationUs(runtime::DynamicsBackend &backend)
 {
     return iterationUsFrom(backendBreakdown(backend),
                            backend.offloaded());
+}
+
+MultiClientReport
+MpcWorkload::serveMultiClient(runtime::DynamicsServer &server,
+                              int clients, int rounds)
+{
+    // Per-client job storage: requests/results must stay alive (and
+    // exclusively owned) until the client's jobs complete, so each
+    // client thread gets its own slice — no sharing, no staging
+    // reuse across clients.
+    struct ClientState
+    {
+        std::vector<runtime::DynamicsRequest> lq_req, ro_req;
+        std::vector<runtime::DynamicsResult> lq_res, ro_res;
+        RolloutCtx ro_ctx;
+    };
+    const std::size_t n = qs_.size();
+    std::vector<ClientState> states(clients);
+    for (int c = 0; c < clients; ++c) {
+        ClientState &st = states[c];
+        st.lq_req.resize(n);
+        st.ro_req.resize(n);
+        st.lq_res.resize(n);
+        st.ro_res.resize(n);
+        st.ro_ctx.robot = &robot_;
+        st.ro_ctx.half_dt = 0.5 * cfg_.dt;
+    }
+
+    const bool was_running = server.running();
+    if (!was_running)
+        server.start();
+
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([this, &server, &states, c, rounds, n] {
+            ClientState &st = states[c];
+            for (int r = 0; r < rounds; ++r) {
+                // Client c looks at the horizon shifted by c so the
+                // concurrent traffic differs per client.
+                for (std::size_t i = 0; i < n; ++i) {
+                    const std::size_t s = (i + c) % n;
+                    st.lq_req[i].q = qs_[s];
+                    st.lq_req[i].qd = qds_[s];
+                    st.lq_req[i].qdd_or_tau = taus_[s];
+                    st.ro_req[i] = st.lq_req[i];
+                }
+                const int lq = server.submitSharded(
+                    runtime::FunctionType::DeltaFD, st.lq_req.data(), n,
+                    st.lq_res.data());
+                const int ro = server.submitSerialStages(
+                    runtime::FunctionType::FD, st.ro_req.data(), n, 4,
+                    &MpcWorkload::advanceRollout, &st.ro_ctx,
+                    st.ro_res.data(),
+                    runtime::DynamicsServer::kLeastLoaded);
+                server.wait(lq);
+                server.wait(ro);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    if (!was_running)
+        server.stop();
+
+    runtime::ServerStats stats;
+    server.drain(&stats);
+    MultiClientReport report;
+    report.makespan_us = stats.makespan_us;
+    report.busy_us = stats.busy_us;
+    report.jobs = stats.jobs;
+    report.tasks = stats.tasks;
+    report.throughput_mtasks =
+        stats.makespan_us > 0.0 ? stats.tasks / stats.makespan_us : 0.0;
+    return report;
 }
 
 double

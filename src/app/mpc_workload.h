@@ -34,6 +34,7 @@
 #include "algorithms/workspace.h"
 #include "model/robot_model.h"
 #include "runtime/backends.h"
+#include "runtime/server.h"
 
 namespace dadu::app {
 
@@ -46,6 +47,21 @@ struct MpcConfig
     int horizon_points = 100; ///< ~1 s horizon at 0.01 s steps
     double dt = 0.01;         ///< integration step
     int threads = 4;          ///< batched-engine parallelism (Fig. 2b)
+};
+
+/**
+ * Aggregate accounting of the multi-client serving scenario: M MPC
+ * clients submitting their dynamics phases concurrently to one
+ * DynamicsServer (all times in backend time, so the numbers compose
+ * across measured CPU and modeled accelerator backends).
+ */
+struct MultiClientReport
+{
+    double makespan_us = 0.0; ///< busiest backend lane over the run
+    double busy_us = 0.0;     ///< total backend busy time, all lanes
+    std::size_t jobs = 0;     ///< jobs served (2 per client round)
+    std::size_t tasks = 0;    ///< individual dynamics requests
+    double throughput_mtasks = 0.0; ///< tasks per makespan µs
 };
 
 /** Wall-clock shares of one MPC iteration (Fig. 2c). */
@@ -148,6 +164,21 @@ class MpcWorkload
      */
     double acceleratedIterationUs(Accelerator &accel);
 
+    /**
+     * Heavy-traffic scenario: @p clients MPC clients, each on its
+     * own thread, submit @p rounds iterations of their dynamics
+     * phases to @p server concurrently — the LQ ∆FD batch sharded
+     * across every registered backend, the Fig. 13 rollout as a
+     * serial-stage job on the least-loaded lane — and block on their
+     * own jobs, exactly as latency-critical MPC loops would. Client
+     * c perturbs the horizon samples by a per-client offset so the
+     * traffic is not identical. Starts the server's workers if not
+     * already running (and stops them again in that case); the
+     * server's accounting interval is drained into the report.
+     */
+    MultiClientReport serveMultiClient(runtime::DynamicsServer &server,
+                                       int clients, int rounds = 1);
+
     const MpcConfig &config() const { return cfg_; }
 
     /** The CPU runtime backend driving the LQ-approximation phase. */
@@ -157,13 +188,27 @@ class MpcWorkload
     algo::BatchedDynamics &engine() { return cpu_backend_.engine(); }
 
   private:
+    /**
+     * Per-job context of the RK4 stage-boundary advance: every
+     * concurrently-served rollout needs its own integration scratch
+     * (concurrent serial-stage jobs run their advances on different
+     * server worker threads).
+     */
+    struct RolloutCtx
+    {
+        const RobotModel *robot = nullptr;
+        double half_dt = 0.0;
+        linalg::VectorX step, q_next;
+    };
+
     /** RK4 rollout shared by the measured variants (workspace-based). */
     double measureRolloutUs();
 
     /** Serial Riccati-style solver sweep. */
     double measureSolverUs();
 
-    /** Stage-boundary RK4 half-step advance (DynamicsServer hook). */
+    /** Stage-boundary RK4 half-step advance (DynamicsServer hook);
+     *  @p ctx is the job's RolloutCtx. */
     static void advanceRollout(void *ctx, int next_stage,
                                const runtime::DynamicsResult *results,
                                runtime::DynamicsRequest *requests,
@@ -179,6 +224,7 @@ class MpcWorkload
     // Runtime staging (grow-only, reused across backend iterations).
     std::vector<runtime::DynamicsRequest> lq_req_, ro_req_;
     std::vector<runtime::DynamicsResult> lq_res_, ro_res_;
+    RolloutCtx ro_ctx_; ///< backendBreakdown's (single) rollout job
 };
 
 } // namespace dadu::app

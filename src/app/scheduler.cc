@@ -20,4 +20,13 @@ scheduleCpuUs(int points, int stages, double task_us, int threads)
     return rounds * stages * task_us;
 }
 
+double
+scheduleShardedUs(int points, int stages, int shards, double ii_cycles,
+                  double latency_cycles, double freq_mhz)
+{
+    const int per_shard = (points + shards - 1) / shards;
+    return scheduleSerialStagesUs(per_shard, stages, ii_cycles,
+                                  latency_cycles, freq_mhz);
+}
+
 } // namespace dadu::app

@@ -35,6 +35,19 @@ double scheduleSerialStagesUs(int points, int stages, double ii_cycles,
 double scheduleCpuUs(int points, int stages, double task_us,
                      int threads);
 
+/**
+ * Makespan in microseconds of a @p points x @p stages task set split
+ * evenly across @p shards identical pipeline instances running
+ * concurrently (the runtime's sharded batches over cloned
+ * accelerators): each instance streams ceil(points/shards) tasks per
+ * stage and pays the pipeline latency once per stage boundary, so
+ * the job finishes with its largest shard. Shards = 1 reduces to
+ * scheduleSerialStagesUs; stages = 1 is the flat sharded batch.
+ */
+double scheduleShardedUs(int points, int stages, int shards,
+                         double ii_cycles, double latency_cycles,
+                         double freq_mhz);
+
 } // namespace dadu::app
 
 #endif // DADU_APP_SCHEDULER_H

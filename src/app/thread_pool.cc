@@ -47,6 +47,9 @@ ThreadPool::runIndexed(void (*task)(void *, int), void *ctx, int count)
             task(ctx, i);
         return;
     }
+    // One bulk dispatch owns the pool at a time; concurrent callers
+    // queue up here instead of corrupting each other's bulk_* state.
+    std::lock_guard<std::mutex> gate(bulk_gate_);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         bulk_task_ = task;

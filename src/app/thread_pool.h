@@ -38,8 +38,14 @@ class ThreadPool
      * worker threads (the calling thread participates) and block
      * until all of them have completed. Unlike submit(), dispatch is
      * allocation-free — no std::function, no queue nodes — which
-     * keeps the batched dynamics hot loop heap-silent. Not
-     * reentrant: one runIndexed() at a time per pool.
+     * keeps the batched dynamics hot loop heap-silent.
+     *
+     * Safe to call from multiple threads: concurrent bulk dispatches
+     * are serialized on an internal gate (the pool runs one indexed
+     * batch at a time; later callers block until the earlier batch
+     * completes). Do NOT call from inside one of the pool's own
+     * tasks — a worker blocking on the gate would deadlock the batch
+     * it belongs to.
      */
     void runIndexed(void (*task)(void *ctx, int index), void *ctx,
                     int count);
@@ -57,7 +63,12 @@ class ThreadPool
     int in_flight_ = 0;
     bool stop_ = false;
 
-    // Bulk (indexed) dispatch state, guarded by mutex_.
+    // Bulk (indexed) dispatch state, guarded by mutex_. The state is
+    // one-dispatch-at-a-time; bulk_gate_ serializes concurrent
+    // runIndexed() callers so they cannot clobber it (it is held for
+    // the caller's whole dispatch, so it must never be taken while
+    // holding mutex_).
+    std::mutex bulk_gate_;
     void (*bulk_task_)(void *, int) = nullptr;
     void *bulk_ctx_ = nullptr;
     int bulk_count_ = 0;

@@ -71,15 +71,26 @@ class FixedPoint
     }
 
     /**
-     * Fixed-point multiply: 128-bit intermediate, truncating shift —
-     * the behaviour of a DSP-slice multiplier feeding a shifter.
+     * Fixed-point multiply: 128-bit intermediate, magnitude
+     * truncation toward zero — the documented DSP-truncation
+     * behaviour of a multiplier feeding a shifter.
+     *
+     * Rounding mode, explicitly: the product's fractional tail is
+     * DROPPED, i.e. rounded toward zero for either sign, so negation
+     * commutes with multiplication: (-a)*b == -(a*b). A bare
+     * arithmetic right shift would instead floor negative products
+     * (round toward -inf), introducing an asymmetric -1 ULP bias on
+     * negative results (pinned by a regression test in
+     * tests/test_fixed.cc).
      */
     constexpr FixedPoint
     operator*(const FixedPoint &o) const
     {
         const __int128 p =
             static_cast<__int128>(raw_) * static_cast<__int128>(o.raw_);
-        return fromRaw(static_cast<std::int64_t>(p >> FracBits));
+        const __int128 t =
+            p >= 0 ? (p >> FracBits) : -((-p) >> FracBits);
+        return fromRaw(static_cast<std::int64_t>(t));
     }
 
     constexpr FixedPoint &

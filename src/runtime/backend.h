@@ -22,6 +22,7 @@
 #define DADU_RUNTIME_BACKEND_H
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "model/robot_model.h"
@@ -49,6 +50,18 @@ class DynamicsBackend
      * that compete with the caller for host cores.
      */
     virtual bool offloaded() const = 0;
+
+    /**
+     * A second, independently-submittable instance of this backend
+     * for the same robot — what DynamicsServer shards batches
+     * across. Cheap where the configuration work can be reused (the
+     * accelerator clones its fitted bitstream). Returns null for
+     * backends that cannot be replicated.
+     */
+    virtual std::unique_ptr<DynamicsBackend> clone() const
+    {
+        return nullptr;
+    }
 
     /**
      * Execute @p count requests of @p fn, writing @c results[i] for

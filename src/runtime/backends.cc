@@ -102,8 +102,14 @@ fillMeasuredStats(BatchStats *stats, double elapsed_us, std::size_t count)
 // -----------------------------------------------------------------
 
 CpuBatchedBackend::CpuBatchedBackend(const RobotModel &robot, int threads)
-    : robot_(robot), engine_(robot, threads), ws_(robot)
+    : robot_(robot), threads_(threads), engine_(robot, threads), ws_(robot)
 {}
+
+std::unique_ptr<DynamicsBackend>
+CpuBatchedBackend::clone() const
+{
+    return std::make_unique<CpuBatchedBackend>(robot_, threads_);
+}
 
 void
 CpuBatchedBackend::submit(FunctionType fn, const DynamicsRequest *requests,
@@ -202,8 +208,19 @@ CpuBatchedBackend::runEngine(FunctionType fn, const VectorX *q,
 // -----------------------------------------------------------------
 
 AcceleratorBackend::AcceleratorBackend(accel::Accelerator &accel)
-    : accel_(accel)
+    : accel_(&accel)
 {}
+
+AcceleratorBackend::AcceleratorBackend(
+    std::unique_ptr<accel::Accelerator> accel)
+    : owned_(std::move(accel)), accel_(owned_.get())
+{}
+
+std::unique_ptr<DynamicsBackend>
+AcceleratorBackend::clone() const
+{
+    return std::make_unique<AcceleratorBackend>(accel_->clone());
+}
 
 void
 AcceleratorBackend::submit(FunctionType fn, const DynamicsRequest *requests,
@@ -213,7 +230,7 @@ AcceleratorBackend::submit(FunctionType fn, const DynamicsRequest *requests,
     // DynamicsRequest/DynamicsResult ARE the accelerator task types
     // (accel::TaskInput/TaskOutput alias them), so the batch goes to
     // the cycle-accurate simulator without conversion.
-    accel_.run(fn, requests, count, results, stats);
+    accel_->run(fn, requests, count, results, stats);
 }
 
 // -----------------------------------------------------------------
@@ -223,6 +240,12 @@ AcceleratorBackend::submit(FunctionType fn, const DynamicsRequest *requests,
 AnalyticBackend::AnalyticBackend(accel::Accelerator &accel)
     : accel_(accel), ws_(accel.robot())
 {}
+
+std::unique_ptr<DynamicsBackend>
+AnalyticBackend::clone() const
+{
+    return std::make_unique<AnalyticBackend>(accel_);
+}
 
 void
 AnalyticBackend::submit(FunctionType fn, const DynamicsRequest *requests,

@@ -51,6 +51,15 @@ class CpuBatchedBackend : public DynamicsBackend
     const char *name() const override { return "cpu-batched"; }
     const RobotModel &robot() const override { return robot_; }
     bool offloaded() const override { return false; }
+    /**
+     * A fresh engine over the same robot and thread count. Note
+     * each clone owns a full-width thread pool: sharding several
+     * clones on ONE host oversubscribes its cores (see the ROADMAP
+     * open item on a shared host pool) — CPU clones are for
+     * spreading across hosts or NUMA domains, accelerator clones
+     * for sharding on one.
+     */
+    std::unique_ptr<DynamicsBackend> clone() const override;
     void submit(FunctionType fn, const DynamicsRequest *requests,
                 std::size_t count, DynamicsResult *results,
                 BatchStats *stats = nullptr) override;
@@ -78,6 +87,7 @@ class CpuBatchedBackend : public DynamicsBackend
                    DynamicsResult *results);
 
     const RobotModel &robot_;
+    int threads_;
     algo::BatchedDynamics engine_;
     algo::DynamicsWorkspace ws_;  ///< reference path for non-batched fns
     algo::FdDerivatives fd_tmp_;  ///< reference-path ∆FD scratch
@@ -96,18 +106,28 @@ class AcceleratorBackend : public DynamicsBackend
     /** Non-owning: @p accel must outlive the backend. */
     explicit AcceleratorBackend(accel::Accelerator &accel);
 
+    /** Owning: the backend keeps the (typically cloned) instance. */
+    explicit AcceleratorBackend(std::unique_ptr<accel::Accelerator> accel);
+
     const char *name() const override { return "accel-sim"; }
-    const RobotModel &robot() const override { return accel_.robot(); }
+    const RobotModel &robot() const override { return accel_->robot(); }
     bool offloaded() const override { return true; }
+    /**
+     * One more simulated accelerator of the same fitted bitstream
+     * (Accelerator::clone(): no auto-fit, no SAP recompilation),
+     * owned by the new backend — the sharding unit of the runtime.
+     */
+    std::unique_ptr<DynamicsBackend> clone() const override;
     void submit(FunctionType fn, const DynamicsRequest *requests,
                 std::size_t count, DynamicsResult *results,
                 BatchStats *stats = nullptr) override;
     using DynamicsBackend::submit;
 
-    accel::Accelerator &accelerator() { return accel_; }
+    accel::Accelerator &accelerator() { return *accel_; }
 
   private:
-    accel::Accelerator &accel_;
+    std::unique_ptr<accel::Accelerator> owned_;
+    accel::Accelerator *accel_;
 };
 
 /**
@@ -126,6 +146,11 @@ class AnalyticBackend : public DynamicsBackend
     const char *name() const override { return "accel-analytic"; }
     const RobotModel &robot() const override { return accel_.robot(); }
     bool offloaded() const override { return true; }
+    /**
+     * Shares the (immutable, read-only) accelerator model but owns
+     * its workspaces, so clones can serve concurrent lanes.
+     */
+    std::unique_ptr<DynamicsBackend> clone() const override;
     void submit(FunctionType fn, const DynamicsRequest *requests,
                 std::size_t count, DynamicsResult *results,
                 BatchStats *stats = nullptr) override;

@@ -1,5 +1,6 @@
 #include "runtime/server.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace dadu::runtime {
@@ -9,11 +10,65 @@ DynamicsServer::DynamicsServer(DynamicsBackend &backend)
     addBackend(backend);
 }
 
+DynamicsServer::~DynamicsServer()
+{
+    stop();
+}
+
 int
 DynamicsServer::addBackend(DynamicsBackend &backend)
 {
-    backends_.push_back(&backend);
-    return static_cast<int>(backends_.size()) - 1;
+    assert(!running() && "register backends before start()");
+    lanes_.emplace_back();
+    lanes_.back().backend = &backend;
+    return static_cast<int>(lanes_.size()) - 1;
+}
+
+int
+DynamicsServer::leastLoadedLane()
+{
+    // Round-robin tie-breaking: equal loads are the common case
+    // right after a sharded batch equalized the lanes, and a fixed
+    // preference would then funnel every serial-stage job onto lane
+    // 0. Start each scan one past the previous winner.
+    const int n = static_cast<int>(lanes_.size());
+    int best = rr_next_ % n;
+    for (int k = 1; k < n; ++k) {
+        const int i = (rr_next_ + k) % n;
+        if (lanes_[i].load_tasks < lanes_[best].load_tasks)
+            best = i;
+    }
+    rr_next_ = (best + 1) % n;
+    return best;
+}
+
+void
+DynamicsServer::pushWork(int lane, WorkItem item)
+{
+    lanes_[lane].work.push_back(item);
+    lanes_[lane].cv.notify_one(); // only this lane's worker cares
+}
+
+int
+DynamicsServer::enqueueJob(Job job, int backend_id)
+{
+    const std::size_t count = job.count;
+    // A serial-stage job commits ALL its stages to the chosen lane;
+    // charge the full debt so later placement decisions see it.
+    const std::size_t load = count * job.stages;
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(backendCount() > 0);
+    assert(backend_id == kLeastLoaded ||
+           (backend_id >= 0 && backend_id < backendCount()));
+    const int lane =
+        backend_id == kLeastLoaded ? leastLoadedLane() : backend_id;
+    jobs_.push_back(std::move(job));
+    const int id =
+        static_cast<int>(retire_base_ + jobs_.size()) - 1;
+    ++pending_jobs_;
+    lanes_[lane].load_tasks += load;
+    pushWork(lane, WorkItem{id, 0, count});
+    return id;
 }
 
 int
@@ -21,15 +76,13 @@ DynamicsServer::submit(FunctionType fn, const DynamicsRequest *requests,
                        std::size_t count, DynamicsResult *results,
                        int backend_id)
 {
-    assert(backend_id >= 0 && backend_id < backendCount());
     Job job;
     job.fn = fn;
     job.const_requests = requests;
     job.results = results;
     job.count = count;
-    job.backend = backend_id;
-    queue_.push_back(job);
-    return static_cast<int>(queue_.size()) - 1;
+    job.remaining = 1;
+    return enqueueJob(std::move(job), backend_id);
 }
 
 int
@@ -39,7 +92,6 @@ DynamicsServer::submitSerialStages(FunctionType fn,
                                    AdvanceFn advance, void *ctx,
                                    DynamicsResult *results, int backend_id)
 {
-    assert(backend_id >= 0 && backend_id < backendCount());
     assert(stages >= 1);
     Job job;
     job.fn = fn;
@@ -50,41 +102,299 @@ DynamicsServer::submitSerialStages(FunctionType fn,
     job.stages = stages;
     job.advance = advance;
     job.ctx = ctx;
-    job.backend = backend_id;
-    queue_.push_back(job);
-    return static_cast<int>(queue_.size()) - 1;
+    job.remaining = 1;
+    return enqueueJob(std::move(job), backend_id);
+}
+
+int
+DynamicsServer::submitSharded(FunctionType fn,
+                              const DynamicsRequest *requests,
+                              std::size_t count, DynamicsResult *results)
+{
+    assert(backendCount() > 0);
+    if (backendCount() == 1 || count < 2)
+        return submit(fn, requests, count, results, kLeastLoaded);
+
+    Job job;
+    job.fn = fn;
+    job.const_requests = requests;
+    job.results = results;
+    job.count = count;
+    job.sharded = true;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    const int n_lanes = backendCount();
+
+    // Least-loaded water-filling: raise every lane's outstanding
+    // task count toward one common level, spending exactly `count`
+    // tasks — lighter lanes absorb more of the batch. Lanes already
+    // above the level get no shard.
+    if (order_scratch_.size() < static_cast<std::size_t>(n_lanes)) {
+        order_scratch_.resize(n_lanes);
+        share_scratch_.resize(n_lanes);
+    }
+    std::vector<std::size_t> &order = order_scratch_;
+    std::vector<std::size_t> &share = share_scratch_;
+    for (int i = 0; i < n_lanes; ++i) {
+        order[i] = i;
+        share[i] = 0;
+    }
+    std::sort(order.begin(), order.begin() + n_lanes,
+              [&](std::size_t a, std::size_t b) {
+                  return lanes_[a].load_tasks < lanes_[b].load_tasks;
+              });
+    std::size_t remaining = count;
+    for (int i = 0; i < n_lanes && remaining > 0; ++i) {
+        // Lanes order[0..i] are the active (lowest) set; lift them to
+        // the next lane's level, or split what is left evenly.
+        const std::size_t active = i + 1;
+        std::size_t lift = remaining;
+        if (i + 1 < n_lanes) {
+            lift = 0;
+            for (std::size_t j = 0; j < active; ++j)
+                lift += lanes_[order[i + 1]].load_tasks -
+                        (lanes_[order[j]].load_tasks + share[order[j]]);
+            lift = std::min(lift, remaining);
+        }
+        if (i + 1 < n_lanes && lift < remaining) {
+            // Fully raise the active set to the next level.
+            for (std::size_t j = 0; j < active; ++j)
+                share[order[j]] +=
+                    lanes_[order[i + 1]].load_tasks -
+                    (lanes_[order[j]].load_tasks + share[order[j]]);
+            remaining -= lift;
+            continue;
+        }
+        // Final level lands inside the active set: split evenly,
+        // earlier (lighter) lanes absorbing the remainder.
+        const std::size_t base = remaining / active;
+        std::size_t extra = remaining % active;
+        for (std::size_t j = 0; j < active; ++j) {
+            share[order[j]] += base + (extra > 0 ? 1 : 0);
+            if (extra > 0)
+                --extra;
+        }
+        remaining = 0;
+    }
+
+    int shards = 0;
+    for (int i = 0; i < n_lanes; ++i)
+        shards += share[i] > 0 ? 1 : 0;
+    job.remaining = shards;
+
+    jobs_.push_back(std::move(job));
+    const int id =
+        static_cast<int>(retire_base_ + jobs_.size()) - 1;
+    ++pending_jobs_;
+    std::size_t begin = 0;
+    for (int i = 0; i < n_lanes; ++i) {
+        if (share[i] == 0)
+            continue;
+        lanes_[i].load_tasks += share[i];
+        pushWork(i, WorkItem{id, begin, share[i]});
+        begin += share[i];
+    }
+    assert(begin == count);
+    return id;
+}
+
+namespace {
+
+/**
+ * Merge one shard's stats into the job's: shards overlap in backend
+ * time, so the makespan-like fields take the max and the aggregate
+ * throughput is the sum; stall counts accumulate.
+ */
+void
+mergeShardStats(BatchStats &job, const BatchStats &shard)
+{
+    job.cycles = std::max(job.cycles, shard.cycles);
+    job.total_us = std::max(job.total_us, shard.total_us);
+    job.latency_us = std::max(job.latency_us, shard.latency_us);
+    job.throughput_mtasks += shard.throughput_mtasks;
+    job.fifo_high_water =
+        std::max(job.fifo_high_water, shard.fifo_high_water);
+    job.fifo_stalls += shard.fifo_stalls;
+}
+
+} // namespace
+
+bool
+DynamicsServer::serveOne(int lane_id)
+{
+    WorkItem item;
+    DynamicsBackend *backend;
+    FunctionType fn;
+    const DynamicsRequest *requests;
+    DynamicsResult *results;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        Lane &lane = lanes_[lane_id];
+        if (lane.work.empty())
+            return false;
+        item = lane.work.front();
+        lane.work.pop_front();
+        const Job &job = jobRef(item.job);
+        backend = lane.backend;
+        fn = job.fn;
+        requests = job.const_requests + item.begin;
+        results = job.results + item.begin;
+    }
+    BatchStats stats;
+    backend->submit(fn, requests, item.count, results, &stats);
+    completeItem(lane_id, item, stats);
+    return true;
+}
+
+void
+DynamicsServer::completeItem(int lane_id, const WorkItem &item,
+                             const BatchStats &stats)
+{
+    Job *chained = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        Lane &lane = lanes_[lane_id];
+        lane.busy_us += stats.total_us;
+        lane.load_tasks -= item.count;
+        stats_.busy_us += stats.total_us;
+        ++stats_.batches;
+        stats_.tasks += item.count;
+
+        Job &job = jobRef(item.job);
+        if (job.sharded) {
+            // Concurrent shards: the job's makespan is its slowest
+            // shard, not the sum.
+            job.busy_us = std::max(job.busy_us, stats.total_us);
+            mergeShardStats(job.last_stats, stats);
+        } else {
+            job.busy_us += stats.total_us;
+            job.last_stats = stats;
+        }
+        if (--job.remaining == 0) {
+            ++job.stage;
+            if (job.stage < job.stages) {
+                // Chain the next stage outside the lock (the advance
+                // callback may re-enter submit()). Only this thread
+                // touches the job until its next item is queued, and
+                // jobs_ is a deque, so the pointer stays valid across
+                // concurrent submissions.
+                chained = &job;
+            } else {
+                job.done = true;
+                ++stats_.jobs;
+                --pending_jobs_;
+                done_cv_.notify_all();
+            }
+        }
+    }
+    if (chained) {
+        if (chained->advance)
+            chained->advance(chained->ctx, chained->stage,
+                             chained->results, chained->requests,
+                             chained->count);
+        std::lock_guard<std::mutex> lock(mu_);
+        chained->remaining = 1;
+        // Re-enqueue at the lane's tail: stages of this job stay
+        // ordered, other clients' queued work interleaves between
+        // the stage boundaries.
+        pushWork(lane_id, WorkItem{item.job, 0, chained->count});
+    }
+}
+
+double
+DynamicsServer::snapshotAndReset(ServerStats *stats)
+{
+    for (const Lane &lane : lanes_)
+        stats_.makespan_us = std::max(stats_.makespan_us, lane.busy_us);
+    const double busy = stats_.busy_us;
+    if (stats)
+        *stats = stats_;
+    stats_ = ServerStats{};
+    for (Lane &lane : lanes_)
+        lane.busy_us = 0.0;
+    // Retire the records of jobs that were already complete at the
+    // PREVIOUS drain: their accounting had a full interval to be
+    // read, and dropping them keeps a long-running server's job
+    // history bounded. Jobs submitted since (done or not) survive
+    // until the next drain.
+    while (retire_base_ < retire_mark_ && !jobs_.empty() &&
+           jobs_.front().done) {
+        jobs_.pop_front();
+        ++retire_base_;
+    }
+    retire_mark_ = retire_base_ + jobs_.size();
+    return busy;
+}
+
+void
+DynamicsServer::serveAllSync()
+{
+    // Serve lane by lane on the calling thread until no lane holds
+    // work — including work enqueued while serving (reentrant
+    // submits, chained serial stages). The gate makes the whole
+    // loop exclusive: a second synchronous client blocks here and,
+    // once admitted, finds its work already served.
+    std::lock_guard<std::mutex> serving(serve_mu_);
+    for (bool any = true; any;) {
+        any = false;
+        for (int l = 0; l < static_cast<int>(lanes_.size()); ++l) {
+            while (serveOne(l))
+                any = true;
+        }
+    }
 }
 
 double
 DynamicsServer::drain(ServerStats *stats)
 {
-    double busy_us = 0.0;
-    ServerStats local;
-    for (; next_ < queue_.size(); ++next_) {
-        Job &job = queue_[next_];
-        DynamicsBackend &backend = *backends_[job.backend];
-        // Fig. 13 interleaving: one full-width batch per stage, so
-        // the pipeline drains once per stage boundary and streams
-        // back-to-back within a stage. A flat batch is the
-        // degenerate single-stage case.
-        for (int stage = 0; stage < job.stages; ++stage) {
-            if (stage > 0 && job.advance)
-                job.advance(job.ctx, stage, job.results, job.requests,
-                            job.count);
-            backend.submit(job.fn, job.const_requests, job.count,
-                           job.results, &job.last_stats);
-            job.busy_us += job.last_stats.total_us;
-            ++local.batches;
-            local.tasks += job.count;
-        }
-        job.done = true;
-        busy_us += job.busy_us;
-        ++local.jobs;
+    if (running()) {
+        waitAll();
+        std::lock_guard<std::mutex> lock(mu_);
+        return snapshotAndReset(stats);
     }
-    local.busy_us = busy_us;
-    if (stats)
-        *stats = local;
-    return busy_us;
+    serveAllSync();
+    std::lock_guard<std::mutex> lock(mu_);
+    return snapshotAndReset(stats);
+}
+
+std::size_t
+DynamicsServer::pending() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_jobs_;
+}
+
+bool
+DynamicsServer::jobDone(int job) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<std::size_t>(job) < retire_base_)
+        return true; // only completed jobs retire
+    return jobRef(job).done;
+}
+
+double
+DynamicsServer::jobUs(int job) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(static_cast<std::size_t>(job) >= retire_base_ &&
+           "job record already retired (read before the second "
+           "drain() after completion)");
+    if (static_cast<std::size_t>(job) < retire_base_)
+        return 0.0; // retired: accounting gone, not UB
+    return jobRef(job).busy_us;
+}
+
+BatchStats
+DynamicsServer::jobStats(int job) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(static_cast<std::size_t>(job) >= retire_base_ &&
+           "job record already retired (read before the second "
+           "drain() after completion)");
+    if (static_cast<std::size_t>(job) < retire_base_)
+        return BatchStats{};
+    return jobRef(job).last_stats;
 }
 
 } // namespace dadu::runtime

@@ -1,68 +1,108 @@
 /**
  * @file
  * DynamicsServer: a queueing front-end over the DynamicsBackend
- * interface.
+ * interface, serving multiple clients over one or more backend
+ * instances.
  *
  * Multiple clients (robots, workloads, benchmark harnesses) enqueue
- * jobs; drain() serves them in FIFO order over the registered
- * backends and accounts the makespan in backend time. Two job
- * shapes exist:
+ * jobs; the server runs them over the registered backends and
+ * accounts the makespan in backend time. Three job shapes exist:
  *
- *  - flat batches: N independent requests of one function;
+ *  - flat batches: N independent requests of one function, bound to
+ *    one backend (or to the least-loaded one via kLeastLoaded);
+ *  - sharded flat batches: one large batch split across ALL
+ *    registered backends by least-loaded water-filling, the shards
+ *    executing concurrently (one per backend lane) and their
+ *    BatchStats merged back into one job-level makespan;
  *  - serial-stage jobs (Fig. 13 of the paper): P points x S stages
  *    where stage k+1 of a point consumes stage k's result of the
- *    *same* point. The server realizes the paper's interleaving as
- *    executable scheduling: each stage is submitted as ONE batch of
- *    all P points — the pipeline stays full within a stage and the
- *    latency is paid once per stage boundary — and a caller-supplied
- *    advance callback turns stage-k results into stage-(k+1)
- *    requests between submissions. The resulting makespan matches
- *    the closed-form app::scheduleSerialStagesUs model (validated in
- *    tests), but is now produced by real execution.
+ *    *same* point. Each stage is submitted as ONE batch of all P
+ *    points — the pipeline stays full within a stage and the latency
+ *    is paid once per stage boundary — and a caller-supplied advance
+ *    callback turns stage-k results into stage-(k+1) requests
+ *    between submissions. Stages of one job stay ordered, but OTHER
+ *    clients' work interleaves between its stage boundaries, so a
+ *    long rollout does not monopolize its backend lane.
+ *
+ * Execution modes:
+ *
+ *  - synchronous (default): drain() serves every queued item on the
+ *    calling thread, lane by lane — the degenerate single-threaded
+ *    case, bitwise-identical in results and accounting to the async
+ *    path;
+ *  - asynchronous: start() spawns one worker thread per registered
+ *    backend; submissions from any number of client threads flow
+ *    through a thread-safe queue and execute as they arrive.
+ *    wait(job) blocks one client on its own job; drain() becomes
+ *    wait-for-all. stop() finishes queued work and joins.
+ *
+ * Each backend is driven by exactly one lane, so backends never see
+ * concurrent submissions — the server provides the thread safety
+ * that the backends themselves (batched engines, simulator state)
+ * do not.
  */
 
 #ifndef DADU_RUNTIME_SERVER_H
 #define DADU_RUNTIME_SERVER_H
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "runtime/backend.h"
 
 namespace dadu::runtime {
 
-/** Aggregate accounting of one drain(). */
+/** Aggregate accounting of one drain() interval. */
 struct ServerStats
 {
-    double busy_us = 0.0;         ///< total backend busy time
-    std::size_t jobs = 0;         ///< jobs served
-    std::size_t batches = 0;      ///< backend submissions issued
-    std::size_t tasks = 0;        ///< individual requests executed
+    double busy_us = 0.0;     ///< total backend busy time (sum of batches)
+    double makespan_us = 0.0; ///< max over backend lanes of accumulated busy
+    std::size_t jobs = 0;     ///< jobs served
+    std::size_t batches = 0;  ///< backend submissions issued
+    std::size_t tasks = 0;    ///< individual requests executed
 };
 
-/** FIFO job server over one or more dynamics backends. */
+/** Multi-client job server over one or more dynamics backends. */
 class DynamicsServer
 {
   public:
+    /** backend_id wildcard: bind the job to the least-loaded lane. */
+    static constexpr int kLeastLoaded = -1;
+
     /** Convenience: a server with @p backend pre-registered as id 0. */
     explicit DynamicsServer(DynamicsBackend &backend);
 
     DynamicsServer() = default;
 
+    /** Stops the worker threads if the server is still running. */
+    ~DynamicsServer();
+
+    DynamicsServer(const DynamicsServer &) = delete;
+    DynamicsServer &operator=(const DynamicsServer &) = delete;
+
     /**
      * Register a backend (non-owning; must outlive the server).
+     * Register every backend before start(); lanes are fixed while
+     * the workers run.
      * @return the backend id to tag jobs with.
      */
     int addBackend(DynamicsBackend &backend);
 
-    int backendCount() const { return static_cast<int>(backends_.size()); }
-    DynamicsBackend &backend(int id) { return *backends_[id]; }
+    int backendCount() const { return static_cast<int>(lanes_.size()); }
+    DynamicsBackend &backend(int id) { return *lanes_[id].backend; }
 
     /**
      * Stage-boundary callback of a serial-stage job: build the
      * requests of stage @p next_stage (1-based from the second
      * stage) from the previous stage's @p results, updating
-     * @p requests in place for all @p points.
+     * @p requests in place for all @p points. Runs on the worker
+     * thread that completed the previous stage (or on the draining
+     * thread in synchronous mode); it may re-enter submit().
      */
     using AdvanceFn = void (*)(void *ctx, int next_stage,
                                const DynamicsResult *results,
@@ -70,46 +110,103 @@ class DynamicsServer
                                std::size_t points);
 
     /**
-     * Enqueue a flat batch of @p count requests. Storage for
-     * requests and results stays caller-owned and must live until
-     * drain() returns.
-     * @return a job id for jobUs()/jobStats() after the drain.
+     * Enqueue a flat batch of @p count requests on backend
+     * @p backend_id (kLeastLoaded picks the lane with the fewest
+     * outstanding tasks at submission time). Storage for requests
+     * and results stays caller-owned and must live until the job
+     * completes.
+     * @return a job id for wait()/jobUs()/jobStats().
      */
     int submit(FunctionType fn, const DynamicsRequest *requests,
                std::size_t count, DynamicsResult *results,
                int backend_id = 0);
 
     /**
+     * Enqueue a flat batch split across ALL registered backends:
+     * least-loaded water-filling assigns each lane a contiguous
+     * shard sized to equalize outstanding work, the shards run
+     * concurrently, and the job's stats merge to the max shard
+     * makespan (shards overlap in backend time). All backends must
+     * serve the same robot — register clone()s of one configured
+     * backend.
+     */
+    int submitSharded(FunctionType fn, const DynamicsRequest *requests,
+                      std::size_t count, DynamicsResult *results);
+
+    /**
      * Enqueue a Fig. 13 serial-stage job: @p stages chained batches
      * over @p points requests. @p requests is mutated between stages
      * by @p advance (skipped when advance is null); @p results holds
-     * the final stage's outputs after the drain.
+     * the final stage's outputs after completion.
      */
     int submitSerialStages(FunctionType fn, DynamicsRequest *requests,
                            std::size_t points, int stages,
                            AdvanceFn advance, void *ctx,
                            DynamicsResult *results, int backend_id = 0);
 
-    /** Jobs enqueued but not yet drained. */
-    std::size_t pending() const { return queue_.size() - next_; }
+    /**
+     * Spawn one worker thread per registered backend; submissions
+     * from any thread then execute asynchronously. No-op when
+     * already running.
+     */
+    void start();
 
     /**
-     * Serve every queued job in FIFO order.
-     * @return the total backend busy time in microseconds (the
-     *         makespan of the drained work on the single-server
-     *         backend queue, excluding host time spent in advance
+     * Finish all queued work and join the workers. Work submitted
+     * concurrently with stop() that a worker no longer picks up is
+     * served synchronously before stop() returns, so accepted jobs
+     * always complete. start()/stop()/drain() themselves are
+     * control-plane calls: invoke them from one thread.
+     */
+    void stop();
+
+    bool running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Block until @p job completes. In synchronous mode this serves
+     * pending work inline on the calling thread (without touching
+     * the drain() accounting interval); concurrent sync waiters
+     * serialize on an internal serving gate.
+     */
+    void wait(int job);
+
+    /** Block until every submitted job has completed. */
+    void waitAll();
+
+    bool jobDone(int job) const;
+
+    /** Jobs enqueued but not yet completed. */
+    std::size_t pending() const;
+
+    /**
+     * Serve every queued job (synchronous mode) or block until the
+     * workers have (asynchronous mode), then report and reset the
+     * accounting interval.
+     * @return the total backend busy time in microseconds since the
+     *         previous drain (excluding host time spent in advance
      *         callbacks).
      */
     double drain(ServerStats *stats = nullptr);
 
-    /** Backend busy time of one completed job (µs). */
-    double jobUs(int job) const { return queue_[job].busy_us; }
+    /**
+     * Backend busy time of one completed job (µs): summed over the
+     * stages of a serial-stage job, max over the concurrent shards
+     * of a sharded batch. Per-job records are retired by the second
+     * drain() after completion — read before then.
+     */
+    double jobUs(int job) const;
 
-    /** Per-job stats of the *last* submitted batch of the job. */
-    const BatchStats &jobStats(int job) const
-    {
-        return queue_[job].last_stats;
-    }
+    /**
+     * Per-job stats: the last submitted batch of an unsharded job,
+     * the merged shard stats (max makespan/cycles, summed stalls) of
+     * a sharded one. Read after the job completed; a retired record
+     * (like jobUs(), second drain() after completion) returns
+     * zeroed stats.
+     */
+    BatchStats jobStats(int job) const;
 
   private:
     struct Job
@@ -122,15 +219,88 @@ class DynamicsServer
         int stages = 1;
         AdvanceFn advance = nullptr;
         void *ctx = nullptr;
-        int backend = 0;
+        int stage = 0;          ///< stages completed so far
+        int remaining = 0;      ///< outstanding work items
+        bool sharded = false;
         bool done = false;
         double busy_us = 0.0;
         BatchStats last_stats{};
     };
 
-    std::vector<DynamicsBackend *> backends_;
-    std::vector<Job> queue_;
-    std::size_t next_ = 0; ///< first un-served job
+    /** One queued slice of a job, bound to a lane. */
+    struct WorkItem
+    {
+        int job = 0;
+        std::size_t begin = 0;
+        std::size_t count = 0;
+    };
+
+    /**
+     * One backend with its FIFO work queue and accounting.
+     * load_tasks counts the lane's COMMITTED task-stages, not just
+     * the queued items: a serial-stage job charges points x stages
+     * up front (its later stages are lane-sticky, so the lane owes
+     * that work even though only one stage is queued at a time) and
+     * pays one stage's worth back per completed batch. Each lane
+     * has its own worker wakeup cv so a pushed item wakes only the
+     * target lane's worker (all waits still use the shared mu_).
+     */
+    struct Lane
+    {
+        DynamicsBackend *backend = nullptr;
+        std::deque<WorkItem> work;
+        std::condition_variable cv;
+        std::size_t load_tasks = 0; ///< committed task-stages
+        double busy_us = 0.0;       ///< accumulated batch time (interval)
+    };
+
+    // All private helpers below assume mu_ is held unless noted.
+    int enqueueJob(Job job, int backend_id);
+    int leastLoadedLane();
+    void pushWork(int lane, WorkItem item);
+    Job &jobRef(int id) { return jobs_[id - retire_base_]; }
+    const Job &jobRef(int id) const { return jobs_[id - retire_base_]; }
+    /** Pop + execute one item of @p lane. Called WITHOUT mu_ held. */
+    bool serveOne(int lane);
+    /** Batch completion: accounting, stage chaining, shard merge. */
+    void completeItem(int lane, const WorkItem &item,
+                      const BatchStats &stats);
+    /**
+     * Serve every lane on this thread until empty (WITHOUT mu_).
+     * Whole-loop exclusive via serve_mu_: concurrent synchronous
+     * clients (wait() without start()) serialize here, so a backend
+     * never sees two submitting threads. Do not call from inside an
+     * advance callback (it would self-deadlock on the gate).
+     */
+    void serveAllSync();
+    void workerLoop(int lane);
+    double snapshotAndReset(ServerStats *stats);
+
+    mutable std::mutex mu_;
+    std::mutex serve_mu_; ///< one synchronous serving loop at a time
+    std::condition_variable done_cv_; ///< clients: job / queue completion
+    std::deque<Lane> lanes_; ///< deque: Lane owns a cv, never moves
+    /**
+     * Live job records (deque: stable refs across reentrant submit).
+     * Job ids are absolute submission indices; jobs_[i] holds id
+     * retire_base_ + i. drain() retires records of jobs that were
+     * already complete at the PREVIOUS drain, so a long-running
+     * server does not accumulate history — which bounds the lifetime
+     * of per-job accounting: read jobUs()/jobStats() before the
+     * second drain() after the job completed.
+     */
+    std::deque<Job> jobs_;
+    std::size_t retire_base_ = 0; ///< id of jobs_.front()
+    std::size_t retire_mark_ = 0; ///< ids below this may retire
+    std::vector<std::thread> workers_;
+    // Grow-only sharding scratch, reused under mu_ so steady-state
+    // sharded submission does not allocate while holding the lock.
+    std::vector<std::size_t> share_scratch_, order_scratch_;
+    std::atomic<bool> running_{false};
+    bool stop_ = false;
+    std::size_t pending_jobs_ = 0;
+    int rr_next_ = 0; ///< round-robin cursor for load ties
+    ServerStats stats_{}; ///< accounting since the last drain()
 };
 
 } // namespace dadu::runtime

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Asynchronous execution mode of DynamicsServer: one worker thread
+ * per registered backend lane, client-side blocking waits, and the
+ * lifecycle (start/stop) around them.
+ *
+ * The split from server.cc is deliberate: everything here is thread
+ * lifecycle; the queue/accounting/sharding logic lives in server.cc
+ * and is shared verbatim with the synchronous drain() path, which is
+ * what keeps the two modes bitwise-identical in results and
+ * accounting.
+ */
+
+#include "runtime/server.h"
+
+namespace dadu::runtime {
+
+void
+DynamicsServer::start()
+{
+    if (running())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = false;
+    }
+    // Publish running_ BEFORE the workers exist: a client observing
+    // false may serve inline (wait() fallback), which must never
+    // overlap a worker on the same lane. The mirror-image ordering
+    // of stop().
+    running_.store(true, std::memory_order_release);
+    workers_.reserve(lanes_.size());
+    for (int i = 0; i < static_cast<int>(lanes_.size()); ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+void
+DynamicsServer::stop()
+{
+    if (!running())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    for (Lane &lane : lanes_)
+        lane.cv.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+    workers_.clear();
+    // A submit() racing stop() can land work on a lane whose worker
+    // already observed stop_ and exited; the straggler pass below
+    // serves those so every accepted job completes (and wait()ers
+    // blocked on them wake). running_ flips BEFORE the pass: any
+    // submit the pass's final scan missed must have locked mu_ after
+    // the scan, which orders this store before it — so that client's
+    // later wait() reads running() == false and serves inline
+    // instead of blocking on a cv nobody will signal.
+    running_.store(false, std::memory_order_release);
+    serveAllSync();
+}
+
+void
+DynamicsServer::workerLoop(int lane)
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            lanes_[lane].cv.wait(lock, [&] {
+                return stop_ || !lanes_[lane].work.empty();
+            });
+            // Finish queued work before honoring stop: jobs already
+            // accepted (including chained serial stages, which only
+            // ever re-enqueue on their own lane) complete.
+            if (stop_ && lanes_[lane].work.empty())
+                return;
+        }
+        serveOne(lane);
+    }
+}
+
+void
+DynamicsServer::wait(int job)
+{
+    if (!running()) {
+        // Serve inline, but do NOT drain(): the accounting interval
+        // (and job-record retirement) stays untouched, keeping sync
+        // and async call sequences equivalent.
+        serveAllSync();
+        return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+        return static_cast<std::size_t>(job) < retire_base_ ||
+               jobRef(job).done;
+    });
+}
+
+void
+DynamicsServer::waitAll()
+{
+    if (!running()) {
+        serveAllSync();
+        return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_jobs_ == 0; });
+}
+
+} // namespace dadu::runtime

@@ -48,6 +48,35 @@ TEST(FixedPoint, MultiplicationNearExact)
     }
 }
 
+TEST(FixedPoint, MultiplicationTruncatesTowardZeroSymmetrically)
+{
+    // Regression: the multiply used a bare arithmetic right shift,
+    // which floors — so negative products picked up a -1 ULP bias
+    // while positive products truncated toward zero. The documented
+    // DSP-truncation drops the fractional tail for either sign, so
+    // negation must commute with multiplication at the raw level.
+
+    // The minimal biased case: |product| has only fractional bits.
+    const Fix tiny_a = Fix::fromRaw(3), tiny_b = Fix::fromRaw(1);
+    EXPECT_EQ((tiny_a * tiny_b).raw(), 0);
+    EXPECT_EQ(((-tiny_a) * tiny_b).raw(), 0); // was -1 (floor)
+    EXPECT_EQ((tiny_a * (-tiny_b)).raw(), 0);
+
+    std::mt19937 rng(31);
+    std::uniform_real_distribution<double> d(-50.0, 50.0);
+    for (int i = 0; i < 2000; ++i) {
+        const Fix a(d(rng)), b(d(rng));
+        const Fix p = a * b;
+        EXPECT_EQ(((-a) * b).raw(), (-p).raw());
+        EXPECT_EQ((a * (-b)).raw(), (-p).raw());
+        EXPECT_EQ(((-a) * (-b)).raw(), p.raw());
+        // Truncation toward zero never grows the magnitude.
+        EXPECT_LE(std::abs(p.toDouble()),
+                  std::abs(a.toDouble() * b.toDouble()) +
+                      1.0 / Fix::scale);
+    }
+}
+
 TEST(FixedPoint, AccumulationStaysExact)
 {
     // Repeated accumulation of exactly representable values must not

@@ -18,8 +18,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "accel/accelerator.h"
@@ -377,6 +379,407 @@ TEST(DynamicsServer, ExecutedSerialStageMakespanMatchesFormula)
     // form), so the band can be tight: within 15%.
     EXPECT_NEAR(executed_us / model_us, 1.0, 0.15)
         << "executed " << executed_us << " us vs model " << model_us;
+}
+
+TEST(DynamicsServer, SyncWaitServesInlineWithoutConsumingTheInterval)
+{
+    // wait() on a never-start()ed server serves inline but must not
+    // behave like drain(): the accounting interval and the job
+    // records survive until the caller drains explicitly, exactly as
+    // in async mode.
+    const RobotModel robot = model::makeHyq();
+    FixedCostBackend backend(robot, 4.0);
+    runtime::DynamicsServer server(backend);
+
+    auto reqs = randomRequests(robot, 3, 71);
+    std::vector<DynamicsResult> res(3);
+    const int j1 =
+        server.submit(FunctionType::FD, reqs.data(), 3, res.data());
+    server.wait(j1);
+    EXPECT_TRUE(server.jobDone(j1));
+    const int j2 =
+        server.submit(FunctionType::FD, reqs.data(), 3, res.data());
+    server.wait(j2);
+
+    // Both job records still readable, and one drain reports the
+    // whole interval.
+    EXPECT_DOUBLE_EQ(server.jobUs(j1), 4.0);
+    EXPECT_DOUBLE_EQ(server.jobUs(j2), 4.0);
+    runtime::ServerStats stats;
+    EXPECT_DOUBLE_EQ(server.drain(&stats), 8.0);
+    EXPECT_EQ(stats.jobs, 2u);
+    EXPECT_EQ(stats.tasks, 6u);
+}
+
+TEST(DynamicsServer, ReentrantSubmitFromAdvanceCallback)
+{
+    // Regression: the pre-async drain() held `Job &job = queue_[next_]`
+    // across the advance callback, so a reentrant submit() could
+    // reallocate the job vector and leave the reference (and the
+    // backend's stats pointer) dangling. Jobs now live in a deque and
+    // the serving loop never holds a reference across a callback, so
+    // submitting from inside an advance callback is defined — and the
+    // inner job must be served by the same drain.
+    const RobotModel robot = model::makeHyq();
+    FixedCostBackend backend(robot, 3.0);
+    runtime::DynamicsServer server(backend);
+
+    struct Ctx
+    {
+        runtime::DynamicsServer *server;
+        std::vector<DynamicsRequest> inner_req;
+        std::vector<DynamicsResult> inner_res;
+        int inner_job = -1;
+        int advances = 0;
+    } ctx;
+    ctx.server = &server;
+    ctx.inner_req = randomRequests(robot, 6, 41);
+    ctx.inner_res.resize(6);
+
+    auto advance = [](void *vctx, int /*next_stage*/,
+                      const DynamicsResult *results,
+                      DynamicsRequest *requests, std::size_t points) {
+        auto *c = static_cast<Ctx *>(vctx);
+        if (c->advances++ == 0) {
+            // Reentrant submission mid-drain, mid-job. Enough jobs to
+            // force a small-vector reallocation in the old layout.
+            for (int i = 0; i < 8; ++i)
+                c->inner_job = c->server->submit(
+                    FunctionType::FD, c->inner_req.data(), 6,
+                    c->inner_res.data());
+        }
+        for (std::size_t p = 0; p < points; ++p)
+            requests[p].qd = results[p].qdd;
+    };
+
+    auto reqs = randomRequests(robot, 5, 42);
+    std::vector<DynamicsResult> res(5);
+    const int outer = server.submitSerialStages(
+        FunctionType::FD, reqs.data(), 5, 3, advance, &ctx, res.data());
+
+    runtime::ServerStats stats;
+    server.drain(&stats);
+    EXPECT_EQ(ctx.advances, 2);
+    EXPECT_TRUE(server.jobDone(outer));
+    ASSERT_GE(ctx.inner_job, 0);
+    EXPECT_TRUE(server.jobDone(ctx.inner_job));
+    // 3 outer stage batches + 8 inner jobs, all accounted.
+    EXPECT_EQ(stats.jobs, 9u);
+    EXPECT_EQ(stats.batches, 11u);
+    EXPECT_DOUBLE_EQ(server.jobUs(outer), 3 * 3.0);
+    for (int i = 0; i < 6; ++i)
+        expectBitwiseEqual(ctx.inner_res[i].qdd, ctx.inner_req[i].qd);
+}
+
+// ---------------------------------------------------------------------
+// Sharded serving
+// ---------------------------------------------------------------------
+
+/**
+ * Modeled-cost backend: batch makespan = base + count * per_task, in
+ * backend (virtual) time — the deterministic stand-in for "one more
+ * accelerator instance" that makes sharding arithmetic exact.
+ */
+class LinearCostBackend : public runtime::DynamicsBackend
+{
+  public:
+    LinearCostBackend(const RobotModel &robot, double base_us,
+                      double per_task_us)
+        : robot_(robot), base_us_(base_us), per_task_us_(per_task_us)
+    {}
+
+    const char *name() const override { return "linear-cost"; }
+    const RobotModel &robot() const override { return robot_; }
+    bool offloaded() const override { return true; }
+
+    std::unique_ptr<runtime::DynamicsBackend> clone() const override
+    {
+        return std::make_unique<LinearCostBackend>(robot_, base_us_,
+                                                   per_task_us_);
+    }
+
+    void
+    submit(FunctionType, const DynamicsRequest *requests,
+           std::size_t count, DynamicsResult *results,
+           BatchStats *stats) override
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            results[i].qdd = requests[i].qd;
+        ++batches_;
+        tasks_ += count;
+        if (stats) {
+            *stats = BatchStats{};
+            stats->total_us = base_us_ + count * per_task_us_;
+        }
+    }
+
+    int batches() const { return batches_; }
+    std::size_t tasks() const { return tasks_; }
+
+  private:
+    const RobotModel &robot_;
+    double base_us_, per_task_us_;
+    int batches_ = 0;
+    std::size_t tasks_ = 0;
+};
+
+TEST(DynamicsServer, ShardedBatchSplitsResultsAndMergesStats)
+{
+    const RobotModel robot = model::makeHyq();
+    LinearCostBackend b0(robot, 5.0, 1.0);
+    auto b1 = b0.clone();
+    runtime::DynamicsServer server(b0);
+    server.addBackend(*b1);
+
+    const int n = 24;
+    auto reqs = randomRequests(robot, n, 17);
+    std::vector<DynamicsResult> res(n);
+    const int job =
+        server.submitSharded(FunctionType::FD, reqs.data(), n, res.data());
+    runtime::ServerStats stats;
+    server.drain(&stats);
+
+    // Every request was answered exactly once, in order.
+    for (int i = 0; i < n; ++i)
+        expectBitwiseEqual(res[i].qdd, reqs[i].qd);
+    // Even split across idle lanes: 12 + 12 tasks, two batches.
+    EXPECT_EQ(b0.tasks() + static_cast<LinearCostBackend &>(*b1).tasks(),
+              static_cast<std::size_t>(n));
+    EXPECT_EQ(b0.batches(), 1);
+    EXPECT_EQ(stats.batches, 2u);
+    EXPECT_EQ(stats.tasks, static_cast<std::size_t>(n));
+    // Concurrent shards: job makespan = slowest shard (12 tasks),
+    // lane busy = both shards summed, server makespan = max lane.
+    EXPECT_DOUBLE_EQ(server.jobUs(job), 5.0 + 12.0);
+    EXPECT_DOUBLE_EQ(stats.busy_us, 2 * (5.0 + 12.0));
+    EXPECT_DOUBLE_EQ(stats.makespan_us, 5.0 + 12.0);
+    EXPECT_DOUBLE_EQ(server.jobStats(job).total_us, 5.0 + 12.0);
+}
+
+TEST(DynamicsServer, ShardedThroughputScalesWithBackendCount)
+{
+    // The acceptance arithmetic of the serving layer, pinned on the
+    // deterministic modeled backend: a pipeline-shaped cost
+    // (latency base + per-task interval) sharded 2 and 4 ways must
+    // scale throughput by >= 1.7x and >= 3x.
+    const RobotModel robot = model::makeHyq();
+    const int n = 192;
+    auto reqs = randomRequests(robot, n, 23);
+
+    double makespan[3] = {0, 0, 0};
+    const int shard_counts[3] = {1, 2, 4};
+    for (int s = 0; s < 3; ++s) {
+        LinearCostBackend base(robot, 6.0, 0.5);
+        std::vector<std::unique_ptr<runtime::DynamicsBackend>> owned;
+        runtime::DynamicsServer server(base);
+        for (int k = 1; k < shard_counts[s]; ++k) {
+            owned.push_back(base.clone());
+            server.addBackend(*owned.back());
+        }
+        std::vector<DynamicsResult> res(n);
+        server.submitSharded(FunctionType::FD, reqs.data(), n,
+                             res.data());
+        runtime::ServerStats stats;
+        server.drain(&stats);
+        makespan[s] = stats.makespan_us;
+    }
+    EXPECT_GE(makespan[0] / makespan[1], 1.7);
+    EXPECT_GE(makespan[0] / makespan[2], 3.0);
+}
+
+TEST(DynamicsServer, LeastLoadedShardingFillsTheLighterLane)
+{
+    const RobotModel robot = model::makeHyq();
+    LinearCostBackend b0(robot, 0.0, 1.0);
+    auto b1_owned = b0.clone();
+    auto &b1 = static_cast<LinearCostBackend &>(*b1_owned);
+    runtime::DynamicsServer server(b0);
+    server.addBackend(b1);
+
+    // Pre-load lane 0 with 20 queued tasks, then shard 30: water-
+    // filling should give the idle lane 25 and lane 0 only 5.
+    auto pre = randomRequests(robot, 20, 3);
+    std::vector<DynamicsResult> pre_res(20);
+    server.submit(FunctionType::FD, pre.data(), 20, pre_res.data(), 0);
+
+    auto reqs = randomRequests(robot, 30, 4);
+    std::vector<DynamicsResult> res(30);
+    server.submitSharded(FunctionType::FD, reqs.data(), 30, res.data());
+    server.drain();
+
+    EXPECT_EQ(b0.tasks(), 25u); // 20 pre-load + 5 shard
+    EXPECT_EQ(b1.tasks(), 25u);
+    for (int i = 0; i < 30; ++i)
+        expectBitwiseEqual(res[i].qdd, reqs[i].qd);
+}
+
+TEST(DynamicsServer, ShardedExecutionMatchesShardedScheduleModel)
+{
+    // The sharded analogue of the Fig. 13 validation: a flat batch
+    // split over two cloned cycle-accurate accelerator instances
+    // lands near the closed-form scheduleShardedUs model.
+    const RobotModel robot = model::makeIiwa();
+    accel::Accelerator accel(robot);
+    runtime::AcceleratorBackend backend(accel);
+    auto clone = backend.clone();
+    runtime::DynamicsServer server(backend);
+    server.addBackend(*clone);
+
+    const int points = 96;
+    auto reqs = randomRequests(robot, points, 13);
+    std::vector<DynamicsResult> res(points);
+    const int job = server.submitSharded(FunctionType::DeltaFD,
+                                         reqs.data(), points, res.data());
+    server.drain();
+
+    const auto est = accel.analytic(FunctionType::DeltaFD);
+    const double model_us = app::scheduleShardedUs(
+        points, 1, 2, est.ii_cycles, est.latency_cycles,
+        accel.config().freq_mhz);
+    const double executed_us = server.jobUs(job);
+    EXPECT_GT(executed_us, 0.0);
+    EXPECT_NEAR(executed_us / model_us, 1.0, 0.25)
+        << "executed " << executed_us << " us vs model " << model_us;
+
+    // And the numerics are the same tasks, shard boundaries or not.
+    std::vector<DynamicsResult> direct(points);
+    accel.run(FunctionType::DeltaFD, reqs.data(), points, direct.data());
+    for (int i = 0; i < points; ++i)
+        expectBitwiseEqual(res[i].qdd, direct[i].qdd);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent serving stress
+// ---------------------------------------------------------------------
+
+TEST(DynamicsServer, ConcurrentClientsMatchSynchronousBitwise)
+{
+    // M client threads x K backend lanes, flat sharded + serial-stage
+    // jobs mixed: results must be bitwise-identical to the same jobs
+    // served synchronously, and the job/task accounting must sum.
+    const RobotModel robot = model::makeIiwa();
+    accel::Accelerator accel(robot);
+    runtime::AnalyticBackend base(accel);
+
+    constexpr int kClients = 4, kRounds = 3, kPoints = 6, kStages = 3;
+
+    struct ClientData
+    {
+        std::vector<DynamicsRequest> flat_req, serial_req;
+        std::vector<DynamicsResult> flat_res, serial_res;
+        int advances = 0;
+    };
+
+    auto makeRequests = [&](int client) {
+        return randomRequests(robot, kPoints, 100 + client);
+    };
+
+    // Reference: every client's jobs served synchronously on a fresh
+    // single-lane server.
+    std::vector<ClientData> ref(kClients);
+    for (int c = 0; c < kClients; ++c) {
+        runtime::AnalyticBackend backend(accel);
+        runtime::DynamicsServer server(backend);
+        ref[c].flat_req = makeRequests(c);
+        ref[c].serial_req = makeRequests(c);
+        ref[c].flat_res.resize(kPoints);
+        ref[c].serial_res.resize(kPoints);
+        server.submit(FunctionType::DeltaFD, ref[c].flat_req.data(),
+                      kPoints, ref[c].flat_res.data());
+        server.submitSerialStages(FunctionType::FD,
+                                  ref[c].serial_req.data(), kPoints,
+                                  kStages, &serialstage::advance,
+                                  &ref[c].advances,
+                                  ref[c].serial_res.data());
+        server.drain();
+    }
+
+    // Async: 3 lanes over clones sharing the read-only accelerator
+    // model, 4 client threads, 3 rounds each.
+    auto lane1 = base.clone();
+    auto lane2 = base.clone();
+    runtime::DynamicsServer server(base);
+    server.addBackend(*lane1);
+    server.addBackend(*lane2);
+    server.start();
+
+    std::vector<ClientData> got(kClients);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int r = 0; r < kRounds; ++r) {
+                ClientData data;
+                data.flat_req = makeRequests(c);
+                data.serial_req = makeRequests(c);
+                data.flat_res.resize(kPoints);
+                data.serial_res.resize(kPoints);
+                const int flat = server.submitSharded(
+                    FunctionType::DeltaFD, data.flat_req.data(), kPoints,
+                    data.flat_res.data());
+                const int serial = server.submitSerialStages(
+                    FunctionType::FD, data.serial_req.data(), kPoints,
+                    kStages, &serialstage::advance, &data.advances,
+                    data.serial_res.data(),
+                    runtime::DynamicsServer::kLeastLoaded);
+                server.wait(flat);
+                server.wait(serial);
+                got[c] = std::move(data);
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    server.stop();
+
+    runtime::ServerStats stats;
+    server.drain(&stats);
+    EXPECT_EQ(stats.jobs,
+              static_cast<std::size_t>(kClients * kRounds * 2));
+    EXPECT_EQ(stats.tasks, static_cast<std::size_t>(
+                               kClients * kRounds *
+                               (kPoints + kPoints * kStages)));
+    EXPECT_GE(stats.busy_us, stats.makespan_us);
+
+    for (int c = 0; c < kClients; ++c) {
+        EXPECT_EQ(got[c].advances, kStages - 1);
+        for (int p = 0; p < kPoints; ++p) {
+            expectBitwiseEqual(got[c].flat_res[p].qdd,
+                               ref[c].flat_res[p].qdd);
+            expectBitwiseEqual(got[c].flat_res[p].dqdd_dq,
+                               ref[c].flat_res[p].dqdd_dq);
+            expectBitwiseEqual(got[c].serial_res[p].qdd,
+                               ref[c].serial_res[p].qdd);
+        }
+    }
+}
+
+TEST(MpcRuntime, MultiClientServingScalesWithShards)
+{
+    // The workload-level serving scenario on the modeled backend:
+    // more accelerator shards, proportionally shorter serving
+    // makespan for the same multi-client traffic.
+    const auto robot = model::makeQuadrupedArm();
+    app::MpcConfig cfg;
+    cfg.horizon_points = 16;
+    app::MpcWorkload workload(robot, cfg);
+    accel::Accelerator accel(robot);
+    runtime::AnalyticBackend base(accel);
+
+    double makespan[2] = {0, 0};
+    for (int s = 0; s < 2; ++s) {
+        const int shards = s == 0 ? 1 : 2;
+        std::vector<std::unique_ptr<runtime::DynamicsBackend>> owned;
+        runtime::DynamicsServer server(base);
+        for (int k = 1; k < shards; ++k) {
+            owned.push_back(base.clone());
+            server.addBackend(*owned.back());
+        }
+        const app::MultiClientReport r =
+            workload.serveMultiClient(server, 3, 2);
+        EXPECT_EQ(r.jobs, 3u * 2u * 2u);
+        makespan[s] = r.makespan_us;
+    }
+    EXPECT_GT(makespan[0] / makespan[1], 1.2);
 }
 
 // ---------------------------------------------------------------------
