@@ -25,11 +25,17 @@ clampThreads(int threads)
 } // namespace
 
 BatchedDynamics::BatchedDynamics(const RobotModel &robot, int threads)
-    : robot_(robot), pool_(clampThreads(threads) - 1)
+    : BatchedDynamics(
+          robot, std::make_shared<app::ThreadPool>(clampThreads(threads) - 1))
+{}
+
+BatchedDynamics::BatchedDynamics(const RobotModel &robot,
+                                 std::shared_ptr<app::ThreadPool> pool)
+    : robot_(robot), pool_(std::move(pool))
 {
     // One workspace per chunk: pool workers plus the calling thread,
     // which participates in runIndexed().
-    workspaces_.resize(static_cast<std::size_t>(pool_.threadCount()) + 1);
+    workspaces_.resize(static_cast<std::size_t>(pool_->threadCount()) + 1);
     for (auto &ws : workspaces_)
         ws.ensure(robot_);
 }
@@ -78,7 +84,7 @@ BatchedDynamics::dispatch(Mode mode, const VectorX *q, const VectorX *qd,
     in_q_ = q;
     in_qd_ = qd;
     in_tau_ = tau;
-    pool_.runIndexed(&BatchedDynamics::runChunk, this, workspaceCount());
+    pool_->runIndexed(&BatchedDynamics::runChunk, this, workspaceCount());
     in_q_ = in_qd_ = in_tau_ = nullptr;
     in_dispatch_.store(false);
 }

@@ -25,6 +25,7 @@
 #define DADU_ALGORITHMS_BATCHED_H
 
 #include <atomic>
+#include <memory>
 #include <vector>
 
 #include "algorithms/dynamics.h"
@@ -58,8 +59,23 @@ class BatchedDynamics
      */
     BatchedDynamics(const RobotModel &robot, int threads);
 
+    /**
+     * Share an existing worker pool instead of owning one: several
+     * engines over one host (e.g. CpuBatchedBackend clones serving
+     * DynamicsServer lanes) then fan out over ONE set of workers —
+     * concurrent dispatches serialize on the pool's bulk gate rather
+     * than oversubscribing the cores with per-engine worker sets.
+     * Each engine still owns its workspaces, so sharing the pool
+     * never shares mutable numeric state.
+     */
+    BatchedDynamics(const RobotModel &robot,
+                    std::shared_ptr<app::ThreadPool> pool);
+
+    /** The worker pool (shared across engines cloned for one host). */
+    const std::shared_ptr<app::ThreadPool> &pool() const { return pool_; }
+
     /** Total parallelism (pool workers + the calling thread). */
-    int threadCount() const { return pool_.threadCount() + 1; }
+    int threadCount() const { return pool_->threadCount() + 1; }
 
     /** Number of per-chunk workspaces (== threadCount()). */
     int workspaceCount() const
@@ -120,7 +136,7 @@ class BatchedDynamics
                   const VectorX *tau, int n);
 
     const RobotModel &robot_;
-    app::ThreadPool pool_;
+    std::shared_ptr<app::ThreadPool> pool_;
     std::vector<DynamicsWorkspace> workspaces_;
 
     // Current batch (valid during dispatch).

@@ -218,7 +218,8 @@ MpcWorkload::backendIterationUs(runtime::DynamicsBackend &backend)
 
 MultiClientReport
 MpcWorkload::serveMultiClient(runtime::DynamicsServer &server,
-                              int clients, int rounds)
+                              int clients, int rounds,
+                              double deadline_slack)
 {
     // Per-client job storage: requests/results must stay alive (and
     // exclusively owned) until the client's jobs complete, so each
@@ -249,8 +250,15 @@ MpcWorkload::serveMultiClient(runtime::DynamicsServer &server,
     std::vector<std::thread> threads;
     threads.reserve(clients);
     for (int c = 0; c < clients; ++c) {
-        threads.emplace_back([this, &server, &states, c, rounds, n] {
+        threads.emplace_back([this, &server, &states, c, rounds, n,
+                              deadline_slack] {
             ClientState &st = states[c];
+            // Per-task backend time in FD-equivalents, calibrated
+            // from the previous round's LQ BatchStats: feeds the
+            // closed-form makespan prediction behind each deadline.
+            const double dfd_weight = runtime::sched::functionWeight(
+                runtime::FunctionType::DeltaFD);
+            double task_us = 0.0;
             for (int r = 0; r < rounds; ++r) {
                 // Client c looks at the horizon shifted by c so the
                 // concurrent traffic differs per client.
@@ -261,15 +269,49 @@ MpcWorkload::serveMultiClient(runtime::DynamicsServer &server,
                     st.lq_req[i].qdd_or_tau = taus_[s];
                     st.ro_req[i] = st.lq_req[i];
                 }
+                runtime::sched::JobTag lq_tag, ro_tag;
+                if (deadline_slack > 0.0 && task_us > 0.0) {
+                    double queued = server.laneLoadWeight(0);
+                    for (int l = 1; l < server.backendCount(); ++l)
+                        queued = std::min(queued,
+                                          server.laneLoadWeight(l));
+                    const double now = perf::nowUs();
+                    lq_tag.deadline_us =
+                        now + deadline_slack *
+                                  predictedAdmissionUs(
+                                      queued, static_cast<int>(n), 1,
+                                      task_us, 0.0, dfd_weight);
+                    ro_tag.deadline_us =
+                        now + deadline_slack *
+                                  predictedAdmissionUs(
+                                      queued, static_cast<int>(n), 4,
+                                      task_us, 0.0,
+                                      runtime::sched::functionWeight(
+                                          runtime::FunctionType::FD));
+                }
+                const double round_t0 = perf::nowUs();
                 const int lq = server.submitSharded(
                     runtime::FunctionType::DeltaFD, st.lq_req.data(), n,
-                    st.lq_res.data());
+                    st.lq_res.data(), lq_tag);
                 const int ro = server.submitSerialStages(
                     runtime::FunctionType::FD, st.ro_req.data(), n, 4,
                     &MpcWorkload::advanceRollout, &st.ro_ctx,
                     st.ro_res.data(),
-                    runtime::DynamicsServer::kLeastLoaded);
+                    runtime::DynamicsServer::kLeastLoaded, ro_tag);
                 server.wait(lq);
+                if (deadline_slack > 0.0) {
+                    // Calibrate from the WALL time of the client's
+                    // own LQ round, because the deadline is judged
+                    // against wall-clock completion: BatchStats
+                    // would give modeled backend time here, which
+                    // for simulated/analytic backends has no
+                    // relation to how long this host really takes
+                    // to serve the batch. Queueing delay is
+                    // included, which only loosens the prediction.
+                    const double wall = perf::nowUs() - round_t0;
+                    if (wall > 0.0)
+                        task_us = wall / (n * dfd_weight);
+                }
                 server.wait(ro);
             }
         });
@@ -280,7 +322,8 @@ MpcWorkload::serveMultiClient(runtime::DynamicsServer &server,
         server.stop();
 
     runtime::ServerStats stats;
-    server.drain(&stats);
+    runtime::sched::SchedStats sstats;
+    server.drain(&stats, &sstats);
     MultiClientReport report;
     report.makespan_us = stats.makespan_us;
     report.busy_us = stats.busy_us;
@@ -288,6 +331,10 @@ MpcWorkload::serveMultiClient(runtime::DynamicsServer &server,
     report.tasks = stats.tasks;
     report.throughput_mtasks =
         stats.makespan_us > 0.0 ? stats.tasks / stats.makespan_us : 0.0;
+    report.deadline_met = sstats.deadline_met;
+    report.deadline_misses = sstats.deadline_misses;
+    report.coalesced_batches = sstats.coalesced_batches;
+    report.steals = sstats.steals;
     return report;
 }
 

@@ -62,6 +62,13 @@ struct MultiClientReport
     std::size_t jobs = 0;     ///< jobs served (2 per client round)
     std::size_t tasks = 0;    ///< individual dynamics requests
     double throughput_mtasks = 0.0; ///< tasks per makespan µs
+    // QoS outcome of deadline-tagged rounds (zero when untagged):
+    // every tagged job lands in exactly one bucket — completed by
+    // its deadline or completed late and reported as a miss.
+    std::size_t deadline_met = 0;
+    std::size_t deadline_misses = 0;
+    std::size_t coalesced_batches = 0; ///< merged submissions served
+    std::size_t steals = 0;            ///< items run off their home lane
 };
 
 /** Wall-clock shares of one MPC iteration (Fig. 2c). */
@@ -175,9 +182,19 @@ class MpcWorkload
      * traffic is not identical. Starts the server's workers if not
      * already running (and stops them again in that case); the
      * server's accounting interval is drained into the report.
+     *
+     * @p deadline_slack > 0 turns the clients into deadline-tagged
+     * (EDF-schedulable) traffic: from its second round on, each
+     * client predicts its jobs' makespan with the closed-form
+     * app::predictedAdmissionUs — per-task time calibrated from its
+     * own previous round's BatchStats, queued work read from the
+     * server's lane load — and tags them with
+     * deadline = now + slack x prediction. The report's deadline
+     * buckets then account every tagged job.
      */
     MultiClientReport serveMultiClient(runtime::DynamicsServer &server,
-                                       int clients, int rounds = 1);
+                                       int clients, int rounds = 1,
+                                       double deadline_slack = 0.0);
 
     const MpcConfig &config() const { return cfg_; }
 

@@ -29,4 +29,12 @@ scheduleShardedUs(int points, int stages, int shards, double ii_cycles,
                                   latency_cycles, freq_mhz);
 }
 
+double
+predictedAdmissionUs(double queued_weight, int points, int stages,
+                     double task_us, double latency_us, double fn_weight)
+{
+    return queued_weight * task_us +
+           stages * (points * task_us * fn_weight + latency_us);
+}
+
 } // namespace dadu::app

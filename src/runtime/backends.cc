@@ -102,13 +102,22 @@ fillMeasuredStats(BatchStats *stats, double elapsed_us, std::size_t count)
 // -----------------------------------------------------------------
 
 CpuBatchedBackend::CpuBatchedBackend(const RobotModel &robot, int threads)
-    : robot_(robot), threads_(threads), engine_(robot, threads), ws_(robot)
+    : robot_(robot), engine_(robot, threads), ws_(robot)
+{}
+
+CpuBatchedBackend::CpuBatchedBackend(const RobotModel &robot,
+                                     std::shared_ptr<app::ThreadPool> pool)
+    : robot_(robot), engine_(robot, std::move(pool)), ws_(robot)
 {}
 
 std::unique_ptr<DynamicsBackend>
 CpuBatchedBackend::clone() const
 {
-    return std::make_unique<CpuBatchedBackend>(robot_, threads_);
+    // Clones share ONE host-wide worker pool (the bulk gate
+    // serializes their dispatches); workspaces and staging stay
+    // per-clone, so each clone remains independently submittable
+    // from its own lane.
+    return std::make_unique<CpuBatchedBackend>(robot_, engine_.pool());
 }
 
 void

@@ -19,6 +19,7 @@
 #ifndef DADU_RUNTIME_BACKENDS_H
 #define DADU_RUNTIME_BACKENDS_H
 
+#include <memory>
 #include <vector>
 
 #include "accel/accelerator.h"
@@ -48,16 +49,26 @@ class CpuBatchedBackend : public DynamicsBackend
   public:
     CpuBatchedBackend(const RobotModel &robot, int threads);
 
+    /**
+     * An engine over @p pool instead of an owned worker set — the
+     * clone() path: every clone of one backend shares the original's
+     * host-wide pool (per-clone workspaces and staging, shared
+     * workers), so sharding CPU backends across DynamicsServer lanes
+     * on one host serializes on the pool's bulk gate instead of
+     * oversubscribing the cores.
+     */
+    CpuBatchedBackend(const RobotModel &robot,
+                      std::shared_ptr<app::ThreadPool> pool);
+
     const char *name() const override { return "cpu-batched"; }
     const RobotModel &robot() const override { return robot_; }
     bool offloaded() const override { return false; }
     /**
-     * A fresh engine over the same robot and thread count. Note
-     * each clone owns a full-width thread pool: sharding several
-     * clones on ONE host oversubscribes its cores (see the ROADMAP
-     * open item on a shared host pool) — CPU clones are for
-     * spreading across hosts or NUMA domains, accelerator clones
-     * for sharding on one.
+     * A second engine over the same robot SHARING this backend's
+     * thread pool (fresh workspaces and staging). Concurrent
+     * submits to the original and its clones are safe: batch
+     * dispatches serialize on the shared pool's bulk gate, so the
+     * host's cores are never oversubscribed.
      */
     std::unique_ptr<DynamicsBackend> clone() const override;
     void submit(FunctionType fn, const DynamicsRequest *requests,
@@ -87,7 +98,6 @@ class CpuBatchedBackend : public DynamicsBackend
                    DynamicsResult *results);
 
     const RobotModel &robot_;
-    int threads_;
     algo::BatchedDynamics engine_;
     algo::DynamicsWorkspace ws_;  ///< reference path for non-batched fns
     algo::FdDerivatives fd_tmp_;  ///< reference-path ∆FD scratch

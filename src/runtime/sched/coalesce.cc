@@ -1,0 +1,51 @@
+#include <algorithm>
+
+#include "runtime/sched/policies.h"
+
+namespace dadu::runtime::sched {
+
+std::size_t
+absorbSameFnFlat(const QueueView &q, const SchedConfig &cfg, Pick &out)
+{
+    if (out.positions.size() != 1)
+        return 0;
+    const std::size_t primary_pos = out.positions.front();
+    const ItemView primary = q.item(out.lane, primary_pos);
+    // Only small flat batches amortize: a batch already near the
+    // pipeline-filling size pays its latency once over many tasks,
+    // and merging it would just delay whoever queued behind it.
+    if (!primary.flat || primary.count >= cfg.coalesce_only_below)
+        return 0;
+    std::size_t total = primary.count;
+    std::size_t absorbed = 0;
+    const std::size_t depth = q.depth(out.lane);
+    for (std::size_t pos = 0; pos < depth; ++pos) {
+        if (pos == primary_pos)
+            continue;
+        if (out.positions.size() >= cfg.coalesce_max_items)
+            break;
+        const ItemView view = q.item(out.lane, pos);
+        if (!view.flat || view.fn != primary.fn ||
+            view.count >= cfg.coalesce_only_below)
+            continue;
+        if (total + view.count > cfg.coalesce_max_tasks)
+            continue;
+        out.positions.push_back(pos);
+        total += view.count;
+        ++absorbed;
+    }
+    if (absorbed > 0)
+        std::sort(out.positions.begin(), out.positions.end());
+    return absorbed;
+}
+
+bool
+CoalescePolicy::pick(const QueueView &q, int lane, Pick &out)
+{
+    if (!inner_->pick(q, lane, out))
+        return false;
+    absorbSameFnFlat(q, cfg_, out);
+    return true;
+}
+
+} // namespace dadu::runtime::sched

@@ -1,0 +1,30 @@
+#include "runtime/sched/policies.h"
+
+namespace dadu::runtime::sched {
+
+bool
+EdfPolicy::pick(const QueueView &q, int lane, Pick &out)
+{
+    const std::size_t depth = q.depth(lane);
+    if (depth == 0)
+        return false;
+    // Earliest-deadline scan of the lane's queue. Untagged items
+    // carry kNoDeadline (+inf), so they sort after every tagged item
+    // and among themselves fall back to priority, then submission
+    // order — a lane with no tagged work degenerates to FIFO.
+    std::size_t best = 0;
+    ItemView best_view = q.item(lane, 0);
+    for (std::size_t pos = 1; pos < depth; ++pos) {
+        const ItemView view = q.item(lane, pos);
+        if (edfBefore(view, best_view)) {
+            best = pos;
+            best_view = view;
+        }
+    }
+    out.lane = lane;
+    out.positions.clear();
+    out.positions.push_back(best);
+    return true;
+}
+
+} // namespace dadu::runtime::sched

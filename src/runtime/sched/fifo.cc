@@ -1,0 +1,16 @@
+#include "runtime/sched/policies.h"
+
+namespace dadu::runtime::sched {
+
+bool
+FifoPolicy::pick(const QueueView &q, int lane, Pick &out)
+{
+    if (q.depth(lane) == 0)
+        return false;
+    out.lane = lane;
+    out.positions.clear();
+    out.positions.push_back(0);
+    return true;
+}
+
+} // namespace dadu::runtime::sched

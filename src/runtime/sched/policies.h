@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The concrete SchedPolicy implementations (internal to the sched
+ * subsystem; users select them through SchedConfig / makePolicy).
+ * Each lives in its own translation unit: fifo.cc, edf.cc,
+ * coalesce.cc, steal.cc.
+ */
+
+#ifndef DADU_RUNTIME_SCHED_POLICIES_H
+#define DADU_RUNTIME_SCHED_POLICIES_H
+
+#include "runtime/sched/policy.h"
+
+namespace dadu::runtime::sched {
+
+/** Submission order: always the queue front (the pre-QoS behavior). */
+class FifoPolicy : public SchedPolicy
+{
+  public:
+    const char *name() const override { return "fifo"; }
+    bool pick(const QueueView &q, int lane, Pick &out) override;
+};
+
+/** Earliest absolute deadline first; untagged items in FIFO order after. */
+class EdfPolicy : public SchedPolicy
+{
+  public:
+    const char *name() const override { return "edf"; }
+    bool pick(const QueueView &q, int lane, Pick &out) override;
+};
+
+/**
+ * Decorator: after the inner policy picks a small flat primary,
+ * absorb further small same-function flat items of the same lane
+ * into one merged batch.
+ */
+class CoalescePolicy : public SchedPolicy
+{
+  public:
+    CoalescePolicy(std::unique_ptr<SchedPolicy> inner, SchedConfig cfg)
+        : inner_(std::move(inner)), cfg_(cfg)
+    {}
+
+    const char *name() const override { return "coalesce"; }
+    bool crossLane() const override { return inner_->crossLane(); }
+    bool pick(const QueueView &q, int lane, Pick &out) override;
+
+  private:
+    std::unique_ptr<SchedPolicy> inner_;
+    SchedConfig cfg_;
+};
+
+/**
+ * Decorator: when the inner policy finds nothing on the asking lane,
+ * pull the best (EDF-ordered) queued flat item from another lane —
+ * optionally coalescing more flat work from the same victim.
+ * Serial-stage jobs are never stolen: their later stages are
+ * lane-sticky and migrating one would split a job across backends.
+ */
+class StealPolicy : public SchedPolicy
+{
+  public:
+    StealPolicy(std::unique_ptr<SchedPolicy> inner, SchedConfig cfg)
+        : inner_(std::move(inner)), cfg_(cfg)
+    {}
+
+    const char *name() const override { return "steal"; }
+    bool crossLane() const override { return true; }
+    bool pick(const QueueView &q, int lane, Pick &out) override;
+
+  private:
+    std::unique_ptr<SchedPolicy> inner_;
+    SchedConfig cfg_;
+};
+
+} // namespace dadu::runtime::sched
+
+#endif // DADU_RUNTIME_SCHED_POLICIES_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Configuration and telemetry types of the QoS scheduling subsystem.
+ *
+ * A DynamicsServer lane is no longer a plain FIFO: the policy chosen
+ * in SchedConfig decides which queued item a lane runs next
+ * (deadline-aware EDF or submission-order FIFO), whether small
+ * same-function flat batches from different clients merge into one
+ * pipeline-filling batch (coalescing), and whether an idle lane may
+ * pull queued flat work from a busy one (work stealing). SchedStats
+ * counts what the policy actually did over one accounting interval,
+ * including the deadline outcomes of tagged jobs — a tagged job is
+ * never dropped or parked: it either completes by its deadline
+ * (deadline_met) or completes late and is reported in
+ * deadline_misses.
+ */
+
+#ifndef DADU_RUNTIME_SCHED_TELEMETRY_H
+#define DADU_RUNTIME_SCHED_TELEMETRY_H
+
+#include <cstddef>
+#include <limits>
+
+namespace dadu::runtime::sched {
+
+/** Base queue-pop order of a lane. */
+enum class PolicyKind
+{
+    Fifo, ///< submission order (the pre-QoS behavior, the default)
+    Edf,  ///< earliest absolute deadline first; untagged jobs after
+};
+
+/** Sentinel deadline of an untagged job ("no deadline"). */
+inline constexpr double kNoDeadline =
+    std::numeric_limits<double>::infinity();
+
+/**
+ * Optional QoS metadata attached to a job at submission. Deadlines
+ * are absolute microseconds on the perf::nowUs() monotonic clock
+ * (tag with nowUs() + budget); kNoDeadline means bulk work that any
+ * deadline-tagged job may overtake under EDF.
+ */
+struct JobTag
+{
+    int priority = 0;                 ///< EDF tie-break: higher first
+    double deadline_us = kNoDeadline; ///< absolute completion target
+};
+
+/** Scheduling-policy selection and knobs of one DynamicsServer. */
+struct SchedConfig
+{
+    PolicyKind kind = PolicyKind::Fifo;
+
+    /**
+     * Merge small same-function flat items queued on one lane into a
+     * single backend batch (per-batch pipeline latency is paid once
+     * for all of them); the merged BatchStats is split back per job
+     * in proportion to task count.
+     */
+    bool coalesce = false;
+
+    /**
+     * Let a lane whose queue yields nothing runnable pull queued
+     * flat items from other lanes (serial-stage jobs stay
+     * lane-sticky). Requires interchangeable backends — register
+     * clone()s of one configured backend, as with submitSharded().
+     */
+    bool steal = false;
+
+    /** Only items with fewer tasks than this are merged. */
+    std::size_t coalesce_only_below = 64;
+
+    /** Task cap of one merged batch. */
+    std::size_t coalesce_max_tasks = 512;
+
+    /** Item cap of one merged batch (bounds the gather/scatter). */
+    std::size_t coalesce_max_items = 32;
+};
+
+/**
+ * What the policy did over one drain() accounting interval. Returned
+ * alongside ServerStats by DynamicsServer::drain().
+ */
+struct SchedStats
+{
+    std::size_t picks = 0;         ///< serve decisions taken
+    std::size_t coalesced_batches = 0; ///< merged submissions issued
+    std::size_t coalesced_items = 0;   ///< items absorbed beyond the first
+    std::size_t steals = 0;        ///< items executed off their home lane
+    std::size_t deadline_met = 0;  ///< tagged jobs done by their deadline
+    std::size_t deadline_misses = 0; ///< tagged jobs that completed late
+};
+
+} // namespace dadu::runtime::sched
+
+#endif // DADU_RUNTIME_SCHED_TELEMETRY_H

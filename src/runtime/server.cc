@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+
+#include "perf/timing.h"
 
 namespace dadu::runtime {
 
+DynamicsServer::DynamicsServer() : policy_(sched::makePolicy({})) {}
+
 DynamicsServer::DynamicsServer(DynamicsBackend &backend)
+    : DynamicsServer()
 {
     addBackend(backend);
 }
@@ -24,6 +30,32 @@ DynamicsServer::addBackend(DynamicsBackend &backend)
     return static_cast<int>(lanes_.size()) - 1;
 }
 
+void
+DynamicsServer::setPolicy(const sched::SchedConfig &cfg)
+{
+    assert(!running() && "select the policy while the server is idle");
+    sched_cfg_ = cfg;
+    policy_ = sched::makePolicy(cfg);
+}
+
+sched::ItemView
+DynamicsServer::QueueAdapter::item(int lane, std::size_t pos) const
+{
+    const WorkItem &w = server_->lanes_[lane].work[pos];
+    const Job &job = server_->jobRef(w.job);
+    sched::ItemView view;
+    view.fn = job.fn;
+    view.count = w.count;
+    // Job ids are absolute submission indices: the FIFO key. A
+    // re-enqueued serial stage keeps its job's original id, so under
+    // EDF ties an old job's next stage is served before newer work.
+    view.seq = static_cast<std::uint64_t>(w.job);
+    view.priority = job.priority;
+    view.deadline_us = job.deadline_us;
+    view.flat = job.stages == 1;
+    return view;
+}
+
 int
 DynamicsServer::leastLoadedLane()
 {
@@ -35,7 +67,7 @@ DynamicsServer::leastLoadedLane()
     int best = rr_next_ % n;
     for (int k = 1; k < n; ++k) {
         const int i = (rr_next_ + k) % n;
-        if (lanes_[i].load_tasks < lanes_[best].load_tasks)
+        if (lanes_[i].load_weight < lanes_[best].load_weight)
             best = i;
     }
     rr_next_ = (best + 1) % n;
@@ -46,7 +78,30 @@ void
 DynamicsServer::pushWork(int lane, WorkItem item)
 {
     lanes_[lane].work.push_back(item);
-    lanes_[lane].cv.notify_one(); // only this lane's worker cares
+    if (jobRef(item.job).stages == 1)
+        ++lanes_[lane].flat_queued; // stealable-item count for thieves
+    lanes_[lane].cv.notify_one(); // the home lane's worker always cares
+    if (policy_->crossLane()) {
+        // Wake ONE sleeping lane as a potential thief (round-robin
+        // so repeated pushes spread across thieves). One is enough:
+        // thieves are symmetric — any idle lane's pick scans every
+        // other lane — and the home lane's worker serves whatever
+        // nobody steals, so liveness never depends on the thief.
+        // Waking all sleepers would just pile duplicate cross-lane
+        // scans onto mu_ for the losers of the race. The `waiting`
+        // flag (not an empty queue) identifies real sleepers: a lane
+        // mid-batch has an empty queue too, and spending the one
+        // notification on it would leave an actual sleeper unwoken.
+        const int n = static_cast<int>(lanes_.size());
+        for (int k = 1; k <= n; ++k) {
+            const int l = (thief_next_ + k) % n;
+            if (l != lane && lanes_[l].waiting) {
+                lanes_[l].cv.notify_one();
+                thief_next_ = l;
+                break;
+            }
+        }
+    }
 }
 
 int
@@ -54,8 +109,11 @@ DynamicsServer::enqueueJob(Job job, int backend_id)
 {
     const std::size_t count = job.count;
     // A serial-stage job commits ALL its stages to the chosen lane;
-    // charge the full debt so later placement decisions see it.
-    const std::size_t load = count * job.stages;
+    // charge the full FD-equivalent debt so later placement
+    // decisions see it.
+    const double load =
+        static_cast<double>(count * job.stages) *
+        sched::functionWeight(job.fn);
     std::lock_guard<std::mutex> lock(mu_);
     assert(backendCount() > 0);
     assert(backend_id == kLeastLoaded ||
@@ -66,7 +124,7 @@ DynamicsServer::enqueueJob(Job job, int backend_id)
     const int id =
         static_cast<int>(retire_base_ + jobs_.size()) - 1;
     ++pending_jobs_;
-    lanes_[lane].load_tasks += load;
+    lanes_[lane].load_weight += load;
     pushWork(lane, WorkItem{id, 0, count});
     return id;
 }
@@ -74,7 +132,7 @@ DynamicsServer::enqueueJob(Job job, int backend_id)
 int
 DynamicsServer::submit(FunctionType fn, const DynamicsRequest *requests,
                        std::size_t count, DynamicsResult *results,
-                       int backend_id)
+                       int backend_id, sched::JobTag tag)
 {
     Job job;
     job.fn = fn;
@@ -82,6 +140,8 @@ DynamicsServer::submit(FunctionType fn, const DynamicsRequest *requests,
     job.results = results;
     job.count = count;
     job.remaining = 1;
+    job.priority = tag.priority;
+    job.deadline_us = tag.deadline_us;
     return enqueueJob(std::move(job), backend_id);
 }
 
@@ -90,7 +150,8 @@ DynamicsServer::submitSerialStages(FunctionType fn,
                                    DynamicsRequest *requests,
                                    std::size_t points, int stages,
                                    AdvanceFn advance, void *ctx,
-                                   DynamicsResult *results, int backend_id)
+                                   DynamicsResult *results, int backend_id,
+                                   sched::JobTag tag)
 {
     assert(stages >= 1);
     Job job;
@@ -103,17 +164,20 @@ DynamicsServer::submitSerialStages(FunctionType fn,
     job.advance = advance;
     job.ctx = ctx;
     job.remaining = 1;
+    job.priority = tag.priority;
+    job.deadline_us = tag.deadline_us;
     return enqueueJob(std::move(job), backend_id);
 }
 
 int
 DynamicsServer::submitSharded(FunctionType fn,
                               const DynamicsRequest *requests,
-                              std::size_t count, DynamicsResult *results)
+                              std::size_t count, DynamicsResult *results,
+                              sched::JobTag tag)
 {
     assert(backendCount() > 0);
     if (backendCount() == 1 || count < 2)
-        return submit(fn, requests, count, results, kLeastLoaded);
+        return submit(fn, requests, count, results, kLeastLoaded, tag);
 
     Job job;
     job.fn = fn;
@@ -121,60 +185,80 @@ DynamicsServer::submitSharded(FunctionType fn,
     job.results = results;
     job.count = count;
     job.sharded = true;
+    job.priority = tag.priority;
+    job.deadline_us = tag.deadline_us;
 
     std::lock_guard<std::mutex> lock(mu_);
     const int n_lanes = backendCount();
+    const double w = sched::functionWeight(fn);
 
-    // Least-loaded water-filling: raise every lane's outstanding
-    // task count toward one common level, spending exactly `count`
-    // tasks — lighter lanes absorb more of the batch. Lanes already
-    // above the level get no shard.
+    // Least-loaded water-filling in FD-equivalent units: raise every
+    // lane's committed load toward one common level, spending exactly
+    // `count` tasks of weight w — lighter lanes absorb more of the
+    // batch, lanes already above the level get no shard. Levels are
+    // computed in this-function task units (load / w), the continuous
+    // level split back to integer tasks by largest remainder.
     if (order_scratch_.size() < static_cast<std::size_t>(n_lanes)) {
         order_scratch_.resize(n_lanes);
         share_scratch_.resize(n_lanes);
+        eff_scratch_.resize(n_lanes);
+        fshare_scratch_.resize(n_lanes);
     }
     std::vector<std::size_t> &order = order_scratch_;
     std::vector<std::size_t> &share = share_scratch_;
+    std::vector<double> &eff = eff_scratch_;
+    std::vector<double> &fshare = fshare_scratch_;
     for (int i = 0; i < n_lanes; ++i) {
         order[i] = i;
         share[i] = 0;
+        fshare[i] = 0.0;
+        eff[i] = lanes_[i].load_weight / w;
     }
     std::sort(order.begin(), order.begin() + n_lanes,
               [&](std::size_t a, std::size_t b) {
-                  return lanes_[a].load_tasks < lanes_[b].load_tasks;
+                  return eff[a] < eff[b];
               });
-    std::size_t remaining = count;
-    for (int i = 0; i < n_lanes && remaining > 0; ++i) {
-        // Lanes order[0..i] are the active (lowest) set; lift them to
-        // the next lane's level, or split what is left evenly.
-        const std::size_t active = i + 1;
-        std::size_t lift = remaining;
-        if (i + 1 < n_lanes) {
-            lift = 0;
-            for (std::size_t j = 0; j < active; ++j)
-                lift += lanes_[order[i + 1]].load_tasks -
-                        (lanes_[order[j]].load_tasks + share[order[j]]);
-            lift = std::min(lift, remaining);
+    // Find the water level L over the active (lightest) set: lifting
+    // the k lightest lanes to L spends sum(L - eff) == count tasks.
+    double prefix = 0.0;
+    double level = 0.0;
+    int active = n_lanes;
+    for (int k = 1; k <= n_lanes; ++k) {
+        prefix += eff[order[k - 1]];
+        const double cand =
+            (static_cast<double>(count) + prefix) / k;
+        if (k == n_lanes || cand <= eff[order[k]]) {
+            level = cand;
+            active = k;
+            break;
         }
-        if (i + 1 < n_lanes && lift < remaining) {
-            // Fully raise the active set to the next level.
-            for (std::size_t j = 0; j < active; ++j)
-                share[order[j]] +=
-                    lanes_[order[i + 1]].load_tasks -
-                    (lanes_[order[j]].load_tasks + share[order[j]]);
-            remaining -= lift;
-            continue;
+    }
+    std::size_t assigned = 0;
+    for (int j = 0; j < active; ++j) {
+        const double f = std::max(0.0, level - eff[order[j]]);
+        fshare[order[j]] = f;
+        share[order[j]] = static_cast<std::size_t>(f);
+        assigned += share[order[j]];
+    }
+    assert(assigned <= count);
+    // Largest-remainder rounding; ties go to the lighter lane (the
+    // earlier entry of the sorted order), matching the task-count
+    // water-filling this replaces.
+    for (std::size_t left = count - assigned; left > 0; --left) {
+        int pick = -1;
+        double best_frac = -1.0;
+        for (int j = 0; j < active; ++j) {
+            const std::size_t i = order[j];
+            const double frac =
+                fshare[i] - static_cast<double>(share[i]);
+            if (frac > best_frac) {
+                best_frac = frac;
+                pick = static_cast<int>(i);
+            }
         }
-        // Final level lands inside the active set: split evenly,
-        // earlier (lighter) lanes absorbing the remainder.
-        const std::size_t base = remaining / active;
-        std::size_t extra = remaining % active;
-        for (std::size_t j = 0; j < active; ++j) {
-            share[order[j]] += base + (extra > 0 ? 1 : 0);
-            if (extra > 0)
-                --extra;
-        }
-        remaining = 0;
+        ++share[pick];
+        // Consumed its remainder: drop it behind untouched lanes.
+        fshare[pick] = static_cast<double>(share[pick]) - 1.0;
     }
 
     int shards = 0;
@@ -190,7 +274,7 @@ DynamicsServer::submitSharded(FunctionType fn,
     for (int i = 0; i < n_lanes; ++i) {
         if (share[i] == 0)
             continue;
-        lanes_[i].load_tasks += share[i];
+        lanes_[i].load_weight += static_cast<double>(share[i]) * w;
         pushWork(i, WorkItem{id, begin, share[i]});
         begin += share[i];
     }
@@ -199,6 +283,52 @@ DynamicsServer::submitSharded(FunctionType fn,
 }
 
 namespace {
+
+/**
+ * Copy only the fields @p fn writes from a merged-batch staging
+ * entry to the caller's result slot. The staging entries are reused
+ * across merged batches, so a whole-struct copy would overwrite
+ * caller fields the backend never touched with stale data from
+ * earlier batches — potentially another client's outputs. The solo
+ * path hands the backend caller storage directly and has no such
+ * hazard; this keeps the merged path's untouched-field semantics
+ * identical to it.
+ */
+void
+copyResultFields(FunctionType fn, const DynamicsResult &src,
+                 DynamicsResult &dst)
+{
+    switch (fn) {
+      case FunctionType::ID:
+        dst.tau = src.tau;
+        break;
+      case FunctionType::FD:
+        dst.qdd = src.qdd;
+        break;
+      case FunctionType::M:
+        dst.m = src.m;
+        break;
+      case FunctionType::Minv:
+        dst.minv = src.minv;
+        break;
+      case FunctionType::DeltaID:
+        dst.tau = src.tau;
+        dst.dtau_dq = src.dtau_dq;
+        dst.dtau_dqd = src.dtau_dqd;
+        break;
+      case FunctionType::DeltaFD:
+        dst.qdd = src.qdd;
+        dst.minv = src.minv;
+        dst.dqdd_dq = src.dqdd_dq;
+        dst.dqdd_dqd = src.dqdd_dqd;
+        break;
+      case FunctionType::DeltaiFD:
+        dst.qdd = src.qdd;
+        dst.dqdd_dq = src.dqdd_dq;
+        dst.dqdd_dqd = src.dqdd_dqd;
+        break;
+    }
+}
 
 /**
  * Merge one shard's stats into the job's: shards overlap in backend
@@ -222,68 +352,163 @@ mergeShardStats(BatchStats &job, const BatchStats &shard)
 bool
 DynamicsServer::serveOne(int lane_id)
 {
-    WorkItem item;
-    DynamicsBackend *backend;
-    FunctionType fn;
-    const DynamicsRequest *requests;
-    DynamicsResult *results;
+    Lane &lane = lanes_[lane_id];
+    DynamicsBackend *backend = nullptr;
+    FunctionType fn{};
+    const DynamicsRequest *requests = nullptr;
+    DynamicsResult *results = nullptr;
+    std::size_t total = 0;
+    bool merged = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        Lane &lane = lanes_[lane_id];
-        if (lane.work.empty())
+        if (!policy_->pick(view_, lane_id, lane.pick))
             return false;
-        item = lane.work.front();
-        lane.work.pop_front();
-        const Job &job = jobRef(item.job);
+        ++sched_stats_.picks;
+        const int src = lane.pick.lane;
+        Lane &victim = lanes_[src];
+        // Pop the picked positions back-to-front so earlier indices
+        // stay valid; lane.picked ends up in ascending queue order.
+        lane.picked.clear();
+        lane.picked_req.clear();
+        lane.picked_res.clear();
+        for (auto it = lane.pick.positions.rbegin();
+             it != lane.pick.positions.rend(); ++it) {
+            const WorkItem &w = victim.work[*it];
+            if (jobRef(w.job).stages == 1)
+                --victim.flat_queued;
+            lane.picked.push_back(w);
+            victim.work.erase(victim.work.begin() +
+                              static_cast<std::ptrdiff_t>(*it));
+        }
+        std::reverse(lane.picked.begin(), lane.picked.end());
+        for (const WorkItem &item : lane.picked) {
+            const Job &job = jobRef(item.job);
+            lane.picked_req.push_back(job.const_requests + item.begin);
+            lane.picked_res.push_back(job.results + item.begin);
+            total += item.count;
+            if (src != lane_id) {
+                // Stolen: the committed load migrates with the item,
+                // and the thief's backend will run it.
+                const double wgt =
+                    sched::functionWeight(job.fn) * item.count;
+                victim.load_weight -= wgt;
+                lane.load_weight += wgt;
+                ++sched_stats_.steals;
+            }
+        }
         backend = lane.backend;
-        fn = job.fn;
-        requests = job.const_requests + item.begin;
-        results = job.results + item.begin;
+        fn = jobRef(lane.picked.front().job).fn;
+        merged = lane.picked.size() > 1;
+        if (merged) {
+            ++sched_stats_.coalesced_batches;
+            sched_stats_.coalesced_items += lane.picked.size() - 1;
+        }
     }
+
     BatchStats stats;
-    backend->submit(fn, requests, item.count, results, &stats);
-    completeItem(lane_id, item, stats);
+    if (!merged) {
+        requests = lane.picked_req.front();
+        results = lane.picked_res.front();
+        backend->submit(fn, requests, total, results, &stats);
+    } else {
+        // Gather the merged batch into lane staging (grow-only;
+        // element assignment reuses capacity), one submission, then
+        // scatter each job's slice back into its caller storage. The
+        // caller-owned request/result arrays are stable while the
+        // jobs are outstanding, so the copies run outside the lock.
+        if (lane.co_req.size() < total) {
+            lane.co_req.resize(total);
+            lane.co_res.resize(total);
+        }
+        std::size_t off = 0;
+        for (std::size_t i = 0; i < lane.picked.size(); ++i) {
+            for (std::size_t j = 0; j < lane.picked[i].count; ++j)
+                lane.co_req[off + j] = lane.picked_req[i][j];
+            off += lane.picked[i].count;
+        }
+        backend->submit(fn, lane.co_req.data(), total, lane.co_res.data(),
+                        &stats);
+        off = 0;
+        for (std::size_t i = 0; i < lane.picked.size(); ++i) {
+            for (std::size_t j = 0; j < lane.picked[i].count; ++j)
+                copyResultFields(fn, lane.co_res[off + j],
+                                 lane.picked_res[i][j]);
+            off += lane.picked[i].count;
+        }
+    }
+    completePicked(lane_id, stats, total);
     return true;
 }
 
 void
-DynamicsServer::completeItem(int lane_id, const WorkItem &item,
-                             const BatchStats &stats)
+DynamicsServer::completePicked(int lane_id, const BatchStats &stats,
+                               std::size_t total)
 {
     Job *chained = nullptr;
+    int chained_id = 0;
     {
         std::lock_guard<std::mutex> lock(mu_);
         Lane &lane = lanes_[lane_id];
         lane.busy_us += stats.total_us;
-        lane.load_tasks -= item.count;
         stats_.busy_us += stats.total_us;
         ++stats_.batches;
-        stats_.tasks += item.count;
+        stats_.tasks += total;
+        const bool merged = lane.picked.size() > 1;
 
-        Job &job = jobRef(item.job);
-        if (job.sharded) {
-            // Concurrent shards: the job's makespan is its slowest
-            // shard, not the sum.
-            job.busy_us = std::max(job.busy_us, stats.total_us);
-            mergeShardStats(job.last_stats, stats);
-        } else {
-            job.busy_us += stats.total_us;
-            job.last_stats = stats;
-        }
-        if (--job.remaining == 0) {
-            ++job.stage;
-            if (job.stage < job.stages) {
-                // Chain the next stage outside the lock (the advance
-                // callback may re-enter submit()). Only this thread
-                // touches the job until its next item is queued, and
-                // jobs_ is a deque, so the pointer stays valid across
-                // concurrent submissions.
-                chained = &job;
+        for (const WorkItem &item : lane.picked) {
+            Job &job = jobRef(item.job);
+            lane.load_weight -=
+                sched::functionWeight(job.fn) * item.count;
+            // A merged batch charges each job its task-proportional
+            // share of the makespan-like fields; the rate/latency
+            // fields describe the whole merged batch every job rode
+            // in. A solo batch is attributed verbatim (the pre-QoS
+            // accounting, bitwise-identical under default FIFO).
+            BatchStats item_stats = stats;
+            if (merged) {
+                const double frac =
+                    static_cast<double>(item.count) /
+                    static_cast<double>(total);
+                item_stats.cycles = static_cast<std::uint64_t>(
+                    static_cast<double>(stats.cycles) * frac);
+                item_stats.total_us = stats.total_us * frac;
+            }
+            if (job.sharded) {
+                // Concurrent shards: the job's makespan is its
+                // slowest shard, not the sum.
+                job.busy_us = std::max(job.busy_us, item_stats.total_us);
+                mergeShardStats(job.last_stats, item_stats);
             } else {
-                job.done = true;
-                ++stats_.jobs;
-                --pending_jobs_;
-                done_cv_.notify_all();
+                job.busy_us += item_stats.total_us;
+                job.last_stats = item_stats;
+            }
+            if (--job.remaining == 0) {
+                ++job.stage;
+                if (job.stage < job.stages) {
+                    // Chain the next stage outside the lock (the
+                    // advance callback may re-enter submit()). Only
+                    // this thread touches the job until its next item
+                    // is queued, and jobs_ is a deque, so the pointer
+                    // stays valid across concurrent submissions.
+                    // Serial items are never merged or stolen, so a
+                    // chained pick is always a solo item of this lane.
+                    assert(!merged);
+                    chained = &job;
+                    chained_id = item.job;
+                } else {
+                    job.done = true;
+                    job.done_at_us = perf::nowUs();
+                    if (job.deadline_us != sched::kNoDeadline) {
+                        job.missed = job.done_at_us > job.deadline_us;
+                        if (job.missed)
+                            ++sched_stats_.deadline_misses;
+                        else
+                            ++sched_stats_.deadline_met;
+                    }
+                    ++stats_.jobs;
+                    --pending_jobs_;
+                    done_cv_.notify_all();
+                }
             }
         }
     }
@@ -297,19 +522,23 @@ DynamicsServer::completeItem(int lane_id, const WorkItem &item,
         // Re-enqueue at the lane's tail: stages of this job stay
         // ordered, other clients' queued work interleaves between
         // the stage boundaries.
-        pushWork(lane_id, WorkItem{item.job, 0, chained->count});
+        pushWork(lane_id, WorkItem{chained_id, 0, chained->count});
     }
 }
 
 double
-DynamicsServer::snapshotAndReset(ServerStats *stats)
+DynamicsServer::snapshotAndReset(ServerStats *stats,
+                                 sched::SchedStats *sstats)
 {
     for (const Lane &lane : lanes_)
         stats_.makespan_us = std::max(stats_.makespan_us, lane.busy_us);
     const double busy = stats_.busy_us;
     if (stats)
         *stats = stats_;
+    if (sstats)
+        *sstats = sched_stats_;
     stats_ = ServerStats{};
+    sched_stats_ = sched::SchedStats{};
     for (Lane &lane : lanes_)
         lane.busy_us = 0.0;
     // Retire the records of jobs that were already complete at the
@@ -345,16 +574,30 @@ DynamicsServer::serveAllSync()
 }
 
 double
-DynamicsServer::drain(ServerStats *stats)
+DynamicsServer::drain(ServerStats *stats, sched::SchedStats *sstats)
 {
     if (running()) {
         waitAll();
         std::lock_guard<std::mutex> lock(mu_);
-        return snapshotAndReset(stats);
+        return snapshotAndReset(stats, sstats);
     }
     serveAllSync();
     std::lock_guard<std::mutex> lock(mu_);
-    return snapshotAndReset(stats);
+    return snapshotAndReset(stats, sstats);
+}
+
+sched::SchedStats
+DynamicsServer::schedStats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sched_stats_;
+}
+
+double
+DynamicsServer::laneLoadWeight(int lane) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lanes_[lane].load_weight;
 }
 
 std::size_t
@@ -395,6 +638,24 @@ DynamicsServer::jobStats(int job) const
     if (static_cast<std::size_t>(job) < retire_base_)
         return BatchStats{};
     return jobRef(job).last_stats;
+}
+
+double
+DynamicsServer::jobDoneAtUs(int job) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<std::size_t>(job) < retire_base_)
+        return 0.0;
+    return jobRef(job).done_at_us;
+}
+
+bool
+DynamicsServer::jobMissedDeadline(int job) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<std::size_t>(job) < retire_base_)
+        return false;
+    return jobRef(job).missed;
 }
 
 } // namespace dadu::runtime

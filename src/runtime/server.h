@@ -24,6 +24,20 @@
  *    clients' work interleaves between its stage boundaries, so a
  *    long rollout does not monopolize its backend lane.
  *
+ * QoS scheduling (src/runtime/sched/): what a lane runs next is a
+ * pluggable sched::SchedPolicy decision, selected via setPolicy().
+ * Jobs optionally carry a sched::JobTag (priority + absolute
+ * deadline); the EDF policy pops the earliest-deadline queued item
+ * instead of the front, the coalescer merges small same-function
+ * flat items of one lane into a single pipeline-filling backend
+ * batch (the merged BatchStats split back per job in proportion to
+ * task count), and the stealing policy lets a lane with nothing
+ * runnable pull queued flat work from a lane stuck behind a long
+ * job. The default FIFO policy reproduces the pre-QoS behavior
+ * exactly. Lane load is accounted in FD-equivalent task-stages
+ * (sched::functionWeight: ∆FD ≈ 1.5x FD), which is what
+ * kLeastLoaded and the sharding water-filling balance.
+ *
  * Execution modes:
  *
  *  - synchronous (default): drain() serves every queued item on the
@@ -39,7 +53,9 @@
  * Each backend is driven by exactly one lane, so backends never see
  * concurrent submissions — the server provides the thread safety
  * that the backends themselves (batched engines, simulator state)
- * do not.
+ * do not. Policies only reorder and regroup queued work under the
+ * server lock; stolen items execute on the thief's backend, so the
+ * one-submitter-per-backend invariant survives every policy.
  */
 
 #ifndef DADU_RUNTIME_SERVER_H
@@ -54,6 +70,7 @@
 #include <vector>
 
 #include "runtime/backend.h"
+#include "runtime/sched/policy.h"
 
 namespace dadu::runtime {
 
@@ -77,7 +94,7 @@ class DynamicsServer
     /** Convenience: a server with @p backend pre-registered as id 0. */
     explicit DynamicsServer(DynamicsBackend &backend);
 
-    DynamicsServer() = default;
+    DynamicsServer();
 
     /** Stops the worker threads if the server is still running. */
     ~DynamicsServer();
@@ -97,6 +114,17 @@ class DynamicsServer
     DynamicsBackend &backend(int id) { return *lanes_[id].backend; }
 
     /**
+     * Select the scheduling policy (default: plain FIFO, no
+     * coalescing, no stealing). Call while the server is idle —
+     * before start(), or after stop() with the queues drained.
+     * Stealing assumes interchangeable backends (clone()s of one
+     * configured instance), like submitSharded().
+     */
+    void setPolicy(const sched::SchedConfig &cfg);
+
+    const sched::SchedConfig &schedConfig() const { return sched_cfg_; }
+
+    /**
      * Stage-boundary callback of a serial-stage job: build the
      * requests of stage @p next_stage (1-based from the second
      * stage) from the previous stage's @p results, updating
@@ -111,27 +139,29 @@ class DynamicsServer
 
     /**
      * Enqueue a flat batch of @p count requests on backend
-     * @p backend_id (kLeastLoaded picks the lane with the fewest
-     * outstanding tasks at submission time). Storage for requests
-     * and results stays caller-owned and must live until the job
-     * completes.
+     * @p backend_id (kLeastLoaded picks the lane with the least
+     * outstanding FD-equivalent work at submission time). Storage
+     * for requests and results stays caller-owned and must live
+     * until the job completes. @p tag optionally attaches QoS
+     * metadata (EDF deadline, priority).
      * @return a job id for wait()/jobUs()/jobStats().
      */
     int submit(FunctionType fn, const DynamicsRequest *requests,
                std::size_t count, DynamicsResult *results,
-               int backend_id = 0);
+               int backend_id = 0, sched::JobTag tag = {});
 
     /**
      * Enqueue a flat batch split across ALL registered backends:
      * least-loaded water-filling assigns each lane a contiguous
-     * shard sized to equalize outstanding work, the shards run
-     * concurrently, and the job's stats merge to the max shard
-     * makespan (shards overlap in backend time). All backends must
-     * serve the same robot — register clone()s of one configured
-     * backend.
+     * shard sized to equalize outstanding FD-equivalent work, the
+     * shards run concurrently, and the job's stats merge to the max
+     * shard makespan (shards overlap in backend time). All backends
+     * must serve the same robot — register clone()s of one
+     * configured backend.
      */
     int submitSharded(FunctionType fn, const DynamicsRequest *requests,
-                      std::size_t count, DynamicsResult *results);
+                      std::size_t count, DynamicsResult *results,
+                      sched::JobTag tag = {});
 
     /**
      * Enqueue a Fig. 13 serial-stage job: @p stages chained batches
@@ -142,7 +172,8 @@ class DynamicsServer
     int submitSerialStages(FunctionType fn, DynamicsRequest *requests,
                            std::size_t points, int stages,
                            AdvanceFn advance, void *ctx,
-                           DynamicsResult *results, int backend_id = 0);
+                           DynamicsResult *results, int backend_id = 0,
+                           sched::JobTag tag = {});
 
     /**
      * Spawn one worker thread per registered backend; submissions
@@ -184,29 +215,61 @@ class DynamicsServer
     /**
      * Serve every queued job (synchronous mode) or block until the
      * workers have (asynchronous mode), then report and reset the
-     * accounting interval.
+     * accounting interval. @p sstats additionally receives what the
+     * scheduling policy did over the interval (picks, merges,
+     * steals, deadline outcomes).
      * @return the total backend busy time in microseconds since the
      *         previous drain (excluding host time spent in advance
      *         callbacks).
      */
-    double drain(ServerStats *stats = nullptr);
+    double drain(ServerStats *stats = nullptr,
+                 sched::SchedStats *sstats = nullptr);
+
+    /** Scheduling telemetry accumulated since the last drain(). */
+    sched::SchedStats schedStats() const;
+
+    /**
+     * Committed FD-equivalent work of one lane (queued task-stages
+     * weighted by sched::functionWeight) — what kLeastLoaded and the
+     * sharding water-filling balance, exposed so admission control
+     * can predict queueing delay before tagging a deadline.
+     */
+    double laneLoadWeight(int lane) const;
 
     /**
      * Backend busy time of one completed job (µs): summed over the
      * stages of a serial-stage job, max over the concurrent shards
-     * of a sharded batch. Per-job records are retired by the second
-     * drain() after completion — read before then.
+     * of a sharded batch. A job served inside a coalesced batch is
+     * charged its task-proportional share of the merged batch time.
+     * Per-job records are retired by the second drain() after
+     * completion — read before then.
      */
     double jobUs(int job) const;
 
     /**
      * Per-job stats: the last submitted batch of an unsharded job,
      * the merged shard stats (max makespan/cycles, summed stalls) of
-     * a sharded one. Read after the job completed; a retired record
-     * (like jobUs(), second drain() after completion) returns
-     * zeroed stats.
+     * a sharded one. For a job served inside a coalesced batch, the
+     * makespan-like fields are its task-proportional share and the
+     * rate/latency fields are the merged batch's. Read after the job
+     * completed; a retired record (like jobUs(), second drain()
+     * after completion) returns zeroed stats.
      */
     BatchStats jobStats(int job) const;
+
+    /**
+     * Wall-clock (perf::nowUs) completion time of a finished job —
+     * the instant its deadline was checked. 0 for unfinished jobs.
+     */
+    double jobDoneAtUs(int job) const;
+
+    /**
+     * True when the job carried a deadline and completed after it.
+     * Every tagged job lands in exactly one of deadline_met /
+     * deadline_misses of SchedStats — tagged work is never dropped
+     * or parked, late jobs still complete and are reported here.
+     */
+    bool jobMissedDeadline(int job) const;
 
   private:
     struct Job
@@ -223,6 +286,10 @@ class DynamicsServer
         int remaining = 0;      ///< outstanding work items
         bool sharded = false;
         bool done = false;
+        int priority = 0;                           ///< EDF tie-break
+        double deadline_us = sched::kNoDeadline;    ///< absolute target
+        double done_at_us = 0.0; ///< wall completion time (done only)
+        bool missed = false;     ///< completed after its deadline
         double busy_us = 0.0;
         BatchStats last_stats{};
     };
@@ -236,22 +303,63 @@ class DynamicsServer
     };
 
     /**
-     * One backend with its FIFO work queue and accounting.
-     * load_tasks counts the lane's COMMITTED task-stages, not just
-     * the queued items: a serial-stage job charges points x stages
-     * up front (its later stages are lane-sticky, so the lane owes
-     * that work even though only one stage is queued at a time) and
-     * pays one stage's worth back per completed batch. Each lane
-     * has its own worker wakeup cv so a pushed item wakes only the
-     * target lane's worker (all waits still use the shared mu_).
+     * One backend with its work queue and accounting. load_weight is
+     * the lane's COMMITTED work in FD-equivalent task-stages
+     * (sched::functionWeight), not just the queued items: a
+     * serial-stage job charges points x stages up front (its later
+     * stages are lane-sticky, so the lane owes that work even though
+     * only one stage is queued at a time) and pays one stage's worth
+     * back per completed batch. Each lane has its own worker wakeup
+     * cv so a pushed item wakes only the target lane's worker (all
+     * waits still use the shared mu_; cross-lane policies
+     * additionally wake ONE sleeping lane — flagged by `waiting` —
+     * as a potential thief).
+     *
+     * The pick/picked/gather fields are the serve-step scratch of
+     * the ONE thread currently serving this lane (its async worker,
+     * or the synchronous serving loop) — grow-only, reused, and
+     * never touched concurrently.
      */
     struct Lane
     {
         DynamicsBackend *backend = nullptr;
         std::deque<WorkItem> work;
         std::condition_variable cv;
-        std::size_t load_tasks = 0; ///< committed task-stages
-        double busy_us = 0.0;       ///< accumulated batch time (interval)
+        bool waiting = false;       ///< worker asleep in cv.wait (async)
+        std::size_t flat_queued = 0; ///< stealable items in `work`
+        double load_weight = 0.0; ///< committed FD-equivalent task-stages
+        double busy_us = 0.0;     ///< accumulated batch time (interval)
+        sched::Pick pick;                    ///< policy decision scratch
+        std::vector<WorkItem> picked;        ///< items popped this serve
+        std::vector<const DynamicsRequest *> picked_req; ///< per item
+        std::vector<DynamicsResult *> picked_res;        ///< per item
+        std::vector<DynamicsRequest> co_req; ///< merged-batch gather
+        std::vector<DynamicsResult> co_res;  ///< merged-batch scatter
+    };
+
+    /** sched::QueueView over the lanes (server mutex held). */
+    class QueueAdapter : public sched::QueueView
+    {
+      public:
+        explicit QueueAdapter(const DynamicsServer *server)
+            : server_(server)
+        {}
+        int lanes() const override
+        {
+            return static_cast<int>(server_->lanes_.size());
+        }
+        std::size_t depth(int lane) const override
+        {
+            return server_->lanes_[lane].work.size();
+        }
+        sched::ItemView item(int lane, std::size_t pos) const override;
+        std::size_t flatCount(int lane) const override
+        {
+            return server_->lanes_[lane].flat_queued;
+        }
+
+      private:
+        const DynamicsServer *server_;
     };
 
     // All private helpers below assume mu_ is held unless noted.
@@ -260,11 +368,12 @@ class DynamicsServer
     void pushWork(int lane, WorkItem item);
     Job &jobRef(int id) { return jobs_[id - retire_base_]; }
     const Job &jobRef(int id) const { return jobs_[id - retire_base_]; }
-    /** Pop + execute one item of @p lane. Called WITHOUT mu_ held. */
+    /** Pop + execute one policy pick on @p lane. WITHOUT mu_ held. */
     bool serveOne(int lane);
-    /** Batch completion: accounting, stage chaining, shard merge. */
-    void completeItem(int lane, const WorkItem &item,
-                      const BatchStats &stats);
+    /** Batch completion for every item of the lane's current pick:
+     *  accounting, deadline check, stage chaining, shard merge. */
+    void completePicked(int lane, const BatchStats &stats,
+                        std::size_t total);
     /**
      * Serve every lane on this thread until empty (WITHOUT mu_).
      * Whole-loop exclusive via serve_mu_: concurrent synchronous
@@ -274,7 +383,8 @@ class DynamicsServer
      */
     void serveAllSync();
     void workerLoop(int lane);
-    double snapshotAndReset(ServerStats *stats);
+    double snapshotAndReset(ServerStats *stats,
+                            sched::SchedStats *sstats);
 
     mutable std::mutex mu_;
     std::mutex serve_mu_; ///< one synchronous serving loop at a time
@@ -295,12 +405,18 @@ class DynamicsServer
     std::vector<std::thread> workers_;
     // Grow-only sharding scratch, reused under mu_ so steady-state
     // sharded submission does not allocate while holding the lock.
-    std::vector<std::size_t> share_scratch_, order_scratch_;
+    std::vector<std::size_t> order_scratch_, share_scratch_;
+    std::vector<double> eff_scratch_, fshare_scratch_;
     std::atomic<bool> running_{false};
     bool stop_ = false;
     std::size_t pending_jobs_ = 0;
-    int rr_next_ = 0; ///< round-robin cursor for load ties
+    int rr_next_ = 0;    ///< round-robin cursor for load ties
+    int thief_next_ = 0; ///< round-robin cursor for steal wakeups
     ServerStats stats_{}; ///< accounting since the last drain()
+    sched::SchedConfig sched_cfg_{};
+    std::unique_ptr<sched::SchedPolicy> policy_;
+    sched::SchedStats sched_stats_{}; ///< policy telemetry (interval)
+    QueueAdapter view_{this};
 };
 
 } // namespace dadu::runtime

@@ -66,13 +66,27 @@ DynamicsServer::workerLoop(int lane)
     for (;;) {
         {
             std::unique_lock<std::mutex> lock(mu_);
-            lanes_[lane].cv.wait(lock, [&] {
-                return stop_ || !lanes_[lane].work.empty();
-            });
+            Lane &me = lanes_[lane];
+            // Manual wait loop so the `waiting` flag brackets the
+            // actual sleep: pushWork spends its single thief
+            // notification only on lanes that really are asleep.
+            // Under a cross-lane (stealing) policy an idle lane also
+            // wakes for other lanes' flat work: probe the policy
+            // (non-mutating beyond this lane's own pick scratch,
+            // which serveOne refreshes anyway).
+            while (!(stop_ || !me.work.empty() ||
+                     (policy_->crossLane() &&
+                      policy_->pick(view_, lane, me.pick)))) {
+                me.waiting = true;
+                me.cv.wait(lock);
+                me.waiting = false;
+            }
             // Finish queued work before honoring stop: jobs already
             // accepted (including chained serial stages, which only
-            // ever re-enqueue on their own lane) complete.
-            if (stop_ && lanes_[lane].work.empty())
+            // ever re-enqueue on their own lane) complete. Work left
+            // on OTHER lanes belongs to their workers (and to the
+            // straggler pass in stop()), so no stealing past stop.
+            if (stop_ && me.work.empty())
                 return;
         }
         serveOne(lane);

@@ -29,6 +29,7 @@
 #include "algorithms/workspace.h"
 #include "linalg/factorize.h"
 #include "model/builders.h"
+#include "test_support.h"
 
 // ---------------------------------------------------------------------
 // Counted global allocator. Counting is off by default so the test
@@ -111,23 +112,7 @@ randomBatch(const RobotModel &robot, int n, unsigned seed)
     return b;
 }
 
-void
-expectBitwiseEqual(const VectorX &a, const VectorX &b)
-{
-    ASSERT_EQ(a.size(), b.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        EXPECT_EQ(a[i], b[i]);
-}
-
-void
-expectBitwiseEqual(const MatrixX &a, const MatrixX &b)
-{
-    ASSERT_EQ(a.rows(), b.rows());
-    ASSERT_EQ(a.cols(), b.cols());
-    for (std::size_t r = 0; r < a.rows(); ++r)
-        for (std::size_t c = 0; c < a.cols(); ++c)
-            EXPECT_EQ(a(r, c), b(r, c));
-}
+using dadu::tests::expectBitwiseEqual;
 
 class BatchedTest : public ::testing::TestWithParam<const char *>
 {

@@ -34,6 +34,7 @@
 #include "model/builders.h"
 #include "runtime/backends.h"
 #include "runtime/server.h"
+#include "test_support.h"
 
 // ---------------------------------------------------------------------
 // Counted global allocator (see tests/test_batched.cc): off by
@@ -98,37 +99,8 @@ using dadu::runtime::BatchStats;
 using dadu::runtime::DynamicsRequest;
 using dadu::runtime::DynamicsResult;
 using dadu::runtime::FunctionType;
-
-std::vector<DynamicsRequest>
-randomRequests(const RobotModel &robot, int n, unsigned seed)
-{
-    std::mt19937 rng(seed);
-    std::vector<DynamicsRequest> reqs(n);
-    for (auto &r : reqs) {
-        r.q = robot.randomConfiguration(rng);
-        r.qd = robot.randomVelocity(rng);
-        r.qdd_or_tau = robot.randomVelocity(rng);
-    }
-    return reqs;
-}
-
-void
-expectBitwiseEqual(const VectorX &a, const VectorX &b)
-{
-    ASSERT_EQ(a.size(), b.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        EXPECT_EQ(a[i], b[i]);
-}
-
-void
-expectBitwiseEqual(const MatrixX &a, const MatrixX &b)
-{
-    ASSERT_EQ(a.rows(), b.rows());
-    ASSERT_EQ(a.cols(), b.cols());
-    for (std::size_t r = 0; r < a.rows(); ++r)
-        for (std::size_t c = 0; c < a.cols(); ++c)
-            EXPECT_EQ(a(r, c), b(r, c));
-}
+using dadu::tests::expectBitwiseEqual;
+using dadu::tests::randomRequests;
 
 // ---------------------------------------------------------------------
 // Backend equivalence
@@ -613,6 +585,67 @@ TEST(DynamicsServer, LeastLoadedShardingFillsTheLighterLane)
         expectBitwiseEqual(res[i].qdd, reqs[i].qd);
 }
 
+TEST(DynamicsServer, LeastLoadedWeighsLanesByFunctionII)
+{
+    // ROADMAP "load metric refinement": lane load is FD-equivalent
+    // work (sched::functionWeight, ∆FD = 1.5x FD), not raw task
+    // counts. Lane 0 holds 10 ∆FD tasks (weight 15), lane 1 holds 12
+    // FD tasks (weight 12): a raw count would call lane 0 lighter,
+    // the II-weighted metric must send the next flat job to lane 1.
+    const RobotModel robot = model::makeHyq();
+    LinearCostBackend b0(robot, 0.0, 1.0);
+    auto b1_owned = b0.clone();
+    auto &b1 = static_cast<LinearCostBackend &>(*b1_owned);
+    runtime::DynamicsServer server(b0);
+    server.addBackend(b1);
+
+    auto dfd = randomRequests(robot, 10, 51);
+    auto fd = randomRequests(robot, 12, 52);
+    std::vector<DynamicsResult> dfd_res(10), fd_res(12);
+    server.submit(FunctionType::DeltaFD, dfd.data(), 10, dfd_res.data(),
+                  0);
+    server.submit(FunctionType::FD, fd.data(), 12, fd_res.data(), 1);
+    EXPECT_DOUBLE_EQ(server.laneLoadWeight(0), 15.0);
+    EXPECT_DOUBLE_EQ(server.laneLoadWeight(1), 12.0);
+
+    auto next = randomRequests(robot, 4, 53);
+    std::vector<DynamicsResult> next_res(4);
+    server.submit(FunctionType::FD, next.data(), 4, next_res.data(),
+                  runtime::DynamicsServer::kLeastLoaded);
+    server.drain();
+    EXPECT_EQ(b0.tasks(), 10u);
+    EXPECT_EQ(b1.tasks(), 12u + 4u);
+}
+
+TEST(DynamicsServer, ShardedWaterFillingUsesWeightedLoads)
+{
+    // The sharded analogue: lane 0 pre-loaded with 10 ∆FD tasks owes
+    // 15 FD-equivalents = 15 FD tasks; water-filling 25 FD tasks must
+    // level both lanes at 20 — shares 5 and 20, tighter than the 7/18
+    // a raw task-stage count would produce.
+    const RobotModel robot = model::makeHyq();
+    LinearCostBackend b0(robot, 0.0, 1.0);
+    auto b1_owned = b0.clone();
+    auto &b1 = static_cast<LinearCostBackend &>(*b1_owned);
+    runtime::DynamicsServer server(b0);
+    server.addBackend(b1);
+
+    auto pre = randomRequests(robot, 10, 54);
+    std::vector<DynamicsResult> pre_res(10);
+    server.submit(FunctionType::DeltaFD, pre.data(), 10, pre_res.data(),
+                  0);
+
+    auto reqs = randomRequests(robot, 25, 55);
+    std::vector<DynamicsResult> res(25);
+    server.submitSharded(FunctionType::FD, reqs.data(), 25, res.data());
+    server.drain();
+
+    EXPECT_EQ(b0.tasks(), 10u + 5u);
+    EXPECT_EQ(b1.tasks(), 20u);
+    for (int i = 0; i < 25; ++i)
+        expectBitwiseEqual(res[i].qdd, reqs[i].qd);
+}
+
 TEST(DynamicsServer, ShardedExecutionMatchesShardedScheduleModel)
 {
     // The sharded analogue of the Fig. 13 validation: a flat batch
@@ -780,6 +813,54 @@ TEST(MpcRuntime, MultiClientServingScalesWithShards)
         makespan[s] = r.makespan_us;
     }
     EXPECT_GT(makespan[0] / makespan[1], 1.2);
+}
+
+// ---------------------------------------------------------------------
+// Shared host pool across CPU backend clones
+// ---------------------------------------------------------------------
+
+TEST(CpuBatchedBackend, ClonesShareOneHostPoolAndSubmitConcurrently)
+{
+    // ROADMAP item: CpuBatchedBackend clones used to spawn a
+    // full-width thread pool each, oversubscribing the host when
+    // sharding CPU lanes. Clones now share the original's pool
+    // (per-clone workspaces); concurrent submits from two lanes
+    // serialize on the pool's bulk gate and still produce the exact
+    // reference results.
+    const RobotModel robot = model::makeHyq();
+    runtime::CpuBatchedBackend base(robot, 4);
+    auto clone_owned = base.clone();
+    auto &clone = static_cast<runtime::CpuBatchedBackend &>(*clone_owned);
+    ASSERT_EQ(base.engine().pool().get(), clone.engine().pool().get());
+    EXPECT_EQ(base.engine().threadCount(), clone.engine().threadCount());
+
+    const auto reqs_a = randomRequests(robot, 16, 61);
+    const auto reqs_b = randomRequests(robot, 16, 62);
+    std::vector<DynamicsResult> res_a(16), res_b(16);
+    constexpr int kReps = 8;
+    std::thread ta([&] {
+        for (int r = 0; r < kReps; ++r)
+            base.submit(FunctionType::DeltaFD, reqs_a.data(), 16,
+                        res_a.data());
+    });
+    std::thread tb([&] {
+        for (int r = 0; r < kReps; ++r)
+            clone.submit(FunctionType::DeltaFD, reqs_b.data(), 16,
+                         res_b.data());
+    });
+    ta.join();
+    tb.join();
+
+    algo::DynamicsWorkspace ws(robot);
+    algo::FdDerivatives fd;
+    for (int i = 0; i < 16; ++i) {
+        algo::fdDerivatives(robot, ws, reqs_a[i].q, reqs_a[i].qd,
+                            reqs_a[i].qdd_or_tau, fd);
+        expectBitwiseEqual(res_a[i].dqdd_dq, fd.dqdd_dq);
+        algo::fdDerivatives(robot, ws, reqs_b[i].q, reqs_b[i].qd,
+                            reqs_b[i].qdd_or_tau, fd);
+        expectBitwiseEqual(res_b[i].dqdd_dq, fd.dqdd_dq);
+    }
 }
 
 // ---------------------------------------------------------------------

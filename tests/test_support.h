@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Helpers shared by the runtime-facing test suites (test_batched,
+ * test_runtime, test_sched): bitwise comparison of linalg containers
+ * and random DynamicsRequest batches. One definition here instead of
+ * a drifting copy per suite.
+ */
+
+#ifndef DADU_TESTS_TEST_SUPPORT_H
+#define DADU_TESTS_TEST_SUPPORT_H
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "linalg/matrixx.h"
+#include "linalg/vec.h"
+#include "model/robot_model.h"
+#include "runtime/request.h"
+
+namespace dadu::tests {
+
+inline void
+expectBitwiseEqual(const linalg::VectorX &a, const linalg::VectorX &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+inline void
+expectBitwiseEqual(const linalg::MatrixX &a, const linalg::MatrixX &b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            EXPECT_EQ(a(r, c), b(r, c));
+}
+
+inline std::vector<runtime::DynamicsRequest>
+randomRequests(const model::RobotModel &robot, int n, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::vector<runtime::DynamicsRequest> reqs(n);
+    for (auto &r : reqs) {
+        r.q = robot.randomConfiguration(rng);
+        r.qd = robot.randomVelocity(rng);
+        r.qdd_or_tau = robot.randomVelocity(rng);
+    }
+    return reqs;
+}
+
+} // namespace dadu::tests
+
+#endif // DADU_TESTS_TEST_SUPPORT_H
