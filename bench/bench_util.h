@@ -168,11 +168,22 @@ class JsonReport
 };
 
 /**
+ * Version of the flat {"key": number} BENCH_*.json schema. Bump when
+ * the report format itself (not the metric set) changes.
+ */
+inline constexpr double kBenchJsonSchemaVersion = 2.0;
+
+/**
  * The shared --json epilogue of every bench binary: when the flag is
  * present, write @p report to @p path and report the outcome. A
  * single-writer file is overwritten (dropped keys disappear); pass
  * @p merge = true only when several binaries share @p path (the two
  * Fig. 15 benches), so each preserves the other's keys.
+ *
+ * Every report is stamped self-describing before writing:
+ * "schema_version" and a "bench.<binary>" marker per contributing
+ * binary (numeric so merged files accumulate one marker per writer).
+ * No timestamps — reruns of unchanged code produce identical files.
  * @return true when the file was written.
  */
 inline bool
@@ -181,7 +192,17 @@ maybeWriteJson(int argc, char **argv, const JsonReport &report,
 {
     if (!hasFlag(argc, argv, "--json"))
         return false;
-    if (merge ? report.mergeTo(path) : report.writeTo(path)) {
+    JsonReport stamped = report;
+    stamped.add("schema_version", kBenchJsonSchemaVersion);
+    if (argc > 0 && argv[0]) {
+        const char *base = argv[0];
+        for (const char *p = argv[0]; *p; ++p) {
+            if (*p == '/')
+                base = p + 1;
+        }
+        stamped.add(std::string("bench.") + base, 1.0);
+    }
+    if (merge ? stamped.mergeTo(path) : stamped.writeTo(path)) {
         std::printf("\nwrote %s\n", path);
         return true;
     }

@@ -7,6 +7,7 @@
 #include "algorithms/aba.h"
 #include "algorithms/dynamics.h"
 #include "app/scheduler.h"
+#include "ctrl/mpc_session.h"
 #include "linalg/factorize.h"
 #include "perf/timing.h"
 #include "runtime/server.h"
@@ -335,6 +336,194 @@ MpcWorkload::serveMultiClient(runtime::DynamicsServer &server,
     report.deadline_misses = sstats.deadline_misses;
     report.coalesced_batches = sstats.coalesced_batches;
     report.steals = sstats.steals;
+    return report;
+}
+
+namespace {
+
+/**
+ * Ticks per drain round of the closed-loop drivers: the server
+ * retires completed job records only at drain(), so an undrained
+ * tick stream would grow its job deque linearly with run length.
+ * Draining happens at round boundaries with no client thread
+ * running (a join barrier), so it can never race a session's
+ * post-wait deadline reads.
+ */
+constexpr int kTicksPerDrain = 16;
+
+/** Per-client plant state persisting across drain rounds. */
+struct PlantState
+{
+    explicit PlantState(const RobotModel &robot) : ws(robot) {}
+    algo::DynamicsWorkspace ws;
+    VectorX q, qd, qdd, step, q_next;
+};
+
+/**
+ * One round of the tick stream of a closed-loop client: drive an
+ * already-primed session against a plant stepped with the reference
+ * dynamics (ABA + manifold Euler, the ground truth the backends are
+ * validated against). Priming (MpcSession::start) happens before
+ * the caller starts its tick-throughput clock, so ticks_per_s
+ * measures the steady receding-horizon loop, not the cold solve.
+ */
+void
+tickClosedLoopClient(const RobotModel &robot, ctrl::MpcSession &session,
+                     runtime::DynamicsServer &server, int ticks,
+                     PlantState &st)
+{
+    const double dt = session.scenario().problem.dt;
+    for (int t = 0; t < ticks; ++t) {
+        const VectorX &u = session.tick(server, st.q, st.qd);
+        algo::aba(robot, st.ws, st.q, st.qd, u, st.qdd);
+        st.step.resize(st.qd.size());
+        for (std::size_t j = 0; j < st.qd.size(); ++j)
+            st.step[j] = dt * st.qd[j];
+        robot.integrateInto(st.q, st.step, st.q_next);
+        st.q = st.q_next;
+        for (std::size_t j = 0; j < st.qd.size(); ++j)
+            st.qd[j] += dt * st.qdd[j];
+    }
+}
+
+/**
+ * Plant tracking error against the session's LIVE front reference:
+ * tick() rotates periodic references one knot per tick, so the live
+ * q_ref[0] is the pattern sample at the plant's current time (for
+ * constant references it equals the scenario's terminal entry).
+ */
+double
+trackingErr(const RobotModel &robot, const ctrl::MpcSession &session,
+            const PlantState &st, VectorX &err)
+{
+    robot.differenceInto(session.solver().problem().q_ref[0], st.q,
+                         err);
+    return err.maxAbs();
+}
+
+/** Accumulate the server's accounting interval into the report's
+ *  server-side fields (shared by both closed-loop entry points;
+ *  accumulating so periodic round drains compose). */
+void
+drainServerInto(runtime::DynamicsServer &server, ClosedLoopReport &report)
+{
+    runtime::ServerStats stats;
+    runtime::sched::SchedStats sstats;
+    server.drain(&stats, &sstats);
+    report.jobs += stats.jobs;
+    report.tasks += stats.tasks;
+    report.busy_us += stats.busy_us;
+    report.deadline_met += sstats.deadline_met;
+    report.deadline_misses += sstats.deadline_misses;
+    report.coalesced_batches += sstats.coalesced_batches;
+    report.steals += sstats.steals;
+}
+
+} // namespace
+
+ClosedLoopReport
+MpcWorkload::solveClosedLoop(runtime::DynamicsBackend &backend,
+                             int ticks)
+{
+    runtime::DynamicsServer server(backend);
+    ctrl::MpcSession session(robot_,
+                             ctrl::makeReachingScenario(robot_));
+    ClosedLoopReport report;
+    report.converged = session.start(server).converged;
+    PlantState st(robot_);
+    st.q = session.scenario().q0;
+    st.qd = session.scenario().qd0;
+    const double t0 = nowUs();
+    for (int done = 0; done < ticks; done += kTicksPerDrain) {
+        tickClosedLoopClient(robot_, session, server,
+                             std::min(kTicksPerDrain, ticks - done),
+                             st);
+        drainServerInto(server, report);
+    }
+    report.wall_us = nowUs() - t0;
+    VectorX err;
+    report.tracking_err = trackingErr(robot_, session, st, err);
+    report.ticks = session.stats().ticks;
+    report.ticks_per_s =
+        report.wall_us > 0.0 ? report.ticks * 1e6 / report.wall_us : 0.0;
+    report.final_cost = session.stats().horizon_cost;
+
+    return report;
+}
+
+ClosedLoopReport
+MpcWorkload::serveClosedLoopClients(runtime::DynamicsServer &server,
+                                    int clients, int ticks,
+                                    double deadline_slack)
+{
+    // One session per client, scenario mix phase-shifted per client
+    // so the concurrent traffic differs without losing determinism.
+    std::vector<std::unique_ptr<ctrl::MpcSession>> sessions;
+    sessions.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+        ctrl::Scenario sc =
+            ctrl::makeScenario(robot_, c, 16, 0.01, 0.7 * c);
+        ctrl::MpcSession::Config cfg;
+        cfg.deadline_slack = deadline_slack;
+        sessions.push_back(std::make_unique<ctrl::MpcSession>(
+            robot_, std::move(sc), ctrl::IlqrOptions{}, cfg));
+    }
+
+    const bool was_running = server.running();
+    if (!was_running)
+        server.start();
+
+    // Prime every session before the throughput clock starts: the
+    // cold full solves are setup, not tick-stream work.
+    ClosedLoopReport report;
+    for (int c = 0; c < clients; ++c) {
+        if (!sessions[c]->start(server).converged)
+            report.converged = false;
+    }
+
+    std::vector<PlantState> plants;
+    plants.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+        plants.emplace_back(robot_);
+        plants[c].q = sessions[c]->scenario().q0;
+        plants[c].qd = sessions[c]->scenario().qd0;
+    }
+
+    // Rounds of concurrent ticking with a drain at each join
+    // barrier: the clients stress the server together, while job
+    // records retire every kTicksPerDrain ticks instead of piling
+    // up for the whole run.
+    const double t0 = nowUs();
+    for (int done = 0; done < ticks; done += kTicksPerDrain) {
+        const int round = std::min(kTicksPerDrain, ticks - done);
+        std::vector<std::thread> threads;
+        threads.reserve(clients);
+        for (int c = 0; c < clients; ++c) {
+            threads.emplace_back([this, &server, &sessions, &plants, c,
+                                  round] {
+                tickClosedLoopClient(robot_, *sessions[c], server,
+                                     round, plants[c]);
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+        drainServerInto(server, report);
+    }
+    report.wall_us = nowUs() - t0;
+
+    VectorX err;
+    for (int c = 0; c < clients; ++c) {
+        report.tracking_err =
+            std::max(report.tracking_err,
+                     trackingErr(robot_, *sessions[c], plants[c], err));
+        report.final_cost += sessions[c]->stats().horizon_cost;
+        report.ticks += sessions[c]->stats().ticks;
+    }
+    report.ticks_per_s =
+        report.wall_us > 0.0 ? report.ticks * 1e6 / report.wall_us : 0.0;
+    if (!was_running)
+        server.stop();
+
     return report;
 }
 

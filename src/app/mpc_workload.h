@@ -71,6 +71,41 @@ struct MultiClientReport
     std::size_t steals = 0;            ///< items run off their home lane
 };
 
+/**
+ * Outcome of a closed-loop MPC run (solveClosedLoop /
+ * serveClosedLoopClients): real iLQR receding-horizon control, the
+ * plant stepped with the reference dynamics, every solver dynamics
+ * request served by the runtime.
+ */
+struct ClosedLoopReport
+{
+    std::size_t ticks = 0;      ///< control ticks served (all clients)
+    double wall_us = 0.0;       ///< wall time of the tick stream
+    double ticks_per_s = 0.0;   ///< ticks / wall seconds
+    double final_cost = 0.0;    ///< solver horizon cost, last tick (sum)
+    double tracking_err = 0.0;  ///< plant state error vs reference (max)
+    bool converged = true;      ///< every client's priming solve converged
+    // Server-side accounting over the run:
+    std::size_t jobs = 0;       ///< dynamics jobs served
+    std::size_t tasks = 0;      ///< individual dynamics requests
+    double busy_us = 0.0;       ///< backend busy time, all lanes
+    std::size_t deadline_met = 0;
+    std::size_t deadline_misses = 0;
+    std::size_t coalesced_batches = 0;
+    std::size_t steals = 0;
+
+    /** Fraction of tagged jobs that completed by their deadline
+     *  (1.0 when nothing was tagged). */
+    double
+    deadlineHitRate() const
+    {
+        const std::size_t tagged = deadline_met + deadline_misses;
+        return tagged == 0
+                   ? 1.0
+                   : static_cast<double>(deadline_met) / tagged;
+    }
+};
+
 /** Wall-clock shares of one MPC iteration (Fig. 2c). */
 struct MpcBreakdown
 {
@@ -196,6 +231,35 @@ class MpcWorkload
                                        int clients, int rounds = 1,
                                        double deadline_slack = 0.0);
 
+    /**
+     * Closed-loop MPC with a REAL trajectory optimizer — the path
+     * that supersedes the synthetic Riccati sweep of measureCpu()'s
+     * solver phase for the bench_mpc_solve workload. One
+     * ctrl::MpcSession (reaching scenario for this robot) runs
+     * @p ticks receding-horizon control ticks against a plant
+     * stepped with the reference dynamics; every solver dynamics
+     * request is served by @p backend through a synchronous
+     * DynamicsServer.
+     */
+    ClosedLoopReport solveClosedLoop(runtime::DynamicsBackend &backend,
+                                     int ticks);
+
+    /**
+     * Heavy-traffic closed-loop scenario: @p clients MPC sessions on
+     * their own threads (scenario mix: reaching / gait /
+     * disturbance-recovery, phase-shifted per client) tick
+     * concurrently against @p server for @p ticks control steps
+     * each. With @p deadline_slack > 0 every dynamics job is
+     * deadline-tagged (EDF-schedulable) via the session's
+     * predictedAdmissionUs admission path, and the report's deadline
+     * buckets account the outcome. Starts the server's workers when
+     * not already running (stopping them again in that case); the
+     * server's accounting interval is drained into the report.
+     */
+    ClosedLoopReport serveClosedLoopClients(
+        runtime::DynamicsServer &server, int clients, int ticks,
+        double deadline_slack = 0.0);
+
     const MpcConfig &config() const { return cfg_; }
 
     /** The CPU runtime backend driving the LQ-approximation phase. */
@@ -221,7 +285,13 @@ class MpcWorkload
     /** RK4 rollout shared by the measured variants (workspace-based). */
     double measureRolloutUs();
 
-    /** Serial Riccati-style solver sweep. */
+    /**
+     * Serial SYNTHETIC Riccati-style sweep (nv x nv factorization
+     * work shaped like a solver, solving nothing). Kept as the
+     * solver-phase stand-in of the Fig. 2c breakdown benches;
+     * deprecated for bench_mpc_solve, which runs the real iLQR
+     * backward pass via solveClosedLoop() instead.
+     */
     double measureSolverUs();
 
     /** Stage-boundary RK4 half-step advance (DynamicsServer hook);

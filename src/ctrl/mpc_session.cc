@@ -1,0 +1,128 @@
+#include "ctrl/mpc_session.h"
+
+#include <algorithm>
+
+#include "app/scheduler.h"
+#include "perf/timing.h"
+#include "runtime/sched/policy.h"
+
+namespace dadu::ctrl {
+
+using runtime::DynamicsServer;
+using runtime::FunctionType;
+
+MpcSession::MpcSession(const RobotModel &robot, Scenario scenario,
+                       IlqrOptions options, Config config)
+    : robot_(robot), scenario_(std::move(scenario)), cfg_(config),
+      solver_(robot, scenario_.problem, options), channel_(*this)
+{}
+
+MpcSession::MpcSession(const RobotModel &robot, Scenario scenario,
+                       IlqrOptions options)
+    : MpcSession(robot, std::move(scenario), options, Config{})
+{}
+
+MpcSession::MpcSession(const RobotModel &robot, Scenario scenario)
+    : MpcSession(robot, std::move(scenario), IlqrOptions{}, Config{})
+{}
+
+void
+MpcSession::ServerChannel::run(FunctionType fn,
+                               runtime::DynamicsRequest *requests,
+                               std::size_t count,
+                               runtime::DynamicsResult *results)
+{
+    DynamicsServer &srv = *server;
+    MpcSession &s = session_;
+    const double fn_weight = runtime::sched::functionWeight(fn);
+    const double t0 = perf::nowUs();
+
+    runtime::sched::JobTag tag;
+    if (s.cfg_.deadline_slack > 0.0 && s.task_us_ > 0.0) {
+        // Queueing delay ahead of this job: the least-loaded lane is
+        // where kLeastLoaded (and the sharding water-filling's first
+        // shard) will put it.
+        double queued = srv.laneLoadWeight(0);
+        for (int l = 1; l < srv.backendCount(); ++l)
+            queued = std::min(queued, srv.laneLoadWeight(l));
+        tag.deadline_us =
+            t0 + s.cfg_.deadline_slack *
+                     app::predictedAdmissionUs(
+                         queued, static_cast<int>(count), 1,
+                         s.task_us_, 0.0, fn_weight);
+    }
+
+    int job;
+    int lanes_used = 1;
+    if (count > 1 && s.cfg_.shard_batches && srv.backendCount() > 1) {
+        job = srv.submitSharded(fn, requests, count, results, tag);
+        lanes_used = srv.backendCount();
+    } else {
+        job = srv.submit(fn, requests, count, results,
+                         DynamicsServer::kLeastLoaded, tag);
+    }
+    srv.wait(job);
+
+    ++s.stats_.jobs;
+    if (tag.deadline_us != runtime::sched::kNoDeadline) {
+        ++s.stats_.tagged_jobs;
+        if (srv.jobMissedDeadline(job))
+            ++s.stats_.deadline_misses;
+        else
+            ++s.stats_.deadline_met;
+    }
+
+    // Calibrate the per-task wall time from multi-point batches (the
+    // deadline is judged on the wall clock, so wall time — queueing
+    // included, which loosens the next prediction — is the right
+    // basis; modeled backend time is not). A sharded batch ran its
+    // shards concurrently on lanes_used lanes, so its wall time
+    // reflects count/lanes_used SERIAL tasks — scale back up or the
+    // per-task estimate (and every deadline derived from it) shrinks
+    // by the lane count.
+    if (count > 1) {
+        const double wall = perf::nowUs() - t0;
+        if (wall > 0.0)
+            s.task_us_ = wall * lanes_used /
+                         (static_cast<double>(count) * fn_weight);
+    }
+}
+
+IlqrSummary
+MpcSession::start(runtime::DynamicsServer &server)
+{
+    channel_.server = &server;
+    solver_.reset(scenario_.q0, scenario_.qd0);
+    const IlqrSummary summary =
+        solver_.solve(channel_, scenario_.q0, scenario_.qd0);
+    stats_.horizon_cost = solver_.cost();
+    return summary;
+}
+
+const VectorX &
+MpcSession::tick(runtime::DynamicsServer &server, const VectorX &q,
+                 const VectorX &qd)
+{
+    // Shift-at-END ordering: tick t solves with controls and
+    // references already advanced t times (by the previous ticks),
+    // so the horizon references are time-aligned with the measured
+    // state — shifting before the solve instead would make every
+    // solve track references one knot in the future (a systematic
+    // phase lead on periodic scenarios). The first tick after
+    // start() re-anchors the primed time-0 problem unshifted.
+    channel_.server = &server;
+    solver_.setInitialState(q, qd);
+    solver_.rolloutNominal(channel_);
+    for (int i = 0; i < cfg_.iterations_per_tick; ++i)
+        solver_.iterate(channel_);
+    ++stats_.ticks;
+    stats_.horizon_cost = solver_.cost();
+    // Copy the applied control out BEFORE the warm-start shift
+    // overwrites u(0) for the next tick.
+    u0_ = solver_.u(0);
+    solver_.shiftControls();
+    solver_.shiftReferences();
+    return u0_;
+}
+
+} // namespace dadu::ctrl

@@ -1,0 +1,148 @@
+#include "ctrl/scenarios.h"
+
+#include <cmath>
+
+#include "algorithms/rnea.h"
+
+namespace dadu::ctrl {
+
+namespace {
+
+/**
+ * Deterministic per-DOF amplitude pattern: bounded, phase-shifted
+ * and incommensurate across DOFs so no joint target is degenerate.
+ */
+double
+dofWave(int j, double phase)
+{
+    return std::sin(0.9 * j + 0.4 + phase);
+}
+
+/**
+ * Gravity-compensation torque references: u_ref_k = ID(q_ref_k, 0, 0).
+ * Without these, the effort term prices the static holding torque of
+ * a heavy (floating-base) robot orders of magnitude above the
+ * tracking error of simply falling — and the solver rationally lets
+ * it fall. Penalizing the deviation from the holding torque instead
+ * makes "stay put" the cheap behavior on every robot.
+ */
+void
+addGravityCompensation(const model::RobotModel &robot, OcpProblem &p)
+{
+    const VectorX zero(robot.nv());
+    p.u_ref.resize(p.knots);
+    for (int k = 0; k < p.knots; ++k)
+        p.u_ref[k] = algo::rnea(robot, p.q_ref[k], zero, zero).tau;
+}
+
+} // namespace
+
+Scenario
+makeReachingScenario(const RobotModel &robot, int knots, double dt,
+                     double phase)
+{
+    Scenario s;
+    s.name = "reaching";
+    s.q0 = robot.neutralConfiguration();
+    s.qd0 = VectorX(robot.nv());
+
+    // Target: a moderate tangent-space offset from neutral, reached
+    // and held over the horizon.
+    VectorX dv(robot.nv());
+    for (int j = 0; j < robot.nv(); ++j)
+        dv[j] = 0.25 * dofWave(j, phase);
+    const VectorX q_target = robot.integrate(s.q0, dv);
+
+    OcpProblem &p = s.problem;
+    p.knots = knots;
+    p.dt = dt;
+    p.wq = 2.0;
+    p.wqd = 0.05;
+    p.wu = 1e-4;
+    p.wq_term = 50.0;
+    p.wqd_term = 2.0;
+    p.q_ref.assign(knots + 1, q_target);
+    p.qd_ref.assign(knots + 1, VectorX(robot.nv()));
+    addGravityCompensation(robot, p);
+    return s;
+}
+
+Scenario
+makeGaitScenario(const RobotModel &robot, int knots, double dt,
+                 double phase)
+{
+    Scenario s;
+    s.name = "gait-tracking";
+    s.q0 = robot.neutralConfiguration();
+    s.qd0 = VectorX(robot.nv());
+
+    // Periodic joint-space pattern: q_ref_k = q0 ⊕ a·sin(ωt + φ_j),
+    // with the matching tangent velocity as the qd reference.
+    const double amp = 0.12;
+    const double omega = 2.0 * 3.14159265358979323846 /
+                         (0.5 * knots * dt); // two periods per horizon
+    OcpProblem &p = s.problem;
+    p.knots = knots;
+    p.dt = dt;
+    p.wq = 4.0;
+    p.wqd = 0.2;
+    p.wu = 1e-4;
+    p.wq_term = 8.0;
+    p.wqd_term = 0.4;
+    p.periodic_ref = true;
+    p.q_ref.resize(knots + 1);
+    p.qd_ref.resize(knots + 1);
+    VectorX dv(robot.nv()), dvd(robot.nv());
+    for (int k = 0; k <= knots; ++k) {
+        const double t = k * dt;
+        for (int j = 0; j < robot.nv(); ++j) {
+            const double phi = 0.7 * j + phase;
+            dv[j] = amp * std::sin(omega * t + phi);
+            dvd[j] = amp * omega * std::cos(omega * t + phi);
+        }
+        p.q_ref[k] = robot.integrate(s.q0, dv);
+        p.qd_ref[k] = dvd;
+    }
+    addGravityCompensation(robot, p);
+    return s;
+}
+
+Scenario
+makeDisturbanceScenario(const RobotModel &robot, int knots, double dt,
+                        double phase)
+{
+    Scenario s;
+    s.name = "disturbance-recovery";
+    s.q0 = robot.neutralConfiguration();
+    s.qd0 = VectorX(robot.nv());
+    for (int j = 0; j < robot.nv(); ++j)
+        s.qd0[j] = 0.5 * dofWave(j, 1.3 + phase);
+
+    OcpProblem &p = s.problem;
+    p.knots = knots;
+    p.dt = dt;
+    p.wq = 3.0;
+    p.wqd = 0.5;
+    p.wu = 1e-4;
+    p.wq_term = 30.0;
+    p.wqd_term = 5.0;
+    p.q_ref.assign(knots + 1, s.q0);
+    p.qd_ref.assign(knots + 1, VectorX(robot.nv()));
+    addGravityCompensation(robot, p);
+    return s;
+}
+
+Scenario
+makeScenario(const RobotModel &robot, int index, int knots, double dt,
+             double phase)
+{
+    switch (((index % kScenarioCount) + kScenarioCount) %
+            kScenarioCount) {
+      case 0: return makeReachingScenario(robot, knots, dt, phase);
+      case 1: return makeGaitScenario(robot, knots, dt, phase);
+      default:
+        return makeDisturbanceScenario(robot, knots, dt, phase);
+    }
+}
+
+} // namespace dadu::ctrl

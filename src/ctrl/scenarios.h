@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Canonical control scenarios for the evaluation robots.
+ *
+ * Each scenario packages an OcpProblem with an initial state so
+ * tests, benches and the closed-loop MPC serving workload all solve
+ * the same, reproducible problems:
+ *
+ *  - reaching: drive the robot from its neutral posture to a fixed
+ *    tangent-space target posture and hold it (iiwa-style task, but
+ *    defined for any robot);
+ *  - periodic gait tracking: follow a sinusoidal joint-space pattern
+ *    (phase-shifted per DOF), the HyQ-style locomotion proxy;
+ *  - disturbance recovery: from the reference posture with a
+ *    velocity push, bring the robot back to rest (Atlas-style).
+ *
+ * Scenarios are deterministic: the same robot and phase produce the
+ * same problem, so solver trajectories can be compared bitwise
+ * across backends. The @p phase parameter decorrelates concurrent
+ * MPC clients without changing the problem's character.
+ */
+
+#ifndef DADU_CTRL_SCENARIOS_H
+#define DADU_CTRL_SCENARIOS_H
+
+#include "ctrl/problem.h"
+#include "model/robot_model.h"
+
+namespace dadu::ctrl {
+
+using model::RobotModel;
+
+/** A problem plus the state the robot starts in. */
+struct Scenario
+{
+    const char *name = "";
+    OcpProblem problem;
+    VectorX q0;  ///< initial configuration (nq)
+    VectorX qd0; ///< initial velocity (nv)
+};
+
+/** Neutral posture -> fixed target posture, then hold. */
+Scenario makeReachingScenario(const RobotModel &robot, int knots = 20,
+                              double dt = 0.01, double phase = 0.0);
+
+/** Track a phase-shifted sinusoidal joint pattern (periodic gait). */
+Scenario makeGaitScenario(const RobotModel &robot, int knots = 24,
+                          double dt = 0.01, double phase = 0.0);
+
+/** Recover to rest at the reference posture from a velocity push. */
+Scenario makeDisturbanceScenario(const RobotModel &robot,
+                                 int knots = 20, double dt = 0.01,
+                                 double phase = 0.0);
+
+/** Number of standard scenarios (the index domain of makeScenario). */
+inline constexpr int kScenarioCount = 3;
+
+/**
+ * Standard scenario by index (mod kScenarioCount): 0 reaching,
+ * 1 gait tracking, 2 disturbance recovery — the one mapping shared
+ * by tests, benches and the multi-client serving mix.
+ */
+Scenario makeScenario(const RobotModel &robot, int index,
+                      int knots = 20, double dt = 0.01,
+                      double phase = 0.0);
+
+} // namespace dadu::ctrl
+
+#endif // DADU_CTRL_SCENARIOS_H

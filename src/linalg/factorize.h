@@ -82,6 +82,13 @@ class Ldlt
     /** Solve M x = b overwriting @p b with x; no allocation. */
     void solveInPlace(VectorX &b) const;
 
+    /**
+     * Solve M X = B column-wise, overwriting @p b with X; no
+     * allocation (the substitutions run directly on the row-major
+     * columns). The multi-RHS path of the iLQR backward pass.
+     */
+    void solveInPlace(MatrixX &b) const;
+
   private:
     MatrixX l_;
     VectorX d_;
@@ -110,6 +117,14 @@ class SmallLdlt
 
     int dim() const { return n_; }
     bool ok() const { return ok_; }
+
+    /**
+     * Pivot D(i, i) of the factorization. All pivots positive ⇔ the
+     * matrix was positive definite — the check regularized solvers
+     * (iLQR's Quu) use to reject indefinite factorizations, matching
+     * Ldlt::vectorD().
+     */
+    double pivot(int i) const { return d_[i]; }
 
     /** Solve M x = b overwriting the n entries of @p b. */
     void solveInPlace(double *b) const;

@@ -359,6 +359,47 @@ class MatrixX
         }
     }
 
+    /**
+     * out = (*this)ᵀ · x without allocating in the steady state
+     * (@p out is resized, reusing capacity, then accumulated into).
+     * @p out must not alias @p x. Same zero-skip accumulation
+     * contract as multiplyInto, iterating rows of *this so the
+     * row-major storage streams in order.
+     */
+    void
+    transposeMultiplyInto(const VectorX &x, VectorX &out) const
+    {
+        assert(rows_ == x.size() && &x != &out);
+        out.resize(cols_);
+        for (std::size_t k = 0; k < rows_; ++k) {
+            const double v = x[k];
+            if (v == 0.0)
+                continue;
+            for (std::size_t i = 0; i < cols_; ++i)
+                out[i] += (*this)(k, i) * v;
+        }
+    }
+
+    /**
+     * out = (*this)ᵀ · o without allocating in the steady state.
+     * @p out must not alias either operand.
+     */
+    void
+    transposeMultiplyInto(const MatrixX &o, MatrixX &out) const
+    {
+        assert(rows_ == o.rows_ && &o != &out && this != &out);
+        out.resize(cols_, o.cols_);
+        for (std::size_t k = 0; k < rows_; ++k) {
+            for (std::size_t i = 0; i < cols_; ++i) {
+                const double v = (*this)(k, i);
+                if (v == 0.0)
+                    continue;
+                for (std::size_t j = 0; j < o.cols_; ++j)
+                    out(i, j) += v * o(k, j);
+            }
+        }
+    }
+
     /** In-place negation of every entry. */
     void
     negate()

@@ -209,6 +209,81 @@ jointIntegrateAt(JointType t, const VectorX &q, int qIndex,
     }
 }
 
+namespace {
+
+/**
+ * Rotation vector ω with a.integrated(ω) == b (the log map of
+ * conj(a) ∘ b, shortest arc). Inverse of Quaternion::integrated.
+ */
+Vec3
+quaternionDifference(const Quaternion &a, const Quaternion &b)
+{
+    // conj(a) ∘ b without materializing the conjugate.
+    Quaternion rel{a.w * b.x - a.x * b.w - a.y * b.z + a.z * b.y,
+                   a.w * b.y + a.x * b.z - a.y * b.w - a.z * b.x,
+                   a.w * b.z - a.x * b.y + a.y * b.x - a.z * b.w,
+                   a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z};
+    if (rel.w < 0.0) { // shortest arc: q and -q are the same rotation
+        rel.x = -rel.x;
+        rel.y = -rel.y;
+        rel.z = -rel.z;
+        rel.w = -rel.w;
+    }
+    const Vec3 xyz{rel.x, rel.y, rel.z};
+    const double sin_half = xyz.norm();
+    if (sin_half < 1e-12)
+        return xyz * 2.0; // small angle: exp(ω) ≈ (ω/2, 1)
+    const double angle = 2.0 * std::atan2(sin_half, rel.w);
+    return xyz * (angle / sin_half);
+}
+
+} // namespace
+
+void
+jointDifferenceAt(JointType t, const VectorX &a, const VectorX &b,
+                  int qIndex, int vIndex, VectorX &out)
+{
+    assert(qIndex + jointNq(t) <= static_cast<int>(a.size()));
+    assert(qIndex + jointNq(t) <= static_cast<int>(b.size()));
+    assert(vIndex + jointNv(t) <= static_cast<int>(out.size()));
+    const int qi = qIndex;
+    const int vi = vIndex;
+    switch (t) {
+      case JointType::Spherical: {
+        const Quaternion qa{a[qi], a[qi + 1], a[qi + 2], a[qi + 3]};
+        const Quaternion qb{b[qi], b[qi + 1], b[qi + 2], b[qi + 3]};
+        const Vec3 w = quaternionDifference(qa, qb);
+        out[vi] = w[0];
+        out[vi + 1] = w[1];
+        out[vi + 2] = w[2];
+        break;
+      }
+      case JointType::Floating: {
+        const Quaternion qa{a[qi + 3], a[qi + 4], a[qi + 5], a[qi + 6]};
+        const Quaternion qb{b[qi + 3], b[qi + 4], b[qi + 5], b[qi + 6]};
+        const Vec3 w = quaternionDifference(qa, qb);
+        // integrate adds R_a·v_lin in the world frame, so the
+        // difference maps the world displacement back to a's frame.
+        const Vec3 dp{b[qi] - a[qi], b[qi + 1] - a[qi + 1],
+                      b[qi + 2] - a[qi + 2]};
+        const Vec3 v = qa.toRotation().transpose() * dp;
+        out[vi] = w[0];
+        out[vi + 1] = w[1];
+        out[vi + 2] = w[2];
+        out[vi + 3] = v[0];
+        out[vi + 4] = v[1];
+        out[vi + 5] = v[2];
+        break;
+      }
+      default: {
+        const int n = jointNv(t);
+        for (int k = 0; k < n; ++k)
+            out[vi + k] = b[qi + k] - a[qi + k];
+        break;
+      }
+    }
+}
+
 VectorX
 jointNeutral(JointType t)
 {

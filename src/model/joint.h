@@ -164,6 +164,17 @@ VectorX jointIntegrate(JointType t, const VectorX &q, const VectorX &v);
 void jointIntegrateAt(JointType t, const VectorX &q, int qIndex,
                       const VectorX &v, int vIndex, VectorX &out);
 
+/**
+ * Tangent-space difference of two joint configurations: the v with
+ * a ⊕ v = b under jointIntegrate's conventions (quaternion log map
+ * for rotational joints, body-frame linear displacement for the
+ * floating joint). Reads the nq segments of @p a and @p b at
+ * @p qIndex and writes the nv segment of @p out at @p vIndex;
+ * performs no heap allocation.
+ */
+void jointDifferenceAt(JointType t, const VectorX &a, const VectorX &b,
+                       int qIndex, int vIndex, VectorX &out);
+
 /** Neutral (zero) configuration for a joint type (size nq). */
 VectorX jointNeutral(JointType t);
 

@@ -155,6 +155,28 @@ RobotModel::integrateInto(const VectorX &q, const VectorX &dv,
 }
 
 VectorX
+RobotModel::difference(const VectorX &a, const VectorX &b) const
+{
+    VectorX out;
+    differenceInto(a, b, out);
+    return out;
+}
+
+void
+RobotModel::differenceInto(const VectorX &a, const VectorX &b,
+                           VectorX &out) const
+{
+    assert(static_cast<int>(a.size()) == nq_);
+    assert(static_cast<int>(b.size()) == nq_);
+    assert(&out != &a && &out != &b);
+    out.resize(nv_);
+    for (int i = 0; i < nb(); ++i) {
+        const Link &l = links_[i];
+        jointDifferenceAt(l.joint, a, b, l.qIndex, l.vIndex, out);
+    }
+}
+
+VectorX
 RobotModel::randomConfiguration(std::mt19937 &rng) const
 {
     std::uniform_real_distribution<double> angle(-std::numbers::pi,

@@ -133,6 +133,23 @@ class RobotModel
     void integrateInto(const VectorX &q, const VectorX &dv,
                        VectorX &out) const;
 
+    /**
+     * Tangent-space difference b ⊖ a: the dv (size nv) with
+     * integrate(a, dv) == b — quaternion log map on rotational
+     * joints, so configuration errors of floating-base robots live
+     * in the same tangent space as velocities and the analytical
+     * derivatives. Inverse of integrate().
+     */
+    VectorX difference(const VectorX &a, const VectorX &b) const;
+
+    /**
+     * difference() writing into caller storage: @p out is resized
+     * (reusing capacity), so repeated calls perform no heap
+     * allocation. @p out must not alias @p a or @p b.
+     */
+    void differenceInto(const VectorX &a, const VectorX &b,
+                        VectorX &out) const;
+
     /** Uniform random configuration (angles in [-π, π], etc.). */
     VectorX randomConfiguration(std::mt19937 &rng) const;
 
