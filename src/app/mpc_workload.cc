@@ -417,6 +417,11 @@ drainServerInto(runtime::DynamicsServer &server, ClosedLoopReport &report)
     report.deadline_misses += sstats.deadline_misses;
     report.coalesced_batches += sstats.coalesced_batches;
     report.steals += sstats.steals;
+    report.rejected_jobs += sstats.rejected_jobs;
+    report.failed_jobs += sstats.failed_jobs;
+    report.lane_deaths += sstats.lane_deaths;
+    report.transient_faults += sstats.transient_faults;
+    report.retries += sstats.retries;
 }
 
 } // namespace
@@ -458,6 +463,9 @@ MpcWorkload::serveClosedLoopClients(runtime::DynamicsServer &server,
 {
     // One session per client, scenario mix phase-shifted per client
     // so the concurrent traffic differs without losing determinism.
+    // MpcSession clamps negative slack too; clamping here keeps the
+    // untagged-bulk interpretation visible at the workload boundary.
+    deadline_slack = std::max(0.0, deadline_slack);
     std::vector<std::unique_ptr<ctrl::MpcSession>> sessions;
     sessions.reserve(clients);
     for (int c = 0; c < clients; ++c) {
@@ -518,6 +526,7 @@ MpcWorkload::serveClosedLoopClients(runtime::DynamicsServer &server,
                      trackingErr(robot_, *sessions[c], plants[c], err));
         report.final_cost += sessions[c]->stats().horizon_cost;
         report.ticks += sessions[c]->stats().ticks;
+        report.degraded_ticks += sessions[c]->stats().degraded_ticks;
     }
     report.ticks_per_s =
         report.wall_us > 0.0 ? report.ticks * 1e6 / report.wall_us : 0.0;

@@ -93,6 +93,13 @@ struct ClosedLoopReport
     std::size_t deadline_misses = 0;
     std::size_t coalesced_batches = 0;
     std::size_t steals = 0;
+    // Fault-tolerance outcome of the run (zero on a healthy server):
+    std::size_t degraded_ticks = 0; ///< ticks served from the stale plan
+    std::size_t rejected_jobs = 0;  ///< jobs shed by admission control
+    std::size_t failed_jobs = 0;    ///< jobs lost to dead lanes
+    std::size_t lane_deaths = 0;    ///< lanes quarantined during the run
+    std::size_t transient_faults = 0; ///< faulted submits (incl. retried)
+    std::size_t retries = 0;          ///< resubmissions that recovered work
 
     /** Fraction of tagged jobs that completed by their deadline
      *  (1.0 when nothing was tagged). */

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "runtime/sched/admission.h"
+
 namespace dadu::app {
 
 double
@@ -33,8 +35,10 @@ double
 predictedAdmissionUs(double queued_weight, int points, int stages,
                      double task_us, double latency_us, double fn_weight)
 {
-    return queued_weight * task_us +
-           stages * (points * task_us * fn_weight + latency_us);
+    // Canonical definition lives with the admission policies that
+    // consume it; this alias keeps the original app-layer callers.
+    return runtime::sched::predictedAdmissionUs(
+        queued_weight, points, stages, task_us, latency_us, fn_weight);
 }
 
 } // namespace dadu::app

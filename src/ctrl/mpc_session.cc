@@ -15,7 +15,11 @@ MpcSession::MpcSession(const RobotModel &robot, Scenario scenario,
                        IlqrOptions options, Config config)
     : robot_(robot), scenario_(std::move(scenario)), cfg_(config),
       solver_(robot, scenario_.problem, options), channel_(*this)
-{}
+{
+    // A negative slack would tag every job with a deadline in the
+    // past; clamp to "untagged bulk" instead.
+    cfg_.deadline_slack = std::max(0.0, cfg_.deadline_slack);
+}
 
 MpcSession::MpcSession(const RobotModel &robot, Scenario scenario,
                        IlqrOptions options)
@@ -34,6 +38,8 @@ MpcSession::ServerChannel::run(FunctionType fn,
 {
     DynamicsServer &srv = *server;
     MpcSession &s = session_;
+    if (tick_failed)
+        return; // tick already degraded: skip the rest of its jobs
     const double fn_weight = runtime::sched::functionWeight(fn);
     const double t0 = perf::nowUs();
 
@@ -64,6 +70,18 @@ MpcSession::ServerChannel::run(FunctionType fn,
     srv.wait(job);
 
     ++s.stats_.jobs;
+    const runtime::JobOutcome outcome = srv.jobOutcome(job);
+    if (outcome != runtime::JobOutcome::Completed) {
+        // Shed or failed: results were never written. Mark the tick
+        // degraded and read nothing — no deadline bucket (the server
+        // kept it out of its own buckets too), no calibration.
+        tick_failed = true;
+        if (outcome == runtime::JobOutcome::Rejected)
+            ++s.stats_.rejected_jobs;
+        else
+            ++s.stats_.failed_jobs;
+        return;
+    }
     if (tag.deadline_us != runtime::sched::kNoDeadline) {
         ++s.stats_.tagged_jobs;
         if (srv.jobMissedDeadline(job))
@@ -92,6 +110,7 @@ IlqrSummary
 MpcSession::start(runtime::DynamicsServer &server)
 {
     channel_.server = &server;
+    channel_.tick_failed = false;
     solver_.reset(scenario_.q0, scenario_.qd0);
     const IlqrSummary summary =
         solver_.solve(channel_, scenario_.q0, scenario_.qd0);
@@ -111,12 +130,33 @@ MpcSession::tick(runtime::DynamicsServer &server, const VectorX &q,
     // phase lead on periodic scenarios). The first tick after
     // start() re-anchors the primed time-0 problem unshifted.
     channel_.server = &server;
+    channel_.tick_failed = false;
+    // Save the incoming (previous tick's shifted) plan before the
+    // solver mutates it: the graceful-degradation fallback if a job
+    // of this tick is shed or failed. Element copies reuse capacity,
+    // so the steady path does not allocate.
+    const int knots = solver_.problem().knots;
+    if (u_prev_.size() < static_cast<std::size_t>(knots))
+        u_prev_.resize(knots);
+    for (int k = 0; k < knots; ++k)
+        u_prev_[k] = solver_.u(k);
     solver_.setInitialState(q, qd);
     solver_.rolloutNominal(channel_);
-    for (int i = 0; i < cfg_.iterations_per_tick; ++i)
+    for (int i = 0;
+         i < cfg_.iterations_per_tick && !channel_.tick_failed; ++i)
         solver_.iterate(channel_);
     ++stats_.ticks;
-    stats_.horizon_cost = solver_.cost();
+    if (channel_.tick_failed) {
+        // Degraded tick: discard the partial solve and re-apply the
+        // warm-started previous plan. It still shifts forward below,
+        // so the controller keeps emitting time-aligned (if stale)
+        // controls; horizon_cost keeps its last good value.
+        ++stats_.degraded_ticks;
+        for (int k = 0; k < knots; ++k)
+            solver_.control(k) = u_prev_[k];
+    } else {
+        stats_.horizon_cost = solver_.cost();
+    }
     // Copy the applied control out BEFORE the warm-start shift
     // overwrites u(0) for the next tick.
     u0_ = solver_.u(0);

@@ -24,6 +24,7 @@
 #define DADU_CTRL_MPC_SESSION_H
 
 #include <cstddef>
+#include <vector>
 
 #include "ctrl/ilqr.h"
 #include "ctrl/scenarios.h"
@@ -57,6 +58,15 @@ class MpcSession
         std::size_t tagged_jobs = 0;  ///< jobs carrying a deadline
         std::size_t deadline_met = 0;
         std::size_t deadline_misses = 0;
+        /**
+         * Ticks that fell back to the warm-started previous plan
+         * because a dynamics job was shed or failed — the session
+         * still returned a control (graceful degradation), just not a
+         * re-optimized one.
+         */
+        std::size_t degraded_ticks = 0;
+        std::size_t rejected_jobs = 0; ///< jobs shed by admission
+        std::size_t failed_jobs = 0;   ///< jobs with no healthy lane
         double horizon_cost = 0.0;    ///< solver cost after last tick
     };
 
@@ -102,6 +112,14 @@ class MpcSession
 
         runtime::DynamicsServer *server = nullptr;
 
+        /**
+         * Set when a job of the current tick was Rejected or Failed;
+         * subsequent run() calls of the tick become no-ops (the
+         * solver's intermediate state is abandoned anyway) and tick()
+         * falls back to the previous plan.
+         */
+        bool tick_failed = false;
+
       private:
         MpcSession &session_;
     };
@@ -113,6 +131,9 @@ class MpcSession
     ServerChannel channel_;
     Stats stats_;
     VectorX u0_; ///< tick()'s returned control (pre-shift copy)
+    /** Previous tick's control horizon — the degradation fallback
+     *  plan, saved (buffer reused) at the top of every tick. */
+    std::vector<VectorX> u_prev_;
     double task_us_ = 0.0; ///< calibrated per-FD-equivalent wall time
 };
 

@@ -68,19 +68,28 @@ class DynamicsBackend
      * request i. Results are caller-provided storage (resized in
      * place, reusing capacity) so the steady path of a well-behaved
      * backend performs no heap allocation.
+     *
+     * The return value (mirrored into @p stats->status when stats is
+     * provided) is the error channel: a non-Ok status means the
+     * results were NOT written and the batch may be retried
+     * (TransientFailure) or the backend abandoned (BackendDown).
+     * The three production backends always return Ok; fault-injecting
+     * decorators and future remote transports do not.
      */
-    virtual void submit(FunctionType fn, const DynamicsRequest *requests,
-                        std::size_t count, DynamicsResult *results,
-                        BatchStats *stats = nullptr) = 0;
+    virtual SubmitStatus submit(FunctionType fn,
+                                const DynamicsRequest *requests,
+                                std::size_t count, DynamicsResult *results,
+                                BatchStats *stats = nullptr) = 0;
 
     /** Vector convenience over the span entry point. */
-    void
+    SubmitStatus
     submit(FunctionType fn, const std::vector<DynamicsRequest> &requests,
            std::vector<DynamicsResult> &results, BatchStats *stats = nullptr)
     {
         if (results.size() < requests.size())
             results.resize(requests.size());
-        submit(fn, requests.data(), requests.size(), results.data(), stats);
+        return submit(fn, requests.data(), requests.size(), results.data(),
+                      stats);
     }
 };
 

@@ -120,7 +120,7 @@ CpuBatchedBackend::clone() const
     return std::make_unique<CpuBatchedBackend>(robot_, engine_.pool());
 }
 
-void
+SubmitStatus
 CpuBatchedBackend::submit(FunctionType fn, const DynamicsRequest *requests,
                           std::size_t count, DynamicsResult *results,
                           BatchStats *stats)
@@ -143,7 +143,7 @@ CpuBatchedBackend::submit(FunctionType fn, const DynamicsRequest *requests,
             referenceExecute(robot_, ws_, fd_tmp_, fn, requests[i],
                              results[i]);
         fillMeasuredStats(stats, nowUs() - t0, count);
-        return;
+        return SubmitStatus::Ok;
     }
 
     // Stage the struct-of-arrays views the engine dispatches over
@@ -162,6 +162,7 @@ CpuBatchedBackend::submit(FunctionType fn, const DynamicsRequest *requests,
     }
     runEngine(fn, q_.data(), qd_.data(), tau_.data(), count, results);
     fillMeasuredStats(stats, nowUs() - t0, count);
+    return SubmitStatus::Ok;
 }
 
 void
@@ -231,7 +232,7 @@ AcceleratorBackend::clone() const
     return std::make_unique<AcceleratorBackend>(accel_->clone());
 }
 
-void
+SubmitStatus
 AcceleratorBackend::submit(FunctionType fn, const DynamicsRequest *requests,
                            std::size_t count, DynamicsResult *results,
                            BatchStats *stats)
@@ -240,6 +241,7 @@ AcceleratorBackend::submit(FunctionType fn, const DynamicsRequest *requests,
     // (accel::TaskInput/TaskOutput alias them), so the batch goes to
     // the cycle-accurate simulator without conversion.
     accel_->run(fn, requests, count, results, stats);
+    return SubmitStatus::Ok;
 }
 
 // -----------------------------------------------------------------
@@ -256,7 +258,7 @@ AnalyticBackend::clone() const
     return std::make_unique<AnalyticBackend>(accel_);
 }
 
-void
+SubmitStatus
 AnalyticBackend::submit(FunctionType fn, const DynamicsRequest *requests,
                         std::size_t count, DynamicsResult *results,
                         BatchStats *stats)
@@ -275,6 +277,7 @@ AnalyticBackend::submit(FunctionType fn, const DynamicsRequest *requests,
         stats->latency_us = est.latency_us;
         stats->throughput_mtasks = est.throughput_mtasks;
     }
+    return SubmitStatus::Ok;
 }
 
 } // namespace dadu::runtime

@@ -71,9 +71,9 @@ class CpuBatchedBackend : public DynamicsBackend
      * host's cores are never oversubscribed.
      */
     std::unique_ptr<DynamicsBackend> clone() const override;
-    void submit(FunctionType fn, const DynamicsRequest *requests,
-                std::size_t count, DynamicsResult *results,
-                BatchStats *stats = nullptr) override;
+    SubmitStatus submit(FunctionType fn, const DynamicsRequest *requests,
+                        std::size_t count, DynamicsResult *results,
+                        BatchStats *stats = nullptr) override;
     using DynamicsBackend::submit;
 
     /**
@@ -128,9 +128,9 @@ class AcceleratorBackend : public DynamicsBackend
      * owned by the new backend — the sharding unit of the runtime.
      */
     std::unique_ptr<DynamicsBackend> clone() const override;
-    void submit(FunctionType fn, const DynamicsRequest *requests,
-                std::size_t count, DynamicsResult *results,
-                BatchStats *stats = nullptr) override;
+    SubmitStatus submit(FunctionType fn, const DynamicsRequest *requests,
+                        std::size_t count, DynamicsResult *results,
+                        BatchStats *stats = nullptr) override;
     using DynamicsBackend::submit;
 
     accel::Accelerator &accelerator() { return *accel_; }
@@ -161,9 +161,9 @@ class AnalyticBackend : public DynamicsBackend
      * its workspaces, so clones can serve concurrent lanes.
      */
     std::unique_ptr<DynamicsBackend> clone() const override;
-    void submit(FunctionType fn, const DynamicsRequest *requests,
-                std::size_t count, DynamicsResult *results,
-                BatchStats *stats = nullptr) override;
+    SubmitStatus submit(FunctionType fn, const DynamicsRequest *requests,
+                        std::size_t count, DynamicsResult *results,
+                        BatchStats *stats = nullptr) override;
     using DynamicsBackend::submit;
 
   private:

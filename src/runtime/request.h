@@ -66,6 +66,21 @@ struct DynamicsResult
 };
 
 /**
+ * Outcome of one batch submission — the error channel of the backend
+ * interface. The pre-fault-tolerance contract was that submit()
+ * cannot fail; backends that can (a wedged accelerator, an injected
+ * fault) report it here instead of aborting, and the serving layer
+ * decides what to do: bounded retry for TransientFailure, lane
+ * quarantine + failover for BackendDown.
+ */
+enum class SubmitStatus
+{
+    Ok,               ///< batch executed, results valid
+    TransientFailure, ///< batch did not execute; a retry may succeed
+    BackendDown,      ///< backend permanently dead; do not resubmit
+};
+
+/**
  * Timing and occupancy of one submitted batch. `total_us` is the
  * batch makespan in *backend time*: measured wall-clock for the CPU
  * backend, modeled microseconds (simulated or estimated cycles over
@@ -80,6 +95,7 @@ struct BatchStats
     double latency_us = 0.0;         ///< mean single-task latency
     std::size_t fifo_high_water = 0; ///< deepest FIFO occupancy
     std::uint64_t fifo_stalls = 0;   ///< full-FIFO push rejections
+    SubmitStatus status = SubmitStatus::Ok; ///< mirrors submit()'s return
 };
 
 } // namespace dadu::runtime

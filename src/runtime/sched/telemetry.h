@@ -75,6 +75,22 @@ struct SchedConfig
 
     /** Item cap of one merged batch (bounds the gather/scatter). */
     std::size_t coalesce_max_items = 32;
+
+    /**
+     * Bounded retry budget for TransientFailure submits: a faulted
+     * batch is resubmitted to the same lane up to this many times
+     * before the lane is quarantined and its work failed over.
+     */
+    int max_retries = 2;
+
+    /**
+     * NaN/inf-guard the fields each completed batch wrote. A corrupt
+     * batch counts as a transient fault (the retry budget applies) —
+     * silent NaN propagation into an MPC plan is the failure mode
+     * this exists to stop. Off by default: trusted backends should
+     * not pay the scan.
+     */
+    bool validate_results = false;
 };
 
 /**
@@ -89,6 +105,16 @@ struct SchedStats
     std::size_t steals = 0;        ///< items executed off their home lane
     std::size_t deadline_met = 0;  ///< tagged jobs done by their deadline
     std::size_t deadline_misses = 0; ///< tagged jobs that completed late
+
+    // Fault-tolerance counters (zero unless faults or shedding occur).
+    std::size_t transient_faults = 0; ///< non-Ok submits observed
+    std::size_t retries = 0;          ///< resubmissions after a fault
+    std::size_t corrupt_results = 0;  ///< batches failing NaN validation
+    std::size_t lane_deaths = 0;      ///< lanes quarantined
+    std::size_t requeued_items = 0;   ///< items failed over to siblings
+    std::size_t failed_jobs = 0;      ///< jobs with no healthy lane left
+    std::size_t rejected_jobs = 0;    ///< jobs shed by admission control
+    std::size_t immediate_misses = 0; ///< tagged jobs admitted already late
 };
 
 } // namespace dadu::runtime::sched

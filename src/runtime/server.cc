@@ -38,6 +38,13 @@ DynamicsServer::setPolicy(const sched::SchedConfig &cfg)
     policy_ = sched::makePolicy(cfg);
 }
 
+void
+DynamicsServer::setAdmission(std::unique_ptr<sched::AdmissionPolicy> policy)
+{
+    assert(!running() && "install admission while the server is idle");
+    admission_ = std::move(policy);
+}
+
 sched::ItemView
 DynamicsServer::QueueAdapter::item(int lane, std::size_t pos) const
 {
@@ -62,16 +69,29 @@ DynamicsServer::leastLoadedLane()
     // Round-robin tie-breaking: equal loads are the common case
     // right after a sharded batch equalized the lanes, and a fixed
     // preference would then funnel every serial-stage job onto lane
-    // 0. Start each scan one past the previous winner.
+    // 0. Start each scan one past the previous winner. Quarantined
+    // lanes are never candidates; -1 when none is healthy.
     const int n = static_cast<int>(lanes_.size());
-    int best = rr_next_ % n;
-    for (int k = 1; k < n; ++k) {
+    int best = -1;
+    for (int k = 0; k < n; ++k) {
         const int i = (rr_next_ + k) % n;
-        if (lanes_[i].load_weight < lanes_[best].load_weight)
+        if (!lanes_[i].healthy)
+            continue;
+        if (best < 0 || lanes_[i].load_weight < lanes_[best].load_weight)
             best = i;
     }
-    rr_next_ = (best + 1) % n;
+    if (best >= 0)
+        rr_next_ = (best + 1) % n;
     return best;
+}
+
+int
+DynamicsServer::healthyLaneCount() const
+{
+    int n = 0;
+    for (const Lane &lane : lanes_)
+        n += lane.healthy ? 1 : 0;
+    return n;
 }
 
 void
@@ -95,7 +115,7 @@ DynamicsServer::pushWork(int lane, WorkItem item)
         const int n = static_cast<int>(lanes_.size());
         for (int k = 1; k <= n; ++k) {
             const int l = (thief_next_ + k) % n;
-            if (l != lane && lanes_[l].waiting) {
+            if (l != lane && lanes_[l].waiting && lanes_[l].healthy) {
                 lanes_[l].cv.notify_one();
                 thief_next_ = l;
                 break;
@@ -105,8 +125,66 @@ DynamicsServer::pushWork(int lane, WorkItem item)
 }
 
 int
+DynamicsServer::recordTerminalJob(Job job, JobOutcome outcome)
+{
+    // A job that ends at submission (shed, or no healthy lane) still
+    // gets a live record: wait() must return for it and jobOutcome()
+    // must say why — a shed job is never silent. It does not enter
+    // pending_jobs_ (nothing will complete it), the deadline buckets
+    // (it never ran), or stats_.jobs.
+    job.done = true;
+    job.outcome = outcome;
+    job.done_at_us = perf::nowUs();
+    if (outcome == JobOutcome::Rejected)
+        ++sched_stats_.rejected_jobs;
+    else
+        ++sched_stats_.failed_jobs;
+    jobs_.push_back(std::move(job));
+    return static_cast<int>(retire_base_ + jobs_.size()) - 1;
+}
+
+bool
+DynamicsServer::admitLocked(const Job &job, int lane, double now_us)
+{
+    sched::AdmissionRequest req;
+    req.fn = job.fn;
+    req.points = static_cast<int>(job.count);
+    req.stages = job.stages;
+    req.priority = job.priority;
+    req.deadline_us = job.deadline_us;
+    req.now_us = now_us;
+    req.queue_depth = lanes_[lane].work.size();
+    req.healthy_lanes = healthyLaneCount();
+    req.task_us = task_us_ewma_;
+    // Competing weight: what actually drains before this job. Under
+    // EDF only earlier-or-equal deadlines delay it (queued bulk is
+    // overtaken); under FIFO everything committed to the lane does.
+    if (sched_cfg_.kind == sched::PolicyKind::Edf &&
+        job.deadline_us != sched::kNoDeadline)
+    {
+        double w = 0.0;
+        for (const WorkItem &item : lanes_[lane].work) {
+            const Job &q = jobRef(item.job);
+            if (q.deadline_us <= job.deadline_us)
+                w += sched::functionWeight(q.fn) *
+                     static_cast<double>(item.count);
+        }
+        req.queued_weight = w;
+    } else {
+        req.queued_weight = lanes_[lane].load_weight;
+    }
+    return admission_->admit(req);
+}
+
+int
 DynamicsServer::enqueueJob(Job job, int backend_id)
 {
+    // JobTag validation: a NaN deadline would poison every EDF
+    // comparison — treat it as untagged. A deadline in the past stays
+    // accepted (counted below as an immediate miss); shedding it
+    // would turn a late answer into none.
+    if (std::isnan(job.deadline_us))
+        job.deadline_us = sched::kNoDeadline;
     const std::size_t count = job.count;
     // A serial-stage job commits ALL its stages to the chosen lane;
     // charge the full FD-equivalent debt so later placement
@@ -118,8 +196,16 @@ DynamicsServer::enqueueJob(Job job, int backend_id)
     assert(backendCount() > 0);
     assert(backend_id == kLeastLoaded ||
            (backend_id >= 0 && backend_id < backendCount()));
-    const int lane =
-        backend_id == kLeastLoaded ? leastLoadedLane() : backend_id;
+    int lane = backend_id == kLeastLoaded ? leastLoadedLane() : backend_id;
+    if (lane >= 0 && !lanes_[lane].healthy)
+        lane = leastLoadedLane(); // explicit binding to a dead lane
+    if (lane < 0)
+        return recordTerminalJob(std::move(job), JobOutcome::Failed);
+    const double now = perf::nowUs();
+    if (admission_ && !admitLocked(job, lane, now))
+        return recordTerminalJob(std::move(job), JobOutcome::Rejected);
+    if (job.deadline_us != sched::kNoDeadline && job.deadline_us <= now)
+        ++sched_stats_.immediate_misses;
     jobs_.push_back(std::move(job));
     const int id =
         static_cast<int>(retire_base_ + jobs_.size()) - 1;
@@ -186,10 +272,30 @@ DynamicsServer::submitSharded(FunctionType fn,
     job.count = count;
     job.sharded = true;
     job.priority = tag.priority;
-    job.deadline_us = tag.deadline_us;
+    job.deadline_us =
+        std::isnan(tag.deadline_us) ? sched::kNoDeadline : tag.deadline_us;
 
     std::lock_guard<std::mutex> lock(mu_);
     const int n_lanes = backendCount();
+    const int n_healthy = healthyLaneCount();
+    if (n_healthy == 0)
+        return recordTerminalJob(std::move(job), JobOutcome::Failed);
+    if (admission_) {
+        // Admission sees the per-lane slice a healthy lane would run,
+        // against the least-loaded healthy lane's queue.
+        Job probe = job;
+        probe.count = (count + n_healthy - 1) / n_healthy;
+        const double now = perf::nowUs();
+        const int lane = leastLoadedLane();
+        if (!admitLocked(probe, lane, now))
+            return recordTerminalJob(std::move(job), JobOutcome::Rejected);
+        if (job.deadline_us != sched::kNoDeadline && job.deadline_us <= now)
+            ++sched_stats_.immediate_misses;
+    } else if (job.deadline_us != sched::kNoDeadline &&
+               job.deadline_us <= perf::nowUs())
+    {
+        ++sched_stats_.immediate_misses;
+    }
     const double w = sched::functionWeight(fn);
 
     // Least-loaded water-filling in FD-equivalent units: raise every
@@ -208,13 +314,17 @@ DynamicsServer::submitSharded(FunctionType fn,
     std::vector<std::size_t> &share = share_scratch_;
     std::vector<double> &eff = eff_scratch_;
     std::vector<double> &fshare = fshare_scratch_;
+    // Water-fill over the HEALTHY lanes only; quarantined lanes get
+    // no shard (share stays 0 and the push loop skips them).
+    int n_fill = 0;
     for (int i = 0; i < n_lanes; ++i) {
-        order[i] = i;
         share[i] = 0;
         fshare[i] = 0.0;
         eff[i] = lanes_[i].load_weight / w;
+        if (lanes_[i].healthy)
+            order[n_fill++] = i;
     }
-    std::sort(order.begin(), order.begin() + n_lanes,
+    std::sort(order.begin(), order.begin() + n_fill,
               [&](std::size_t a, std::size_t b) {
                   return eff[a] < eff[b];
               });
@@ -222,12 +332,12 @@ DynamicsServer::submitSharded(FunctionType fn,
     // the k lightest lanes to L spends sum(L - eff) == count tasks.
     double prefix = 0.0;
     double level = 0.0;
-    int active = n_lanes;
-    for (int k = 1; k <= n_lanes; ++k) {
+    int active = n_fill;
+    for (int k = 1; k <= n_fill; ++k) {
         prefix += eff[order[k - 1]];
         const double cand =
             (static_cast<double>(count) + prefix) / k;
-        if (k == n_lanes || cand <= eff[order[k]]) {
+        if (k == n_fill || cand <= eff[order[k]]) {
             level = cand;
             active = k;
             break;
@@ -330,6 +440,69 @@ copyResultFields(FunctionType fn, const DynamicsResult &src,
     }
 }
 
+bool
+allFinite(const linalg::VectorX &v)
+{
+    for (std::size_t i = 0; i < v.size(); ++i)
+        if (!std::isfinite(v[i]))
+            return false;
+    return true;
+}
+
+bool
+allFinite(const linalg::MatrixX &m)
+{
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            if (!std::isfinite(m(r, c)))
+                return false;
+    return true;
+}
+
+/**
+ * NaN/inf guard over the fields @p fn writes (the same field sets
+ * copyResultFields scatters) for all @p count results of a completed
+ * batch. Paid only when SchedConfig::validate_results is on.
+ */
+bool
+resultsFinite(FunctionType fn, const DynamicsResult *results,
+              std::size_t count)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const DynamicsResult &r = results[i];
+        switch (fn) {
+          case FunctionType::ID:
+            if (!allFinite(r.tau))
+                return false;
+            break;
+          case FunctionType::FD:
+            if (!allFinite(r.qdd))
+                return false;
+            break;
+          case FunctionType::M:
+            if (!allFinite(r.m))
+                return false;
+            break;
+          case FunctionType::Minv:
+            if (!allFinite(r.minv))
+                return false;
+            break;
+          case FunctionType::DeltaID:
+            if (!allFinite(r.tau) || !allFinite(r.dtau_dq) ||
+                !allFinite(r.dtau_dqd))
+                return false;
+            break;
+          case FunctionType::DeltaFD:
+          case FunctionType::DeltaiFD:
+            if (!allFinite(r.qdd) || !allFinite(r.dqdd_dq) ||
+                !allFinite(r.dqdd_dqd))
+                return false;
+            break;
+        }
+    }
+    return true;
+}
+
 /**
  * Merge one shard's stats into the job's: shards overlap in backend
  * time, so the makespan-like fields take the max and the aggregate
@@ -361,6 +534,8 @@ DynamicsServer::serveOne(int lane_id)
     bool merged = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
+        if (!lane.healthy)
+            return false;
         if (!policy_->pick(view_, lane_id, lane.pick))
             return false;
         ++sched_stats_.picks;
@@ -405,11 +580,9 @@ DynamicsServer::serveOne(int lane_id)
         }
     }
 
-    BatchStats stats;
     if (!merged) {
         requests = lane.picked_req.front();
         results = lane.picked_res.front();
-        backend->submit(fn, requests, total, results, &stats);
     } else {
         // Gather the merged batch into lane staging (grow-only;
         // element assignment reuses capacity), one submission, then
@@ -426,9 +599,47 @@ DynamicsServer::serveOne(int lane_id)
                 lane.co_req[off + j] = lane.picked_req[i][j];
             off += lane.picked[i].count;
         }
-        backend->submit(fn, lane.co_req.data(), total, lane.co_res.data(),
-                        &stats);
-        off = 0;
+        requests = lane.co_req.data();
+        results = lane.co_res.data();
+    }
+
+    // Bounded-retry execution: a TransientFailure (or a batch that
+    // fails NaN validation) is resubmitted to the same backend up to
+    // max_retries times; BackendDown or an exhausted budget
+    // quarantines the lane and fails its work over.
+    BatchStats stats;
+    SubmitStatus status = SubmitStatus::Ok;
+    std::size_t n_transient = 0, n_retries = 0, n_corrupt = 0;
+    const int attempts = 1 + std::max(0, sched_cfg_.max_retries);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        stats = BatchStats{};
+        status = backend->submit(fn, requests, total, results, &stats);
+        if (status == SubmitStatus::Ok && sched_cfg_.validate_results &&
+            !resultsFinite(fn, results, total))
+        {
+            ++n_corrupt;
+            status = SubmitStatus::TransientFailure;
+        }
+        if (status == SubmitStatus::Ok ||
+            status == SubmitStatus::BackendDown)
+            break;
+        ++n_transient;
+        if (attempt + 1 < attempts)
+            ++n_retries;
+    }
+    if (n_transient || n_corrupt) {
+        std::lock_guard<std::mutex> lock(mu_);
+        sched_stats_.transient_faults += n_transient;
+        sched_stats_.retries += n_retries;
+        sched_stats_.corrupt_results += n_corrupt;
+    }
+    if (status != SubmitStatus::Ok) {
+        failLane(lane_id);
+        return true; // progress was made: the lane's work moved on
+    }
+
+    if (merged) {
+        std::size_t off = 0;
         for (std::size_t i = 0; i < lane.picked.size(); ++i) {
             for (std::size_t j = 0; j < lane.picked[i].count; ++j)
                 copyResultFields(fn, lane.co_res[off + j],
@@ -438,6 +649,65 @@ DynamicsServer::serveOne(int lane_id)
     }
     completePicked(lane_id, stats, total);
     return true;
+}
+
+void
+DynamicsServer::failLane(int lane_id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Lane &lane = lanes_[lane_id];
+    if (!lane.healthy)
+        return;
+    lane.healthy = false;
+    ++sched_stats_.lane_deaths;
+    // Everything the lane owed — the picked items whose batch just
+    // failed, then its queued items — fails over to healthy siblings.
+    // Only the lane's own serving thread calls failLane (after its
+    // submit returned), so by the time the LAST lane dies no batch
+    // can be in flight anywhere: a job failed here is truly
+    // unservable, not merely unlucky.
+    bool any_failed = false;
+    auto reroute = [&](const WorkItem &item) {
+        Job &job = jobRef(item.job);
+        if (job.done)
+            return; // defensive: already terminal
+        const int dest = leastLoadedLane();
+        if (dest < 0) {
+            job.done = true;
+            job.outcome = JobOutcome::Failed;
+            job.done_at_us = perf::nowUs();
+            ++sched_stats_.failed_jobs;
+            --pending_jobs_;
+            any_failed = true;
+            return;
+        }
+        // Flat items (including shards) migrate their queued weight;
+        // a lane-sticky serial-stage job restarts its CURRENT stage
+        // on the new lane — completed stages (and the advance calls
+        // between them) are preserved — and moves its remaining
+        // committed stage debt with it.
+        const double w = sched::functionWeight(job.fn);
+        const double debt =
+            job.stages == 1
+                ? w * static_cast<double>(item.count)
+                : w * static_cast<double>(item.count) *
+                      static_cast<double>(job.stages - job.stage);
+        lanes_[dest].load_weight += debt;
+        ++sched_stats_.requeued_items;
+        pushWork(dest, item);
+    };
+    for (const WorkItem &item : lane.picked)
+        reroute(item);
+    lane.picked.clear();
+    lane.picked_req.clear();
+    lane.picked_res.clear();
+    for (const WorkItem &item : lane.work)
+        reroute(item);
+    lane.work.clear();
+    lane.flat_queued = 0;
+    lane.load_weight = 0.0;
+    if (any_failed)
+        done_cv_.notify_all();
 }
 
 void
@@ -453,6 +723,17 @@ DynamicsServer::completePicked(int lane_id, const BatchStats &stats,
         stats_.busy_us += stats.total_us;
         ++stats_.batches;
         stats_.tasks += total;
+        // Calibrate the per-task cost admission predictions use: one
+        // EWMA in FD-equivalent units across functions and lanes.
+        if (stats.total_us > 0.0 && total > 0) {
+            const double sample =
+                stats.total_us /
+                (static_cast<double>(total) *
+                 sched::functionWeight(jobRef(lane.picked.front().job).fn));
+            task_us_ewma_ = task_us_ewma_ == 0.0
+                                ? sample
+                                : 0.8 * task_us_ewma_ + 0.2 * sample;
+        }
         const bool merged = lane.picked.size() > 1;
 
         for (const WorkItem &item : lane.picked) {
@@ -497,6 +778,7 @@ DynamicsServer::completePicked(int lane_id, const BatchStats &stats,
                     chained_id = item.job;
                 } else {
                     job.done = true;
+                    job.outcome = JobOutcome::Completed;
                     job.done_at_us = perf::nowUs();
                     if (job.deadline_us != sched::kNoDeadline) {
                         job.missed = job.done_at_us > job.deadline_us;
@@ -607,12 +889,17 @@ DynamicsServer::pending() const
     return pending_jobs_;
 }
 
+// The per-job accessors below are total functions of the id: a
+// retired record (reads have until the second drain() after
+// completion) or an id no submit call ever returned reads as a
+// completed job with zeroed accounting — never UB, never a hang.
+
 bool
 DynamicsServer::jobDone(int job) const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    if (static_cast<std::size_t>(job) < retire_base_)
-        return true; // only completed jobs retire
+    if (!issuedLocked(job))
+        return true;
     return jobRef(job).done;
 }
 
@@ -620,11 +907,8 @@ double
 DynamicsServer::jobUs(int job) const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    assert(static_cast<std::size_t>(job) >= retire_base_ &&
-           "job record already retired (read before the second "
-           "drain() after completion)");
-    if (static_cast<std::size_t>(job) < retire_base_)
-        return 0.0; // retired: accounting gone, not UB
+    if (!issuedLocked(job))
+        return 0.0; // retired or never issued: zeroed, not UB
     return jobRef(job).busy_us;
 }
 
@@ -632,10 +916,7 @@ BatchStats
 DynamicsServer::jobStats(int job) const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    assert(static_cast<std::size_t>(job) >= retire_base_ &&
-           "job record already retired (read before the second "
-           "drain() after completion)");
-    if (static_cast<std::size_t>(job) < retire_base_)
+    if (!issuedLocked(job))
         return BatchStats{};
     return jobRef(job).last_stats;
 }
@@ -644,7 +925,7 @@ double
 DynamicsServer::jobDoneAtUs(int job) const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    if (static_cast<std::size_t>(job) < retire_base_)
+    if (!issuedLocked(job))
         return 0.0;
     return jobRef(job).done_at_us;
 }
@@ -653,9 +934,27 @@ bool
 DynamicsServer::jobMissedDeadline(int job) const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    if (static_cast<std::size_t>(job) < retire_base_)
+    if (!issuedLocked(job))
         return false;
     return jobRef(job).missed;
+}
+
+JobOutcome
+DynamicsServer::jobOutcome(int job) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!issuedLocked(job))
+        return JobOutcome::Completed;
+    return jobRef(job).outcome;
+}
+
+bool
+DynamicsServer::laneHealthy(int lane) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (lane < 0 || lane >= static_cast<int>(lanes_.size()))
+        return false;
+    return lanes_[lane].healthy;
 }
 
 } // namespace dadu::runtime

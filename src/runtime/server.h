@@ -38,6 +38,18 @@
  * (sched::functionWeight: ∆FD ≈ 1.5x FD), which is what
  * kLeastLoaded and the sharding water-filling balance.
  *
+ * Fault tolerance (src/runtime/fault.h, sched/admission.h): submit()
+ * can now fail. A TransientFailure is retried on the same lane up to
+ * SchedConfig::max_retries times (optionally with NaN/inf validation
+ * of the batch results folded into the same budget); a BackendDown —
+ * or an exhausted budget — quarantines the lane: its queued flat
+ * items fail over to healthy siblings and its lane-sticky
+ * serial-stage jobs restart their current stage on one, preserving
+ * completed stages. Only when NO healthy lane remains does a job get
+ * JobOutcome::Failed. An optional AdmissionPolicy sheds work at
+ * submission (JobOutcome::Rejected) before it can destroy tagged
+ * deadlines; both outcomes are explicit — wait() returns for them.
+ *
  * Execution modes:
  *
  *  - synchronous (default): drain() serves every queued item on the
@@ -70,6 +82,7 @@
 #include <vector>
 
 #include "runtime/backend.h"
+#include "runtime/sched/admission.h"
 #include "runtime/sched/policy.h"
 
 namespace dadu::runtime {
@@ -82,6 +95,20 @@ struct ServerStats
     std::size_t jobs = 0;     ///< jobs served
     std::size_t batches = 0;  ///< backend submissions issued
     std::size_t tasks = 0;    ///< individual requests executed
+};
+
+/**
+ * Terminal disposition of a submitted job. Every job id returned by a
+ * submit call reaches exactly one of the three terminal states, and
+ * wait() returns for all of them — rejection and failure are explicit
+ * outcomes, never silence.
+ */
+enum class JobOutcome
+{
+    Pending,   ///< queued or executing
+    Completed, ///< results written (late completion still counts here)
+    Rejected,  ///< shed by admission control; results never written
+    Failed,    ///< no healthy lane could run it; results unreliable
 };
 
 /** Multi-client job server over one or more dynamics backends. */
@@ -123,6 +150,15 @@ class DynamicsServer
     void setPolicy(const sched::SchedConfig &cfg);
 
     const sched::SchedConfig &schedConfig() const { return sched_cfg_; }
+
+    /**
+     * Install an admission policy (null disables shedding, the
+     * default). Consulted once per submitted job under the server
+     * lock; a shed job gets JobOutcome::Rejected and completes
+     * immediately without executing. Call while the server is idle,
+     * like setPolicy().
+     */
+    void setAdmission(std::unique_ptr<sched::AdmissionPolicy> policy);
 
     /**
      * Stage-boundary callback of a serial-stage job: build the
@@ -271,6 +307,23 @@ class DynamicsServer
      */
     bool jobMissedDeadline(int job) const;
 
+    /**
+     * Terminal disposition of a job. Pending until completion;
+     * Rejected/Failed jobs are done the moment they are recorded
+     * (wait() on them returns immediately). Like the other per-job
+     * accessors, reads of retired or never-issued ids are safe and
+     * return Completed.
+     */
+    JobOutcome jobOutcome(int job) const;
+
+    /**
+     * False once the lane has been quarantined: its backend reported
+     * BackendDown or exhausted the transient-retry budget, its queued
+     * work failed over to siblings, and it will not be offered work
+     * again until the server is reconfigured.
+     */
+    bool laneHealthy(int lane) const;
+
   private:
     struct Job
     {
@@ -286,6 +339,7 @@ class DynamicsServer
         int remaining = 0;      ///< outstanding work items
         bool sharded = false;
         bool done = false;
+        JobOutcome outcome = JobOutcome::Pending;
         int priority = 0;                           ///< EDF tie-break
         double deadline_us = sched::kNoDeadline;    ///< absolute target
         double done_at_us = 0.0; ///< wall completion time (done only)
@@ -326,6 +380,7 @@ class DynamicsServer
         std::deque<WorkItem> work;
         std::condition_variable cv;
         bool waiting = false;       ///< worker asleep in cv.wait (async)
+        bool healthy = true;        ///< false once quarantined
         std::size_t flat_queued = 0; ///< stealable items in `work`
         double load_weight = 0.0; ///< committed FD-equivalent task-stages
         double busy_us = 0.0;     ///< accumulated batch time (interval)
@@ -365,9 +420,27 @@ class DynamicsServer
     // All private helpers below assume mu_ is held unless noted.
     int enqueueJob(Job job, int backend_id);
     int leastLoadedLane();
+    int healthyLaneCount() const;
     void pushWork(int lane, WorkItem item);
     Job &jobRef(int id) { return jobs_[id - retire_base_]; }
     const Job &jobRef(int id) const { return jobs_[id - retire_base_]; }
+    /** True when @p id names a live (non-retired, issued) record. */
+    bool issuedLocked(int id) const
+    {
+        return id >= 0 && static_cast<std::size_t>(id) >= retire_base_ &&
+               static_cast<std::size_t>(id) < retire_base_ + jobs_.size();
+    }
+    /** Record a job that terminates at submission (shed / no lane). */
+    int recordTerminalJob(Job job, JobOutcome outcome);
+    /** Admission decision for @p job bound for @p lane. */
+    bool admitLocked(const Job &job, int lane, double now_us);
+    /**
+     * Quarantine @p lane after an unrecoverable fault: requeue its
+     * queued and picked items onto healthy siblings (serial-stage
+     * jobs restart their current stage there), fail jobs when no
+     * healthy lane remains.
+     */
+    void failLane(int lane);
     /** Pop + execute one policy pick on @p lane. WITHOUT mu_ held. */
     bool serveOne(int lane);
     /** Batch completion for every item of the lane's current pick:
@@ -415,7 +488,14 @@ class DynamicsServer
     ServerStats stats_{}; ///< accounting since the last drain()
     sched::SchedConfig sched_cfg_{};
     std::unique_ptr<sched::SchedPolicy> policy_;
+    std::unique_ptr<sched::AdmissionPolicy> admission_;
     sched::SchedStats sched_stats_{}; ///< policy telemetry (interval)
+    /**
+     * EWMA of measured per-task backend time in FD-equivalent units
+     * (batch total_us / (tasks x functionWeight)), fed to admission
+     * predictions. 0 until the first batch completes.
+     */
+    double task_us_ewma_ = 0.0;
     QueueAdapter view_{this};
 };
 

@@ -74,9 +74,13 @@ DynamicsServer::workerLoop(int lane)
             // wakes for other lanes' flat work: probe the policy
             // (non-mutating beyond this lane's own pick scratch,
             // which serveOne refreshes anyway).
-            while (!(stop_ || !me.work.empty() ||
-                     (policy_->crossLane() &&
-                      policy_->pick(view_, lane, me.pick)))) {
+            // A quarantined lane sleeps until stop(): its queue was
+            // failed over and pushWork never offers it new work.
+            while (!(stop_ ||
+                     (me.healthy &&
+                      (!me.work.empty() ||
+                       (policy_->crossLane() &&
+                        policy_->pick(view_, lane, me.pick)))))) {
                 me.waiting = true;
                 me.cv.wait(lock);
                 me.waiting = false;
@@ -86,7 +90,7 @@ DynamicsServer::workerLoop(int lane)
             // ever re-enqueue on their own lane) complete. Work left
             // on OTHER lanes belongs to their workers (and to the
             // straggler pass in stop()), so no stealing past stop.
-            if (stop_ && me.work.empty())
+            if (stop_ && (me.work.empty() || !me.healthy))
                 return;
         }
         serveOne(lane);
@@ -104,9 +108,10 @@ DynamicsServer::wait(int job)
         return;
     }
     std::unique_lock<std::mutex> lock(mu_);
+    // issuedLocked also covers never-issued ids: waiting on one
+    // returns immediately instead of dereferencing past jobs_.
     done_cv_.wait(lock, [&] {
-        return static_cast<std::size_t>(job) < retire_base_ ||
-               jobRef(job).done;
+        return !issuedLocked(job) || jobRef(job).done;
     });
 }
 

@@ -223,7 +223,7 @@ class FixedCostBackend : public runtime::DynamicsBackend
     const RobotModel &robot() const override { return robot_; }
     bool offloaded() const override { return true; }
 
-    void
+    runtime::SubmitStatus
     submit(FunctionType, const DynamicsRequest *requests,
            std::size_t count, DynamicsResult *results,
            BatchStats *stats) override
@@ -235,6 +235,7 @@ class FixedCostBackend : public runtime::DynamicsBackend
             *stats = BatchStats{};
             stats->total_us = batch_us_;
         }
+        return runtime::SubmitStatus::Ok;
     }
 
     int batches() const { return batches_; }
@@ -470,7 +471,7 @@ class LinearCostBackend : public runtime::DynamicsBackend
                                                    per_task_us_);
     }
 
-    void
+    runtime::SubmitStatus
     submit(FunctionType, const DynamicsRequest *requests,
            std::size_t count, DynamicsResult *results,
            BatchStats *stats) override
@@ -483,6 +484,7 @@ class LinearCostBackend : public runtime::DynamicsBackend
             *stats = BatchStats{};
             stats->total_us = base_us_ + count * per_task_us_;
         }
+        return runtime::SubmitStatus::Ok;
     }
 
     int batches() const { return batches_; }

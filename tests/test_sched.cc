@@ -77,7 +77,7 @@ class RecordingBackend : public runtime::DynamicsBackend
                                                   per_task_us_);
     }
 
-    void
+    runtime::SubmitStatus
     submit(FunctionType fn, const DynamicsRequest *requests,
            std::size_t count, DynamicsResult *results,
            BatchStats *stats) override
@@ -104,6 +104,7 @@ class RecordingBackend : public runtime::DynamicsBackend
             stats->throughput_mtasks =
                 stats->total_us > 0.0 ? count / stats->total_us : 0.0;
         }
+        return runtime::SubmitStatus::Ok;
     }
 
     /** Make batches take real wall time (steal/starvation tests). */
