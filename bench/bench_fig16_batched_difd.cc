@@ -13,9 +13,11 @@
 #include "seed_reference.h"
 
 #include <memory>
+#include <thread>
 
 #include "algorithms/batched.h"
 #include "algorithms/dynamics.h"
+#include "algorithms/soa/kernels.h"
 #include "algorithms/workspace.h"
 #include "runtime/backends.h"
 
@@ -46,6 +48,14 @@ measuredCpuSection(const RobotModel &robot, JsonReport &report)
         taus.push_back(robot.randomVelocity(rng));
     }
 
+    // Environment stamps: the committed numbers are meaningless
+    // without them (a 1-core container shows 4t ≈ 1t, and the SoA
+    // speedup depends on the lane width the engines ran at).
+    const double hw =
+        static_cast<double>(std::thread::hardware_concurrency());
+    report.add("hardware_concurrency", hw);
+    report.add("lane_width", algo::soa::defaultLaneWidth());
+
     algo::DynamicsWorkspace ws(robot);
     algo::FdDerivatives d;
     std::vector<std::unique_ptr<algo::BatchedDynamics>> engines;
@@ -53,6 +63,16 @@ measuredCpuSection(const RobotModel &robot, JsonReport &report)
     for (int threads : engine_threads)
         engines.push_back(
             std::make_unique<algo::BatchedDynamics>(robot, threads));
+
+    // Single-thread engines per lane width: the W sweep isolates the
+    // SIMD contribution from threading (W = 1 is the scalar path).
+    std::vector<std::unique_ptr<algo::BatchedDynamics>> lane_engines;
+    const std::vector<int> lane_widths = {1, 4, 8, 16};
+    for (int w : lane_widths) {
+        lane_engines.push_back(
+            std::make_unique<algo::BatchedDynamics>(robot, 1));
+        lane_engines.back()->setLaneWidth(w);
+    }
 
     // Sweeps: seed loop, workspace loop, one per engine config.
     const auto seed_sweep = [&] {
@@ -83,8 +103,11 @@ measuredCpuSection(const RobotModel &robot, JsonReport &report)
     ws_sweep();
     for (auto &e : engines)
         engine_sweep(*e);
+    for (auto &e : lane_engines)
+        engine_sweep(*e);
     double seed_us = 0.0, ws_us = 0.0;
     std::vector<double> engine_us(engines.size(), 0.0);
+    std::vector<double> lane_us(lane_engines.size(), 0.0);
     for (int rep = 0; rep < rounds; ++rep) {
         double t0 = nowUs();
         seed_sweep();
@@ -102,6 +125,13 @@ measuredCpuSection(const RobotModel &robot, JsonReport &report)
             dt = nowUs() - t0;
             if (rep == 0 || dt < engine_us[e])
                 engine_us[e] = dt;
+        }
+        for (std::size_t e = 0; e < lane_engines.size(); ++e) {
+            t0 = nowUs();
+            engine_sweep(*lane_engines[e]);
+            dt = nowUs() - t0;
+            if (rep == 0 || dt < lane_us[e])
+                lane_us[e] = dt;
         }
     }
 
@@ -125,10 +155,28 @@ measuredCpuSection(const RobotModel &robot, JsonReport &report)
         char key[64];
         std::snprintf(key, sizeof key, "batched_%dt_pts_per_sec", threads);
         report.add(key, pps);
+        std::snprintf(key, sizeof key, "batched_%dt_threads_effective",
+                      threads);
+        report.add(key, engines[e]->threadCount());
         if (threads == 4) {
             report.add("batched_4t_speedup_vs_seed", pps / seed_pps);
             report.add("batched_4t_speedup_vs_1t", pps / ws_pps);
         }
+    }
+
+    for (std::size_t e = 0; e < lane_engines.size(); ++e) {
+        const int w = lane_widths[e];
+        const double pps = points / (lane_us[e] * 1e-6);
+        char label[64];
+        std::snprintf(label, sizeof label,
+                      w == 1 ? "engine 1t, scalar path (W=%d):"
+                             : "engine 1t, SoA lanes (W=%d):",
+                      w);
+        std::printf("%-34s %12.0f pts/s   (%.2fx seed, %.2fx 1t)\n",
+                    label, pps, pps / seed_pps, pps / ws_pps);
+        char key[64];
+        std::snprintf(key, sizeof key, "soa_w%d_1t_pts_per_sec", w);
+        report.add(key, pps);
     }
 }
 

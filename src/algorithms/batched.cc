@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "algorithms/mminv_gen.h"
+#include "algorithms/soa/kernels.h"
 
 namespace dadu::algo {
 
@@ -31,13 +32,21 @@ BatchedDynamics::BatchedDynamics(const RobotModel &robot, int threads)
 
 BatchedDynamics::BatchedDynamics(const RobotModel &robot,
                                  std::shared_ptr<app::ThreadPool> pool)
-    : robot_(robot), pool_(std::move(pool))
+    : robot_(robot), pool_(std::move(pool)),
+      lane_width_(soa::defaultLaneWidth())
 {
     // One workspace per chunk: pool workers plus the calling thread,
     // which participates in runIndexed().
     workspaces_.resize(static_cast<std::size_t>(pool_->threadCount()) + 1);
     for (auto &ws : workspaces_)
         ws.ensure(robot_);
+}
+
+void
+BatchedDynamics::setLaneWidth(int w)
+{
+    if (w == 1 || soa::laneWidthSupported(w))
+        lane_width_ = w;
 }
 
 void
@@ -52,21 +61,66 @@ BatchedDynamics::runChunk(void *ctx, int chunk)
         static_cast<long long>(chunk + 1) * n / chunks);
     DynamicsWorkspace &ws = self->workspaces_[chunk];
 
+    // Pack full lane groups through the SoA kernels, then run the
+    // ragged remainder through the scalar path. Both mirror the same
+    // reference arithmetic, so where the split falls never changes a
+    // point's bits.
+    const int w = self->lane_width_;
+    int i = begin;
+    if (w > 1) {
+        soa::LaneBatch lanes;
+        lanes.mask = soa::LaneBatch::fullMask(w);
+        VectorX *qdd_out[soa::kMaxLaneWidth];
+        FdDerivatives *fd_out[soa::kMaxLaneWidth];
+        linalg::MatrixX *minv_out[soa::kMaxLaneWidth];
+        for (; i + w <= end; i += w) {
+            for (int l = 0; l < w; ++l) {
+                lanes.q[l] = &self->in_q_[i + l];
+                switch (self->mode_) {
+                  case Mode::Fd:
+                    lanes.qd[l] = &self->in_qd_[i + l];
+                    lanes.tau[l] = &self->in_tau_[i + l];
+                    qdd_out[l] = &self->qdd_out_[i + l];
+                    break;
+                  case Mode::FdDerivatives:
+                    lanes.qd[l] = &self->in_qd_[i + l];
+                    lanes.tau[l] = &self->in_tau_[i + l];
+                    fd_out[l] = &self->fd_out_[i + l];
+                    break;
+                  case Mode::Minv:
+                    minv_out[l] = &self->minv_out_[i + l];
+                    break;
+                }
+            }
+            switch (self->mode_) {
+              case Mode::Fd:
+                soa::packForwardDynamics(self->robot_, ws, w, lanes,
+                                         qdd_out);
+                break;
+              case Mode::FdDerivatives:
+                soa::packFdDerivatives(self->robot_, ws, w, lanes, fd_out);
+                break;
+              case Mode::Minv:
+                soa::packMinv(self->robot_, ws, w, lanes, minv_out);
+                break;
+            }
+        }
+    }
     switch (self->mode_) {
       case Mode::Fd:
-        for (int i = begin; i < end; ++i)
+        for (; i < end; ++i)
             forwardDynamics(self->robot_, ws, self->in_q_[i],
                             self->in_qd_[i], self->in_tau_[i],
                             self->qdd_out_[i]);
         break;
       case Mode::FdDerivatives:
-        for (int i = begin; i < end; ++i)
+        for (; i < end; ++i)
             fdDerivatives(self->robot_, ws, self->in_q_[i],
                           self->in_qd_[i], self->in_tau_[i],
                           self->fd_out_[i]);
         break;
       case Mode::Minv:
-        for (int i = begin; i < end; ++i)
+        for (; i < end; ++i)
             massMatrixInverse(self->robot_, ws, self->in_q_[i],
                               self->minv_out_[i]);
         break;

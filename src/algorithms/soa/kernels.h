@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Lane-parallel (SoA) dynamics kernels.
+ *
+ * Each pack* entry point evaluates one lane pack: up to kMaxLaneWidth
+ * independent sample points whose fields are interleaved per lane
+ * (structure of arrays) so the link-by-link sweeps vectorize across
+ * the batch dimension. The kernels mirror the scalar workspace
+ * algorithms expression by expression (see soa/pack.h for the
+ * bitwise contract): lane l's outputs are bitwise identical to the
+ * scalar kernel run on point l, for any supported width.
+ *
+ * Masking: `LaneBatch::mask` marks the active lanes. Inactive lanes
+ * are padded internally by replicating the first active lane's
+ * inputs (safe arithmetic, no NaN/div-by-zero traps) and their
+ * outputs are never written — the machinery ROADMAP item 2's
+ * per-column sparsity gating reuses.
+ *
+ * Allocation: each kernel draws its pack storage from a per-width
+ * arena slot inside the caller's DynamicsWorkspace, created on first
+ * use and reused afterwards — steady-state calls are allocation-free,
+ * like the scalar workspace kernels.
+ */
+
+#ifndef DADU_ALGORITHMS_SOA_KERNELS_H
+#define DADU_ALGORITHMS_SOA_KERNELS_H
+
+#include "algorithms/dynamics.h"
+#include "algorithms/workspace.h"
+#include "linalg/matrixx.h"
+#include "model/robot_model.h"
+
+namespace dadu::algo::soa {
+
+using linalg::MatrixX;
+using linalg::VectorX;
+using model::RobotModel;
+
+/** Widest supported lane pack. */
+inline constexpr int kMaxLaneWidth = 16;
+
+/** True for the widths the kernels are instantiated at: 4, 8, 16. */
+bool laneWidthSupported(int w);
+
+/**
+ * Engine default lane width: DADU_LANE_WIDTH if set to 1 (scalar
+ * path), 4, 8 or 16; otherwise 8 — wide enough to fill an AVX2 or
+ * AVX-512 register file, narrow enough that the per-link pack state
+ * of a humanoid still fits in L1/L2.
+ */
+int defaultLaneWidth();
+
+/**
+ * One lane pack of inputs: per-lane pointers into caller storage
+ * plus the active mask (bit l set = lane l holds a sample point).
+ * Pointers of inactive lanes may be null. qd/tau/qdd may be null
+ * wholesale for kernels that do not read them (e.g. Minv).
+ */
+struct LaneBatch
+{
+    const VectorX *q[kMaxLaneWidth] = {};
+    const VectorX *qd[kMaxLaneWidth] = {};
+    const VectorX *tau[kMaxLaneWidth] = {};
+    const VectorX *qdd[kMaxLaneWidth] = {}; ///< packRnea only
+    unsigned mask = 0;
+
+    /** Mask with the low @p w lanes active. */
+    static unsigned
+    fullMask(int w)
+    {
+        return w >= 32 ? ~0u : (1u << w) - 1u;
+    }
+};
+
+/**
+ * Forward dynamics q̈ = FD(q, q̇, τ) for one lane pack, on the same
+ * MMinvGen route as the scalar forwardDynamics (steps ①②③).
+ * @p qdd_out holds per-lane output pointers (ignored for inactive
+ * lanes, may be null there).
+ */
+void packForwardDynamics(const RobotModel &robot, DynamicsWorkspace &ws,
+                         int width, const LaneBatch &in,
+                         VectorX *const *qdd_out);
+
+/** ∆FD (q̈, ∂q̈/∂q, ∂q̈/∂q̇, M⁻¹) for one lane pack. */
+void packFdDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
+                       int width, const LaneBatch &in,
+                       FdDerivatives *const *out);
+
+/** M⁻¹(q) for one lane pack. */
+void packMinv(const RobotModel &robot, DynamicsWorkspace &ws, int width,
+              const LaneBatch &in, MatrixX *const *minv_out);
+
+/**
+ * Articulated-body forward dynamics for one lane pack (the direct
+ * ABA route; the batched engine's FD stays on the MMinvGen route to
+ * match the scalar reference bitwise, but the ABA sweep is
+ * lane-parallel too).
+ */
+void packAba(const RobotModel &robot, DynamicsWorkspace &ws, int width,
+             const LaneBatch &in, VectorX *const *qdd_out);
+
+/** Inverse dynamics τ = RNEA(q, q̇, q̈) for one lane pack. */
+void packRnea(const RobotModel &robot, DynamicsWorkspace &ws, int width,
+              const LaneBatch &in, VectorX *const *tau_out);
+
+/** Joint-space mass matrix M(q) (CRBA sweep) for one lane pack. */
+void packCrba(const RobotModel &robot, DynamicsWorkspace &ws, int width,
+              const LaneBatch &in, MatrixX *const *m_out);
+
+} // namespace dadu::algo::soa
+
+#endif // DADU_ALGORITHMS_SOA_KERNELS_H

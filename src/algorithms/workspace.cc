@@ -43,6 +43,12 @@ DynamicsWorkspace::ensure(const RobotModel &robot)
         return;
     sig_ = sig_scratch_;
 
+    // The lane-pack arenas are sized for the old topology: drop them
+    // so the SoA kernels rebuild on next use (mirrors the realloc of
+    // every scalar buffer below).
+    for (auto &slot : soa_arenas)
+        slot.reset();
+
     nb = robot.nb();
     nq = robot.nq();
     nv = robot.nv();
@@ -112,6 +118,16 @@ DynamicsWorkspace::ensure(const RobotModel &robot)
     }
     did.dtau_dq.resize(nv, nv);
     did.dtau_dqd.resize(nv, nv);
+
+    // The aligned allocator hands out 64-byte blocks; keep it honest
+    // in debug builds (the SoA kernels rely on it for aligned pack
+    // loads).
+    assert(linalg::isAligned(xup.data()));
+    assert(linalg::isAligned(v.data()) && linalg::isAligned(f.data()));
+    assert(linalg::isAligned(ia.data()) && linalg::isAligned(ic.data()));
+    assert(linalg::isAligned(ucols.data()));
+    assert(linalg::isAligned(dinv.data()) && linalg::isAligned(uvec.data()));
+    assert(linalg::isAligned(dcells.data()));
 }
 
 } // namespace dadu::algo

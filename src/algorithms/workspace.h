@@ -25,10 +25,13 @@
 #ifndef DADU_ALGORITHMS_WORKSPACE_H
 #define DADU_ALGORITHMS_WORKSPACE_H
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "algorithms/rnea.h"
 #include "algorithms/rnea_derivatives.h"
+#include "linalg/aligned.h"
 #include "linalg/factorize.h"
 #include "linalg/mat.h"
 #include "linalg/matrixx.h"
@@ -43,6 +46,18 @@ using linalg::MatrixX;
 using linalg::Vec6;
 using linalg::VectorX;
 using model::RobotModel;
+
+/**
+ * Type-erased base of the lane-pack arenas in src/algorithms/soa/.
+ * DynamicsWorkspace carries one slot per supported lane width so the
+ * SoA kernels reuse grow-once pack storage alongside the scalar
+ * arenas; ensure() drops the slots whenever the topology changes, so
+ * a live arena always matches the workspace's model.
+ */
+struct SoaArenaBase
+{
+    virtual ~SoaArenaBase() = default;
+};
 
 /** Reusable arena for all per-call dynamics temporaries. */
 struct DynamicsWorkspace
@@ -73,22 +88,26 @@ struct DynamicsWorkspace
     int nv = 0;
 
     // ----- per-link sweep state (ABA / RNEA / CRBA / MMinvGen) -----
-    std::vector<spatial::SpatialTransform> xup; ///< iXλ per link.
-    std::vector<Vec6> v;                        ///< velocities.
-    std::vector<Vec6> c;                        ///< bias terms.
-    std::vector<Vec6> a;                        ///< accelerations.
-    std::vector<Vec6> pa;                       ///< bias forces.
-    std::vector<Vec6> f;                        ///< forces.
-    std::vector<linalg::Mat66> ia;              ///< I^A per link.
-    std::vector<spatial::ArticulatedInertia> ic; ///< I^C per link (CRBA).
+    // All POD per-link arenas use the 64-byte (cache line) aligned
+    // allocator: required by the SoA lane kernels' pack layout and
+    // harmless for the scalar sweeps. ensure() asserts the alignment
+    // in debug builds.
+    linalg::aligned_vector<spatial::SpatialTransform> xup; ///< iXλ per link.
+    linalg::aligned_vector<Vec6> v;                        ///< velocities.
+    linalg::aligned_vector<Vec6> c;                        ///< bias terms.
+    linalg::aligned_vector<Vec6> a;                        ///< accelerations.
+    linalg::aligned_vector<Vec6> pa;                       ///< bias forces.
+    linalg::aligned_vector<Vec6> f;                        ///< forces.
+    linalg::aligned_vector<linalg::Mat66> ia;              ///< I^A per link.
+    linalg::aligned_vector<spatial::ArticulatedInertia> ic; ///< I^C (CRBA).
 
     // ----- per-joint small blocks, flat with fixed strides -----
     /** U columns: entry [i*6 + k] is I^A_i S_i e_k, k < nv(i). */
-    std::vector<Vec6> ucols;
+    linalg::aligned_vector<Vec6> ucols;
     /** D⁻¹ blocks: rows [i*36 ..] hold the ni x ni inverse, stride ni. */
-    std::vector<double> dinv;
+    linalg::aligned_vector<double> dinv;
     /** u vectors: entry [i*6 + k]. */
-    std::vector<double> uvec;
+    linalg::aligned_vector<double> uvec;
     /** Fixed-capacity LDLT used for every joint-space D_i factor. */
     linalg::SmallLdlt small_ldlt;
 
@@ -127,7 +146,16 @@ struct DynamicsWorkspace
     };
 
     /** ∆RNEA cells, nb * nv entries, cell (i, col) at [i*nv + col]. */
-    std::vector<DerivCell> dcells;
+    linalg::aligned_vector<DerivCell> dcells;
+
+    /**
+     * Lane-pack arenas, one slot per supported SoA width (4/8/16),
+     * created lazily by the soa:: kernels on first use at that width
+     * and reused (grow-once) afterwards. Reset by ensure() on any
+     * topology change. Owning a unique_ptr makes the workspace
+     * move-only, which every existing user already satisfies.
+     */
+    std::array<std::unique_ptr<SoaArenaBase>, 3> soa_arenas;
 
     // ----- joint-space scratch -----
     VectorX zero_nv;    ///< Constant zero vector of size nv.

@@ -116,8 +116,11 @@ CpuBatchedBackend::clone() const
     // Clones share ONE host-wide worker pool (the bulk gate
     // serializes their dispatches); workspaces and staging stay
     // per-clone, so each clone remains independently submittable
-    // from its own lane.
-    return std::make_unique<CpuBatchedBackend>(robot_, engine_.pool());
+    // from its own lane. The SIMD lane width carries over so a
+    // fleet configured via setLaneWidth stays uniform.
+    auto clone = std::make_unique<CpuBatchedBackend>(robot_, engine_.pool());
+    clone->engine_.setLaneWidth(engine_.laneWidth());
+    return clone;
 }
 
 SubmitStatus
