@@ -131,12 +131,25 @@ isFbKind(SubmoduleKind k)
 } // namespace
 
 TimingEstimate
-Accelerator::analytic(FunctionType fn) const
+Accelerator::analytic(FunctionType fn, const algo::ColumnPlan *plan) const
 {
     TimingEstimate est;
     const auto served = servedCount(robot_, plan_);
     const auto kinds = activeKinds(fn);
     const int nv = robot_.nv();
+    if (plan != nullptr && plan->dense())
+        plan = nullptr;
+    // Live column count of the step-⑥ matmul (dense: all nv).
+    const int live = plan != nullptr ? plan->liveCount() : nv;
+
+    auto timing = [&](int link, SubmoduleKind k) {
+        const OpCount dense_ops = submoduleOps(robot_, link, k);
+        if (plan == nullptr)
+            return allocateTiming(dense_ops, cfg_.target_ii,
+                                  cfg_.max_units);
+        return gatedTiming(dense_ops, submoduleOps(robot_, link, k, plan),
+                           cfg_.target_ii, cfg_.max_units);
+    };
 
     // Steady-state initiation interval: the slowest submodule, with
     // TDM multiplicity and pass count; plus the Schedule Module's
@@ -150,8 +163,7 @@ Accelerator::analytic(FunctionType fn) const
                 (k == SubmoduleKind::RneaFwd ||
                  k == SubmoduleKind::RneaBwd))
                 tokens *= fbPasses(fn);
-            const auto t = allocateTiming(submoduleOps(robot_, link, k),
-                                          cfg_.target_ii, cfg_.max_units);
+            const auto t = timing(link, k);
             ii = std::max(ii, static_cast<double>(t.ii) * tokens);
         }
     }
@@ -162,7 +174,7 @@ Accelerator::analytic(FunctionType fn) const
     }
     if (fn == FunctionType::DeltaFD || fn == FunctionType::DeltaiFD) {
         const double matmul =
-            (2.0 * nv * nv * nv + cfg_.schedule_units - 1) /
+            (2.0 * nv * nv * live + cfg_.schedule_units - 1) /
                 cfg_.schedule_units +
             4;
         ii = std::max(ii, matmul);
@@ -182,11 +194,8 @@ Accelerator::analytic(FunctionType fn) const
 
     auto pathLatency = [&](SubmoduleKind k) {
         double l = 0;
-        for (int link : path) {
-            l += allocateTiming(submoduleOps(robot_, link, k),
-                                cfg_.target_ii, cfg_.max_units)
-                     .latency;
-        }
+        for (int link : path)
+            l += timing(link, k).latency;
         return l;
     };
 
@@ -204,7 +213,7 @@ Accelerator::analytic(FunctionType fn) const
     const double matvec =
         (nv * nv + cfg_.schedule_units - 1) / cfg_.schedule_units + 4;
     const double matmul =
-        (2.0 * nv * nv * nv + cfg_.schedule_units - 1) /
+        (2.0 * nv * nv * live + cfg_.schedule_units - 1) /
             cfg_.schedule_units +
         4;
 

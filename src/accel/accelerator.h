@@ -103,7 +103,19 @@ class Accelerator
     }
 
     /** Closed-form timing for a saturated pipeline. */
-    TimingEstimate analytic(FunctionType fn) const;
+    TimingEstimate analytic(FunctionType fn) const
+    {
+        return analytic(fn, nullptr);
+    }
+
+    /**
+     * Live-column-aware closed form: the ∆ submodule streams and the
+     * Schedule Module's step ⑥ matmul are priced for @p plan's live
+     * columns over the dense-sized lane allocation (null or dense
+     * plan = dense pricing; non-∆ functions ignore the plan).
+     */
+    TimingEstimate analytic(FunctionType fn,
+                            const algo::ColumnPlan *plan) const;
 
     /** FPGA resource model for this configuration. */
     ResourceEstimate resources() const;

@@ -103,6 +103,9 @@ FunctionalCore::initTask(TaskState &st, const TaskInput &in) const
     st.mwork.resize(nv, nv);
     st.ucache.assign(nb, {});
     st.dinvcache.assign(nb, MatrixX());
+    // Invalid seeds are rejected at backend submit; resolve() leaves
+    // the plan dense for non-gated (or malformed) requests.
+    st.plan.resolve(in.gating, in.seed_cols, nv);
     st.active = true;
 }
 
@@ -168,11 +171,16 @@ FunctionalCore::deltaFwd(TaskState &st, int link) const
     const Vec6 ac = st.xup[link].applyMotion(aparent);
 
     // Ancestor columns (incremental calculation: only path DOFs).
+    // Dead columns under the task's plan are skipped outright — their
+    // ∂v/∂a/∂f stay at initTask's zeros and nothing downstream reads
+    // them.
     if (lam != -1) {
         for (int anc = lam; anc != -1; anc = robot_.parent(anc)) {
             const auto &la = robot_.link(anc);
             for (int k = 0; k < robot_.subspace(anc).nv(); ++k) {
                 const int col = la.vIndex + k;
+                if (!st.plan.isLive(col))
+                    continue;
                 const Vec6 dvq =
                     st.xup[link].applyMotion(st.dv_dq[lam][col]);
                 const Vec6 dvqd =
@@ -191,6 +199,8 @@ FunctionalCore::deltaFwd(TaskState &st, int link) const
     // Own-DOF (newly added) columns.
     for (int k = 0; k < ni; ++k) {
         const int col = l.vIndex + k;
+        if (!st.plan.isLive(col))
+            continue;
         const Vec6 sk = s.col(k);
         const Vec6 dvq = crossMotion(vc, sk);
         st.dv_dq[link][col] = dvq;
@@ -207,6 +217,8 @@ FunctionalCore::deltaFwd(TaskState &st, int link) const
         const auto &la = robot_.link(anc);
         for (int k = 0; k < robot_.subspace(anc).nv(); ++k) {
             const int col = la.vIndex + k;
+            if (!st.plan.isLive(col))
+                continue;
             st.df_dq[link][col] =
                 inertia.apply(st.da_dq[link][col]) +
                 crossForce(st.dv_dq[link][col], iv) +
@@ -237,6 +249,8 @@ FunctionalCore::deltaBwd(TaskState &st, int link) const
     const int nv = robot_.nv();
 
     for (int col = 0; col < nv; ++col) {
+        if (!st.plan.isLive(col))
+            continue;
         for (int r = 0; r < ni; ++r) {
             st.dtau_dq(l.vIndex + r, col) =
                 quantize(s.col(r).dot(st.df_dq[link][col]));
@@ -248,6 +262,8 @@ FunctionalCore::deltaBwd(TaskState &st, int link) const
         // Backward transfer btr = λX*(∂f + S ×* f) (Fig. 7), lazily
         // accumulated into the parent's columns.
         for (int col = 0; col < nv; ++col) {
+            if (!st.plan.isLive(col))
+                continue;
             Vec6 dq_col = st.df_dq[link][col];
             if (col >= l.vIndex && col < l.vIndex + ni)
                 dq_col += crossForce(s.col(col - l.vIndex), st.f[link]);
@@ -480,6 +496,24 @@ FunctionalCore::scheduleDeltaFd(TaskState &st) const
         st.in.minv.rows() == static_cast<std::size_t>(nv)
             ? st.in.minv
             : fullSymmetric(st.mwork);
+    if (!st.plan.dense()) {
+        // Step ⑥ prices and computes only the live columns of
+        // ∂u q̈ = -M⁻¹ ∂uτ; dead columns stay at resize()'s 0.0.
+        st.out.dqdd_dq.resize(nv, nv);
+        st.out.dqdd_dqd.resize(nv, nv);
+        for (int c : st.plan.cols()) {
+            for (int r = 0; r < nv; ++r) {
+                double accq = 0.0, accqd = 0.0;
+                for (int k = 0; k < nv; ++k) {
+                    accq += minv(r, k) * st.dtau_dq(k, c);
+                    accqd += minv(r, k) * st.dtau_dqd(k, c);
+                }
+                st.out.dqdd_dq(r, c) = quantize(-accq);
+                st.out.dqdd_dqd(r, c) = quantize(-accqd);
+            }
+        }
+        return;
+    }
     st.out.dqdd_dq = -(minv * st.dtau_dq);
     st.out.dqdd_dqd = -(minv * st.dtau_dqd);
     if (cfg_.fixed_point) {

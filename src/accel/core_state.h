@@ -49,6 +49,15 @@ struct TaskState
     TaskInput in;
     TaskOutput out;
 
+    /**
+     * Resolved ∆-output column gating of the request (dense when the
+     * request carries no mask). The Df/Db submodules and the Schedule
+     * Module's step ⑥ skip dead columns entirely — the hardware
+     * analogue of not streaming those Jacobian columns through the
+     * pipeline at all.
+     */
+    algo::ColumnPlan plan;
+
     // Joint transforms (updated by forward submodules, re-updated by
     // backward submodules per Section IV-A2).
     std::vector<SpatialTransform> xup;

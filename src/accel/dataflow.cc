@@ -150,7 +150,7 @@ class ScheduleModule : public sim::Module
             current_ = jobs_.front();
             jobs_.pop_front();
             executing_ = true;
-            free_at_ = now + cost(current_.kind);
+            free_at_ = now + cost(current_);
         }
         if (executing_ && now >= free_at_) {
             if (!complete(current_, now))
@@ -185,13 +185,17 @@ class ScheduleModule : public sim::Module
     };
 
     int
-    cost(JobKind k) const
+    cost(const Job &job) const
     {
         const int nv = robot_.nv();
         const int lanes = cfg_.schedule_units;
-        if (k == JobKind::Matvec)
+        if (job.kind == JobKind::Matvec)
             return (nv * nv + lanes - 1) / lanes + 4;
-        return (2 * nv * nv * nv + lanes - 1) / lanes + 4;
+        // Step ⑥ matmul: two nv x nv x live products — a gated task
+        // prices only its live columns.
+        const algo::ColumnPlan &p = tasks_.at(job.task).plan;
+        const int live = p.dense() ? nv : p.liveCount();
+        return (2 * nv * nv * live + lanes - 1) / lanes + 4;
     }
 
     void
@@ -418,9 +422,48 @@ AccelSim::run(FunctionType fn, const TaskInput *inputs, std::size_t count,
     const bool zero_qdd = fn == FunctionType::FD ||
                           fn == FunctionType::DeltaFD;
 
+    // Timing model for the ∆ submodules: when every request in the
+    // batch is gated, size the Df/Db token streams for the UNION of
+    // the batch's live columns (heterogeneous masks price at their
+    // union; one dense request prices the whole batch dense).
+    algo::ColumnPlan timing_plan;
+    const algo::ColumnPlan *tplan = nullptr;
+    if (use_delta && n > 0) {
+        const int nv = robot.nv();
+        std::vector<char> live(static_cast<std::size_t>(nv), 0);
+        bool all_gated = true;
+        algo::ColumnPlan tmp;
+        for (int t = 0; t < n && all_gated; ++t) {
+            const TaskInput &in = inputs[t];
+            if (in.gating == algo::GatingMode::None ||
+                in.seed_cols.empty() ||
+                !tmp.resolve(in.gating, in.seed_cols, nv) || tmp.dense()) {
+                all_gated = false;
+                break;
+            }
+            for (int c : tmp.cols())
+                live[c] = 1;
+        }
+        if (all_gated) {
+            std::vector<int> seed;
+            for (int c = 0; c < nv; ++c)
+                if (live[c])
+                    seed.push_back(c);
+            if (timing_plan.resolve(algo::GatingMode::Simple, seed, nv) &&
+                !timing_plan.dense())
+                tplan = &timing_plan;
+        }
+    }
+
     auto timing = [&](int link, SubmoduleKind kind) {
-        return allocateTiming(submoduleOps(robot, link, kind),
-                              cfg.target_ii, cfg.max_units);
+        const OpCount dense_ops = submoduleOps(robot, link, kind);
+        if (tplan == nullptr)
+            return allocateTiming(dense_ops, cfg.target_ii, cfg.max_units);
+        // Lanes stay sized for dense batches (the bitstream); gated
+        // batches stream fewer column-ops through the same lanes.
+        return gatedTiming(dense_ops,
+                           submoduleOps(robot, link, kind, tplan),
+                           cfg.target_ii, cfg.max_units);
     };
 
     for (int i = 0; i < nb; ++i) {

@@ -120,6 +120,33 @@ subtreeDofs(const RobotModel &robot, int link)
     return n;
 }
 
+/** Live DOFs of one link's joint under an optional column plan. */
+int
+liveDof(const RobotModel &robot, int link, const algo::ColumnPlan *plan)
+{
+    if (plan == nullptr || plan->dense())
+        return dof(robot, link);
+    const int vi = robot.link(link).vIndex;
+    int n = 0;
+    for (int k = 0; k < dof(robot, link); ++k)
+        if (plan->isLive(vi + k))
+            ++n;
+    return n;
+}
+
+/** Live DOFs on the root path of @p link under an optional plan. */
+int
+livePathDofs(const RobotModel &robot, int link,
+             const algo::ColumnPlan *plan)
+{
+    if (plan == nullptr || plan->dense())
+        return pathDofs(robot, link);
+    int n = 0;
+    for (int i = link; i != -1; i = robot.parent(i))
+        n += liveDof(robot, i, plan);
+    return n;
+}
+
 } // namespace
 
 const char *
@@ -137,14 +164,17 @@ submoduleKindName(SubmoduleKind k)
 }
 
 OpCount
-submoduleOps(const RobotModel &robot, int link, SubmoduleKind kind)
+submoduleOps(const RobotModel &robot, int link, SubmoduleKind kind,
+             const algo::ColumnPlan *plan)
 {
     const bool dense = denseRotation(robot, link);
     const OpCount xform = xformCost(dense);
     const int ni = dof(robot, link);
     // Incremental-column counts (Section IV-A4): two Jacobian column
-    // blocks (∂/∂q and ∂/∂q̇) per path DOF.
-    const int cols = 2 * pathDofs(robot, link);
+    // blocks (∂/∂q and ∂/∂q̇) per LIVE path DOF — under a column plan
+    // the Df/Db submodules stream only the live columns.
+    const int cols = 2 * livePathDofs(robot, link, plan);
+    const int ni_live = liveDof(robot, link, plan);
     const int tree_cols = subtreeDofs(robot, link);
 
     OpCount ops;
@@ -172,7 +202,7 @@ submoduleOps(const RobotModel &robot, int link, SubmoduleKind kind)
         ops += (xform + kSpatialCross) * cols;                 // ∂v, coupling
         ops += (xform + kSpatialCross) * cols;                 // ∂a
         ops += (kInertiaApply + kSpatialCross * 2) * cols;     // ∂f
-        ops += (kSpatialCross * 2) * (2 * ni);                 // new columns
+        ops += (kSpatialCross * 2) * (2 * ni_live);            // new columns
         break;
       case SubmoduleKind::DeltaBwd:
         // Per column: ∂τ = S^T ∂f (selects), backward X^T ∂f, plus
@@ -180,7 +210,7 @@ submoduleOps(const RobotModel &robot, int link, SubmoduleKind kind)
         ops += xUpdateCost(robot, link);
         ops += xform * cols;
         ops += OpCount{0, 6 * cols + ni * cols, 0};
-        ops += kSpatialCross * (2 * ni);
+        ops += kSpatialCross * (2 * ni_live);
         break;
       case SubmoduleKind::MMinvBwd:
         // I^A congruence (priority-vector critical path), F column
@@ -203,13 +233,13 @@ submoduleOps(const RobotModel &robot, int link, SubmoduleKind kind)
     return ops;
 }
 
-SubmoduleTiming
-allocateTiming(const OpCount &ops, int target_ii, int max_units)
+namespace {
+
+/** II and first-output latency of @p ops over @p units lanes. */
+void
+deriveTiming(SubmoduleTiming &t, const OpCount &ops)
 {
-    SubmoduleTiming t;
     const int mul_work = std::max(1, ops.mul);
-    t.units = std::clamp((mul_work + target_ii - 1) / target_ii, 1,
-                         max_units);
     t.ii = std::max(1, (mul_work + t.units - 1) / t.units);
     // Latency is the *first-output* delay, not the full drain: the
     // forward transfer (or first incremental column) leaves after a
@@ -219,6 +249,27 @@ allocateTiming(const OpCount &ops, int target_ii, int max_units)
     constexpr int first_output_mults = 24;
     const int first = std::min(mul_work, first_output_mults);
     t.latency = 2 + (first + t.units - 1) / t.units + 8 * ops.recip;
+}
+
+} // namespace
+
+SubmoduleTiming
+allocateTiming(const OpCount &ops, int target_ii, int max_units)
+{
+    SubmoduleTiming t;
+    const int mul_work = std::max(1, ops.mul);
+    t.units = std::clamp((mul_work + target_ii - 1) / target_ii, 1,
+                         max_units);
+    deriveTiming(t, ops);
+    return t;
+}
+
+SubmoduleTiming
+gatedTiming(const OpCount &dense_ops, const OpCount &live_ops,
+            int target_ii, int max_units)
+{
+    SubmoduleTiming t = allocateTiming(dense_ops, target_ii, max_units);
+    deriveTiming(t, live_ops);
     return t;
 }
 

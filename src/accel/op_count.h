@@ -16,6 +16,7 @@
 #ifndef DADU_ACCEL_OP_COUNT_H
 #define DADU_ACCEL_OP_COUNT_H
 
+#include "algorithms/col_gating.h"
 #include "model/robot_model.h"
 
 namespace dadu::accel {
@@ -77,8 +78,15 @@ const char *submoduleKindName(SubmoduleKind k);
  * Depth-dependent kinds (Delta*, MMinv*) use the link's depth and
  * subtree size from the model. Counts assume the sparsity-optimized
  * datapaths of Section IV.
+ *
+ * @param plan optional ∆-column gating: the Df/Db per-column terms
+ *             count only live path columns (the columns the gated
+ *             functional core actually streams). Null or dense plans
+ *             price dense; non-∆ kinds ignore the plan (the BF
+ *             pipelines and the RNEA passes stay dense).
  */
-OpCount submoduleOps(const RobotModel &robot, int link, SubmoduleKind kind);
+OpCount submoduleOps(const RobotModel &robot, int link, SubmoduleKind kind,
+                     const algo::ColumnPlan *plan = nullptr);
 
 /**
  * Cycle model for a pipelined submodule with @p units parallel
@@ -102,6 +110,16 @@ struct SubmoduleTiming
  */
 SubmoduleTiming allocateTiming(const OpCount &ops, int target_ii,
                                int max_units = 64);
+
+/**
+ * Timing of a submodule whose lanes were allocated for @p dense_ops
+ * (the configured bitstream is sized for dense batches) but which
+ * only streams @p live_ops this batch (column gating): same unit
+ * count, shorter initiation interval and first-output latency.
+ */
+SubmoduleTiming gatedTiming(const OpCount &dense_ops,
+                            const OpCount &live_ops, int target_ii,
+                            int max_units = 64);
 
 } // namespace dadu::accel
 

@@ -87,6 +87,12 @@ BatchedDynamics::runChunk(void *ctx, int chunk)
                     lanes.tau[l] = &self->in_tau_[i + l];
                     fd_out[l] = &self->fd_out_[i + l];
                     break;
+                  case Mode::FdGivenAccel:
+                    lanes.qd[l] = &self->in_qd_[i + l];
+                    lanes.qdd[l] = &self->in_tau_[i + l];
+                    lanes.minv[l] = self->in_minv_[i + l];
+                    fd_out[l] = &self->fd_out_[i + l];
+                    break;
                   case Mode::Minv:
                     minv_out[l] = &self->minv_out_[i + l];
                     break;
@@ -98,7 +104,12 @@ BatchedDynamics::runChunk(void *ctx, int chunk)
                                          qdd_out);
                 break;
               case Mode::FdDerivatives:
-                soa::packFdDerivatives(self->robot_, ws, w, lanes, fd_out);
+                soa::packFdDerivatives(self->robot_, ws, w, lanes, fd_out,
+                                       self->in_plan_);
+                break;
+              case Mode::FdGivenAccel:
+                soa::packFdGivenAccel(self->robot_, ws, w, lanes, fd_out,
+                                      self->in_plan_);
                 break;
               case Mode::Minv:
                 soa::packMinv(self->robot_, ws, w, lanes, minv_out);
@@ -117,7 +128,14 @@ BatchedDynamics::runChunk(void *ctx, int chunk)
         for (; i < end; ++i)
             fdDerivatives(self->robot_, ws, self->in_q_[i],
                           self->in_qd_[i], self->in_tau_[i],
-                          self->fd_out_[i]);
+                          self->fd_out_[i], nullptr, self->in_plan_);
+        break;
+      case Mode::FdGivenAccel:
+        for (; i < end; ++i)
+            fdDerivativesGivenAccel(self->robot_, ws, self->in_q_[i],
+                                    self->in_qd_[i], self->in_tau_[i],
+                                    *self->in_minv_[i], self->fd_out_[i],
+                                    nullptr, self->in_plan_);
         break;
       case Mode::Minv:
         for (; i < end; ++i)
@@ -129,7 +147,8 @@ BatchedDynamics::runChunk(void *ctx, int chunk)
 
 void
 BatchedDynamics::dispatch(Mode mode, const VectorX *q, const VectorX *qd,
-                          const VectorX *tau, int n)
+                          const VectorX *tau, int n, const ColumnPlan *plan,
+                          const linalg::MatrixX *const *minv)
 {
     assert(!in_dispatch_.exchange(true) &&
            "BatchedDynamics: concurrent batch calls on one engine");
@@ -138,8 +157,12 @@ BatchedDynamics::dispatch(Mode mode, const VectorX *q, const VectorX *qd,
     in_q_ = q;
     in_qd_ = qd;
     in_tau_ = tau;
+    in_plan_ = plan;
+    in_minv_ = minv;
     pool_->runIndexed(&BatchedDynamics::runChunk, this, workspaceCount());
     in_q_ = in_qd_ = in_tau_ = nullptr;
+    in_plan_ = nullptr;
+    in_minv_ = nullptr;
     in_dispatch_.store(false);
 }
 
@@ -166,20 +189,33 @@ BatchedDynamics::batchForwardDynamics(const VectorX *q, const VectorX *qd,
 const std::vector<FdDerivatives> &
 BatchedDynamics::batchFdDerivatives(const std::vector<VectorX> &q,
                                     const std::vector<VectorX> &qd,
-                                    const std::vector<VectorX> &tau)
+                                    const std::vector<VectorX> &tau,
+                                    const ColumnPlan *plan)
 {
     assert(q.size() == qd.size() && q.size() == tau.size());
     return batchFdDerivatives(q.data(), qd.data(), tau.data(),
-                              static_cast<int>(q.size()));
+                              static_cast<int>(q.size()), plan);
 }
 
 const std::vector<FdDerivatives> &
 BatchedDynamics::batchFdDerivatives(const VectorX *q, const VectorX *qd,
-                                    const VectorX *tau, int n)
+                                    const VectorX *tau, int n,
+                                    const ColumnPlan *plan)
 {
     if (static_cast<int>(fd_out_.size()) < n)
         fd_out_.resize(n);
-    dispatch(Mode::FdDerivatives, q, qd, tau, n);
+    dispatch(Mode::FdDerivatives, q, qd, tau, n, plan);
+    return fd_out_;
+}
+
+const std::vector<FdDerivatives> &
+BatchedDynamics::batchFdDerivativesGivenAccel(
+    const VectorX *q, const VectorX *qd, const VectorX *qdd,
+    const linalg::MatrixX *const *minv, int n, const ColumnPlan *plan)
+{
+    if (static_cast<int>(fd_out_.size()) < n)
+        fd_out_.resize(n);
+    dispatch(Mode::FdGivenAccel, q, qd, qdd, n, plan, minv);
     return fd_out_;
 }
 

@@ -110,16 +110,42 @@ class BatchedDynamics
     batchForwardDynamics(const VectorX *q, const VectorX *qd,
                          const VectorX *tau, int n);
 
-    /** ∆FD (q̈, ∂q̈/∂q, ∂q̈/∂q̇, M⁻¹) at every sample point. */
+    /**
+     * ∆FD (q̈, ∂q̈/∂q, ∂q̈/∂q̇, M⁻¹) at every sample point.
+     *
+     * @param plan optional column gating shared by the whole batch
+     *             (must stay valid for the duration of the call):
+     *             live columns of ∂q̈/∂u are bitwise identical to the
+     *             dense batch, dead columns exactly 0.0, on both the
+     *             SoA and the scalar-remainder path. Null = dense.
+     */
     const std::vector<FdDerivatives> &
     batchFdDerivatives(const std::vector<VectorX> &q,
                        const std::vector<VectorX> &qd,
-                       const std::vector<VectorX> &tau);
+                       const std::vector<VectorX> &tau,
+                       const ColumnPlan *plan = nullptr);
 
     /** Span overload of batchFdDerivatives. */
     const std::vector<FdDerivatives> &
     batchFdDerivatives(const VectorX *q, const VectorX *qd,
-                       const VectorX *tau, int n);
+                       const VectorX *tau, int n,
+                       const ColumnPlan *plan = nullptr);
+
+    /**
+     * ∆iFD at every sample point: steps ④⑤⑥ of ∆FD with q̈ and M⁻¹
+     * supplied per point (@p minv is an array of @p n pointers that
+     * must stay valid for the call), mirroring the scalar
+     * fdDerivativesGivenAccel. Because the dense ①②③ prefix is
+     * skipped, a gated batch's cost scales with the live-column
+     * count alone — this is the fast path for derivative refreshes
+     * that reuse q̈/M⁻¹ held from an earlier dense ∆FD evaluation.
+     * Gating semantics match batchFdDerivatives.
+     */
+    const std::vector<FdDerivatives> &
+    batchFdDerivativesGivenAccel(const VectorX *q, const VectorX *qd,
+                                 const VectorX *qdd,
+                                 const linalg::MatrixX *const *minv,
+                                 int n, const ColumnPlan *plan = nullptr);
 
     /** M⁻¹(q) at every sample point. */
     const std::vector<linalg::MatrixX> &
@@ -146,12 +172,15 @@ class BatchedDynamics
     {
         Fd,
         FdDerivatives,
+        FdGivenAccel,
         Minv,
     };
 
     static void runChunk(void *ctx, int chunk);
     void dispatch(Mode mode, const VectorX *q, const VectorX *qd,
-                  const VectorX *tau, int n);
+                  const VectorX *tau, int n,
+                  const ColumnPlan *plan = nullptr,
+                  const linalg::MatrixX *const *minv = nullptr);
 
     const RobotModel &robot_;
     std::shared_ptr<app::ThreadPool> pool_;
@@ -164,7 +193,9 @@ class BatchedDynamics
     int lane_width_; ///< SIMD pack width (1 = scalar), set in ctor.
     const VectorX *in_q_ = nullptr;
     const VectorX *in_qd_ = nullptr;
-    const VectorX *in_tau_ = nullptr;
+    const VectorX *in_tau_ = nullptr;    ///< τ (∆FD) or q̈ (∆iFD)
+    const ColumnPlan *in_plan_ = nullptr; ///< ∆FD/∆iFD column gating.
+    const linalg::MatrixX *const *in_minv_ = nullptr; ///< ∆iFD M⁻¹ inputs.
 
     // Engine-owned outputs, reused across calls.
     std::vector<VectorX> qdd_out_;

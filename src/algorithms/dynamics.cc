@@ -52,10 +52,34 @@ fdDerivatives(const RobotModel &robot, const VectorX &q, const VectorX &qd,
     return out;
 }
 
+// Step ⑥ (∂q̈/∂u = -M⁻¹ ∂τ/∂u), optionally restricted to the live
+// columns of @p plan. Live columns accumulate and negate through the
+// same per-column arithmetic as the dense product (bitwise equal);
+// dead columns stay exactly 0.0 from the resize.
+static void
+minvProductStep(const MatrixX &minv, const RneaDerivatives &did,
+                FdDerivatives &out, const ColumnPlan *plan)
+{
+    if (plan != nullptr && !plan->dense()) {
+        const int *cols = plan->cols().data();
+        const auto ncols = plan->cols().size();
+        minv.multiplyColsInto(did.dtau_dq, out.dqdd_dq, cols, ncols);
+        out.dqdd_dq.negateCols(cols, ncols);
+        minv.multiplyColsInto(did.dtau_dqd, out.dqdd_dqd, cols, ncols);
+        out.dqdd_dqd.negateCols(cols, ncols);
+        return;
+    }
+    minv.multiplyInto(did.dtau_dq, out.dqdd_dq);
+    out.dqdd_dq.negate();
+    minv.multiplyInto(did.dtau_dqd, out.dqdd_dqd);
+    out.dqdd_dqd.negate();
+}
+
 void
 fdDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
               const VectorX &q, const VectorX &qd, const VectorX &tau,
-              FdDerivatives &out, const std::vector<Vec6> *fext)
+              FdDerivatives &out, const std::vector<Vec6> *fext,
+              const ColumnPlan *plan)
 {
     ws.computeTransforms(robot, q); // shared by steps ①, ② and ⑤
     biasForce(robot, ws, q, qd, ws.bias, fext, true);   // step ①
@@ -63,11 +87,8 @@ fdDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
     ws.tmp_nv.setDifference(tau, ws.bias);              // step ③
     out.minv.multiplyInto(ws.tmp_nv, out.qdd);
     rneaDerivatives(robot, ws, q, qd, out.qdd,
-                    ws.did, fext, true);                // steps ④⑤
-    out.minv.multiplyInto(ws.did.dtau_dq, out.dqdd_dq); // step ⑥
-    out.dqdd_dq.negate();
-    out.minv.multiplyInto(ws.did.dtau_dqd, out.dqdd_dqd);
-    out.dqdd_dqd.negate();
+                    ws.did, fext, true, plan);          // steps ④⑤
+    minvProductStep(out.minv, ws.did, out, plan);       // step ⑥
 }
 
 FdDerivatives
@@ -85,16 +106,15 @@ void
 fdDerivativesGivenAccel(const RobotModel &robot, DynamicsWorkspace &ws,
                         const VectorX &q, const VectorX &qd,
                         const VectorX &qdd, const MatrixX &minv,
-                        FdDerivatives &out, const std::vector<Vec6> *fext)
+                        FdDerivatives &out, const std::vector<Vec6> *fext,
+                        const ColumnPlan *plan)
 {
     ws.ensure(robot);
     out.minv = minv;
     out.qdd = qdd;
-    rneaDerivatives(robot, ws, q, qd, qdd, ws.did, fext); // steps ④⑤
-    out.minv.multiplyInto(ws.did.dtau_dq, out.dqdd_dq);   // step ⑥
-    out.dqdd_dq.negate();
-    out.minv.multiplyInto(ws.did.dtau_dqd, out.dqdd_dqd);
-    out.dqdd_dqd.negate();
+    rneaDerivatives(robot, ws, q, qd, qdd, ws.did, fext,
+                    false, plan);                         // steps ④⑤
+    minvProductStep(out.minv, ws.did, out, plan);         // step ⑥
 }
 
 } // namespace dadu::algo

@@ -90,18 +90,25 @@ void forwardDynamics(const RobotModel &robot, DynamicsWorkspace &ws,
  * into @p out, reusing its storage across calls. Zero heap
  * allocations in the steady state. The per-point kernel behind
  * BatchedDynamics::batchFdDerivatives.
+ *
+ * @param plan optional column gating for the derivative steps ④⑤⑥:
+ *             live columns of ∂q̈/∂u are bitwise identical to the
+ *             dense call, dead columns exactly 0.0. Steps ①②③ stay
+ *             dense (q̈ and M⁻¹ are needed in full regardless).
  */
 void fdDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
                    const VectorX &q, const VectorX &qd, const VectorX &tau,
                    FdDerivatives &out,
-                   const std::vector<Vec6> *fext = nullptr);
+                   const std::vector<Vec6> *fext = nullptr,
+                   const ColumnPlan *plan = nullptr);
 
 /** Workspace ∆iFD (steps ④⑤⑥ with q̈ and M⁻¹ supplied). */
 void fdDerivativesGivenAccel(const RobotModel &robot,
                              DynamicsWorkspace &ws, const VectorX &q,
                              const VectorX &qd, const VectorX &qdd,
                              const MatrixX &minv, FdDerivatives &out,
-                             const std::vector<Vec6> *fext = nullptr);
+                             const std::vector<Vec6> *fext = nullptr,
+                             const ColumnPlan *plan = nullptr);
 
 } // namespace dadu::algo
 

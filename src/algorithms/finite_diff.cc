@@ -6,6 +6,13 @@
 
 namespace dadu::algo {
 
+// Shared liveness test of the four gated column loops below.
+static bool
+liveCol(const ColumnPlan *plan, int col)
+{
+    return plan == nullptr || plan->dense() || plan->isLive(col);
+}
+
 MatrixX
 numericalDtauDq(const RobotModel &robot, const VectorX &q,
                 const VectorX &qd, const VectorX &qdd,
@@ -20,13 +27,16 @@ numericalDtauDq(const RobotModel &robot, const VectorX &q,
 void
 numericalDtauDq(const RobotModel &robot, DynamicsWorkspace &ws,
                 const VectorX &q, const VectorX &qd, const VectorX &qdd,
-                MatrixX &j, const std::vector<Vec6> *fext, double eps)
+                MatrixX &j, const std::vector<Vec6> *fext, double eps,
+                const ColumnPlan *plan)
 {
     ws.ensure(robot);
     const int nv = robot.nv();
     j.resize(nv, nv);
     ws.tangent.resize(nv); // all-zero tangent step
     for (int k = 0; k < nv; ++k) {
+        if (!liveCol(plan, k))
+            continue;
         ws.tangent[k] = eps;
         robot.integrateInto(q, ws.tangent, ws.q_plus);
         ws.tangent[k] = -eps;
@@ -54,7 +64,8 @@ numericalDtauDqd(const RobotModel &robot, const VectorX &q,
 void
 numericalDtauDqd(const RobotModel &robot, DynamicsWorkspace &ws,
                  const VectorX &q, const VectorX &qd, const VectorX &qdd,
-                 MatrixX &j, const std::vector<Vec6> *fext, double eps)
+                 MatrixX &j, const std::vector<Vec6> *fext, double eps,
+                 const ColumnPlan *plan)
 {
     ws.ensure(robot);
     const int nv = robot.nv();
@@ -62,6 +73,8 @@ numericalDtauDqd(const RobotModel &robot, DynamicsWorkspace &ws,
     ws.vel_plus = qd;
     ws.vel_minus = qd;
     for (int k = 0; k < nv; ++k) {
+        if (!liveCol(plan, k))
+            continue;
         ws.vel_plus[k] = qd[k] + eps;
         ws.vel_minus[k] = qd[k] - eps;
         rnea(robot, ws, q, ws.vel_plus, qdd, ws.rnea_plus, fext);
@@ -88,13 +101,16 @@ numericalDqddDq(const RobotModel &robot, const VectorX &q,
 void
 numericalDqddDq(const RobotModel &robot, DynamicsWorkspace &ws,
                 const VectorX &q, const VectorX &qd, const VectorX &tau,
-                MatrixX &j, const std::vector<Vec6> *fext, double eps)
+                MatrixX &j, const std::vector<Vec6> *fext, double eps,
+                const ColumnPlan *plan)
 {
     ws.ensure(robot);
     const int nv = robot.nv();
     j.resize(nv, nv);
     ws.tangent.resize(nv);
     for (int k = 0; k < nv; ++k) {
+        if (!liveCol(plan, k))
+            continue;
         ws.tangent[k] = eps;
         robot.integrateInto(q, ws.tangent, ws.q_plus);
         ws.tangent[k] = -eps;
@@ -121,7 +137,8 @@ numericalDqddDqd(const RobotModel &robot, const VectorX &q,
 void
 numericalDqddDqd(const RobotModel &robot, DynamicsWorkspace &ws,
                  const VectorX &q, const VectorX &qd, const VectorX &tau,
-                 MatrixX &j, const std::vector<Vec6> *fext, double eps)
+                 MatrixX &j, const std::vector<Vec6> *fext, double eps,
+                 const ColumnPlan *plan)
 {
     ws.ensure(robot);
     const int nv = robot.nv();
@@ -129,6 +146,8 @@ numericalDqddDqd(const RobotModel &robot, DynamicsWorkspace &ws,
     ws.vel_plus = qd;
     ws.vel_minus = qd;
     for (int k = 0; k < nv; ++k) {
+        if (!liveCol(plan, k))
+            continue;
         ws.vel_plus[k] = qd[k] + eps;
         ws.vel_minus[k] = qd[k] - eps;
         aba(robot, ws, q, ws.vel_plus, tau, ws.qdd_plus, fext);

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "algorithms/col_gating.h"
 #include "linalg/matrixx.h"
 #include "model/robot_model.h"
 
@@ -55,30 +56,35 @@ struct DynamicsWorkspace;
  * and @p j is resized in place — zero heap allocations in the
  * steady state. Results are bitwise identical to the allocating
  * overloads above.
+ *
+ * @param plan optional column gating: only live columns are
+ *             perturbed and differenced (bitwise identical to the
+ *             dense call at those columns); dead columns of @p j
+ *             stay exactly 0.0. Null means dense.
  */
 void numericalDtauDq(const RobotModel &robot, DynamicsWorkspace &ws,
                      const VectorX &q, const VectorX &qd,
                      const VectorX &qdd, MatrixX &j,
                      const std::vector<Vec6> *fext = nullptr,
-                     double eps = 1e-6);
+                     double eps = 1e-6, const ColumnPlan *plan = nullptr);
 
 void numericalDtauDqd(const RobotModel &robot, DynamicsWorkspace &ws,
                       const VectorX &q, const VectorX &qd,
                       const VectorX &qdd, MatrixX &j,
                       const std::vector<Vec6> *fext = nullptr,
-                      double eps = 1e-6);
+                      double eps = 1e-6, const ColumnPlan *plan = nullptr);
 
 void numericalDqddDq(const RobotModel &robot, DynamicsWorkspace &ws,
                      const VectorX &q, const VectorX &qd,
                      const VectorX &tau, MatrixX &j,
                      const std::vector<Vec6> *fext = nullptr,
-                     double eps = 1e-6);
+                     double eps = 1e-6, const ColumnPlan *plan = nullptr);
 
 void numericalDqddDqd(const RobotModel &robot, DynamicsWorkspace &ws,
                       const VectorX &q, const VectorX &qd,
                       const VectorX &tau, MatrixX &j,
                       const std::vector<Vec6> *fext = nullptr,
-                      double eps = 1e-6);
+                      double eps = 1e-6, const ColumnPlan *plan = nullptr);
 
 } // namespace dadu::algo
 

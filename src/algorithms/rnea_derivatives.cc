@@ -29,11 +29,19 @@ void
 rneaDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
                 const VectorX &q, const VectorX &qd, const VectorX &qdd,
                 RneaDerivatives &res, const std::vector<Vec6> *fext,
-                bool reuse_transforms)
+                bool reuse_transforms, const ColumnPlan *plan)
 {
     ws.ensure(robot);
     const int nb = robot.nb();
     const int nv = robot.nv();
+
+    // Column gating: every per-column loop below additionally skips
+    // dead columns. Column chains are independent, so live columns
+    // go through the identical arithmetic as the dense sweep.
+    const bool gated = plan != nullptr && !plan->dense();
+    const auto liveCol = [gated, plan](int col) {
+        return !gated || plan->isLive(col);
+    };
 
     res.dtau_dq.resize(nv, nv);
     res.dtau_dqd.resize(nv, nv);
@@ -48,6 +56,8 @@ rneaDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
         DynamicsWorkspace::DerivCell *row =
             &ws.dcells[static_cast<std::size_t>(i) * nv];
         for (int col : ws.rel_cols[i]) {
+            if (!liveCol(col))
+                continue;
             row[col].df_dq = Vec6::zero();
             row[col].df_dqd = Vec6::zero();
         }
@@ -90,6 +100,8 @@ rneaDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
         // the velocity-product coupling.
         if (lam != -1) {
             for (int col : ws.active_cols[lam]) {
+                if (!liveCol(col))
+                    continue;
                 const DynamicsWorkspace::DerivCell &pc = cell(lam, col);
                 DynamicsWorkspace::DerivCell &cc = cell(i, col);
                 const Vec6 dvq = ws.xup[i].applyMotion(pc.dv_dq);
@@ -104,6 +116,8 @@ rneaDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
         // Own-DOF columns (new columns of the incremental Jacobian).
         for (int k = 0; k < ni; ++k) {
             const int col = vi + k;
+            if (!liveCol(col))
+                continue;
             const Vec6 sk = s.col(k);
             const int sk_ax = s.unitAxis(k);
             // ∂(X v_λ)/∂q_k and friends: sk is one-hot, so the
@@ -128,6 +142,8 @@ rneaDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
         if (fext)
             ws.f[i] -= (*fext)[i];
         for (int col : ws.active_cols[i]) {
+            if (!liveCol(col))
+                continue;
             DynamicsWorkspace::DerivCell &cc = cell(i, col);
             cc.df_dq = inertia.apply(cc.da_dq) +
                        crossForce(cc.dv_dq, iv) +
@@ -152,6 +168,8 @@ rneaDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
         // sparsity; everything else stays zero from the resize).
         // One-hot subspace rows project by element read.
         for (int col : ws.rel_cols[i]) {
+            if (!liveCol(col))
+                continue;
             const DynamicsWorkspace::DerivCell &cc = cell(i, col);
             for (int r = 0; r < ni; ++r) {
                 const int ax = s.unitAxis(r);
@@ -172,6 +190,8 @@ rneaDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
             // (rel_cols[i] ⊆ rel_cols[λ], so the accumulation targets
             // are zero-initialized).
             for (int col : ws.rel_cols[i]) {
+                if (!liveCol(col))
+                    continue;
                 const DynamicsWorkspace::DerivCell &cc = cell(i, col);
                 DynamicsWorkspace::DerivCell &pc = cell(lam, col);
                 Vec6 dq_col = cc.df_dq;

@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "algorithms/col_gating.h"
 #include "linalg/matrixx.h"
 #include "linalg/vec.h"
 #include "model/robot_model.h"
@@ -56,12 +57,18 @@ struct DynamicsWorkspace;
  * dominant allocations of the seed implementation), link states and
  * the per-link active-column lists all live in @p ws; @p out is
  * resized in place. Zero heap allocations in the steady state.
+ *
+ * @param plan optional column gating: when non-null and not dense,
+ *             only live columns are propagated and written (they are
+ *             bitwise identical to the dense sweep; dead columns of
+ *             @p out are exactly 0.0). Null means dense.
  */
 void rneaDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
                      const VectorX &q, const VectorX &qd,
                      const VectorX &qdd, RneaDerivatives &out,
                      const std::vector<Vec6> *fext = nullptr,
-                     bool reuse_transforms = false);
+                     bool reuse_transforms = false,
+                     const ColumnPlan *plan = nullptr);
 
 } // namespace dadu::algo
 

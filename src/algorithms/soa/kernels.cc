@@ -171,6 +171,7 @@ struct Lanes
     const VectorX *qd[W];
     const VectorX *tau[W];
     const VectorX *qdd[W];
+    const MatrixX *minv[W];
     bool active[W];
 };
 
@@ -196,6 +197,7 @@ resolveLanes(const LaneBatch &in)
         ln.qd[l] = in.qd[src];
         ln.tau[l] = in.tau[src];
         ln.qdd[l] = in.qdd[src];
+        ln.minv[l] = in.minv[src];
     }
     return ln;
 }
@@ -208,6 +210,17 @@ gatherPacks(Pack<W> *dst, const VectorX *const *src, int n)
     for (int j = 0; j < n; ++j)
         for (int l = 0; l < W; ++l)
             dst[j].l[l] = (*src[l])[j];
+}
+
+/** Gather one n x n matrix per lane into row-major packs. */
+template <int W>
+void
+gatherMatrixPacks(Pack<W> *dst, const MatrixX *const *src, int n)
+{
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c)
+            for (int l = 0; l < W; ++l)
+                dst[r * n + c].l[l] = (*src[l])(r, c);
 }
 
 /**
@@ -345,6 +358,25 @@ scatterMatrixLane(const Pack<W> *src, int rows, int cols, int lane,
     for (int r = 0; r < rows; ++r)
         for (int c = 0; c < cols; ++c)
             o(r, c) = src[r * cols + c].l[lane];
+}
+
+/**
+ * Column-gated scatter: live columns copy from the packs, dead
+ * columns are written as exact 0.0 (never read from the arena, which
+ * holds stale values there) — matching the gated scalar kernels,
+ * whose resize() zero-fill leaves dead columns +0.0.
+ */
+template <int W>
+void
+scatterMatrixLaneCols(const Pack<W> *src, int rows, int cols, int lane,
+                      MatrixX &o, const ColumnPlan &plan)
+{
+    if (static_cast<int>(o.rows()) != rows ||
+        static_cast<int>(o.cols()) != cols)
+        o.resize(rows, cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            o(r, c) = plan.isLive(c) ? src[r * cols + c].l[lane] : 0.0;
 }
 
 // ------------------------------------------------------------- RNEA
@@ -652,17 +684,30 @@ minvCore(const RobotModel &robot, DynamicsWorkspace &ws, LaneArena<W> &la,
 template <int W>
 void
 rneaDerivSweep(const RobotModel &robot, DynamicsWorkspace &ws,
-               LaneArena<W> &la, const Pack<W> *qd, const Pack<W> *qdd)
+               LaneArena<W> &la, const Pack<W> *qd, const Pack<W> *qdd,
+               const ColumnPlan *plan = nullptr)
 {
     (void)ws;
     const int nb = robot.nb();
     const int nv = robot.nv();
+    const bool gated = plan != nullptr && !plan->dense();
 
     // res.dtau_dq.resize(nv, nv) re-zeroes everything in the scalar
     // code; entries of unrelated (row, col) pairs are never written.
-    for (int i = 0; i < nv * nv; ++i) {
-        la.dtq[i] = Pack<W>::zero();
-        la.dtqd[i] = Pack<W>::zero();
+    // Gated: only live columns are re-zeroed (and later computed);
+    // dead columns keep stale arena values that nothing downstream
+    // reads — the masked consumers below only touch live columns.
+    if (gated) {
+        for (int col : plan->cols())
+            for (int r = 0; r < nv; ++r) {
+                la.dtq[r * nv + col] = Pack<W>::zero();
+                la.dtqd[r * nv + col] = Pack<W>::zero();
+            }
+    } else {
+        for (int i = 0; i < nv * nv; ++i) {
+            la.dtq[i] = Pack<W>::zero();
+            la.dtqd[i] = Pack<W>::zero();
+        }
     }
 
     // ---- link-level prologue: v, a, f and the vc/ac/vj temporaries
@@ -702,7 +747,11 @@ rneaDerivSweep(const RobotModel &robot, DynamicsWorkspace &ws,
     }
 
     // ---- per-column fused forward + force-Jacobian + backward ----
-    for (int col = 0; col < nv; ++col) {
+    // Columns never interact, so the gated sweep simply visits the
+    // live subset: each visited column runs the identical chain.
+    const int live_cols = gated ? plan->liveCount() : nv;
+    for (int n = 0; n < live_cols; ++n) {
+        const int col = gated ? plan->cols()[static_cast<std::size_t>(n)] : n;
         const int jc = la.col_link[col];
         PDerivCell<W> *cells =
             &la.dcells[static_cast<std::size_t>(col) * nb];
@@ -842,6 +891,44 @@ mulMatNegInto(const Pack<W> *m, const Pack<W> *o, Pack<W> *out, int n)
         out[i] = -out[i];
 }
 
+/**
+ * Column-gated mulMatNegInto: only the listed columns of @p out are
+ * zeroed, accumulated and negated — the same per-column op sequence
+ * as the dense product (and as the scalar multiplyColsInto +
+ * negateCols), so live columns match it bitwise. Dead columns of
+ * @p out keep stale arena values the masked scatter never reads.
+ */
+template <int W>
+void
+mulMatNegIntoCols(const Pack<W> *m, const Pack<W> *o, Pack<W> *out, int n,
+                  const int *cols, int ncols)
+{
+    for (int i = 0; i < n; ++i)
+        for (int c = 0; c < ncols; ++c)
+            out[i * n + cols[c]] = Pack<W>::zero();
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            const Pack<W> a = m[i * n + j];
+            if (!anyZero(a)) {
+                for (int c = 0; c < ncols; ++c) {
+                    const int k = cols[c];
+                    out[i * n + k] += a * o[j * n + k];
+                }
+            } else {
+                for (int c = 0; c < ncols; ++c) {
+                    const int k = cols[c];
+                    addUnlessZero(out[i * n + k], a, a * o[j * n + k]);
+                }
+            }
+        }
+    }
+    for (int i = 0; i < n; ++i)
+        for (int c = 0; c < ncols; ++c) {
+            Pack<W> &v = out[i * n + cols[c]];
+            v = -v;
+        }
+}
+
 // ----------------------------------------------------------- kernels
 
 template <int W>
@@ -873,18 +960,21 @@ fdImpl(const RobotModel &robot, DynamicsWorkspace &ws, const LaneBatch &in,
 template <int W>
 void
 fdDerivImpl(const RobotModel &robot, DynamicsWorkspace &ws,
-            const LaneBatch &in, FdDerivatives *const *out)
+            const LaneBatch &in, FdDerivatives *const *out,
+            const ColumnPlan *plan)
 {
     LaneArena<W> &la = arenaFor<W>(ws, robot);
     const Lanes<W> ln = resolveLanes<W>(in);
     const int nv = robot.nv();
+    const bool gated = plan != nullptr && !plan->dense();
 
     gatherPacks(la.q.data(), ln.q, robot.nq());
     gatherPacks(la.qd.data(), ln.qd, nv);
     gatherPacks(la.tau.data(), ln.tau, nv);
     gatherTransforms(robot, la, ln);
 
-    // Steps ① - ⑥ of the scalar fdDerivatives.
+    // Steps ① - ⑥ of the scalar fdDerivatives. ①②③ (q̈, M⁻¹) are
+    // always dense; ④⑤⑥ gate on the column plan.
     rneaSweep(robot, la, la.qd.data(), static_cast<const Pack<W> *>(nullptr),
               la.rv.data(), la.ra.data(),
               la.rf.data(), la.bias.data());
@@ -892,9 +982,18 @@ fdDerivImpl(const RobotModel &robot, DynamicsWorkspace &ws,
     for (int i = 0; i < nv; ++i)
         la.tmp[i] = la.tau[i] - la.bias[i];
     mulVecInto(la.jsout.data(), la.tmp.data(), la.qddp.data(), nv);
-    rneaDerivSweep(robot, ws, la, la.qd.data(), la.qddp.data());
-    mulMatNegInto(la.jsout.data(), la.dtq.data(), la.dqq.data(), nv);
-    mulMatNegInto(la.jsout.data(), la.dtqd.data(), la.dqqd.data(), nv);
+    rneaDerivSweep(robot, ws, la, la.qd.data(), la.qddp.data(), plan);
+    if (gated) {
+        const int *cols = plan->cols().data();
+        const int ncols = plan->liveCount();
+        mulMatNegIntoCols(la.jsout.data(), la.dtq.data(), la.dqq.data(),
+                          nv, cols, ncols);
+        mulMatNegIntoCols(la.jsout.data(), la.dtqd.data(), la.dqqd.data(),
+                          nv, cols, ncols);
+    } else {
+        mulMatNegInto(la.jsout.data(), la.dtq.data(), la.dqq.data(), nv);
+        mulMatNegInto(la.jsout.data(), la.dtqd.data(), la.dqqd.data(), nv);
+    }
 
     for (int l = 0; l < W; ++l) {
         if (!ln.active[l])
@@ -903,9 +1002,68 @@ fdDerivImpl(const RobotModel &robot, DynamicsWorkspace &ws,
         o.qdd.resize(nv);
         for (int j = 0; j < nv; ++j)
             o.qdd[j] = la.qddp[j].l[l];
-        scatterMatrixLane(la.dqq.data(), nv, nv, l, o.dqdd_dq);
-        scatterMatrixLane(la.dqqd.data(), nv, nv, l, o.dqdd_dqd);
+        if (gated) {
+            scatterMatrixLaneCols(la.dqq.data(), nv, nv, l, o.dqdd_dq,
+                                  *plan);
+            scatterMatrixLaneCols(la.dqqd.data(), nv, nv, l, o.dqdd_dqd,
+                                  *plan);
+        } else {
+            scatterMatrixLane(la.dqq.data(), nv, nv, l, o.dqdd_dq);
+            scatterMatrixLane(la.dqqd.data(), nv, nv, l, o.dqdd_dqd);
+        }
         scatterMatrixLane(la.jsout.data(), nv, nv, l, o.minv);
+    }
+}
+
+template <int W>
+void
+fdGivenAccelImpl(const RobotModel &robot, DynamicsWorkspace &ws,
+                 const LaneBatch &in, FdDerivatives *const *out,
+                 const ColumnPlan *plan)
+{
+    LaneArena<W> &la = arenaFor<W>(ws, robot);
+    const Lanes<W> ln = resolveLanes<W>(in);
+    const int nv = robot.nv();
+    const bool gated = plan != nullptr && !plan->dense();
+
+    gatherPacks(la.q.data(), ln.q, robot.nq());
+    gatherPacks(la.qd.data(), ln.qd, nv);
+    gatherPacks(la.qddp.data(), ln.qdd, nv);
+    gatherMatrixPacks(la.jsout.data(), ln.minv, nv);
+    gatherTransforms(robot, la, ln);
+
+    // Steps ④⑤⑥ only — q̈ and M⁻¹ arrive as inputs (the scalar
+    // fdDerivativesGivenAccel contract), so the dense ①②③ prefix
+    // is skipped and a gated pack's cost scales with the live
+    // column count alone.
+    rneaDerivSweep(robot, ws, la, la.qd.data(), la.qddp.data(), plan);
+    if (gated) {
+        const int *cols = plan->cols().data();
+        const int ncols = plan->liveCount();
+        mulMatNegIntoCols(la.jsout.data(), la.dtq.data(), la.dqq.data(),
+                          nv, cols, ncols);
+        mulMatNegIntoCols(la.jsout.data(), la.dtqd.data(), la.dqqd.data(),
+                          nv, cols, ncols);
+    } else {
+        mulMatNegInto(la.jsout.data(), la.dtq.data(), la.dqq.data(), nv);
+        mulMatNegInto(la.jsout.data(), la.dtqd.data(), la.dqqd.data(), nv);
+    }
+
+    for (int l = 0; l < W; ++l) {
+        if (!ln.active[l])
+            continue;
+        FdDerivatives &o = *out[l];
+        o.qdd = *ln.qdd[l];
+        o.minv = *ln.minv[l];
+        if (gated) {
+            scatterMatrixLaneCols(la.dqq.data(), nv, nv, l, o.dqdd_dq,
+                                  *plan);
+            scatterMatrixLaneCols(la.dqqd.data(), nv, nv, l, o.dqdd_dqd,
+                                  *plan);
+        } else {
+            scatterMatrixLane(la.dqq.data(), nv, nv, l, o.dqdd_dq);
+            scatterMatrixLane(la.dqqd.data(), nv, nv, l, o.dqdd_dqd);
+        }
     }
 }
 
@@ -1217,12 +1375,24 @@ packForwardDynamics(const RobotModel &robot, DynamicsWorkspace &ws,
 
 void
 packFdDerivatives(const RobotModel &robot, DynamicsWorkspace &ws, int width,
-                  const LaneBatch &in, FdDerivatives *const *out)
+                  const LaneBatch &in, FdDerivatives *const *out,
+                  const ColumnPlan *plan)
 {
     dispatchWidth<LaneArena>(
-        width, [&] { fdDerivImpl<4>(robot, ws, in, out); },
-        [&] { fdDerivImpl<8>(robot, ws, in, out); },
-        [&] { fdDerivImpl<16>(robot, ws, in, out); });
+        width, [&] { fdDerivImpl<4>(robot, ws, in, out, plan); },
+        [&] { fdDerivImpl<8>(robot, ws, in, out, plan); },
+        [&] { fdDerivImpl<16>(robot, ws, in, out, plan); });
+}
+
+void
+packFdGivenAccel(const RobotModel &robot, DynamicsWorkspace &ws, int width,
+                 const LaneBatch &in, FdDerivatives *const *out,
+                 const ColumnPlan *plan)
+{
+    dispatchWidth<LaneArena>(
+        width, [&] { fdGivenAccelImpl<4>(robot, ws, in, out, plan); },
+        [&] { fdGivenAccelImpl<8>(robot, ws, in, out, plan); },
+        [&] { fdGivenAccelImpl<16>(robot, ws, in, out, plan); });
 }
 
 void

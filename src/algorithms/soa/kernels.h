@@ -61,7 +61,8 @@ struct LaneBatch
     const VectorX *q[kMaxLaneWidth] = {};
     const VectorX *qd[kMaxLaneWidth] = {};
     const VectorX *tau[kMaxLaneWidth] = {};
-    const VectorX *qdd[kMaxLaneWidth] = {}; ///< packRnea only
+    const VectorX *qdd[kMaxLaneWidth] = {};  ///< packRnea / packFdGivenAccel
+    const MatrixX *minv[kMaxLaneWidth] = {}; ///< packFdGivenAccel only
     unsigned mask = 0;
 
     /** Mask with the low @p w lanes active. */
@@ -82,10 +83,35 @@ void packForwardDynamics(const RobotModel &robot, DynamicsWorkspace &ws,
                          int width, const LaneBatch &in,
                          VectorX *const *qdd_out);
 
-/** ∆FD (q̈, ∂q̈/∂q, ∂q̈/∂q̇, M⁻¹) for one lane pack. */
+/**
+ * ∆FD (q̈, ∂q̈/∂q, ∂q̈/∂q̇, M⁻¹) for one lane pack.
+ *
+ * @param plan optional column gating (shared by every lane of the
+ *             pack — the batched engine only routes mask-uniform
+ *             batches here): the per-column fused ∆RNEA chains and
+ *             the final M⁻¹ product run only for live columns, which
+ *             stay bitwise identical to the dense pack (and to the
+ *             gated scalar kernel, lane by lane); dead columns of
+ *             ∂q̈/∂u are exactly 0.0. q̈ and M⁻¹ are always dense.
+ */
 void packFdDerivatives(const RobotModel &robot, DynamicsWorkspace &ws,
                        int width, const LaneBatch &in,
-                       FdDerivatives *const *out);
+                       FdDerivatives *const *out,
+                       const ColumnPlan *plan = nullptr);
+
+/**
+ * ∆iFD — steps ④⑤⑥ of ∆FD with q̈ and M⁻¹ supplied as inputs
+ * (LaneBatch::qdd / LaneBatch::minv), mirroring the scalar
+ * fdDerivativesGivenAccel: the dense ①②③ prefix is skipped
+ * entirely, so a gated ∆iFD pack's cost scales with the live-column
+ * count alone. Outputs: ∂q̈/∂q and ∂q̈/∂q̇ (gated like
+ * packFdDerivatives); q̈ and M⁻¹ in the result are copies of the
+ * inputs, as in the scalar kernel.
+ */
+void packFdGivenAccel(const RobotModel &robot, DynamicsWorkspace &ws,
+                      int width, const LaneBatch &in,
+                      FdDerivatives *const *out,
+                      const ColumnPlan *plan = nullptr);
 
 /** M⁻¹(q) for one lane pack. */
 void packMinv(const RobotModel &robot, DynamicsWorkspace &ws, int width,

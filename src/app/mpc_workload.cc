@@ -428,11 +428,11 @@ drainServerInto(runtime::DynamicsServer &server, ClosedLoopReport &report)
 
 ClosedLoopReport
 MpcWorkload::solveClosedLoop(runtime::DynamicsBackend &backend,
-                             int ticks)
+                             int ticks, ctrl::IlqrOptions options)
 {
     runtime::DynamicsServer server(backend);
-    ctrl::MpcSession session(robot_,
-                             ctrl::makeReachingScenario(robot_));
+    ctrl::MpcSession session(robot_, ctrl::makeReachingScenario(robot_),
+                             options);
     ClosedLoopReport report;
     report.converged = session.start(server).converged;
     PlantState st(robot_);
@@ -452,6 +452,16 @@ MpcWorkload::solveClosedLoop(runtime::DynamicsBackend &backend,
     report.ticks_per_s =
         report.wall_us > 0.0 ? report.ticks * 1e6 / report.wall_us : 0.0;
     report.final_cost = session.stats().horizon_cost;
+
+    const ctrl::IlqrSolver::GatingStats &gs =
+        session.solver().gatingStats();
+    report.dense_refreshes = gs.dense;
+    report.gated_refreshes = gs.gated;
+    report.skipped_refreshes = gs.skipped;
+    report.mean_live_density =
+        gs.gated > 0 ? static_cast<double>(gs.live_columns) /
+                           (static_cast<double>(gs.gated) * robot_.nv())
+                     : 0.0;
 
     return report;
 }

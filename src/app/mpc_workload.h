@@ -30,6 +30,7 @@
 
 #include "accel/accelerator.h"
 #include "algorithms/batched.h"
+#include "ctrl/problem.h"
 #include "algorithms/dynamics.h"
 #include "algorithms/workspace.h"
 #include "model/robot_model.h"
@@ -100,6 +101,14 @@ struct ClosedLoopReport
     std::size_t lane_deaths = 0;    ///< lanes quarantined during the run
     std::size_t transient_faults = 0; ///< faulted submits (incl. retried)
     std::size_t retries = 0;          ///< resubmissions that recovered work
+    // Column-gating engagement of the solver(s) over the run (all
+    // zero when gating is off): dense ∆FD refreshes, gated ∆iFD
+    // refreshes, refreshes skipped outright (nothing drifted past
+    // tolerance), and the mean live-column density of the gated ones.
+    long long dense_refreshes = 0;
+    long long gated_refreshes = 0;
+    long long skipped_refreshes = 0;
+    double mean_live_density = 0.0;
 
     /** Fraction of tagged jobs that completed by their deadline
      *  (1.0 when nothing was tagged). */
@@ -246,10 +255,13 @@ class MpcWorkload
      * @p ticks receding-horizon control ticks against a plant
      * stepped with the reference dynamics; every solver dynamics
      * request is served by @p backend through a synchronous
-     * DynamicsServer.
+     * DynamicsServer. @p options tunes the session's solver — the
+     * column-sparsity gating knobs in particular, so the gated and
+     * dense closed loops can be compared on one workload.
      */
     ClosedLoopReport solveClosedLoop(runtime::DynamicsBackend &backend,
-                                     int ticks);
+                                     int ticks,
+                                     ctrl::IlqrOptions options = {});
 
     /**
      * Heavy-traffic closed-loop scenario: @p clients MPC sessions on

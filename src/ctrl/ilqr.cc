@@ -4,11 +4,55 @@
 #include <cassert>
 #include <cmath>
 
+#include "model/quaternion.h"
+
 namespace dadu::ctrl {
 
+using linalg::Mat3;
+using linalg::Vec3;
+using model::Quaternion;
 using runtime::DynamicsRequest;
 using runtime::DynamicsResult;
 using runtime::FunctionType;
+
+namespace {
+
+/**
+ * Right Jacobian of SO(3) at rotation vector θ:
+ *   Jr(θ) = I − (1−cosθ)/θ²·[θ]× + (θ−sinθ)/θ³·[θ]×²
+ * with the Taylor guard for small angles. Maps a perturbation of the
+ * rotation vector to the body-frame tangent of Exp(θ).
+ */
+Mat3
+so3RightJacobian(const Vec3 &theta)
+{
+    const double t2 = theta.dot(theta);
+    double c1, c2; // (1−cosθ)/θ², (θ−sinθ)/θ³
+    if (t2 < 1e-12) {
+        c1 = 0.5 - t2 / 24.0;
+        c2 = 1.0 / 6.0 - t2 / 120.0;
+    } else {
+        const double t = std::sqrt(t2);
+        c1 = (1.0 - std::cos(t)) / t2;
+        c2 = (t - std::sin(t)) / (t2 * t);
+    }
+    const Mat3 k = linalg::skew(theta);
+    const Mat3 k2 = k * k;
+    Mat3 jr = Mat3::identity();
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            jr(i, j) += -c1 * k(i, j) + c2 * k2(i, j);
+    return jr;
+}
+
+/** Rotation matrix of Exp(θ) (the integration increment). */
+Mat3
+so3Exp(const Vec3 &theta)
+{
+    return Quaternion::identity().integrated(theta).toRotation();
+}
+
+} // namespace
 
 IlqrSolver::IlqrSolver(const RobotModel &robot, OcpProblem problem,
                        IlqrOptions options)
@@ -66,6 +110,17 @@ IlqrSolver::IlqrSolver(const RobotModel &robot, OcpProblem problem,
     dq_.resize(nv_);
     dqd_.resize(nv_);
     eq_.resize(nv_);
+
+    if (opts_.gating != algo::GatingMode::None) {
+        fq_cache_.assign(N, MatrixX(nv_, nv_));
+        fqd_cache_.assign(N, MatrixX(nv_, nv_));
+        minv_cache_.assign(N, MatrixX(nv_, nv_));
+        qdd_cache_.assign(N, VectorX(nv_));
+        q_lin_.assign(N, VectorX(nq));
+        qd_lin_.assign(N, VectorX(nv_));
+        drift_.resize(nv_);
+        seed_.reserve(nv_);
+    }
 }
 
 void
@@ -80,6 +135,11 @@ IlqrSolver::reset(const VectorX &q0, const VectorX &qd0)
         else
             u_[k].setAll(0.0);
     }
+    // Cold start: the Jacobian caches describe a discarded
+    // trajectory; the next linearization must be dense.
+    cache_valid_ = false;
+    lin_count_ = 0;
+    gating_stats_ = GatingStats{};
 }
 
 void
@@ -202,13 +262,125 @@ void
 IlqrSolver::linearize(DynamicsChannel &channel)
 {
     const int N = prob_.knots;
+    const bool gate = opts_.gating != algo::GatingMode::None;
+    // A gated sweep needs valid caches to fill the dead columns from;
+    // the periodic dense refresh bounds how stale any column can get.
+    bool dense = !gate || !cache_valid_ ||
+                 (opts_.dense_refresh_every > 0 &&
+                  lin_count_ % opts_.dense_refresh_every == 0);
+    ++lin_count_;
+    if (!dense) {
+        // Accumulate each coordinate's tangent movement since the
+        // previous linearize call; a column goes live once its total
+        // drift since it was last computed reaches the tolerance
+        // (>=, so tol = 0 keeps every column live: bitwise-dense).
+        for (int k = 0; k < N; ++k) {
+            robot_.differenceInto(q_lin_[k], q_[k], dq_);
+            for (int j = 0; j < nv_; ++j) {
+                const double d = std::fabs(dq_[j]) +
+                                 std::fabs(qd_[k][j] - qd_lin_[k][j]);
+                if (k == 0 || d > dqd_[j])
+                    dqd_[j] = d; // dqd_ doubles as max-drift scratch
+            }
+        }
+        seed_.clear();
+        for (int j = 0; j < nv_; ++j) {
+            drift_[j] += dqd_[j];
+            if (drift_[j] >= opts_.gating_tol)
+                seed_.push_back(j);
+        }
+        if (static_cast<int>(seed_.size()) == nv_)
+            dense = true; // everything moved: no point masking
+        else if (seed_.empty()) {
+            // Nothing drifted past tolerance: the caches already
+            // describe this trajectory to within tol — skip the
+            // batch entirely.
+            for (int k = 0; k < N; ++k) {
+                q_lin_[k] = q_[k];
+                qd_lin_[k] = qd_[k];
+            }
+            ++gating_stats_.skipped;
+            lin_valid_ = true;
+            return;
+        }
+    }
+    if (gate) {
+        if (dense)
+            ++gating_stats_.dense;
+        else {
+            ++gating_stats_.gated;
+            gating_stats_.live_columns +=
+                static_cast<long long>(seed_.size());
+        }
+    }
+    // Dense refreshes run ∆FD (and bank q̈/M⁻¹ below); gated
+    // refreshes submit ∆iFD with the banked q̈/M⁻¹ as inputs, so
+    // the backend skips the dense steps ①②③ and the live columns
+    // alone set the cost.
+    const FunctionType fn =
+        gate && !dense ? FunctionType::DeltaiFD : FunctionType::DeltaFD;
     for (int k = 0; k < N; ++k) {
         lin_req_[k].q = q_[k];
         lin_req_[k].qd = qd_[k];
-        lin_req_[k].qdd_or_tau = u_[k];
+        if (fn == FunctionType::DeltaiFD) {
+            lin_req_[k].qdd_or_tau = qdd_cache_[k];
+            lin_req_[k].minv = minv_cache_[k];
+        } else {
+            lin_req_[k].qdd_or_tau = u_[k];
+        }
+        if (gate) {
+            // ONE shared seed across the horizon keeps the batch
+            // mask-uniform (SoA fast path, coalescer-mergeable).
+            lin_req_[k].gating =
+                dense ? algo::GatingMode::None : opts_.gating;
+            if (dense)
+                lin_req_[k].seed_cols.clear();
+            else
+                lin_req_[k].seed_cols = seed_;
+        }
     }
-    channel.run(FunctionType::DeltaFD, lin_req_.data(),
-                static_cast<std::size_t>(N), lin_res_.data());
+    channel.run(fn, lin_req_.data(), static_cast<std::size_t>(N),
+                lin_res_.data());
+    if (gate) {
+        // Merge into the caches the backward pass reads, and reset
+        // the drift of every column that was just recomputed. The
+        // resolved plan may widen the seed (Adaptive gap filling);
+        // merging by the REQUESTED seed only is still correct — any
+        // extra live column holds its exact value but keeps
+        // accumulating drift, which is conservative.
+        if (dense) {
+            // Swap (not copy) the fresh linearization into the
+            // caches: lin_res_ is overwritten by the next batch
+            // anyway, and the swapped-in old storage keeps its
+            // capacity, so the dense refresh stays allocation-free
+            // with no nv x nv copies.
+            for (int k = 0; k < N; ++k) {
+                std::swap(fq_cache_[k], lin_res_[k].dqdd_dq);
+                std::swap(fqd_cache_[k], lin_res_[k].dqdd_dqd);
+                std::swap(minv_cache_[k], lin_res_[k].minv);
+                std::swap(qdd_cache_[k], lin_res_[k].qdd);
+            }
+            drift_.setAll(0.0);
+            cache_valid_ = true;
+        } else {
+            for (int k = 0; k < N; ++k) {
+                const MatrixX &fq = lin_res_[k].dqdd_dq;
+                const MatrixX &fqd = lin_res_[k].dqdd_dqd;
+                for (int c : seed_) {
+                    for (int r = 0; r < nv_; ++r) {
+                        fq_cache_[k](r, c) = fq(r, c);
+                        fqd_cache_[k](r, c) = fqd(r, c);
+                    }
+                }
+            }
+            for (int c : seed_)
+                drift_[c] = 0.0;
+        }
+        for (int k = 0; k < N; ++k) {
+            q_lin_[k] = q_[k];
+            qd_lin_[k] = qd_[k];
+        }
+    }
     lin_valid_ = true;
 }
 
@@ -238,10 +410,17 @@ IlqrSolver::backwardPass()
     d2_ = 0.0;
     grad_norm_ = 0.0;
 
+    const bool gate = opts_.gating != algo::GatingMode::None;
+
     for (int k = N - 1; k >= 0; --k) {
-        const MatrixX &fq = lin_res_[k].dqdd_dq;
-        const MatrixX &fqd = lin_res_[k].dqdd_dqd;
-        const MatrixX &minv = lin_res_[k].minv;
+        // Under gating the caches hold the merged Jacobians (live
+        // columns fresh, dead columns from their last computation);
+        // M⁻¹ is a dense ∆FD byproduct either way, always fresh.
+        const MatrixX &fq =
+            gate ? fq_cache_[k] : lin_res_[k].dqdd_dq;
+        const MatrixX &fqd =
+            gate ? fqd_cache_[k] : lin_res_[k].dqdd_dqd;
+        const MatrixX &minv = gate ? minv_cache_[k] : lin_res_[k].minv;
         assert(static_cast<int>(fq.rows()) == n &&
                static_cast<int>(minv.rows()) == n);
 
@@ -257,6 +436,49 @@ IlqrSolver::backwardPass()
                     (i == j ? 1.0 : 0.0) + h * fqd(i, j);
                 B_(i, j) = 0.0;
                 B_(n + i, j) = h * minv(i, j);
+            }
+        }
+
+        // Exact discrete Jacobian on the manifold: for quaternion
+        // joints, ∂(q ⊕ h·q̇)/∂(δq, δq̇) is NOT the Euclidean
+        // (I, h·I) — the configuration step is a group composition.
+        // With right perturbations q' = q ∘ Exp(δφ) and the body-
+        // frame log as the difference, the exact blocks are
+        //   ∂δφ⁺/∂δφ = E_hᵀ           (E_h = Exp(h·ω)),
+        //   ∂δφ⁺/∂δω = h·Jr(h·ω)      (right Jacobian),
+        // and for a floating base additionally (p integrated via the
+        // body frame, δp measured there):
+        //   ∂δp⁺/∂δφ = −h·E_hᵀ·[v_lin]×,  ∂δp⁺/∂δp = E_hᵀ,
+        //   ∂δp⁺/∂δv = h·E_hᵀ.
+        for (int b = 0; b < robot_.nb(); ++b) {
+            const auto &link = robot_.link(b);
+            if (link.joint != model::JointType::Spherical &&
+                link.joint != model::JointType::Floating)
+                continue;
+            const int vi = link.vIndex;
+            const VectorX &v = qd_[k];
+            const Vec3 homega{h * v[vi], h * v[vi + 1],
+                              h * v[vi + 2]};
+            const Mat3 eht = so3Exp(homega).transpose();
+            const Mat3 hjr = so3RightJacobian(homega) * h;
+            for (int i = 0; i < 3; ++i) {
+                for (int j = 0; j < 3; ++j) {
+                    A_(vi + i, vi + j) = eht(i, j);
+                    A_(vi + i, n + vi + j) = hjr(i, j);
+                }
+            }
+            if (link.joint == model::JointType::Floating) {
+                const Vec3 vlin{v[vi + 3], v[vi + 4], v[vi + 5]};
+                const Mat3 dp_dphi =
+                    eht * linalg::skew(vlin) * (-h);
+                for (int i = 0; i < 3; ++i) {
+                    for (int j = 0; j < 3; ++j) {
+                        A_(vi + 3 + i, vi + j) = dp_dphi(i, j);
+                        A_(vi + 3 + i, vi + 3 + j) = eht(i, j);
+                        A_(vi + 3 + i, n + vi + 3 + j) =
+                            h * eht(i, j);
+                    }
+                }
             }
         }
 

@@ -177,6 +177,24 @@ class IlqrSolver
      *  (costs_[0] is the initial rollout). Monotone non-increasing. */
     const std::vector<double> &costTrace() const { return costs_; }
 
+    /**
+     * Column-gating engagement counters, accumulated across
+     * linearize calls since construction/reset(): how many refreshes
+     * ran dense (∆FD, cold start / periodic / everything drifted),
+     * gated (∆iFD over the live seed), or were skipped outright
+     * (nothing drifted past tolerance). live_columns sums the seed
+     * size over gated refreshes — live_columns / (gated · nv) is the
+     * mean live density actually submitted.
+     */
+    struct GatingStats
+    {
+        long long dense = 0;
+        long long gated = 0;
+        long long skipped = 0;
+        long long live_columns = 0;
+    };
+    const GatingStats &gatingStats() const { return gating_stats_; }
+
   private:
     /** Fill lin_req_ from the nominal trajectory and run one batched
      *  ∆FD submission over the horizon. */
@@ -223,6 +241,31 @@ class IlqrSolver
     std::vector<runtime::DynamicsResult> lin_res_;
     runtime::DynamicsRequest ro_req_;
     runtime::DynamicsResult ro_res_;
+
+    // Column-gating state (allocated only when opts_.gating != None).
+    // The caches hold the merged Jacobians the backward pass reads: a
+    // gated refresh overwrites the live columns, dead columns keep
+    // the values from the linearization they were last computed at.
+    // Dense refreshes run ∆FD and bank its q̈/M⁻¹ per knot
+    // (minv_cache_/qdd_cache_); gated refreshes then submit ∆iFD
+    // with those banked inputs, skipping the dense ①②③ prefix
+    // entirely — the input staleness is the same order as the
+    // dead-column staleness the scheme already tolerates, bounded by
+    // the periodic dense refresh. q_lin_/qd_lin_ is the trajectory
+    // of the PREVIOUS linearize call; drift_ accumulates each
+    // coordinate's tangent movement since its column was last
+    // recomputed, and resets per live column. One seed is shared by
+    // every knot of the batch, so the submitted batch stays
+    // mask-uniform (the backends' SoA fast path and the server
+    // coalescer both key on that).
+    std::vector<MatrixX> fq_cache_, fqd_cache_, minv_cache_;
+    std::vector<VectorX> qdd_cache_;
+    std::vector<VectorX> q_lin_, qd_lin_;
+    VectorX drift_;          ///< per-coordinate accumulated drift
+    std::vector<int> seed_;  ///< live-column seed of the next batch
+    int lin_count_ = 0;      ///< linearize calls (dense-refresh clock)
+    bool cache_valid_ = false; ///< caches hold a full linearization
+    GatingStats gating_stats_;
 
     // Policy: u = u_nom + α·kff + K·[δq; δq̇] per knot (K: nv x 2nv).
     std::vector<VectorX> kff_;

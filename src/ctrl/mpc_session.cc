@@ -40,7 +40,21 @@ MpcSession::ServerChannel::run(FunctionType fn,
     MpcSession &s = session_;
     if (tick_failed)
         return; // tick already degraded: skip the rest of its jobs
-    const double fn_weight = runtime::sched::functionWeight(fn);
+    // Live-column-aware weight: a gated ∆FD linearization batch is
+    // cheaper than a dense one, and both the deadline prediction and
+    // the per-task calibration must price it that way or every
+    // deadline derived from a gated tick would be inflated. The
+    // solver builds mask-uniform batches, so request[0] speaks for
+    // the batch.
+    const int nv0 =
+        count > 0 ? static_cast<int>(requests[0].qd.size()) : 0;
+    const double fn_weight =
+        count > 0 ? runtime::sched::functionWeight(
+                        fn,
+                        algo::gatedLiveCount(requests[0].gating,
+                                             requests[0].seed_cols, nv0),
+                        nv0)
+                  : runtime::sched::functionWeight(fn);
     const double t0 = perf::nowUs();
 
     runtime::sched::JobTag tag;

@@ -25,6 +25,7 @@
 
 #include <vector>
 
+#include "algorithms/col_gating.h"
 #include "linalg/vec.h"
 #include "linalg/matrixx.h"
 
@@ -79,6 +80,32 @@ struct IlqrOptions
 
     int max_line_search = 10; ///< backtracking halvings per iteration
     double armijo = 1e-4;     ///< accept: decrease ≥ armijo·expected
+
+    // ---- column-sparsity gating of the ∆FD linearization ----
+
+    /**
+     * Request only the Jacobian columns whose coordinates drifted
+     * since their last linearization (None = dense, today's
+     * behavior). Columns left dead reuse the solver's cached values
+     * from the linearization they were last computed at — an
+     * approximation bounded by gating_tol and repaired by the
+     * periodic dense refresh; the line search still guards every
+     * accepted step against the true cost.
+     */
+    algo::GatingMode gating = algo::GatingMode::None;
+
+    /**
+     * A tangent coordinate's column goes live when its accumulated
+     * state drift (tangent-space |δq_j| + |δq̇_j|, max over knots,
+     * summed since the column was last computed) reaches this.
+     * 0 keeps every column always live: the gated solve is then
+     * bitwise identical to the dense one.
+     */
+    double gating_tol = 1e-4;
+
+    /** Every K-th linearization is dense regardless of drift (cold
+     *  starts are always dense). 0 disables the periodic refresh. */
+    int dense_refresh_every = 8;
 };
 
 } // namespace dadu::ctrl

@@ -360,6 +360,43 @@ class MatrixX
     }
 
     /**
+     * out = (*this) * o restricted to the listed columns of o (and
+     * of out): out is resized (zero-filled), then only columns in
+     * @p cols are accumulated. Per-column accumulation order matches
+     * multiplyInto — the listed columns are bitwise identical to the
+     * dense product; all other columns stay exactly 0.0.
+     */
+    void
+    multiplyColsInto(const MatrixX &o, MatrixX &out, const int *cols,
+                     std::size_t ncols) const
+    {
+        assert(cols_ == o.rows_ && &o != &out && this != &out);
+        out.resize(rows_, o.cols_);
+        for (std::size_t i = 0; i < rows_; ++i) {
+            for (std::size_t j = 0; j < cols_; ++j) {
+                const double a = (*this)(i, j);
+                if (a == 0.0)
+                    continue;
+                for (std::size_t n = 0; n < ncols; ++n) {
+                    const auto k = static_cast<std::size_t>(cols[n]);
+                    out(i, k) += a * o(j, k);
+                }
+            }
+        }
+    }
+
+    /** In-place negation of the listed columns only. */
+    void
+    negateCols(const int *cols, std::size_t ncols)
+    {
+        for (std::size_t i = 0; i < rows_; ++i)
+            for (std::size_t n = 0; n < ncols; ++n) {
+                double &v = (*this)(i, static_cast<std::size_t>(cols[n]));
+                v = -v;
+            }
+    }
+
+    /**
      * out = (*this)ᵀ · x without allocating in the steady state
      * (@p out is resized, reusing capacity, then accumulated into).
      * @p out must not alias @p x. Same zero-skip accumulation

@@ -95,14 +95,19 @@ class CpuBatchedBackend : public DynamicsBackend
     /** Engine dispatch + result copy shared by both submit paths. */
     void runEngine(FunctionType fn, const VectorX *q, const VectorX *qd,
                    const VectorX *tau, std::size_t count,
-                   DynamicsResult *results);
+                   DynamicsResult *results,
+                   const algo::ColumnPlan *plan = nullptr);
 
     const RobotModel &robot_;
     algo::BatchedDynamics engine_;
     algo::DynamicsWorkspace ws_;  ///< reference path for non-batched fns
     algo::FdDerivatives fd_tmp_;  ///< reference-path ∆FD scratch
+    algo::ColumnPlan plan_;       ///< resolved column mask scratch
     // Grow-only input staging for the engine's columnar batch API.
     std::vector<VectorX> q_, qd_, tau_;
+    // ∆iFD M⁻¹ inputs, staged as pointers into the submitted
+    // requests (valid for the duration of the submit call only).
+    std::vector<const linalg::MatrixX *> minv_in_;
 };
 
 /**
@@ -170,6 +175,7 @@ class AnalyticBackend : public DynamicsBackend
     accel::Accelerator &accel_;
     algo::DynamicsWorkspace ws_;
     algo::FdDerivatives fd_tmp_;
+    algo::ColumnPlan plan_; ///< resolved column mask scratch
 };
 
 } // namespace dadu::runtime

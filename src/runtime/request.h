@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "algorithms/col_gating.h"
 #include "linalg/matrixx.h"
 #include "linalg/vec.h"
 
@@ -50,6 +51,19 @@ struct DynamicsRequest
     VectorX qdd_or_tau;     ///< q̈ (ID/∆ID/∆iFD) or τ (FD/∆FD)
     std::vector<Vec6> fext; ///< optional external forces (per link)
     MatrixX minv;           ///< M⁻¹ input, ∆iFD only
+
+    /**
+     * Column-sparsity gating (∆ID/∆FD/∆iFD only; other functions
+     * ignore it). `seed_cols` lists the tangent-space columns for
+     * which derivative output is requested; `gating` selects how the
+     * seed resolves (see algo::GatingMode). An empty seed or mode
+     * None means dense. Out-of-range or duplicate seed indices are
+     * rejected at submit with SubmitStatus::InvalidRequest. Columns
+     * the resolved plan leaves dead are exactly 0.0 in the result;
+     * live columns are bitwise identical to the dense path.
+     */
+    std::vector<int> seed_cols;
+    algo::GatingMode gating = algo::GatingMode::None;
 };
 
 /** Unified task output (the Encode Module payload of the paper). */
@@ -78,6 +92,7 @@ enum class SubmitStatus
     Ok,               ///< batch executed, results valid
     TransientFailure, ///< batch did not execute; a retry may succeed
     BackendDown,      ///< backend permanently dead; do not resubmit
+    InvalidRequest,   ///< malformed request (bad seed set); never retried
 };
 
 /**

@@ -43,7 +43,9 @@ class DeadlineAdmission final : public AdmissionPolicy
             return true; // no calibration yet — cannot predict
         const double eta = predictedAdmissionUs(
             req.queued_weight, req.points, req.stages, req.task_us,
-            /*latency_us=*/0.0, functionWeight(req.fn));
+            /*latency_us=*/0.0,
+            req.fn_weight > 0.0 ? req.fn_weight
+                                : functionWeight(req.fn));
         return req.now_us + cfg_.headroom * eta <= req.deadline_us;
     }
 

@@ -64,6 +64,13 @@ struct AdmissionRequest
     std::size_t queue_depth = 0; ///< items queued on the target lane
     int healthy_lanes = 0;  ///< lanes currently accepting work
     double task_us = 0.0;   ///< calibrated per-task cost (0 = unknown)
+    /**
+     * Live-column-aware per-task weight of the submitted job (the
+     * job's unit_weight): a column-gated ∆ batch is cheaper than a
+     * dense one and its completion prediction must reflect that. 0
+     * means "unknown — fall back to the dense functionWeight(fn)".
+     */
+    double fn_weight = 0.0;
 };
 
 /** Admit-or-shed decision point, pluggable on a DynamicsServer. */

@@ -25,7 +25,12 @@ absorbSameFnFlat(const QueueView &q, const SchedConfig &cfg, Pick &out)
         if (out.positions.size() >= cfg.coalesce_max_items)
             break;
         const ItemView view = q.item(out.lane, pos);
+        // mask_sig equality keeps the merged batch mask-uniform:
+        // mixing a gated item with a dense one (or a differently
+        // gated one) would push the whole merged batch off the
+        // backend's uniform-mask SoA fast path.
         if (!view.flat || view.fn != primary.fn ||
+            view.mask_sig != primary.mask_sig ||
             view.count >= cfg.coalesce_only_below)
             continue;
         if (total + view.count > cfg.coalesce_max_tasks)

@@ -58,6 +58,51 @@ functionWeight(FunctionType fn)
     }
 }
 
+/**
+ * Live-column-aware weight: a column-gated ∆ task streams only
+ * @p live of the @p nv Jacobian columns, so the part of its II that
+ * exceeds the base function (the ∂-propagation) scales with the live
+ * fraction. Dense requests (live >= nv) and weight-1.0 functions
+ * collapse to the dense weight, so ungated traffic prices exactly as
+ * before.
+ */
+constexpr double
+functionWeight(FunctionType fn, int live, int nv)
+{
+    const double w = functionWeight(fn);
+    if (w == 1.0 || nv <= 0 || live >= nv)
+        return w;
+    return 1.0 + (w - 1.0) * static_cast<double>(live) /
+                     static_cast<double>(nv);
+}
+
+/** Batch mask signature of a heterogeneously-masked batch. */
+inline constexpr std::uint64_t kMaskMixed = ~std::uint64_t{0};
+
+/**
+ * FNV-1a signature of one request's column mask. 0 means dense (no
+ * gating); equal signatures mean identical (mode, seed) pairs, which
+ * is what the coalescer needs — merging identically-masked flat items
+ * keeps the merged batch mask-uniform, so the backend's SoA fast path
+ * still applies to it.
+ */
+inline std::uint64_t
+maskSignature(const DynamicsRequest &req)
+{
+    if (req.gating == algo::GatingMode::None || req.seed_cols.empty())
+        return 0;
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(req.gating));
+    for (int c : req.seed_cols)
+        mix(static_cast<std::uint64_t>(c) + 1);
+    // 0 and all-ones are reserved (dense / mixed-batch sentinels).
+    return h == 0 || h == kMaskMixed ? 1 : h;
+}
+
 /** Policy-visible metadata of one queued work item. */
 struct ItemView
 {
@@ -67,6 +112,12 @@ struct ItemView
     int priority = 0;      ///< higher first (EDF tie-break)
     double deadline_us = kNoDeadline; ///< absolute, kNoDeadline if untagged
     bool flat = false;     ///< single-stage: mergeable and stealable
+    /**
+     * Column-mask signature of the item's batch: 0 dense,
+     * kMaskMixed heterogeneous, else a hash of the shared (mode,
+     * seed). The coalescer only merges items with EQUAL signatures.
+     */
+    std::uint64_t mask_sig = 0;
 };
 
 /** Read-only view of every lane's queue (server mutex held). */

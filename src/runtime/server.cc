@@ -60,8 +60,88 @@ DynamicsServer::QueueAdapter::item(int lane, std::size_t pos) const
     view.priority = job.priority;
     view.deadline_us = job.deadline_us;
     view.flat = job.stages == 1;
+    view.mask_sig = job.mask_sig;
     return view;
 }
+
+namespace {
+
+/** True for the ∆ functions whose output columns a seed set gates. */
+bool
+gatesColumns(FunctionType fn)
+{
+    return fn == FunctionType::DeltaID || fn == FunctionType::DeltaFD ||
+           fn == FunctionType::DeltaiFD;
+}
+
+/**
+ * Submit-time seed validation over a whole batch (the same check the
+ * backends apply). Catching a malformed mask here — instead of
+ * letting the backend return InvalidRequest mid-serve — means a
+ * deterministic Rejected outcome with no retry loop and no lane
+ * quarantine for what is a client error.
+ */
+bool
+batchMasksValid(FunctionType fn, const DynamicsRequest *requests,
+                std::size_t count)
+{
+    if (!gatesColumns(fn) || requests == nullptr)
+        return true;
+    for (std::size_t i = 0; i < count; ++i) {
+        const DynamicsRequest &r = requests[i];
+        if (r.gating == algo::GatingMode::None || r.seed_cols.empty())
+            continue;
+        if (!algo::seedValid(r.seed_cols,
+                             static_cast<int>(r.qd.size())))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Per-task FD-equivalent weight of a batch: the mean over the
+ * requests of the live-column-aware functionWeight. Requires a
+ * mask-valid batch (gatedLiveCount assumes valid seeds). Dense
+ * batches return exactly functionWeight(fn).
+ */
+double
+batchUnitWeight(FunctionType fn, const DynamicsRequest *requests,
+                std::size_t count)
+{
+    const double dense = sched::functionWeight(fn);
+    if (dense == 1.0 || count == 0 || requests == nullptr ||
+        !gatesColumns(fn))
+        return dense;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const DynamicsRequest &r = requests[i];
+        const int nv = static_cast<int>(r.qd.size());
+        sum += sched::functionWeight(
+            fn, algo::gatedLiveCount(r.gating, r.seed_cols, nv), nv);
+    }
+    return sum / static_cast<double>(count);
+}
+
+/**
+ * Mask signature of a batch: 0 when every request is dense, the
+ * shared maskSignature when every request carries the same (mode,
+ * seed), kMaskMixed otherwise (a mixed batch never merges with
+ * anything mask-uniform).
+ */
+std::uint64_t
+batchMaskSig(FunctionType fn, const DynamicsRequest *requests,
+             std::size_t count)
+{
+    if (!gatesColumns(fn) || requests == nullptr || count == 0)
+        return 0;
+    const std::uint64_t sig = sched::maskSignature(requests[0]);
+    for (std::size_t i = 1; i < count; ++i)
+        if (sched::maskSignature(requests[i]) != sig)
+            return sched::kMaskMixed;
+    return sig;
+}
+
+} // namespace
 
 int
 DynamicsServer::leastLoadedLane()
@@ -156,6 +236,7 @@ DynamicsServer::admitLocked(const Job &job, int lane, double now_us)
     req.queue_depth = lanes_[lane].work.size();
     req.healthy_lanes = healthyLaneCount();
     req.task_us = task_us_ewma_;
+    req.fn_weight = job.unit_weight;
     // Competing weight: what actually drains before this job. Under
     // EDF only earlier-or-equal deadlines delay it (queued bulk is
     // overtaken); under FIFO everything committed to the lane does.
@@ -166,8 +247,7 @@ DynamicsServer::admitLocked(const Job &job, int lane, double now_us)
         for (const WorkItem &item : lanes_[lane].work) {
             const Job &q = jobRef(item.job);
             if (q.deadline_us <= job.deadline_us)
-                w += sched::functionWeight(q.fn) *
-                     static_cast<double>(item.count);
+                w += q.unit_weight * static_cast<double>(item.count);
         }
         req.queued_weight = w;
     } else {
@@ -186,16 +266,24 @@ DynamicsServer::enqueueJob(Job job, int backend_id)
     if (std::isnan(job.deadline_us))
         job.deadline_us = sched::kNoDeadline;
     const std::size_t count = job.count;
+    const bool masks_ok =
+        batchMasksValid(job.fn, job.const_requests, count);
+    if (masks_ok) {
+        job.unit_weight =
+            batchUnitWeight(job.fn, job.const_requests, count);
+        job.mask_sig = batchMaskSig(job.fn, job.const_requests, count);
+    }
     // A serial-stage job commits ALL its stages to the chosen lane;
     // charge the full FD-equivalent debt so later placement
     // decisions see it.
     const double load =
-        static_cast<double>(count * job.stages) *
-        sched::functionWeight(job.fn);
+        static_cast<double>(count * job.stages) * job.unit_weight;
     std::lock_guard<std::mutex> lock(mu_);
     assert(backendCount() > 0);
     assert(backend_id == kLeastLoaded ||
            (backend_id >= 0 && backend_id < backendCount()));
+    if (!masks_ok)
+        return recordTerminalJob(std::move(job), JobOutcome::Rejected);
     int lane = backend_id == kLeastLoaded ? leastLoadedLane() : backend_id;
     if (lane >= 0 && !lanes_[lane].healthy)
         lane = leastLoadedLane(); // explicit binding to a dead lane
@@ -274,8 +362,15 @@ DynamicsServer::submitSharded(FunctionType fn,
     job.priority = tag.priority;
     job.deadline_us =
         std::isnan(tag.deadline_us) ? sched::kNoDeadline : tag.deadline_us;
+    const bool masks_ok = batchMasksValid(fn, requests, count);
+    if (masks_ok) {
+        job.unit_weight = batchUnitWeight(fn, requests, count);
+        job.mask_sig = batchMaskSig(fn, requests, count);
+    }
 
     std::lock_guard<std::mutex> lock(mu_);
+    if (!masks_ok)
+        return recordTerminalJob(std::move(job), JobOutcome::Rejected);
     const int n_lanes = backendCount();
     const int n_healthy = healthyLaneCount();
     if (n_healthy == 0)
@@ -296,7 +391,7 @@ DynamicsServer::submitSharded(FunctionType fn,
     {
         ++sched_stats_.immediate_misses;
     }
-    const double w = sched::functionWeight(fn);
+    const double w = job.unit_weight;
 
     // Least-loaded water-filling in FD-equivalent units: raise every
     // lane's committed load toward one common level, spending exactly
@@ -564,8 +659,7 @@ DynamicsServer::serveOne(int lane_id)
             if (src != lane_id) {
                 // Stolen: the committed load migrates with the item,
                 // and the thief's backend will run it.
-                const double wgt =
-                    sched::functionWeight(job.fn) * item.count;
+                const double wgt = job.unit_weight * item.count;
                 victim.load_weight -= wgt;
                 lane.load_weight += wgt;
                 ++sched_stats_.steals;
@@ -621,7 +715,8 @@ DynamicsServer::serveOne(int lane_id)
             status = SubmitStatus::TransientFailure;
         }
         if (status == SubmitStatus::Ok ||
-            status == SubmitStatus::BackendDown)
+            status == SubmitStatus::BackendDown ||
+            status == SubmitStatus::InvalidRequest)
             break;
         ++n_transient;
         if (attempt + 1 < attempts)
@@ -632,6 +727,33 @@ DynamicsServer::serveOne(int lane_id)
         sched_stats_.transient_faults += n_transient;
         sched_stats_.retries += n_retries;
         sched_stats_.corrupt_results += n_corrupt;
+    }
+    if (status == SubmitStatus::InvalidRequest) {
+        // A malformed request (bad seed set) is a CLIENT error: the
+        // lane is healthy, so no retry and no quarantine. Submit-time
+        // validation catches these up front; this arm only fires when
+        // an advance callback builds a bad mask mid-job. The picked
+        // jobs fail explicitly — wait() returns, outcome says why.
+        std::lock_guard<std::mutex> lock(mu_);
+        bool any_done = false;
+        for (const WorkItem &item : lane.picked) {
+            Job &job = jobRef(item.job);
+            lane.load_weight -= job.unit_weight * item.count;
+            job.outcome = JobOutcome::Failed;
+            if (--job.remaining == 0) {
+                job.done = true;
+                job.done_at_us = perf::nowUs();
+                ++sched_stats_.failed_jobs;
+                --pending_jobs_;
+                any_done = true;
+            }
+        }
+        lane.picked.clear();
+        lane.picked_req.clear();
+        lane.picked_res.clear();
+        if (any_done)
+            done_cv_.notify_all();
+        return true; // progress: the bad batch left the queue
     }
     if (status != SubmitStatus::Ok) {
         failLane(lane_id);
@@ -686,7 +808,7 @@ DynamicsServer::failLane(int lane_id)
         // on the new lane — completed stages (and the advance calls
         // between them) are preserved — and moves its remaining
         // committed stage debt with it.
-        const double w = sched::functionWeight(job.fn);
+        const double w = job.unit_weight;
         const double debt =
             job.stages == 1
                 ? w * static_cast<double>(item.count)
@@ -729,7 +851,7 @@ DynamicsServer::completePicked(int lane_id, const BatchStats &stats,
             const double sample =
                 stats.total_us /
                 (static_cast<double>(total) *
-                 sched::functionWeight(jobRef(lane.picked.front().job).fn));
+                 jobRef(lane.picked.front().job).unit_weight);
             task_us_ewma_ = task_us_ewma_ == 0.0
                                 ? sample
                                 : 0.8 * task_us_ewma_ + 0.2 * sample;
@@ -738,8 +860,7 @@ DynamicsServer::completePicked(int lane_id, const BatchStats &stats,
 
         for (const WorkItem &item : lane.picked) {
             Job &job = jobRef(item.job);
-            lane.load_weight -=
-                sched::functionWeight(job.fn) * item.count;
+            lane.load_weight -= job.unit_weight * item.count;
             // A merged batch charges each job its task-proportional
             // share of the makespan-like fields; the rate/latency
             // fields describe the whole merged batch every job rode
@@ -778,8 +899,17 @@ DynamicsServer::completePicked(int lane_id, const BatchStats &stats,
                     chained_id = item.job;
                 } else {
                     job.done = true;
-                    job.outcome = JobOutcome::Completed;
                     job.done_at_us = perf::nowUs();
+                    if (job.outcome != JobOutcome::Pending) {
+                        // A sibling shard already failed this job
+                        // (InvalidRequest arm): keep that outcome,
+                        // book it as failed, skip deadline buckets.
+                        ++sched_stats_.failed_jobs;
+                        --pending_jobs_;
+                        done_cv_.notify_all();
+                        continue;
+                    }
+                    job.outcome = JobOutcome::Completed;
                     if (job.deadline_us != sched::kNoDeadline) {
                         job.missed = job.done_at_us > job.deadline_us;
                         if (job.missed)

@@ -342,6 +342,17 @@ class DynamicsServer
         JobOutcome outcome = JobOutcome::Pending;
         int priority = 0;                           ///< EDF tie-break
         double deadline_us = sched::kNoDeadline;    ///< absolute target
+        /**
+         * Per-task FD-equivalent weight, live-column aware: the mean
+         * over the batch of sched::functionWeight(fn, live, nv).
+         * Dense batches get exactly functionWeight(fn), so ungated
+         * load accounting is bitwise-unchanged. Every load_weight
+         * credit/debit of this job uses THIS value, keeping the
+         * lane-load books balanced.
+         */
+        double unit_weight = 1.0;
+        /** Batch mask signature (sched::maskSignature; 0 = dense). */
+        std::uint64_t mask_sig = 0;
         double done_at_us = 0.0; ///< wall completion time (done only)
         bool missed = false;     ///< completed after its deadline
         double busy_us = 0.0;

@@ -156,8 +156,11 @@ TEST(Ilqr, ConvergesOnAllRobotsAndScenarios)
             EXPECT_FALSE(solver.stalled());
             EXPECT_LT(sum.cost, sum.initial_cost);
             // Stationarity: the Hamiltonian gradient residual is
-            // driven down by orders of magnitude.
-            EXPECT_LT(sum.grad_norm, 1e-2);
+            // driven down by orders of magnitude. The exact discrete
+            // manifold Jacobians (right-Jacobian blocks instead of
+            // ∂(q ⊕ h·q̇)/∂δq ≈ I on quaternion joints) hold every
+            // robot/scenario pair below 7e-3.
+            EXPECT_LT(sum.grad_norm, 7e-3);
 
             // Monotone accepted-cost trace.
             const std::vector<double> &trace = solver.costTrace();

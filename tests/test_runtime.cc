@@ -208,6 +208,89 @@ TEST(AnalyticBackend, NumericsMatchReferenceAndTimingMatchesEstimate)
 }
 
 // ---------------------------------------------------------------------
+// Mask validation at submit
+// ---------------------------------------------------------------------
+
+TEST(MaskValidation, BackendsRejectInvalidSeedsDeterministically)
+{
+    // Property test: every backend accepts exactly the seed sets
+    // algo::seedValid accepts, rejects the rest with InvalidRequest
+    // BEFORE executing anything, and does so deterministically on
+    // resubmission. An empty seed means dense and is always Ok.
+    const RobotModel robot = model::makeIiwa();
+    const int nv = robot.nv();
+    runtime::CpuBatchedBackend cpu(robot, 2);
+    accel::Accelerator accel_hw(robot);
+    runtime::AcceleratorBackend acc(accel_hw);
+    accel::Accelerator accel_ana(robot);
+    runtime::AnalyticBackend ana(accel_ana);
+    runtime::DynamicsBackend *backends[] = {&cpu, &acc, &ana};
+
+    std::mt19937 rng(4242);
+    auto reqs = randomRequests(robot, 3, 77);
+    std::vector<DynamicsResult> results(3);
+    for (int trial = 0; trial < 64; ++trial) {
+        // Random seed sets: in-range, out-of-range or duplicated.
+        std::vector<int> seed;
+        const int len = static_cast<int>(rng() % 5);
+        for (int i = 0; i < len; ++i)
+            seed.push_back(static_cast<int>(rng() % (nv + 2)) - 1);
+        const bool valid = algo::seedValid(seed, nv);
+        for (auto &r : reqs) {
+            r.gating = algo::GatingMode::Simple;
+            r.seed_cols = seed;
+        }
+        const runtime::SubmitStatus want =
+            valid ? runtime::SubmitStatus::Ok
+                  : runtime::SubmitStatus::InvalidRequest;
+        for (runtime::DynamicsBackend *b : backends) {
+            EXPECT_EQ(b->submit(FunctionType::DeltaFD, reqs.data(), 3,
+                                results.data()),
+                      want)
+                << b->name() << " trial " << trial;
+            EXPECT_EQ(b->submit(FunctionType::DeltaFD, reqs.data(), 3,
+                                results.data()),
+                      want)
+                << b->name() << " resubmission diverged, trial " << trial;
+        }
+        // Non-derivative functions ignore the mask entirely.
+        for (runtime::DynamicsBackend *b : backends)
+            EXPECT_EQ(b->submit(FunctionType::FD, reqs.data(), 3,
+                                results.data()),
+                      runtime::SubmitStatus::Ok)
+                << b->name() << " trial " << trial;
+    }
+}
+
+TEST(DynamicsServer, InvalidMaskRejectedAtSubmission)
+{
+    const RobotModel robot = model::makeIiwa();
+    runtime::CpuBatchedBackend backend(robot, 2);
+    runtime::DynamicsServer server(backend);
+
+    auto reqs = randomRequests(robot, 4, 3);
+    for (auto &r : reqs) {
+        r.gating = algo::GatingMode::Simple;
+        r.seed_cols = {0, 0}; // duplicate index: invalid
+    }
+    std::vector<DynamicsResult> res(4);
+    const int bad =
+        server.submit(FunctionType::DeltaFD, reqs.data(), 4, res.data());
+    server.wait(bad);
+    EXPECT_EQ(server.jobOutcome(bad), runtime::JobOutcome::Rejected);
+    EXPECT_EQ(server.schedStats().rejected_jobs, 1u);
+
+    // A valid sparse mask on the same batch completes normally.
+    for (auto &r : reqs)
+        r.seed_cols = {0, 2};
+    const int ok =
+        server.submit(FunctionType::DeltaFD, reqs.data(), 4, res.data());
+    server.wait(ok);
+    EXPECT_EQ(server.jobOutcome(ok), runtime::JobOutcome::Completed);
+    EXPECT_EQ(server.schedStats().rejected_jobs, 1u);
+}
+
+// ---------------------------------------------------------------------
 // DynamicsServer
 // ---------------------------------------------------------------------
 
