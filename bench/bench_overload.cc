@@ -38,6 +38,7 @@
 
 #include "runtime/backends.h"
 #include "runtime/fault.h"
+#include "runtime/obs/export.h"
 #include "runtime/sched/admission.h"
 #include "runtime/sched/policy.h"
 #include "runtime/server.h"
@@ -51,6 +52,7 @@ using runtime::DynamicsResult;
 using runtime::FaultInjectingBackend;
 using runtime::FaultPlan;
 using runtime::JobOutcome;
+using runtime::obs::LatencyHistogram;
 using runtime::sched::PolicyKind;
 using runtime::sched::SchedConfig;
 
@@ -68,26 +70,13 @@ struct LoadResult
     double wall_us = 0.0;
     double offered_qps = 0.0; ///< submitted jobs per wall second
     double served_qps = 0.0;  ///< completed jobs per wall second
-    double crit_p50_us = 0.0;
-    double crit_p99_us = 0.0;
+    LatencyHistogram crit_hist; ///< wall submit→completion latency
     double crit_hit = 0.0;    ///< deadline-hit rate of critical jobs
     double shed_rate = 0.0;   ///< rejected / submitted
     std::size_t crit_total = 0;
     std::size_t crit_rejected = 0;
     runtime::sched::SchedStats sched;
 };
-
-double
-percentile(std::vector<double> &values, double p)
-{
-    if (values.empty())
-        return 0.0;
-    std::sort(values.begin(), values.end());
-    const std::size_t n = values.size();
-    const std::size_t idx = static_cast<std::size_t>(
-        std::max(0.0, std::ceil(p * n) - 1.0));
-    return values[std::min(idx, n - 1)];
-}
 
 /** Median wall time of one n-task ∆FD batch on an unloaded lane. */
 double
@@ -96,14 +85,15 @@ calibrateBatchWallUs(Accelerator &accel, int n)
     runtime::AnalyticBackend backend(accel);
     const auto reqs = randomBatch(accel.robot(), n, 3);
     std::vector<DynamicsResult> res(n);
-    std::vector<double> walls;
+    LatencyHistogram walls;
     for (int i = 0; i < 5; ++i) {
         const double t0 = nowUs();
         backend.submit(FunctionType::DeltaFD, reqs.data(), n, res.data(),
                        nullptr);
-        walls.push_back(nowUs() - t0);
+        walls.record(nowUs() - t0);
     }
-    return percentile(walls, 0.5);
+    // Bucketed median — within 4.4% of exact, plenty for calibration.
+    return walls.percentileUs(0.5);
 }
 
 LoadResult
@@ -184,7 +174,7 @@ runOverload(Accelerator &accel, const SchedConfig &cfg,
     // Latency-critical clients: small deadline-tagged jobs at a fixed
     // pace for as long as the bulk sweep lasts; wall latency and the
     // per-job deadline outcome measured around submit + wait.
-    std::vector<double> latencies;
+    LatencyHistogram latencies;
     std::size_t crit_total = 0, crit_hits = 0, crit_rejected = 0;
     std::mutex crit_mu;
     std::vector<std::thread> critical;
@@ -192,7 +182,7 @@ runOverload(Accelerator &accel, const SchedConfig &cfg,
         critical.emplace_back([&, c] {
             const auto reqs = randomBatch(robot, kCritN, 200 + c);
             std::vector<DynamicsResult> res(kCritN);
-            std::vector<double> mine;
+            LatencyHistogram mine;
             std::size_t total = 0, hits = 0, rejected = 0;
             while (!bulk_done.load(std::memory_order_acquire)) {
                 runtime::sched::JobTag tag;
@@ -204,7 +194,7 @@ runOverload(Accelerator &accel, const SchedConfig &cfg,
                     tag);
                 submitted.fetch_add(1);
                 server.wait(job);
-                mine.push_back(nowUs() - start);
+                mine.record(nowUs() - start);
                 ++total;
                 const JobOutcome outcome = server.jobOutcome(job);
                 if (outcome == JobOutcome::Rejected)
@@ -218,7 +208,7 @@ runOverload(Accelerator &accel, const SchedConfig &cfg,
                     std::chrono::microseconds(kCritPeriodUs));
             }
             std::lock_guard<std::mutex> lock(crit_mu);
-            latencies.insert(latencies.end(), mine.begin(), mine.end());
+            latencies.merge(mine);
             crit_total += total;
             crit_hits += hits;
             crit_rejected += rejected;
@@ -237,8 +227,7 @@ runOverload(Accelerator &accel, const SchedConfig &cfg,
     const double wall_s = out.wall_us / 1e6;
     out.offered_qps = wall_s > 0.0 ? submitted.load() / wall_s : 0.0;
     out.served_qps = wall_s > 0.0 ? completed.load() / wall_s : 0.0;
-    out.crit_p50_us = percentile(latencies, 0.50);
-    out.crit_p99_us = percentile(latencies, 0.99);
+    out.crit_hist = latencies;
     out.crit_total = crit_total;
     out.crit_rejected = crit_rejected;
     out.crit_hit = crit_total > 0
@@ -312,30 +301,44 @@ main(int argc, char **argv)
                 "load", "offer/s", "serve/s", "crit p50", "crit p99",
                 "hit", "shed", "deaths", "requeue");
     JsonReport report;
+    const runtime::obs::MetricEmitFn emit =
+        [&report](const std::string &key, double value) {
+            report.add(key, value);
+        };
     for (const Entry &e : entries) {
         for (int load = 1; load <= 2; ++load) {
             const LoadResult r =
                 runOverload(accel, e.cfg, e.admission, load, bulk_jobs,
                             die_after, deadline_budget);
+            const double p50 = r.crit_hist.percentileUs(0.50);
+            const double p99 = r.crit_hist.percentileUs(0.99);
             std::printf("%6s %4dx %9.0f %9.0f %9.0fu %9.0fu %7.1f%% "
                         "%7.1f%% %7zu %7zu\n",
                         e.name, load, r.offered_qps, r.served_qps,
-                        r.crit_p50_us, r.crit_p99_us, 100.0 * r.crit_hit,
+                        p50, p99, 100.0 * r.crit_hit,
                         100.0 * r.shed_rate, r.sched.lane_deaths,
                         r.sched.requeued_items);
             const std::string k =
                 std::string(e.name) + "_" + std::to_string(load) + "x";
             report.add("qps_" + k, r.served_qps);
             report.add("offered_qps_" + k, r.offered_qps);
-            report.add("crit_p99_" + k + "_us", r.crit_p99_us);
+            report.add("crit_p99_" + k + "_us", p99);
             report.add("crit_hit_" + k, r.crit_hit);
             report.add("shed_rate_" + k, r.shed_rate);
             report.add("crit_rejected_" + k,
                        static_cast<double>(r.crit_rejected));
             report.add("lane_deaths_" + k,
                        static_cast<double>(r.sched.lane_deaths));
+            // Full critical-latency distribution per cell.
+            int nonzero = 0;
+            for (int i = 0; i < LatencyHistogram::kBuckets; ++i)
+                nonzero += r.crit_hist.bucketCount(i) > 0 ? 1 : 0;
+            report.add("crit_hist_" + k + "_nonzero",
+                       static_cast<double>(nonzero));
+            emitHistogram(r.crit_hist, "crit_hist_" + k, emit);
         }
     }
+    runtime::obs::emitHistogramScheme(emit);
 
     maybeWriteJson(argc, argv, report, "BENCH_overload.json");
     return 0;

@@ -9,25 +9,34 @@
  * latency-critical clients each submit small deadline-tagged 8-point
  * ∆FD jobs and block on them, measuring the wall-clock
  * submit-to-completion latency a real MPC loop would see. The same
- * traffic runs under three policies:
+ * traffic runs under four configurations:
  *
- *   fifo — the pre-QoS baseline: critical jobs queue behind every
- *          bulk batch already in the lane;
- *   edf  — deadline-aware pop: critical jobs overtake queued bulk
- *          work (but never preempt the batch in flight);
- *   qos  — EDF + coalescing (the three critical clients' small
- *          batches merge into one pipeline-filling batch) + work
- *          stealing (an idle lane pulls critical work from a busy
- *          one).
+ *   fifo    — the pre-QoS baseline: critical jobs queue behind every
+ *             bulk batch already in the lane;
+ *   edf     — deadline-aware pop: critical jobs overtake queued bulk
+ *             work (but never preempt the batch in flight);
+ *   qos     — EDF + coalescing (the three critical clients' small
+ *             batches merge into one pipeline-filling batch) + work
+ *             stealing (an idle lane pulls critical work from a busy
+ *             one);
+ *   qos_obs — qos with the observability layer fully on (lifecycle
+ *             tracing + metrics registry): the overhead probe.
+ *
+ * Client latencies go through the obs LatencyHistogram (the same
+ * log-bucketed type the server's registry uses), so the JSON carries
+ * the full distribution, not just two pre-picked percentiles.
  *
  * The numbers to watch (BENCH_sched.json via --json):
- *   p99_speedup_qos      >= 2  (acceptance criterion)
+ *   p99_speedup_qos      >= 2    (acceptance criterion)
  *   throughput_ratio_qos within 10% of FIFO
+ *   obs_overhead_ratio   within 3% of 1 (tracing must be ~free)
+ *
+ * With --trace the qos_obs run also exports trace_sched_qos.json,
+ * a Chrome trace-event file (chrome://tracing / Perfetto).
  */
 
 #include "bench_util.h"
 
-#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -35,6 +44,7 @@
 
 #include "app/scheduler.h"
 #include "runtime/backends.h"
+#include "runtime/obs/export.h"
 #include "runtime/sched/policy.h"
 #include "runtime/server.h"
 
@@ -44,6 +54,7 @@ using namespace dadu::bench;
 namespace {
 
 using runtime::DynamicsResult;
+using runtime::obs::LatencyHistogram;
 using runtime::sched::PolicyKind;
 using runtime::sched::SchedConfig;
 
@@ -57,28 +68,20 @@ constexpr int kCritPeriodUs = 3000; ///< MPC-style submission pacing
 
 struct ScenarioResult
 {
-    double p50_us = 0.0;
-    double p99_us = 0.0;
+    LatencyHistogram crit_hist; ///< wall submit→completion latency
     double wall_us = 0.0;
     std::size_t tasks = 0;
     double throughput_mtasks = 0.0; ///< tasks per makespan µs
     runtime::sched::SchedStats sched;
+    /** Registry snapshot when the scenario ran with metrics on. */
+    std::shared_ptr<runtime::obs::MetricsRegistry> metrics;
+    double trace_events = 0.0;  ///< retained trace events (obs runs)
+    double trace_dropped = 0.0; ///< events lost to ring wraparound
 };
 
-double
-percentile(std::vector<double> &sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    std::sort(sorted.begin(), sorted.end());
-    const std::size_t n = sorted.size();
-    const std::size_t idx = static_cast<std::size_t>(
-        std::max(0.0, std::ceil(p * n) - 1.0));
-    return sorted[std::min(idx, n - 1)];
-}
-
 ScenarioResult
-runScenario(Accelerator &accel, const SchedConfig &cfg)
+runScenario(Accelerator &accel, const SchedConfig &cfg,
+            const char *trace_path)
 {
     const RobotModel &robot = accel.robot();
     runtime::AnalyticBackend base(accel);
@@ -128,15 +131,17 @@ runScenario(Accelerator &accel, const SchedConfig &cfg)
     // the control loop's view. The pacing keeps the critical task
     // volume comparable across policies (an unpaced client under EDF
     // would spin thousands of extra rounds in the time FIFO serves
-    // a handful, distorting the throughput comparison).
-    std::vector<double> latencies;
+    // a handful, distorting the throughput comparison). Each client
+    // records into its own histogram (no shared state on the timed
+    // path) and merges once at the end.
+    LatencyHistogram latencies;
     std::mutex lat_mu;
     std::vector<std::thread> critical;
     for (int c = 0; c < kCritClients; ++c) {
         critical.emplace_back([&, c] {
             const auto reqs = randomBatch(robot, kCritN, 200 + c);
             std::vector<DynamicsResult> res(kCritN);
-            std::vector<double> mine;
+            LatencyHistogram mine;
             while (!bulk_done.load(std::memory_order_acquire)) {
                 runtime::sched::JobTag tag;
                 tag.deadline_us = nowUs() + 3000.0;
@@ -146,12 +151,12 @@ runScenario(Accelerator &accel, const SchedConfig &cfg)
                     res.data(), runtime::DynamicsServer::kLeastLoaded,
                     tag);
                 server.wait(job);
-                mine.push_back(nowUs() - start);
+                mine.record(nowUs() - start);
                 std::this_thread::sleep_for(
                     std::chrono::microseconds(kCritPeriodUs));
             }
             std::lock_guard<std::mutex> lock(lat_mu);
-            latencies.insert(latencies.end(), mine.begin(), mine.end());
+            latencies.merge(mine);
         });
     }
     for (auto &t : critical)
@@ -173,8 +178,20 @@ runScenario(Accelerator &accel, const SchedConfig &cfg)
     // quantity under test there).
     out.throughput_mtasks =
         stats.makespan_us > 0.0 ? stats.tasks / stats.makespan_us : 0.0;
-    out.p50_us = percentile(latencies, 0.50);
-    out.p99_us = percentile(latencies, 0.99);
+    out.crit_hist = latencies;
+    if (const runtime::obs::MetricsRegistry *m = server.metricsRegistry())
+        out.metrics = std::make_shared<runtime::obs::MetricsRegistry>(*m);
+    if (const runtime::obs::TraceBuffer *buf = server.traceBuffer()) {
+        for (std::size_t i = 0; i < buf->ringCount(); ++i)
+            out.trace_events += static_cast<double>(buf->ring(i).retained());
+        out.trace_dropped = static_cast<double>(buf->totalDropped());
+        if (trace_path) {
+            if (runtime::obs::writeChromeTrace(*buf, trace_path))
+                std::printf("wrote %s\n", trace_path);
+            else
+                std::printf("failed to write %s\n", trace_path);
+        }
+    }
     return out;
 }
 
@@ -205,43 +222,78 @@ main(int argc, char **argv)
     qos_cfg.kind = PolicyKind::Edf;
     qos_cfg.coalesce = true;
     qos_cfg.steal = true;
-    const Entry entries[] = {
-        {"fifo", fifo_cfg}, {"edf", edf_cfg}, {"qos", qos_cfg}};
+    // Same traffic and policy as qos, with the full observability
+    // layer on: lifecycle tracing into per-lane rings plus the
+    // metrics registry. qos vs qos_obs is the overhead measurement.
+    SchedConfig obs_cfg = qos_cfg;
+    obs_cfg.obs.trace = true;
+    obs_cfg.obs.metrics = true;
+    const Entry entries[] = {{"fifo", fifo_cfg},
+                             {"edf", edf_cfg},
+                             {"qos", qos_cfg},
+                             {"qos_obs", obs_cfg}};
+
+    const bool want_trace = hasFlag(argc, argv, "--trace");
 
     std::printf("%8s %10s %10s %12s %10s %8s %8s\n", "policy",
                 "p50 us", "p99 us", "tasks/ms", "misses", "merged",
                 "steals");
     JsonReport report;
-    double fifo_p99 = 0.0, fifo_tput = 0.0;
+    const runtime::obs::MetricEmitFn emit =
+        [&report](const std::string &key, double value) {
+            report.add(key, value);
+        };
+    double fifo_p99 = 0.0, fifo_tput = 0.0, qos_tput = 0.0;
     for (const Entry &e : entries) {
-        const ScenarioResult r = runScenario(accel, e.cfg);
+        const std::string k = e.name;
+        const bool is_obs = k == "qos_obs";
+        const ScenarioResult r = runScenario(
+            accel, e.cfg,
+            is_obs && want_trace ? "trace_sched_qos.json" : nullptr);
+        const double p50 = r.crit_hist.percentileUs(0.50);
+        const double p99 = r.crit_hist.percentileUs(0.99);
         std::printf("%8s %10.1f %10.1f %12.1f %10zu %8zu %8zu\n",
-                    e.name, r.p50_us, r.p99_us,
-                    r.throughput_mtasks * 1000.0,
+                    e.name, p50, p99, r.throughput_mtasks * 1000.0,
                     r.sched.deadline_misses, r.sched.coalesced_batches,
                     r.sched.steals);
-        const std::string k = e.name;
-        report.add("crit_p50_" + k + "_us", r.p50_us);
-        report.add("crit_p99_" + k + "_us", r.p99_us);
+        report.add("crit_p50_" + k + "_us", p50);
+        report.add("crit_p99_" + k + "_us", p99);
         report.add("throughput_" + k + "_mtasks", r.throughput_mtasks);
         if (k == "fifo") {
-            fifo_p99 = r.p99_us;
+            fifo_p99 = p99;
             fifo_tput = r.throughput_mtasks;
-        } else {
+        } else if (!is_obs) {
             report.add("p99_speedup_" + k,
-                       r.p99_us > 0.0 ? fifo_p99 / r.p99_us : 0.0);
+                       p99 > 0.0 ? fifo_p99 / p99 : 0.0);
             report.add("throughput_ratio_" + k,
                        fifo_tput > 0.0
                            ? r.throughput_mtasks / fifo_tput
                            : 0.0);
         }
         if (k == "qos") {
+            qos_tput = r.throughput_mtasks;
             report.add("qos_coalesced_batches",
                        static_cast<double>(r.sched.coalesced_batches));
             report.add("qos_steals",
                        static_cast<double>(r.sched.steals));
+            // The critical-latency distribution that the acceptance
+            // percentiles summarize, in full.
+            emitHistogram(r.crit_hist, "crit_hist_qos", emit);
+        }
+        if (is_obs) {
+            // Observability cost: serving throughput with tracing +
+            // metrics on, relative to the identical run without.
+            report.add("obs_overhead_ratio",
+                       qos_tput > 0.0
+                           ? r.throughput_mtasks / qos_tput
+                           : 0.0);
+            report.add("obs_trace_events", r.trace_events);
+            report.add("obs_trace_dropped", r.trace_dropped);
+            if (r.metrics)
+                emitRegistry(*r.metrics, "obs", emit);
         }
     }
+    runtime::obs::emitHistogramScheme(emit);
 
     maybeWriteJson(argc, argv, report, "BENCH_sched.json");
     return 0;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+
+#include "perf/timing.h"
 
 #include "model/quaternion.h"
 
@@ -640,6 +643,34 @@ IlqrSolver::acceptCandidate()
 
 bool
 IlqrSolver::iterate(DynamicsChannel &channel)
+{
+    if (!trace_)
+        return iterateInner(channel);
+    // Span the whole iteration; IterEnd packs accepted|mode<<1 with
+    // mode the linearize path this iteration took (0 dense, 1 gated,
+    // 2 skipped, 3 reused a still-valid linearization) and carries
+    // the live-column count a gated refresh submitted.
+    const GatingStats before = gating_stats_;
+    trace_->record(runtime::obs::EventKind::IterBegin, perf::nowUs(), -1,
+                   -1, runtime::FunctionType::DeltaFD, 0, cost_);
+    const bool accepted = iterateInner(channel);
+    std::uint32_t mode = 3;
+    if (gating_stats_.dense > before.dense)
+        mode = 0;
+    else if (gating_stats_.gated > before.gated)
+        mode = 1;
+    else if (gating_stats_.skipped > before.skipped)
+        mode = 2;
+    trace_->record(runtime::obs::EventKind::IterEnd, perf::nowUs(), -1,
+                   -1, runtime::FunctionType::DeltaFD,
+                   (accepted ? 1u : 0u) | (mode << 1),
+                   static_cast<double>(gating_stats_.live_columns -
+                                       before.live_columns));
+    return accepted;
+}
+
+bool
+IlqrSolver::iterateInner(DynamicsChannel &channel)
 {
     if (stalled_)
         return false;

@@ -35,6 +35,7 @@
 #include "linalg/matrixx.h"
 #include "model/robot_model.h"
 #include "runtime/backend.h"
+#include "runtime/obs/trace.h"
 
 namespace dadu::ctrl {
 
@@ -195,7 +196,21 @@ class IlqrSolver
     };
     const GatingStats &gatingStats() const { return gating_stats_; }
 
+    /**
+     * Record a per-iteration span (IterBegin/IterEnd) on @p ring —
+     * null disables (the default). IterEnd carries whether the step
+     * was accepted, the linearize mode this iteration engaged (dense
+     * / gated / skipped) and the live-column count it submitted, so
+     * a trace shows how gating and convergence interleave. The ring
+     * must be single-producer: the solver's calling thread (e.g. its
+     * MpcSession's claimed ring).
+     */
+    void setTraceRing(runtime::obs::TraceRing *ring) { trace_ = ring; }
+
   private:
+    /** iterate() minus the tracing wrapper (the whole pre-obs body). */
+    bool iterateInner(DynamicsChannel &channel);
+
     /** Fill lin_req_ from the nominal trajectory and run one batched
      *  ∆FD submission over the horizon. */
     void linearize(DynamicsChannel &channel);
@@ -292,6 +307,7 @@ class IlqrSolver
      *  conservative gains) skips the redundant ∆FD batch. */
     bool lin_valid_ = false;
     std::vector<double> costs_;  ///< accepted-cost trace (reserved)
+    runtime::obs::TraceRing *trace_ = nullptr; ///< per-iteration spans
 };
 
 } // namespace dadu::ctrl

@@ -120,6 +120,15 @@ MpcSession::ServerChannel::run(FunctionType fn,
     }
 }
 
+void
+MpcSession::attachTrace(runtime::DynamicsServer &server,
+                        const char *name)
+{
+    runtime::obs::TraceBuffer *buf = server.traceBuffer();
+    trace_ = buf ? buf->claimRing(name) : nullptr;
+    solver_.setTraceRing(trace_);
+}
+
 IlqrSummary
 MpcSession::start(runtime::DynamicsServer &server)
 {
@@ -145,6 +154,11 @@ MpcSession::tick(runtime::DynamicsServer &server, const VectorX &q,
     // start() re-anchors the primed time-0 problem unshifted.
     channel_.server = &server;
     channel_.tick_failed = false;
+    if (trace_)
+        trace_->record(runtime::obs::EventKind::TickBegin, perf::nowUs(),
+                       -1, -1, FunctionType::FD,
+                       static_cast<std::uint32_t>(stats_.ticks),
+                       stats_.horizon_cost);
     // Save the incoming (previous tick's shifted) plan before the
     // solver mutates it: the graceful-degradation fallback if a job
     // of this tick is shed or failed. Element copies reuse capacity,
@@ -171,6 +185,11 @@ MpcSession::tick(runtime::DynamicsServer &server, const VectorX &q,
     } else {
         stats_.horizon_cost = solver_.cost();
     }
+    if (trace_)
+        trace_->record(runtime::obs::EventKind::TickEnd, perf::nowUs(),
+                       -1, -1, FunctionType::FD,
+                       channel_.tick_failed ? 1u : 0u,
+                       stats_.horizon_cost);
     // Copy the applied control out BEFORE the warm-start shift
     // overwrites u(0) for the next tick.
     u0_ = solver_.u(0);

@@ -97,6 +97,18 @@ class MpcSession
     const Scenario &scenario() const { return scenario_; }
     const Stats &stats() const { return stats_; }
 
+    /**
+     * Claim a client span track on the server's trace buffer: every
+     * tick() records a TickBegin/TickEnd span and the solver records
+     * its per-iteration spans on the same ring. Call AFTER the
+     * server's final setPolicy()/addBackend() (reconfiguring drops
+     * claimed rings) and BEFORE concurrent ticking starts; one
+     * session's ticks must stay on one thread (the ring is SPSC).
+     * No-op when the server has tracing off.
+     */
+    void attachTrace(runtime::DynamicsServer &server,
+                     const char *name = "mpc");
+
   private:
     /** DynamicsChannel that submits deadline-tagged server jobs. */
     class ServerChannel : public DynamicsChannel
@@ -135,6 +147,7 @@ class MpcSession
      *  plan, saved (buffer reused) at the top of every tick. */
     std::vector<VectorX> u_prev_;
     double task_us_ = 0.0; ///< calibrated per-FD-equivalent wall time
+    runtime::obs::TraceRing *trace_ = nullptr; ///< per-tick span track
 };
 
 } // namespace dadu::ctrl

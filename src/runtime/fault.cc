@@ -9,7 +9,20 @@
 #include <limits>
 #include <thread>
 
+#include "perf/timing.h"
+
 namespace dadu::runtime {
+
+namespace {
+/** Fault sub-kind codes (obs Fault event payload `a`). */
+enum : std::uint32_t
+{
+    kFaultTransient = 0,
+    kFaultCorrupt = 1,
+    kFaultSpike = 2,
+    kFaultDeath = 3,
+};
+} // namespace
 
 FaultInjectingBackend::FaultInjectingBackend(DynamicsBackend &inner,
                                              const FaultPlan &plan)
@@ -102,6 +115,11 @@ FaultInjectingBackend::submit(FunctionType fn,
     if (dead_ ||
         (plan_.die_after_batches >= 0 && executed_ >= plan_.die_after_batches))
     {
+        if (trace_ring_ && !dead_)
+            trace_ring_->record(obs::EventKind::Fault, perf::nowUs(), -1,
+                                static_cast<std::int16_t>(trace_lane_),
+                                fn, kFaultDeath,
+                                static_cast<double>(batches_));
         dead_ = true;
         if (stats) {
             *stats = BatchStats{};
@@ -116,6 +134,11 @@ FaultInjectingBackend::submit(FunctionType fn,
             : draw(plan_.transient_fail_prob);
     if (transient) {
         ++transient_faults_;
+        if (trace_ring_)
+            trace_ring_->record(obs::EventKind::Fault, perf::nowUs(), -1,
+                                static_cast<std::int16_t>(trace_lane_),
+                                fn, kFaultTransient,
+                                static_cast<double>(batches_));
         if (stats) {
             *stats = BatchStats{};
             stats->status = SubmitStatus::TransientFailure;
@@ -135,11 +158,20 @@ FaultInjectingBackend::submit(FunctionType fn,
     if (draw(plan_.corrupt_prob)) {
         ++corrupted_;
         corruptOne(fn, results, count);
+        if (trace_ring_)
+            trace_ring_->record(obs::EventKind::Fault, perf::nowUs(), -1,
+                                static_cast<std::int16_t>(trace_lane_),
+                                fn, kFaultCorrupt,
+                                static_cast<double>(batches_));
     }
     if (draw(plan_.latency_spike_prob)) {
         ++spikes_;
         if (stats)
             stats->total_us += plan_.latency_spike_us;
+        if (trace_ring_)
+            trace_ring_->record(obs::EventKind::Fault, perf::nowUs(), -1,
+                                static_cast<std::int16_t>(trace_lane_),
+                                fn, kFaultSpike, plan_.latency_spike_us);
         if (plan_.spike_wall)
             std::this_thread::sleep_for(std::chrono::microseconds(
                 static_cast<long>(plan_.latency_spike_us)));

@@ -27,6 +27,7 @@
 #include <string>
 
 #include "runtime/backend.h"
+#include "runtime/obs/trace.h"
 
 namespace dadu::runtime {
 
@@ -99,6 +100,19 @@ class FaultInjectingBackend final : public DynamicsBackend
 
     const FaultPlan &plan() const { return plan_; }
 
+    /**
+     * Record every injected fault as an obs::EventKind::Fault on
+     * @p ring (null disables, the default). The decorator runs on its
+     * lane's serving thread, so pointing it at that lane's trace ring
+     * keeps the ring SPSC — injected faults then appear on the same
+     * track as the exec/retry events they caused.
+     */
+    void setTraceRing(obs::TraceRing *ring, int lane = -1)
+    {
+        trace_ring_ = ring;
+        trace_lane_ = lane;
+    }
+
     // Fault counters, for tests asserting exact accounting.
     long batchesSeen() const { return batches_; }
     long transientFaults() const { return transient_faults_; }
@@ -122,6 +136,8 @@ class FaultInjectingBackend final : public DynamicsBackend
     long corrupted_ = 0;
     long spikes_ = 0;
     mutable unsigned clone_count_ = 0;
+    obs::TraceRing *trace_ring_ = nullptr; ///< not cloned; attach per lane
+    int trace_lane_ = -1;
 };
 
 } // namespace dadu::runtime

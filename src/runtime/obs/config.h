@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Runtime-toggleable observability knobs of one DynamicsServer,
+ * carried inside sched::SchedConfig (the one configuration object
+ * every serving test and bench already plumbs through).
+ *
+ * Both features default OFF, and off means off: the server then
+ * holds null observability state and every instrumentation hook is a
+ * single branch on a null pointer — the steady serving path performs
+ * no clock reads, no event stores, and no histogram increments.
+ */
+
+#ifndef DADU_RUNTIME_OBS_CONFIG_H
+#define DADU_RUNTIME_OBS_CONFIG_H
+
+#include <cstddef>
+
+namespace dadu::runtime::obs {
+
+/** Observability selection of one DynamicsServer. */
+struct ServerObsConfig
+{
+    /**
+     * Record per-job lifecycle TraceEvents into fixed-capacity
+     * per-lane rings (exportable as Chrome trace-event JSON). The
+     * ring producer is always the one thread currently serving the
+     * lane, so recording takes no lock and never allocates; a full
+     * ring drops its OLDEST events and counts them.
+     */
+    bool trace = false;
+
+    /**
+     * Maintain the metrics registry: log-bucketed latency histograms
+     * (queue wait / backend service / end-to-end, keyed by function
+     * and tagged-vs-bulk), monotonic counters, and gauges including
+     * the admission predictor's EWMA task time. Recorded under the
+     * server lock alongside the accounting it describes.
+     */
+    bool metrics = false;
+
+    /** TraceEvent capacity of EACH ring (lanes + control + clients). */
+    std::size_t ring_capacity = 8192;
+};
+
+} // namespace dadu::runtime::obs
+
+#endif // DADU_RUNTIME_OBS_CONFIG_H

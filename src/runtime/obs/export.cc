@@ -1,0 +1,219 @@
+#include "runtime/obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace dadu::runtime::obs {
+
+const char *shortFunctionName(FunctionType fn)
+{
+    switch (fn)
+    {
+    case FunctionType::ID: return "id";
+    case FunctionType::FD: return "fd";
+    case FunctionType::M: return "m";
+    case FunctionType::Minv: return "minv";
+    case FunctionType::DeltaID: return "did";
+    case FunctionType::DeltaFD: return "dfd";
+    case FunctionType::DeltaiFD: return "difd";
+    }
+    return "fn";
+}
+
+namespace {
+
+/** Chrome phase of an event kind: duration begin/end, or instant. */
+char phaseOf(EventKind k)
+{
+    switch (k)
+    {
+    case EventKind::ExecBegin:
+    case EventKind::TickBegin:
+    case EventKind::IterBegin:
+        return 'B';
+    case EventKind::ExecEnd:
+    case EventKind::TickEnd:
+    case EventKind::IterEnd:
+        return 'E';
+    default:
+        return 'i';
+    }
+}
+
+/** Track name of a span; B/E pairs must agree for Chrome to nest them. */
+const char *spanName(EventKind k)
+{
+    switch (k)
+    {
+    case EventKind::ExecBegin:
+    case EventKind::ExecEnd:
+        return "exec";
+    case EventKind::TickBegin:
+    case EventKind::TickEnd:
+        return "tick";
+    case EventKind::IterBegin:
+    case EventKind::IterEnd:
+        return "ilqr_iter";
+    default:
+        return eventKindName(k);
+    }
+}
+
+/** JSON has no inf/nan; deadline-less jobs carry b = inf. */
+double finiteOr(double v, double fallback) { return std::isfinite(v) ? v : fallback; }
+
+} // namespace
+
+bool writeChromeTrace(const TraceBuffer &buf, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+
+    const std::size_t n_rings = buf.ringCount();
+
+    // Rebase timestamps so the earliest retained event is ts = 0.
+    double t0 = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < n_rings; ++r)
+    {
+        const TraceRing &ring = buf.ring(r);
+        for (std::size_t i = 0; i < ring.retained(); ++i)
+            if (ring.at(i).t_us < t0)
+                t0 = ring.at(i).t_us;
+    }
+    if (!std::isfinite(t0))
+        t0 = 0.0;
+
+    std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"droppedEvents\":%" PRIu64
+                    ",\"traceEvents\":[",
+                 buf.totalDropped());
+
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            std::fputc(',', f);
+        first = false;
+    };
+
+    for (std::size_t r = 0; r < n_rings; ++r)
+    {
+        const TraceRing &ring = buf.ring(r);
+        comma();
+        std::fprintf(f,
+                     "{\"ph\":\"M\",\"pid\":0,\"tid\":%zu,\"ts\":0,"
+                     "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                     r, ring.name());
+
+        for (std::size_t i = 0; i < ring.retained(); ++i)
+        {
+            const TraceEvent &ev = ring.at(i);
+            const double ts = ev.t_us - t0;
+            const char ph = phaseOf(ev.kind);
+
+            comma();
+            if (ph == 'B' || ph == 'E')
+            {
+                std::fprintf(f,
+                             "{\"ph\":\"%c\",\"pid\":0,\"tid\":%zu,\"ts\":%.3f,"
+                             "\"name\":\"%s\",\"cat\":\"span\",\"args\":{\"job\":%d,"
+                             "\"fn\":\"%s\",\"a\":%u,\"b\":%.3f}}",
+                             ph, r, ts, spanName(ev.kind), ev.job,
+                             shortFunctionName(ev.fn), ev.a, finiteOr(ev.b, -1.0));
+            }
+            else
+            {
+                std::fprintf(f,
+                             "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%zu,"
+                             "\"ts\":%.3f,\"name\":\"%s\",\"cat\":\"event\","
+                             "\"args\":{\"job\":%d,\"lane\":%d,\"fn\":\"%s\","
+                             "\"a\":%u,\"b\":%.3f}}",
+                             r, ts, eventKindName(ev.kind), ev.job, ev.lane,
+                             shortFunctionName(ev.fn), ev.a, finiteOr(ev.b, -1.0));
+            }
+
+            // Stitch the job's path across tracks with flow events.
+            if (ev.job >= 0 && (ev.kind == EventKind::Submit ||
+                                ev.kind == EventKind::Picked ||
+                                ev.kind == EventKind::Completed))
+            {
+                const char *fph = ev.kind == EventKind::Submit ? "s"
+                                  : ev.kind == EventKind::Picked ? "t"
+                                                                 : "f";
+                comma();
+                std::fprintf(f,
+                             "{\"ph\":\"%s\",\"pid\":0,\"tid\":%zu,\"ts\":%.3f,"
+                             "\"name\":\"job\",\"cat\":\"job\",\"id\":%d%s}",
+                             fph, r, ts, ev.job,
+                             ev.kind == EventKind::Completed ? ",\"bp\":\"e\"" : "");
+            }
+        }
+    }
+
+    std::fprintf(f, "]}\n");
+    return std::fclose(f) == 0;
+}
+
+void emitHistogram(const LatencyHistogram &h, const std::string &prefix,
+                   const MetricEmitFn &emit)
+{
+    emit(prefix + "_count", static_cast<double>(h.count()));
+    if (h.count() == 0)
+        return;
+    emit(prefix + "_mean_us", h.meanUs());
+    emit(prefix + "_min_us", h.minUs());
+    emit(prefix + "_max_us", h.maxUs());
+    emit(prefix + "_p50_us", h.percentileUs(0.50));
+    emit(prefix + "_p90_us", h.percentileUs(0.90));
+    emit(prefix + "_p99_us", h.percentileUs(0.99));
+    emit(prefix + "_p999_us", h.percentileUs(0.999));
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i)
+    {
+        const std::uint64_t c = h.bucketCount(i);
+        if (c)
+            emit(prefix + "_b" + std::to_string(i), static_cast<double>(c));
+    }
+}
+
+void emitHistogramScheme(const MetricEmitFn &emit)
+{
+    emit("hist_sub_buckets", LatencyHistogram::kSubBuckets);
+    emit("hist_octaves", LatencyHistogram::kOctaves);
+    emit("hist_buckets", LatencyHistogram::kBuckets);
+}
+
+void emitRegistry(const MetricsRegistry &m, const std::string &prefix,
+                  const MetricEmitFn &emit)
+{
+    static const char *const counter_names[kCounters] = {
+        "jobs_submitted",  "jobs_completed",  "jobs_rejected", "jobs_failed",
+        "deadline_met",    "deadline_missed", "transient_faults", "retries",
+        "lane_deaths",     "stolen_items",    "coalesced_items",
+        "admission_samples",
+    };
+    for (int c = 0; c < kCounters; ++c)
+        emit(prefix + "_" + counter_names[c],
+             static_cast<double>(m.counter(static_cast<Counter>(c))));
+
+    emit(prefix + "_task_us_ewma", m.gauge(Gauge::TaskUsEwma));
+    emit(prefix + "_admission_err_rel_ewma", m.gauge(Gauge::AdmissionErrRelEwma));
+    emit(prefix + "_admission_last_err_us", m.gauge(Gauge::AdmissionLastErrUs));
+
+    for (int l = 0; l < m.lanes(); ++l)
+        emit(prefix + "_lane" + std::to_string(l) + "_load", m.laneLoad(l));
+
+    static const char *const kind_names[kLatKinds] = {"wait", "service", "e2e"};
+    for (int tagged = 0; tagged < 2; ++tagged)
+        for (int k = 0; k < kLatKinds; ++k)
+        {
+            const LatencyHistogram merged =
+                m.mergedHistogram(tagged != 0, static_cast<LatKind>(k));
+            if (merged.count() == 0)
+                continue;
+            emitHistogram(merged,
+                          prefix + (tagged ? "_tagged_" : "_bulk_") + kind_names[k],
+                          emit);
+        }
+}
+
+} // namespace dadu::runtime::obs

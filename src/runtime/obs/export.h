@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Exporters for the observability layer.
+ *
+ * writeChromeTrace() serializes a TraceBuffer as Chrome trace-event
+ * JSON (the {"traceEvents": [...]} object form): each ring becomes a
+ * named thread track (pid 0, tid = ring index), span-shaped kinds
+ * (exec, MPC tick, iLQR iteration) become "B"/"E" duration events,
+ * everything else becomes an instant, and each job's submit → picked
+ * → completed path is stitched with "s"/"t"/"f" flow events keyed by
+ * job id. The file loads directly in chrome://tracing and Perfetto.
+ *
+ * The emit* helpers flatten histograms and a MetricsRegistry into
+ * (key, value) pairs for the flat schema-stamped JSON reports the
+ * benches write via bench_util's JsonReport.
+ */
+
+#ifndef DADU_RUNTIME_OBS_EXPORT_H
+#define DADU_RUNTIME_OBS_EXPORT_H
+
+#include <functional>
+#include <string>
+
+#include "runtime/obs/metrics.h"
+#include "runtime/obs/trace.h"
+
+namespace dadu::runtime::obs {
+
+/** ASCII function short-name for JSON keys (id/fd/m/minv/did/dfd/difd). */
+const char *shortFunctionName(FunctionType fn);
+
+/**
+ * Write the buffer as Chrome trace-event JSON. Producers must be
+ * quiesced (server idle, clients joined). Timestamps are rebased so
+ * the earliest event is ts=0. Returns false if the file could not be
+ * opened or written.
+ */
+bool writeChromeTrace(const TraceBuffer &buf, const std::string &path);
+
+/** Receives one flat (key, value) report entry. */
+using MetricEmitFn = std::function<void(const std::string &key, double value)>;
+
+/**
+ * Flatten one histogram: <prefix>_count/_mean_us/_min_us/_max_us,
+ * _p50/_p90/_p99/_p999_us, and one <prefix>_b<i> entry per NONZERO
+ * bucket (bucket edges are derivable from the scheme keys; see
+ * emitHistogramScheme).
+ */
+void emitHistogram(const LatencyHistogram &h, const std::string &prefix,
+                   const MetricEmitFn &emit);
+
+/**
+ * Emit the bucket-scheme constants once per report:
+ * hist_sub_buckets, hist_octaves, hist_buckets. Bucket i (1-based up
+ * to hist_buckets-2) spans [2^o·(1+s/S), 2^o·(1+(s+1)/S)) µs with
+ * o=(i-1)/S, s=(i-1)%S; bucket 0 is <1µs, the last is overflow.
+ */
+void emitHistogramScheme(const MetricEmitFn &emit);
+
+/**
+ * Flatten a registry under <prefix>: counters, gauges, per-lane
+ * loads, and the merged tagged/bulk queue-wait / service / e2e
+ * histograms (via emitHistogram).
+ */
+void emitRegistry(const MetricsRegistry &m, const std::string &prefix,
+                  const MetricEmitFn &emit);
+
+} // namespace dadu::runtime::obs
+
+#endif // DADU_RUNTIME_OBS_EXPORT_H

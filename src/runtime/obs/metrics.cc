@@ -1,0 +1,78 @@
+#include "runtime/obs/metrics.h"
+
+namespace dadu::runtime::obs {
+
+double LatencyHistogram::percentileUs(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    // Rank of the order statistic we want, 1-based, clamped into range.
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(count_)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count_)
+        rank = count_;
+
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i)
+    {
+        seen += buckets_[static_cast<std::size_t>(i)];
+        if (seen >= rank)
+        {
+            double lo = bucketLowUs(i);
+            double hi = bucketHighUs(i);
+            if (!std::isfinite(hi))
+                hi = max_; // overflow bucket: best representative is the max
+            double rep = 0.5 * (lo + hi);
+            // Clamping to observed extrema keeps the estimate inside the
+            // data range (and makes single-sample buckets exact at the ends).
+            if (rep < min_)
+                rep = min_;
+            if (rep > max_)
+                rep = max_;
+            return rep;
+        }
+    }
+    return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (int i = 0; i < kBuckets; ++i)
+        buckets_[static_cast<std::size_t>(i)] +=
+            other.buckets_[static_cast<std::size_t>(i)];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_)
+    {
+        if (other.min_ < min_)
+            min_ = other.min_;
+        if (other.max_ > max_)
+            max_ = other.max_;
+    }
+}
+
+void LatencyHistogram::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+LatencyHistogram MetricsRegistry::mergedHistogram(bool tagged, LatKind kind) const
+{
+    LatencyHistogram out;
+    for (int f = 0; f < kFunctionTypes; ++f)
+        out.merge(hist_[static_cast<std::size_t>(f)][tagged ? 1 : 0]
+                       [static_cast<std::size_t>(kind)]);
+    return out;
+}
+
+} // namespace dadu::runtime::obs

@@ -24,6 +24,7 @@ EdfPolicy::pick(const QueueView &q, int lane, Pick &out)
     out.lane = lane;
     out.positions.clear();
     out.positions.push_back(best);
+    out.overtaken = best;
     return true;
 }
 

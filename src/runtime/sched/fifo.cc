@@ -10,6 +10,7 @@ FifoPolicy::pick(const QueueView &q, int lane, Pick &out)
     out.lane = lane;
     out.positions.clear();
     out.positions.push_back(0);
+    out.overtaken = 0;
     return true;
 }
 

@@ -146,6 +146,13 @@ struct Pick
 {
     int lane = -1;
     std::vector<std::size_t> positions; ///< grow-only scratch, reused
+    /**
+     * Queued items the primary position bypassed (its queue depth at
+     * pick time): 0 for FIFO front-pops, the queue-jump depth of an
+     * EDF or steal pick. Traced as the "overtaken" payload of the
+     * Picked lifecycle event.
+     */
+    std::size_t overtaken = 0;
 };
 
 /** EDF order: deadline, then priority (desc), then submission. */

@@ -39,6 +39,7 @@ StealPolicy::pick(const QueueView &q, int lane, Pick &out)
     out.lane = best_lane;
     out.positions.clear();
     out.positions.push_back(best_pos);
+    out.overtaken = best_pos;
     // A stolen small batch can bring friends: absorb further small
     // same-function flat items of the SAME victim, so the migration
     // also fills the thief's pipeline.

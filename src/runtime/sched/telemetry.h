@@ -21,6 +21,8 @@
 #include <cstddef>
 #include <limits>
 
+#include "runtime/obs/config.h"
+
 namespace dadu::runtime::sched {
 
 /** Base queue-pop order of a lane. */
@@ -91,6 +93,13 @@ struct SchedConfig
      * not pay the scan.
      */
     bool validate_results = false;
+
+    /**
+     * Observability selection (lifecycle tracing + metrics registry).
+     * Both off by default; when off, the server holds no
+     * observability state and every hook is a branch on nullptr.
+     */
+    obs::ServerObsConfig obs;
 };
 
 /**

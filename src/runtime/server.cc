@@ -27,6 +27,7 @@ DynamicsServer::addBackend(DynamicsBackend &backend)
     assert(!running() && "register backends before start()");
     lanes_.emplace_back();
     lanes_.back().backend = &backend;
+    reconfigureObs();
     return static_cast<int>(lanes_.size()) - 1;
 }
 
@@ -36,6 +37,25 @@ DynamicsServer::setPolicy(const sched::SchedConfig &cfg)
     assert(!running() && "select the policy while the server is idle");
     sched_cfg_ = cfg;
     policy_ = sched::makePolicy(cfg);
+    reconfigureObs();
+}
+
+void
+DynamicsServer::reconfigureObs()
+{
+    // Idle-only (asserted by every caller): safe to drop and rebuild.
+    // Enabling needs at least one lane; addBackend re-runs this, so a
+    // setPolicy() before the first addBackend() still ends up traced.
+    trace_.reset();
+    metrics_.reset();
+    const int n = backendCount();
+    if (n == 0)
+        return;
+    if (sched_cfg_.obs.trace)
+        trace_ = std::make_unique<obs::TraceBuffer>(
+            n, sched_cfg_.obs.ring_capacity);
+    if (sched_cfg_.obs.metrics)
+        metrics_ = std::make_unique<obs::MetricsRegistry>(n);
 }
 
 void
@@ -219,8 +239,29 @@ DynamicsServer::recordTerminalJob(Job job, JobOutcome outcome)
         ++sched_stats_.rejected_jobs;
     else
         ++sched_stats_.failed_jobs;
+    const FunctionType fn = job.fn;
+    const std::size_t count = job.count;
+    const double deadline = job.deadline_us;
     jobs_.push_back(std::move(job));
-    return static_cast<int>(retire_base_ + jobs_.size()) - 1;
+    const int id = static_cast<int>(retire_base_ + jobs_.size()) - 1;
+    if (trace_) {
+        obs::TraceRing &ctl = trace_->control();
+        const double now = jobs_.back().done_at_us;
+        ctl.record(obs::EventKind::Submit, now, id, -1, fn,
+                   static_cast<std::uint32_t>(count), deadline);
+        ctl.record(outcome == JobOutcome::Rejected
+                       ? obs::EventKind::Rejected
+                       : obs::EventKind::Failed,
+                   now, id, -1, fn,
+                   static_cast<std::uint32_t>(outcome), deadline);
+    }
+    if (metrics_) {
+        metrics_->add(obs::Counter::JobsSubmitted);
+        metrics_->add(outcome == JobOutcome::Rejected
+                          ? obs::Counter::JobsRejected
+                          : obs::Counter::JobsFailed);
+    }
+    return id;
 }
 
 bool
@@ -237,9 +278,16 @@ DynamicsServer::admitLocked(const Job &job, int lane, double now_us)
     req.healthy_lanes = healthyLaneCount();
     req.task_us = task_us_ewma_;
     req.fn_weight = job.unit_weight;
-    // Competing weight: what actually drains before this job. Under
-    // EDF only earlier-or-equal deadlines delay it (queued bulk is
-    // overtaken); under FIFO everything committed to the lane does.
+    req.queued_weight = competingWeightLocked(job, lane);
+    return admission_->admit(req);
+}
+
+double
+DynamicsServer::competingWeightLocked(const Job &job, int lane) const
+{
+    // What actually drains before this job. Under EDF only
+    // earlier-or-equal deadlines delay it (queued bulk is overtaken);
+    // under FIFO everything committed to the lane does.
     if (sched_cfg_.kind == sched::PolicyKind::Edf &&
         job.deadline_us != sched::kNoDeadline)
     {
@@ -249,11 +297,9 @@ DynamicsServer::admitLocked(const Job &job, int lane, double now_us)
             if (q.deadline_us <= job.deadline_us)
                 w += q.unit_weight * static_cast<double>(item.count);
         }
-        req.queued_weight = w;
-    } else {
-        req.queued_weight = lanes_[lane].load_weight;
+        return w;
     }
-    return admission_->admit(req);
+    return lanes_[lane].load_weight;
 }
 
 int
@@ -294,11 +340,36 @@ DynamicsServer::enqueueJob(Job job, int backend_id)
         return recordTerminalJob(std::move(job), JobOutcome::Rejected);
     if (job.deadline_us != sched::kNoDeadline && job.deadline_us <= now)
         ++sched_stats_.immediate_misses;
+    job.submit_at_us = now;
+    // Admission-model completion estimate for the calibration gauges:
+    // recorded per tagged job once the EWMA has its first sample, and
+    // compared against the actual completion time in completePicked.
+    if (metrics_ && job.deadline_us != sched::kNoDeadline &&
+        task_us_ewma_ > 0.0)
+        job.predicted_done_us =
+            now + sched::predictedAdmissionUs(
+                      competingWeightLocked(job, lane),
+                      static_cast<int>(count), job.stages, task_us_ewma_,
+                      0.0, job.unit_weight);
     jobs_.push_back(std::move(job));
     const int id =
         static_cast<int>(retire_base_ + jobs_.size()) - 1;
     ++pending_jobs_;
     lanes_[lane].load_weight += load;
+    if (trace_) {
+        const Job &j = jobs_.back();
+        obs::TraceRing &ctl = trace_->control();
+        ctl.record(obs::EventKind::Submit, now, id, -1, j.fn,
+                   static_cast<std::uint32_t>(count), j.deadline_us);
+        ctl.record(obs::EventKind::Admitted, now, id, -1, j.fn,
+                   static_cast<std::uint32_t>(lane), j.predicted_done_us);
+        ctl.record(obs::EventKind::Enqueued, now, id,
+                   static_cast<std::int16_t>(lane), j.fn,
+                   static_cast<std::uint32_t>(count),
+                   lanes_[lane].load_weight);
+    }
+    if (metrics_)
+        metrics_->add(obs::Counter::JobsSubmitted);
     pushWork(lane, WorkItem{id, 0, count});
     return id;
 }
@@ -375,21 +446,44 @@ DynamicsServer::submitSharded(FunctionType fn,
     const int n_healthy = healthyLaneCount();
     if (n_healthy == 0)
         return recordTerminalJob(std::move(job), JobOutcome::Failed);
+    // One timestamp serves admission, the immediate-miss check, and
+    // the observability hooks; untagged-unobserved submits skip the
+    // clock read entirely (the pre-obs fast path).
+    const bool want_now = admission_ != nullptr ||
+                          job.deadline_us != sched::kNoDeadline ||
+                          trace_ != nullptr || metrics_ != nullptr;
+    const double now = want_now ? perf::nowUs() : 0.0;
+    const std::size_t slice = (count + n_healthy - 1) / n_healthy;
     if (admission_) {
         // Admission sees the per-lane slice a healthy lane would run,
         // against the least-loaded healthy lane's queue.
         Job probe = job;
-        probe.count = (count + n_healthy - 1) / n_healthy;
-        const double now = perf::nowUs();
+        probe.count = slice;
         const int lane = leastLoadedLane();
         if (!admitLocked(probe, lane, now))
             return recordTerminalJob(std::move(job), JobOutcome::Rejected);
-        if (job.deadline_us != sched::kNoDeadline && job.deadline_us <= now)
-            ++sched_stats_.immediate_misses;
-    } else if (job.deadline_us != sched::kNoDeadline &&
-               job.deadline_us <= perf::nowUs())
-    {
+    }
+    if (job.deadline_us != sched::kNoDeadline && job.deadline_us <= now)
         ++sched_stats_.immediate_misses;
+    job.submit_at_us = now;
+    if (metrics_ && job.deadline_us != sched::kNoDeadline &&
+        task_us_ewma_ > 0.0)
+    {
+        // Completion estimate of a sharded tagged job: its slice on
+        // the healthy lane with the least competing weight (the
+        // shards run concurrently; the least-contended lane bounds
+        // the model's best case, matching the admission probe).
+        Job probe = job;
+        probe.count = slice;
+        double min_w = std::numeric_limits<double>::infinity();
+        for (int i = 0; i < n_lanes; ++i)
+            if (lanes_[i].healthy)
+                min_w = std::min(min_w,
+                                 competingWeightLocked(probe, i));
+        job.predicted_done_us =
+            now + sched::predictedAdmissionUs(
+                      min_w, static_cast<int>(slice), 1, task_us_ewma_,
+                      0.0, job.unit_weight);
     }
     const double w = job.unit_weight;
 
@@ -475,11 +569,28 @@ DynamicsServer::submitSharded(FunctionType fn,
     const int id =
         static_cast<int>(retire_base_ + jobs_.size()) - 1;
     ++pending_jobs_;
+    if (trace_) {
+        const Job &j = jobs_.back();
+        obs::TraceRing &ctl = trace_->control();
+        ctl.record(obs::EventKind::Submit, now, id, -1, j.fn,
+                   static_cast<std::uint32_t>(count), j.deadline_us);
+        ctl.record(obs::EventKind::Admitted, now, id, -1, j.fn,
+                   static_cast<std::uint32_t>(shards),
+                   j.predicted_done_us);
+    }
+    if (metrics_)
+        metrics_->add(obs::Counter::JobsSubmitted);
     std::size_t begin = 0;
     for (int i = 0; i < n_lanes; ++i) {
         if (share[i] == 0)
             continue;
         lanes_[i].load_weight += static_cast<double>(share[i]) * w;
+        if (trace_)
+            trace_->control().record(
+                obs::EventKind::Enqueued, now, id,
+                static_cast<std::int16_t>(i), jobs_.back().fn,
+                static_cast<std::uint32_t>(share[i]),
+                lanes_[i].load_weight);
         pushWork(i, WorkItem{id, begin, share[i]});
         begin += share[i];
     }
@@ -672,6 +783,45 @@ DynamicsServer::serveOne(int lane_id)
             ++sched_stats_.coalesced_batches;
             sched_stats_.coalesced_items += lane.picked.size() - 1;
         }
+        if (trace_ || metrics_) {
+            const double t_pick = perf::nowUs();
+            for (const WorkItem &item : lane.picked) {
+                Job &job = jobRef(item.job);
+                if (job.first_pick_at_us == 0.0)
+                    job.first_pick_at_us = t_pick; // queue wait ends
+            }
+            if (trace_) {
+                // This thread is the one serving lane_id, so its ring
+                // (not the victim's) is the SPSC-safe destination —
+                // including for steal events.
+                obs::TraceRing &ring = trace_->lane(lane_id);
+                const int primary = lane.picked.front().job;
+                ring.record(obs::EventKind::Picked, t_pick, primary,
+                            static_cast<std::int16_t>(lane_id), fn,
+                            static_cast<std::uint32_t>(lane.picked.size()),
+                            static_cast<double>(lane.pick.overtaken));
+                if (src != lane_id)
+                    ring.record(obs::EventKind::StolenFrom, t_pick,
+                                primary,
+                                static_cast<std::int16_t>(lane_id), fn,
+                                static_cast<std::uint32_t>(src),
+                                static_cast<double>(lane.picked.size()));
+                for (std::size_t i = 1; i < lane.picked.size(); ++i)
+                    ring.record(
+                        obs::EventKind::CoalescedInto, t_pick,
+                        lane.picked[i].job,
+                        static_cast<std::int16_t>(lane_id), fn,
+                        static_cast<std::uint32_t>(lane.picked[i].count));
+            }
+            if (metrics_) {
+                if (src != lane_id)
+                    metrics_->add(obs::Counter::StolenItems,
+                                  lane.picked.size());
+                if (merged)
+                    metrics_->add(obs::Counter::CoalescedItems,
+                                  lane.picked.size() - 1);
+            }
+        }
     }
 
     if (!merged) {
@@ -701,6 +851,12 @@ DynamicsServer::serveOne(int lane_id)
     // fails NaN validation) is resubmitted to the same backend up to
     // max_retries times; BackendDown or an exhausted budget
     // quarantines the lane and fails its work over.
+    obs::TraceRing *ring = trace_ ? &trace_->lane(lane_id) : nullptr;
+    const int primary = lane.picked.front().job;
+    if (ring)
+        ring->record(obs::EventKind::ExecBegin, perf::nowUs(), primary,
+                     static_cast<std::int16_t>(lane_id), fn,
+                     static_cast<std::uint32_t>(total));
     BatchStats stats;
     SubmitStatus status = SubmitStatus::Ok;
     std::size_t n_transient = 0, n_retries = 0, n_corrupt = 0;
@@ -719,14 +875,27 @@ DynamicsServer::serveOne(int lane_id)
             status == SubmitStatus::InvalidRequest)
             break;
         ++n_transient;
-        if (attempt + 1 < attempts)
+        if (attempt + 1 < attempts) {
             ++n_retries;
+            if (ring)
+                ring->record(obs::EventKind::Retry, perf::nowUs(),
+                             primary, static_cast<std::int16_t>(lane_id),
+                             fn, static_cast<std::uint32_t>(attempt + 1));
+        }
     }
+    if (ring)
+        ring->record(obs::EventKind::ExecEnd, perf::nowUs(), primary,
+                     static_cast<std::int16_t>(lane_id), fn,
+                     static_cast<std::uint32_t>(status), stats.total_us);
     if (n_transient || n_corrupt) {
         std::lock_guard<std::mutex> lock(mu_);
         sched_stats_.transient_faults += n_transient;
         sched_stats_.retries += n_retries;
         sched_stats_.corrupt_results += n_corrupt;
+        if (metrics_) {
+            metrics_->add(obs::Counter::TransientFaults, n_transient);
+            metrics_->add(obs::Counter::Retries, n_retries);
+        }
     }
     if (status == SubmitStatus::InvalidRequest) {
         // A malformed request (bad seed set) is a CLIENT error: the
@@ -746,6 +915,15 @@ DynamicsServer::serveOne(int lane_id)
                 ++sched_stats_.failed_jobs;
                 --pending_jobs_;
                 any_done = true;
+                if (trace_)
+                    trace_->control().record(
+                        obs::EventKind::Failed, job.done_at_us,
+                        item.job, static_cast<std::int16_t>(lane_id),
+                        job.fn,
+                        static_cast<std::uint32_t>(job.outcome),
+                        job.done_at_us - job.submit_at_us);
+                if (metrics_)
+                    metrics_->add(obs::Counter::JobsFailed);
             }
         }
         lane.picked.clear();
@@ -782,6 +960,19 @@ DynamicsServer::failLane(int lane_id)
         return;
     lane.healthy = false;
     ++sched_stats_.lane_deaths;
+    // Only the lane's own serving thread reaches failLane, so its
+    // ring is still this thread's to write — the death and every
+    // requeue decision land on the dying lane's track.
+    obs::TraceRing *ring = trace_ ? &trace_->lane(lane_id) : nullptr;
+    const double t_death = (trace_ || metrics_) ? perf::nowUs() : 0.0;
+    if (ring)
+        ring->record(obs::EventKind::LaneDeath, t_death, -1,
+                     static_cast<std::int16_t>(lane_id),
+                     FunctionType::FD,
+                     static_cast<std::uint32_t>(lane.picked.size() +
+                                                lane.work.size()));
+    if (metrics_)
+        metrics_->add(obs::Counter::LaneDeaths);
     // Everything the lane owed — the picked items whose batch just
     // failed, then its queued items — fails over to healthy siblings.
     // Only the lane's own serving thread calls failLane (after its
@@ -801,8 +992,21 @@ DynamicsServer::failLane(int lane_id)
             ++sched_stats_.failed_jobs;
             --pending_jobs_;
             any_failed = true;
+            if (ring)
+                ring->record(obs::EventKind::Failed, job.done_at_us,
+                             item.job,
+                             static_cast<std::int16_t>(lane_id), job.fn,
+                             static_cast<std::uint32_t>(job.outcome),
+                             job.done_at_us - job.submit_at_us);
+            if (metrics_)
+                metrics_->add(obs::Counter::JobsFailed);
             return;
         }
+        if (ring)
+            ring->record(obs::EventKind::Requeue, t_death, item.job,
+                         static_cast<std::int16_t>(lane_id), job.fn,
+                         static_cast<std::uint32_t>(dest),
+                         static_cast<double>(item.count));
         // Flat items (including shards) migrate their queued weight;
         // a lane-sticky serial-stage job restarts its CURRENT stage
         // on the new lane — completed stages (and the advance calls
@@ -855,6 +1059,8 @@ DynamicsServer::completePicked(int lane_id, const BatchStats &stats,
             task_us_ewma_ = task_us_ewma_ == 0.0
                                 ? sample
                                 : 0.8 * task_us_ewma_ + 0.2 * sample;
+            if (metrics_)
+                metrics_->set(obs::Gauge::TaskUsEwma, task_us_ewma_);
         }
         const bool merged = lane.picked.size() > 1;
 
@@ -886,6 +1092,12 @@ DynamicsServer::completePicked(int lane_id, const BatchStats &stats,
             }
             if (--job.remaining == 0) {
                 ++job.stage;
+                if (trace_ && job.stages > 1)
+                    trace_->control().record(
+                        obs::EventKind::StageDone, perf::nowUs(),
+                        item.job, static_cast<std::int16_t>(lane_id),
+                        job.fn, static_cast<std::uint32_t>(job.stage),
+                        static_cast<double>(job.stages));
                 if (job.stage < job.stages) {
                     // Chain the next stage outside the lock (the
                     // advance callback may re-enter submit()). Only
@@ -906,16 +1118,73 @@ DynamicsServer::completePicked(int lane_id, const BatchStats &stats,
                         // book it as failed, skip deadline buckets.
                         ++sched_stats_.failed_jobs;
                         --pending_jobs_;
+                        if (trace_)
+                            trace_->control().record(
+                                obs::EventKind::Failed, job.done_at_us,
+                                item.job,
+                                static_cast<std::int16_t>(lane_id),
+                                job.fn,
+                                static_cast<std::uint32_t>(job.outcome),
+                                job.done_at_us - job.submit_at_us);
+                        if (metrics_)
+                            metrics_->add(obs::Counter::JobsFailed);
                         done_cv_.notify_all();
                         continue;
                     }
                     job.outcome = JobOutcome::Completed;
-                    if (job.deadline_us != sched::kNoDeadline) {
+                    const bool tagged =
+                        job.deadline_us != sched::kNoDeadline;
+                    if (tagged) {
                         job.missed = job.done_at_us > job.deadline_us;
                         if (job.missed)
                             ++sched_stats_.deadline_misses;
                         else
                             ++sched_stats_.deadline_met;
+                    }
+                    if (trace_)
+                        trace_->control().record(
+                            obs::EventKind::Completed, job.done_at_us,
+                            item.job, static_cast<std::int16_t>(lane_id),
+                            job.fn, job.missed ? 1u : 0u,
+                            job.done_at_us - job.submit_at_us);
+                    if (metrics_) {
+                        metrics_->add(obs::Counter::JobsCompleted);
+                        if (tagged)
+                            metrics_->add(job.missed
+                                              ? obs::Counter::DeadlineMissed
+                                              : obs::Counter::DeadlineMet);
+                        if (job.first_pick_at_us > 0.0)
+                            metrics_
+                                ->histogram(job.fn, tagged,
+                                            obs::LatKind::QueueWait)
+                                .record(job.first_pick_at_us -
+                                        job.submit_at_us);
+                        metrics_
+                            ->histogram(job.fn, tagged,
+                                        obs::LatKind::Service)
+                            .record(job.busy_us);
+                        metrics_
+                            ->histogram(job.fn, tagged,
+                                        obs::LatKind::EndToEnd)
+                            .record(job.done_at_us - job.submit_at_us);
+                        if (job.predicted_done_us > 0.0) {
+                            // Predicted-vs-actual admission error: the
+                            // calibration signal of the admission
+                            // model, relative to its own horizon.
+                            const double err =
+                                job.done_at_us - job.predicted_done_us;
+                            const double horizon =
+                                std::max(job.predicted_done_us -
+                                             job.submit_at_us,
+                                         1.0);
+                            metrics_->set(
+                                obs::Gauge::AdmissionLastErrUs, err);
+                            metrics_->ewma(
+                                obs::Gauge::AdmissionErrRelEwma,
+                                std::abs(err) / horizon);
+                            metrics_->add(
+                                obs::Counter::AdmissionSamples);
+                        }
                     }
                     ++stats_.jobs;
                     --pending_jobs_;
@@ -923,6 +1192,8 @@ DynamicsServer::completePicked(int lane_id, const BatchStats &stats,
                 }
             }
         }
+        if (metrics_)
+            metrics_->setLaneLoad(lane_id, lane.load_weight);
     }
     if (chained) {
         if (chained->advance)

@@ -82,6 +82,8 @@
 #include <vector>
 
 #include "runtime/backend.h"
+#include "runtime/obs/metrics.h"
+#include "runtime/obs/trace.h"
 #include "runtime/sched/admission.h"
 #include "runtime/sched/policy.h"
 
@@ -324,6 +326,27 @@ class DynamicsServer
      */
     bool laneHealthy(int lane) const;
 
+    /**
+     * The lifecycle trace rings, or null when SchedConfig::obs.trace
+     * is off. Rebuilt (emptied) by setPolicy()/addBackend(). Clients
+     * wanting their own span track (MpcSession, iLQR) claim a ring
+     * AFTER the final setPolicy()/addBackend() call — reconfiguring
+     * invalidates claimed rings. Read the rings only while the server
+     * is idle (stopped, or drained in sync mode).
+     */
+    obs::TraceBuffer *traceBuffer() { return trace_.get(); }
+    const obs::TraceBuffer *traceBuffer() const { return trace_.get(); }
+
+    /**
+     * The metrics registry (histograms / counters / gauges), or null
+     * when SchedConfig::obs.metrics is off. Mutated under the server
+     * lock; snapshot (copy) it while the server is idle.
+     */
+    const obs::MetricsRegistry *metricsRegistry() const
+    {
+        return metrics_.get();
+    }
+
   private:
     struct Job
     {
@@ -357,6 +380,10 @@ class DynamicsServer
         bool missed = false;     ///< completed after its deadline
         double busy_us = 0.0;
         BatchStats last_stats{};
+        // Observability fields; only written when obs is enabled.
+        double submit_at_us = 0.0;     ///< wall submission time
+        double first_pick_at_us = 0.0; ///< first serve pick (queue wait end)
+        double predicted_done_us = 0.0; ///< admission-model completion estimate
     };
 
     /** One queued slice of a job, bound to a lane. */
@@ -446,6 +473,16 @@ class DynamicsServer
     /** Admission decision for @p job bound for @p lane. */
     bool admitLocked(const Job &job, int lane, double now_us);
     /**
+     * FD-equivalent work on @p lane that would run before @p job
+     * under the current policy (EDF: queued items with deadline ≤
+     * the job's; FIFO: the whole lane load) — the admission model's
+     * competing-weight input, shared by shedding and by the
+     * predicted-completion estimate the metrics registry tracks.
+     */
+    double competingWeightLocked(const Job &job, int lane) const;
+    /** Rebuild trace_/metrics_ to match sched_cfg_.obs and lane count. */
+    void reconfigureObs();
+    /**
      * Quarantine @p lane after an unrecoverable fault: requeue its
      * queued and picked items onto healthy siblings (serial-stage
      * jobs restart their current stage there), fail jobs when no
@@ -507,6 +544,14 @@ class DynamicsServer
      * predictions. 0 until the first batch completes.
      */
     double task_us_ewma_ = 0.0;
+    /**
+     * Observability state; null when the matching ServerObsConfig
+     * flag is off, so every hook is `if (trace_)` / `if (metrics_)`.
+     * Lane ring i is written only by the thread serving lane i; the
+     * control ring only under mu_; the registry only under mu_.
+     */
+    std::unique_ptr<obs::TraceBuffer> trace_;
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
     QueueAdapter view_{this};
 };
 

@@ -903,4 +903,81 @@ TEST(SchedQos, PredictedAdmissionBoundsExecutionWithStealing)
     EXPECT_GE(stats.makespan_us, predicted * 0.5);
 }
 
+// ---------------------------------------------------------------------
+// Admission predictor telemetry through the metrics registry
+// ---------------------------------------------------------------------
+
+TEST(SchedQos, AdmissionPredictionErrorConverges)
+{
+    // One modeled lane (no base cost, 10 µs/task, and a real wall
+    // time matched to the model: 16 tasks x 10 µs = 160 µs/batch)
+    // under EDF with the metrics registry on. Untagged bulk
+    // completions calibrate the admission EWMA; tagged jobs then
+    // carry a predicted completion whose realized error the registry
+    // tracks. With a uniform workload the per-task estimate must
+    // converge to the modeled 10 µs and the relative prediction
+    // error must stay bounded.
+    const auto robot = model::makeSerialChain(3);
+    RecordingBackend backend(robot, 0.0, 10.0);
+    backend.setWallUsPerBatch(160.0);
+    runtime::DynamicsServer server(backend);
+    SchedConfig cfg;
+    cfg.kind = PolicyKind::Edf;
+    cfg.obs.metrics = true;
+    server.setPolicy(cfg);
+    server.start();
+
+    constexpr int kBulkJobs = 30, kTagged = 12, kN = 16;
+    const auto reqs = randomRequests(robot, kN, 21);
+    std::vector<std::vector<DynamicsResult>> bulk_res(
+        kBulkJobs, std::vector<DynamicsResult>(kN));
+    std::vector<std::vector<DynamicsResult>> crit_res(
+        kTagged, std::vector<DynamicsResult>(kN));
+
+    // Seed the EWMA with a few untagged completions before any
+    // tagged submission, so every tagged job carries a prediction.
+    for (int i = 0; i < 4; ++i)
+        server.wait(server.submit(FunctionType::FD, reqs.data(), kN,
+                                  bulk_res[i].data()));
+
+    std::thread bulk([&] {
+        for (int i = 4; i < kBulkJobs; ++i)
+            server.submit(FunctionType::FD, reqs.data(), kN,
+                          bulk_res[i].data());
+    });
+    std::thread tagged([&] {
+        for (int i = 0; i < kTagged; ++i) {
+            JobTag tag;
+            tag.deadline_us = perf::nowUs() + 60e6; // generous
+            server.wait(server.submit(FunctionType::FD, reqs.data(),
+                                      kN, crit_res[i].data(), 0, tag));
+        }
+    });
+    bulk.join();
+    tagged.join();
+    server.stop();
+
+    const runtime::obs::MetricsRegistry *m = server.metricsRegistry();
+    ASSERT_NE(m, nullptr);
+    using runtime::obs::Counter;
+    using runtime::obs::Gauge;
+    // The per-task estimate converged to the modeled 10 µs/task
+    // (every batch reports count x 10 µs of backend time).
+    EXPECT_GT(m->gaugeSamples(Gauge::TaskUsEwma), 0u);
+    EXPECT_NEAR(m->gauge(Gauge::TaskUsEwma), 10.0, 2.0);
+    // Every tagged completion contributed an admission sample.
+    EXPECT_GE(m->counter(Counter::AdmissionSamples),
+              static_cast<std::uint64_t>(10));
+    // The realized relative error is live and bounded: the modeled
+    // time matches the wall time here, so predictions are within a
+    // few multiples of the horizon even with queueing noise.
+    EXPECT_GT(m->gauge(Gauge::AdmissionErrRelEwma), 0.0);
+    EXPECT_LT(m->gauge(Gauge::AdmissionErrRelEwma), 5.0);
+    // All jobs flowed through the registry's counters too.
+    EXPECT_EQ(m->counter(Counter::JobsSubmitted),
+              static_cast<std::uint64_t>(kBulkJobs + kTagged));
+    EXPECT_EQ(m->counter(Counter::JobsCompleted),
+              static_cast<std::uint64_t>(kBulkJobs + kTagged));
+}
+
 } // namespace
