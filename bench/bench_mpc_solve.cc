@@ -26,6 +26,11 @@
  *     dynamics job deadline-tagged through the
  *     predictedAdmissionUs admission path. Reported: aggregate
  *     ticks/s and the deadline-hit rate.
+ *
+ * --trace additionally records the serving section's job lifecycle
+ * (per-lane rings plus one claimed ring per MPC client, wired by
+ * MpcWorkload::serveClosedLoopClients via MpcSession::attachTrace)
+ * and exports trace_mpc.json.
  */
 
 #include "bench_util.h"
@@ -36,6 +41,8 @@
 #include "ctrl/ilqr.h"
 #include "ctrl/scenarios.h"
 #include "runtime/backends.h"
+#include "runtime/obs/export.h"
+#include "runtime/obs/trace.h"
 #include "runtime/sched/policy.h"
 #include "runtime/server.h"
 
@@ -118,10 +125,26 @@ main(int argc, char **argv)
         cfg.kind = runtime::sched::PolicyKind::Edf;
         cfg.coalesce = true;
         cfg.steal = true;
+        const bool want_trace = hasFlag(argc, argv, "--trace");
+        if (want_trace) {
+            cfg.obs.trace = true;
+            // kServeClients sessions x kServeTicks ticks each fan
+            // out many jobs per tick; give the rings headroom so the
+            // exported trace keeps whole job flows.
+            cfg.obs.ring_capacity = 1 << 15;
+        }
         server.setPolicy(cfg);
 
         const app::ClosedLoopReport r = workload.serveClosedLoopClients(
             server, kServeClients, kServeTicks, kServeSlack);
+        if (want_trace && server.traceBuffer()) {
+            const char *path = "trace_mpc.json";
+            if (runtime::obs::writeChromeTrace(*server.traceBuffer(),
+                                               path))
+                std::printf("wrote %s\n", path);
+            else
+                std::printf("failed to write %s\n", path);
+        }
         std::printf("\nserving: %d clients x %d ticks on 2 analytic "
                     "lanes (EDF+coalesce+steal)\n",
                     kServeClients, kServeTicks);

@@ -99,7 +99,8 @@ calibrateBatchWallUs(Accelerator &accel, int n)
 LoadResult
 runOverload(Accelerator &accel, const SchedConfig &cfg,
             bool use_admission, int load, int bulk_jobs,
-            long die_after, double deadline_budget_us)
+            long die_after, double deadline_budget_us,
+            const char *trace_path = nullptr)
 {
     const RobotModel &robot = accel.robot();
     runtime::AnalyticBackend base(accel);
@@ -122,7 +123,16 @@ runOverload(Accelerator &accel, const SchedConfig &cfg,
     runtime::DynamicsServer server;
     for (auto &lane : lanes)
         server.addBackend(*lane);
-    server.setPolicy(cfg);
+    SchedConfig run_cfg = cfg;
+    if (trace_path)
+        run_cfg.obs.trace = true; // fault marks + failover in the trace
+    server.setPolicy(run_cfg);
+    if (trace_path)
+        // Injected faults record onto the injecting lane's own ring
+        // (same producer thread as the lane's lifecycle events).
+        for (int l = 0; l < kLanes; ++l)
+            lanes[static_cast<std::size_t>(l)]->setTraceRing(
+                &server.traceBuffer()->lane(l), l);
     if (use_admission) {
         runtime::sched::AdmissionConfig acfg;
         acfg.max_queue_depth = 3; // bulk backlog bound per lane
@@ -238,6 +248,13 @@ runOverload(Accelerator &accel, const SchedConfig &cfg,
             ? static_cast<double>(out.sched.rejected_jobs) /
                   static_cast<double>(submitted.load())
             : 0.0;
+    if (trace_path && server.traceBuffer()) {
+        if (runtime::obs::writeChromeTrace(*server.traceBuffer(),
+                                           trace_path))
+            std::printf("wrote %s\n", trace_path);
+        else
+            std::printf("failed to write %s\n", trace_path);
+    }
     return out;
 }
 
@@ -305,11 +322,17 @@ main(int argc, char **argv)
         [&report](const std::string &key, double value) {
             report.add(key, value);
         };
+    // --trace: the qos 2x cell (faults + failover + shedding, the
+    // interesting one) additionally records lifecycle + fault events
+    // and exports them as trace_overload.json.
+    const bool want_trace = hasFlag(argc, argv, "--trace");
     for (const Entry &e : entries) {
         for (int load = 1; load <= 2; ++load) {
+            const bool traced = want_trace && e.admission && load == 2;
             const LoadResult r =
                 runOverload(accel, e.cfg, e.admission, load, bulk_jobs,
-                            die_after, deadline_budget);
+                            die_after, deadline_budget,
+                            traced ? "trace_overload.json" : nullptr);
             const double p50 = r.crit_hist.percentileUs(0.50);
             const double p99 = r.crit_hist.percentileUs(0.99);
             std::printf("%6s %4dx %9.0f %9.0f %9.0fu %9.0fu %7.1f%% "

@@ -21,6 +21,13 @@
  *             one);
  *   qos_obs — qos with the observability layer fully on (lifecycle
  *             tracing + metrics registry): the overhead probe.
+ *   qos_stream — qos_obs plus the LIVE telemetry plane: background
+ *             aggregator at 25 ms, trace rings streamed to
+ *             trace_sched_qos_stream.json during the run, and (with
+ *             --stats-port <p>) the embedded /stats + /metrics
+ *             endpoint. qos vs qos_stream is the streaming-overhead
+ *             probe (obs_stream_overhead_ratio, a slowdown factor:
+ *             1.0 = free).
  *
  * Client latencies go through the obs LatencyHistogram (the same
  * log-bucketed type the server's registry uses), so the JSON carries
@@ -33,6 +40,14 @@
  *
  * With --trace the qos_obs run also exports trace_sched_qos.json,
  * a Chrome trace-event file (chrome://tracing / Perfetto).
+ *
+ * Live-plane flags (qos_stream run): --stream-trace <path> overrides
+ * the streamed trace file, --stats-port <p> serves GET /stats and
+ * GET /metrics on 127.0.0.1:<p> while the scenario runs, and
+ * --stats-hold-ms <n> keeps the server (and endpoint) up n extra
+ * milliseconds after the clients finish so an external scraper has a
+ * guaranteed window — throughput is measured in backend time, so the
+ * hold does not distort the numbers.
  */
 
 #include "bench_util.h"
@@ -44,6 +59,7 @@
 
 #include "app/scheduler.h"
 #include "runtime/backends.h"
+#include "runtime/obs/aggregate.h"
 #include "runtime/obs/export.h"
 #include "runtime/sched/policy.h"
 #include "runtime/server.h"
@@ -77,11 +93,15 @@ struct ScenarioResult
     std::shared_ptr<runtime::obs::MetricsRegistry> metrics;
     double trace_events = 0.0;  ///< retained trace events (obs runs)
     double trace_dropped = 0.0; ///< events lost to ring wraparound
+    // Live-plane accounting (qos_stream run).
+    double stream_events = 0.0;  ///< events delivered to the live stream
+    double stream_dropped = 0.0; ///< stream cursor drops + overruns
+    double stream_samples = 0.0; ///< aggregator ticks taken
 };
 
 ScenarioResult
 runScenario(Accelerator &accel, const SchedConfig &cfg,
-            const char *trace_path)
+            const char *trace_path, int hold_ms = 0)
 {
     const RobotModel &robot = accel.robot();
     runtime::AnalyticBackend base(accel);
@@ -163,6 +183,11 @@ runScenario(Accelerator &accel, const SchedConfig &cfg,
         t.join();
     for (auto &t : bulk)
         t.join();
+    // Optional scrape window: the server (and with it the stats
+    // endpoint) stays up, idle, so an external poller is guaranteed
+    // to catch it live. Backend-time throughput is unaffected.
+    if (hold_ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
     server.stop();
 
     ScenarioResult out;
@@ -191,6 +216,15 @@ runScenario(Accelerator &accel, const SchedConfig &cfg,
             else
                 std::printf("failed to write %s\n", trace_path);
         }
+    }
+    if (const runtime::obs::ObsAggregator *agg = server.aggregator()) {
+        out.stream_events = static_cast<double>(agg->streamedEvents());
+        out.stream_dropped = static_cast<double>(agg->streamedDropped());
+        out.stream_samples = static_cast<double>(agg->sampleCount());
+        if (agg->streaming())
+            std::printf("streamed %s (%.0f events, %.0f samples)\n",
+                        agg->config().stream_path.c_str(),
+                        out.stream_events, out.stream_samples);
     }
     return out;
 }
@@ -228,10 +262,21 @@ main(int argc, char **argv)
     SchedConfig obs_cfg = qos_cfg;
     obs_cfg.obs.trace = true;
     obs_cfg.obs.metrics = true;
+    // The live plane on top of qos_obs: aggregator ticking at 25 ms,
+    // rings streamed to a Chrome-trace file DURING the run, and the
+    // /stats endpoint when a port was requested.
+    const char *stream_path = flagValue(argc, argv, "--stream-trace");
+    SchedConfig stream_cfg = obs_cfg;
+    stream_cfg.obs.aggregate_interval_ms = 25;
+    stream_cfg.obs.stream_trace_path =
+        stream_path ? stream_path : "trace_sched_qos_stream.json";
+    stream_cfg.obs.stats_port = flagInt(argc, argv, "--stats-port", -1);
+    const int hold_ms = flagInt(argc, argv, "--stats-hold-ms", 0);
     const Entry entries[] = {{"fifo", fifo_cfg},
                              {"edf", edf_cfg},
                              {"qos", qos_cfg},
-                             {"qos_obs", obs_cfg}};
+                             {"qos_obs", obs_cfg},
+                             {"qos_stream", stream_cfg}};
 
     const bool want_trace = hasFlag(argc, argv, "--trace");
 
@@ -247,9 +292,11 @@ main(int argc, char **argv)
     for (const Entry &e : entries) {
         const std::string k = e.name;
         const bool is_obs = k == "qos_obs";
+        const bool is_stream = k == "qos_stream";
         const ScenarioResult r = runScenario(
             accel, e.cfg,
-            is_obs && want_trace ? "trace_sched_qos.json" : nullptr);
+            is_obs && want_trace ? "trace_sched_qos.json" : nullptr,
+            is_stream ? hold_ms : 0);
         const double p50 = r.crit_hist.percentileUs(0.50);
         const double p99 = r.crit_hist.percentileUs(0.99);
         std::printf("%8s %10.1f %10.1f %12.1f %10zu %8zu %8zu\n",
@@ -262,7 +309,7 @@ main(int argc, char **argv)
         if (k == "fifo") {
             fifo_p99 = p99;
             fifo_tput = r.throughput_mtasks;
-        } else if (!is_obs) {
+        } else if (!is_obs && !is_stream) {
             report.add("p99_speedup_" + k,
                        p99 > 0.0 ? fifo_p99 / p99 : 0.0);
             report.add("throughput_ratio_" + k,
@@ -291,6 +338,19 @@ main(int argc, char **argv)
             report.add("obs_trace_dropped", r.trace_dropped);
             if (r.metrics)
                 emitRegistry(*r.metrics, "obs", emit);
+        }
+        if (is_stream) {
+            // Streaming cost as a slowdown factor: qos throughput
+            // over the identical run with the whole live plane on
+            // (aggregator + ring streaming). 1.0 = free; the
+            // acceptance bound is <= 1.05.
+            report.add("obs_stream_overhead_ratio",
+                       r.throughput_mtasks > 0.0
+                           ? qos_tput / r.throughput_mtasks
+                           : 0.0);
+            report.add("obs_stream_events", r.stream_events);
+            report.add("obs_stream_dropped", r.stream_dropped);
+            report.add("obs_stream_samples", r.stream_samples);
         }
     }
     runtime::obs::emitHistogramScheme(emit);

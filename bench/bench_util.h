@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <random>
 #include <string>
@@ -87,6 +88,25 @@ hasFlag(int argc, char **argv, const char *flag)
             return true;
     }
     return false;
+}
+
+/** Value of "--flag <value>", or nullptr when absent / valueless. */
+inline const char *
+flagValue(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    }
+    return nullptr;
+}
+
+/** Integer value of "--flag <n>", or @p fallback when absent. */
+inline int
+flagInt(int argc, char **argv, const char *flag, int fallback)
+{
+    const char *v = flagValue(argc, argv, flag);
+    return v ? std::atoi(v) : fallback;
 }
 
 /**

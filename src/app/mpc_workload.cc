@@ -1,6 +1,7 @@
 #include "app/mpc_workload.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <random>
 #include <thread>
 
@@ -485,6 +486,14 @@ MpcWorkload::serveClosedLoopClients(runtime::DynamicsServer &server,
         cfg.deadline_slack = deadline_slack;
         sessions.push_back(std::make_unique<ctrl::MpcSession>(
             robot_, std::move(sc), ctrl::IlqrOptions{}, cfg));
+        // When the caller enabled tracing on the server, give each
+        // client its own ring so solver-side events land on a named
+        // per-client track (attachTrace is a no-op otherwise).
+        if (server.traceBuffer()) {
+            char name[32];
+            std::snprintf(name, sizeof(name), "mpc%d", c);
+            sessions[c]->attachTrace(server, name);
+        }
     }
 
     const bool was_running = server.running();

@@ -14,6 +14,7 @@
 #define DADU_RUNTIME_OBS_CONFIG_H
 
 #include <cstddef>
+#include <string>
 
 namespace dadu::runtime::obs {
 
@@ -40,6 +41,39 @@ struct ServerObsConfig
 
     /** TraceEvent capacity of EACH ring (lanes + control + clients). */
     std::size_t ring_capacity = 8192;
+
+    // ----- Live telemetry plane (aggregator + endpoint + streaming).
+    // Everything below runs OFF the serving threads: a background
+    // aggregator thread snapshots the registry / lane state / ring
+    // cursors on a period, and the optional endpoint thread serves
+    // only the aggregator's latest snapshot.
+
+    /**
+     * Aggregation period in milliseconds. > 0 starts the
+     * ObsAggregator with start(): every period it appends one
+     * time-series sample and (when streaming) drains the trace
+     * rings. 0 disables the live plane unless stats_port or
+     * stream_trace_path asks for it (then a 100 ms default applies).
+     */
+    int aggregate_interval_ms = 0;
+
+    /** Bounded time-series length (oldest samples evicted). */
+    std::size_t aggregate_history = 512;
+
+    /**
+     * TCP port of the embedded stats endpoint (GET /stats JSON,
+     * GET /metrics Prometheus text) on 127.0.0.1. -1 disables;
+     * 0 binds an ephemeral port (see StatsEndpoint::port()).
+     */
+    int stats_port = -1;
+
+    /**
+     * Non-empty: stream trace chunks to this Chrome-trace file
+     * DURING the run (instead of / in addition to a post-hoc
+     * writeChromeTrace). Requires `trace`; the file is finalized
+     * when the server stops.
+     */
+    std::string stream_trace_path;
 };
 
 } // namespace dadu::runtime::obs

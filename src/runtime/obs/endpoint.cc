@@ -1,0 +1,146 @@
+#include "runtime/obs/endpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "runtime/obs/aggregate.h"
+
+namespace dadu::runtime::obs {
+
+StatsEndpoint::StatsEndpoint(const ObsAggregator &aggregator, int port)
+    : agg_(aggregator), req_port_(port)
+{}
+
+StatsEndpoint::~StatsEndpoint()
+{
+    stop();
+}
+
+bool StatsEndpoint::start()
+{
+    if (thread_.joinable())
+        return true;
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        return false;
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(req_port_));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 8) != 0)
+    {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) == 0)
+        port_.store(static_cast<int>(ntohs(addr.sin_port)),
+                    std::memory_order_release);
+
+    stop_.store(false, std::memory_order_release);
+    thread_ = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void StatsEndpoint::stop()
+{
+    if (!thread_.joinable())
+        return;
+    stop_.store(true, std::memory_order_release);
+    // Unblock accept(): shutdown makes the blocked call return on
+    // Linux; close() finishes the job.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    thread_.join();
+    listen_fd_ = -1;
+    port_.store(-1, std::memory_order_release);
+}
+
+void StatsEndpoint::serveLoop()
+{
+    while (!stop_.load(std::memory_order_acquire))
+    {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+        {
+            if (stop_.load(std::memory_order_acquire))
+                return;
+            continue; // transient accept failure; keep serving
+        }
+        handle(fd);
+        ::close(fd);
+    }
+}
+
+void StatsEndpoint::handle(int fd)
+{
+    // Bound the read: a scraper that never finishes its request
+    // line cannot wedge the endpoint thread forever.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    char req[1024];
+    std::size_t got = 0;
+    while (got < sizeof(req) - 1)
+    {
+        const ssize_t n = ::recv(fd, req + got, sizeof(req) - 1 - got, 0);
+        if (n <= 0)
+            break;
+        got += static_cast<std::size_t>(n);
+        req[got] = '\0';
+        if (std::strstr(req, "\r\n\r\n") || std::strstr(req, "\n\n"))
+            break; // headers complete; we ignore them anyway
+        if (std::strchr(req, '\n'))
+            break; // request line complete is all we need
+    }
+    req[got] = '\0';
+
+    std::string body;
+    const char *content_type = "application/json";
+    const char *status = "200 OK";
+    if (std::strncmp(req, "GET /stats", 10) == 0)
+    {
+        body = agg_.latest().toJson();
+        body += '\n';
+    }
+    else if (std::strncmp(req, "GET /metrics", 12) == 0)
+    {
+        body = agg_.latest().toPrometheus();
+        content_type = "text/plain; version=0.0.4";
+    }
+    else
+    {
+        status = "404 Not Found";
+        content_type = "text/plain";
+        body = "not found; try /stats or /metrics\n";
+    }
+
+    char header[256];
+    const int hn = std::snprintf(header, sizeof(header),
+                                 "HTTP/1.0 %s\r\n"
+                                 "Content-Type: %s\r\n"
+                                 "Content-Length: %zu\r\n"
+                                 "Connection: close\r\n\r\n",
+                                 status, content_type, body.size());
+    // Best-effort sends: a vanished client is its own problem.
+    if (hn > 0)
+        (void)::send(fd, header, static_cast<std::size_t>(hn), MSG_NOSIGNAL);
+    (void)::send(fd, body.data(), body.size(), MSG_NOSIGNAL);
+}
+
+} // namespace dadu::runtime::obs

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * StatsEndpoint: a minimal embedded HTTP stats server — one blocking
+ * POSIX listen socket on 127.0.0.1, one accept-loop thread, zero
+ * dependencies. Routes:
+ *
+ *   GET /stats    application/json — StatsSnapshot::toJson()
+ *   GET /metrics  text/plain       — StatsSnapshot::toPrometheus()
+ *
+ * Every response is rendered from the ObsAggregator's latest
+ * snapshot: the network thread NEVER touches hot-path serving state,
+ * so a slow or hostile scraper can at worst read stale telemetry.
+ * Responses are HTTP/1.0 close-delimited with Content-Length; one
+ * connection is served at a time (monitoring cadence, not traffic).
+ *
+ * This is also the first network-facing surface of the planned
+ * multi-process fabric (ROADMAP item 3): remote health checks can
+ * poll /stats for lane health before the wire protocol exists.
+ */
+
+#ifndef DADU_RUNTIME_OBS_ENDPOINT_H
+#define DADU_RUNTIME_OBS_ENDPOINT_H
+
+#include <atomic>
+#include <thread>
+
+namespace dadu::runtime::obs {
+
+class ObsAggregator;
+
+class StatsEndpoint
+{
+  public:
+    /**
+     * @param aggregator snapshot source; must outlive the endpoint.
+     * @param port TCP port on 127.0.0.1; 0 binds an ephemeral port
+     *             (read it back via port()).
+     */
+    StatsEndpoint(const ObsAggregator &aggregator, int port);
+    ~StatsEndpoint();
+
+    StatsEndpoint(const StatsEndpoint &) = delete;
+    StatsEndpoint &operator=(const StatsEndpoint &) = delete;
+
+    /**
+     * Bind + listen + spawn the accept-loop thread. Returns false
+     * (and stays inert) if the socket could not be bound — a serving
+     * run never fails because its stats port was taken.
+     */
+    bool start();
+
+    /** Unblock the accept loop, join the thread, close the socket. */
+    void stop();
+
+    /** Actual bound port once start() succeeded; -1 otherwise. */
+    int port() const { return port_.load(std::memory_order_acquire); }
+
+  private:
+    void serveLoop();
+    void handle(int fd);
+
+    const ObsAggregator &agg_;
+    int req_port_;
+    int listen_fd_ = -1;
+    std::atomic<int> port_{-1};
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+} // namespace dadu::runtime::obs
+
+#endif // DADU_RUNTIME_OBS_ENDPOINT_H

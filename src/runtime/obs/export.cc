@@ -65,10 +65,101 @@ double finiteOr(double v, double fallback) { return std::isfinite(v) ? v : fallb
 
 } // namespace
 
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    if (f_)
+        std::fclose(f_);
+}
+
+bool ChromeTraceWriter::open(const std::string &path)
+{
+    if (f_)
+        return false;
+    f_ = std::fopen(path.c_str(), "w");
+    if (!f_)
+        return false;
+    first_ = true;
+    std::fprintf(f_, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    return true;
+}
+
+void ChromeTraceWriter::comma()
+{
+    if (!first_)
+        std::fputc(',', f_);
+    first_ = false;
+}
+
+void ChromeTraceWriter::threadName(std::size_t tid, const char *name)
+{
+    if (!f_)
+        return;
+    comma();
+    std::fprintf(f_,
+                 "{\"ph\":\"M\",\"pid\":0,\"tid\":%zu,\"ts\":0,"
+                 "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+                 tid, name);
+}
+
+void ChromeTraceWriter::event(const TraceEvent &ev, std::size_t tid)
+{
+    if (!f_)
+        return;
+    const double ts = ev.t_us - t0_;
+    const char ph = phaseOf(ev.kind);
+
+    comma();
+    if (ph == 'B' || ph == 'E')
+    {
+        std::fprintf(f_,
+                     "{\"ph\":\"%c\",\"pid\":0,\"tid\":%zu,\"ts\":%.3f,"
+                     "\"name\":\"%s\",\"cat\":\"span\",\"args\":{\"job\":%d,"
+                     "\"fn\":\"%s\",\"a\":%u,\"b\":%.3f}}",
+                     ph, tid, ts, spanName(ev.kind), ev.job,
+                     shortFunctionName(ev.fn), ev.a, finiteOr(ev.b, -1.0));
+    }
+    else
+    {
+        std::fprintf(f_,
+                     "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%zu,"
+                     "\"ts\":%.3f,\"name\":\"%s\",\"cat\":\"event\","
+                     "\"args\":{\"job\":%d,\"lane\":%d,\"fn\":\"%s\","
+                     "\"a\":%u,\"b\":%.3f}}",
+                     tid, ts, eventKindName(ev.kind), ev.job, ev.lane,
+                     shortFunctionName(ev.fn), ev.a, finiteOr(ev.b, -1.0));
+    }
+
+    // Stitch the job's path across tracks with flow events.
+    if (ev.job >= 0 && (ev.kind == EventKind::Submit ||
+                        ev.kind == EventKind::Picked ||
+                        ev.kind == EventKind::Completed))
+    {
+        const char *fph = ev.kind == EventKind::Submit ? "s"
+                          : ev.kind == EventKind::Picked ? "t"
+                                                         : "f";
+        comma();
+        std::fprintf(f_,
+                     "{\"ph\":\"%s\",\"pid\":0,\"tid\":%zu,\"ts\":%.3f,"
+                     "\"name\":\"job\",\"cat\":\"job\",\"id\":%d%s}",
+                     fph, tid, ts, ev.job,
+                     ev.kind == EventKind::Completed ? ",\"bp\":\"e\"" : "");
+    }
+}
+
+bool ChromeTraceWriter::close(std::uint64_t dropped_events)
+{
+    if (!f_)
+        return false;
+    std::fprintf(f_, "],\"droppedEvents\":%" PRIu64 "}\n", dropped_events);
+    const bool ok = std::fclose(f_) == 0;
+    f_ = nullptr;
+    return ok;
+}
+
 bool writeChromeTrace(const TraceBuffer &buf, const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
+    ChromeTraceWriter w;
+    if (!w.open(path))
         return false;
 
     const std::size_t n_rings = buf.ringCount();
@@ -82,76 +173,16 @@ bool writeChromeTrace(const TraceBuffer &buf, const std::string &path)
             if (ring.at(i).t_us < t0)
                 t0 = ring.at(i).t_us;
     }
-    if (!std::isfinite(t0))
-        t0 = 0.0;
-
-    std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"droppedEvents\":%" PRIu64
-                    ",\"traceEvents\":[",
-                 buf.totalDropped());
-
-    bool first = true;
-    auto comma = [&] {
-        if (!first)
-            std::fputc(',', f);
-        first = false;
-    };
+    w.setTimeBaseUs(std::isfinite(t0) ? t0 : 0.0);
 
     for (std::size_t r = 0; r < n_rings; ++r)
     {
         const TraceRing &ring = buf.ring(r);
-        comma();
-        std::fprintf(f,
-                     "{\"ph\":\"M\",\"pid\":0,\"tid\":%zu,\"ts\":0,"
-                     "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
-                     r, ring.name());
-
+        w.threadName(r, ring.name());
         for (std::size_t i = 0; i < ring.retained(); ++i)
-        {
-            const TraceEvent &ev = ring.at(i);
-            const double ts = ev.t_us - t0;
-            const char ph = phaseOf(ev.kind);
-
-            comma();
-            if (ph == 'B' || ph == 'E')
-            {
-                std::fprintf(f,
-                             "{\"ph\":\"%c\",\"pid\":0,\"tid\":%zu,\"ts\":%.3f,"
-                             "\"name\":\"%s\",\"cat\":\"span\",\"args\":{\"job\":%d,"
-                             "\"fn\":\"%s\",\"a\":%u,\"b\":%.3f}}",
-                             ph, r, ts, spanName(ev.kind), ev.job,
-                             shortFunctionName(ev.fn), ev.a, finiteOr(ev.b, -1.0));
-            }
-            else
-            {
-                std::fprintf(f,
-                             "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%zu,"
-                             "\"ts\":%.3f,\"name\":\"%s\",\"cat\":\"event\","
-                             "\"args\":{\"job\":%d,\"lane\":%d,\"fn\":\"%s\","
-                             "\"a\":%u,\"b\":%.3f}}",
-                             r, ts, eventKindName(ev.kind), ev.job, ev.lane,
-                             shortFunctionName(ev.fn), ev.a, finiteOr(ev.b, -1.0));
-            }
-
-            // Stitch the job's path across tracks with flow events.
-            if (ev.job >= 0 && (ev.kind == EventKind::Submit ||
-                                ev.kind == EventKind::Picked ||
-                                ev.kind == EventKind::Completed))
-            {
-                const char *fph = ev.kind == EventKind::Submit ? "s"
-                                  : ev.kind == EventKind::Picked ? "t"
-                                                                 : "f";
-                comma();
-                std::fprintf(f,
-                             "{\"ph\":\"%s\",\"pid\":0,\"tid\":%zu,\"ts\":%.3f,"
-                             "\"name\":\"job\",\"cat\":\"job\",\"id\":%d%s}",
-                             fph, r, ts, ev.job,
-                             ev.kind == EventKind::Completed ? ",\"bp\":\"e\"" : "");
-            }
-        }
+            w.event(ring.at(i), r);
     }
-
-    std::fprintf(f, "]}\n");
-    return std::fclose(f) == 0;
+    return w.close(buf.totalDropped());
 }
 
 void emitHistogram(const LatencyHistogram &h, const std::string &prefix,
@@ -182,22 +213,35 @@ void emitHistogramScheme(const MetricEmitFn &emit)
     emit("hist_buckets", LatencyHistogram::kBuckets);
 }
 
-void emitRegistry(const MetricsRegistry &m, const std::string &prefix,
-                  const MetricEmitFn &emit)
+const char *counterKeyName(Counter c)
 {
-    static const char *const counter_names[kCounters] = {
+    static const char *const names[kCounters] = {
         "jobs_submitted",  "jobs_completed",  "jobs_rejected", "jobs_failed",
         "deadline_met",    "deadline_missed", "transient_faults", "retries",
         "lane_deaths",     "stolen_items",    "coalesced_items",
         "admission_samples",
     };
+    return names[static_cast<int>(c)];
+}
+
+const char *gaugeKeyName(Gauge g)
+{
+    static const char *const names[kGauges] = {
+        "task_us_ewma", "admission_err_rel_ewma", "admission_last_err_us",
+    };
+    return names[static_cast<int>(g)];
+}
+
+void emitRegistry(const MetricsRegistry &m, const std::string &prefix,
+                  const MetricEmitFn &emit)
+{
     for (int c = 0; c < kCounters; ++c)
-        emit(prefix + "_" + counter_names[c],
+        emit(prefix + "_" + counterKeyName(static_cast<Counter>(c)),
              static_cast<double>(m.counter(static_cast<Counter>(c))));
 
-    emit(prefix + "_task_us_ewma", m.gauge(Gauge::TaskUsEwma));
-    emit(prefix + "_admission_err_rel_ewma", m.gauge(Gauge::AdmissionErrRelEwma));
-    emit(prefix + "_admission_last_err_us", m.gauge(Gauge::AdmissionLastErrUs));
+    for (int g = 0; g < kGauges; ++g)
+        emit(prefix + "_" + gaugeKeyName(static_cast<Gauge>(g)),
+             m.gauge(static_cast<Gauge>(g)));
 
     for (int l = 0; l < m.lanes(); ++l)
         emit(prefix + "_lane" + std::to_string(l) + "_load", m.laneLoad(l));

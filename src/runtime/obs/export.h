@@ -2,13 +2,17 @@
  * @file
  * Exporters for the observability layer.
  *
- * writeChromeTrace() serializes a TraceBuffer as Chrome trace-event
+ * ChromeTraceWriter serializes TraceEvents as Chrome trace-event
  * JSON (the {"traceEvents": [...]} object form): each ring becomes a
  * named thread track (pid 0, tid = ring index), span-shaped kinds
  * (exec, MPC tick, iLQR iteration) become "B"/"E" duration events,
  * everything else becomes an instant, and each job's submit → picked
  * → completed path is stitched with "s"/"t"/"f" flow events keyed by
  * job id. The file loads directly in chrome://tracing and Perfetto.
+ * The same writer backs the quiesced one-shot exporter
+ * (writeChromeTrace) and the live chunked streamer (stream.h's
+ * TraceStreamer); a given event sequence produces identical bytes
+ * either way, which is how the streaming contract is tested.
  *
  * The emit* helpers flatten histograms and a MetricsRegistry into
  * (key, value) pairs for the flat schema-stamped JSON reports the
@@ -18,6 +22,8 @@
 #ifndef DADU_RUNTIME_OBS_EXPORT_H
 #define DADU_RUNTIME_OBS_EXPORT_H
 
+#include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <string>
 
@@ -28,6 +34,54 @@ namespace dadu::runtime::obs {
 
 /** ASCII function short-name for JSON keys (id/fd/m/minv/did/dfd/difd). */
 const char *shortFunctionName(FunctionType fn);
+
+/** Snake-case report key of a counter (e.g. "jobs_submitted"). */
+const char *counterKeyName(Counter c);
+
+/** Snake-case report key of a gauge (e.g. "task_us_ewma"). */
+const char *gaugeKeyName(Gauge g);
+
+/**
+ * Incremental Chrome trace-event JSON writer. Usage: open(), set the
+ * time base (all timestamps are rebased so t0 maps to ts = 0), then
+ * any interleaving of threadName()/event() calls, then close() —
+ * which appends the "droppedEvents" footer, making the object valid
+ * JSON. One writer per file; not thread-safe (the one streaming or
+ * exporting thread owns it).
+ */
+class ChromeTraceWriter
+{
+  public:
+    ChromeTraceWriter() = default;
+    ~ChromeTraceWriter();
+
+    ChromeTraceWriter(const ChromeTraceWriter &) = delete;
+    ChromeTraceWriter &operator=(const ChromeTraceWriter &) = delete;
+
+    /** Open @p path and write the object header. */
+    bool open(const std::string &path);
+    bool isOpen() const { return f_ != nullptr; }
+
+    /** Wall time (µs) that maps to ts = 0. Set before the first event(). */
+    void setTimeBaseUs(double t0) { t0_ = t0; }
+    double timeBaseUs() const { return t0_; }
+
+    /** Emit the thread_name metadata record of track @p tid. */
+    void threadName(std::size_t tid, const char *name);
+
+    /** Emit one event (plus its flow stitch, for flow-relevant kinds). */
+    void event(const TraceEvent &ev, std::size_t tid);
+
+    /** Write the footer (with the final dropped count) and close. */
+    bool close(std::uint64_t dropped_events);
+
+  private:
+    void comma();
+
+    std::FILE *f_ = nullptr;
+    double t0_ = 0.0;
+    bool first_ = true;
+};
 
 /**
  * Write the buffer as Chrome trace-event JSON. Producers must be

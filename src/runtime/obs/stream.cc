@@ -1,0 +1,164 @@
+#include "runtime/obs/stream.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <limits>
+
+namespace dadu::runtime::obs {
+
+std::size_t TraceReader::read(TraceEvent *out, std::size_t max)
+{
+    const std::uint64_t cap = ring_->capacity();
+    const std::uint64_t h1 = ring_->recorded(); // acquire
+    // Drop-oldest already claimed [0, h1 - cap): the producer reused
+    // those slots, so the cursor can only concede them.
+    const std::uint64_t tail = h1 > cap ? h1 - cap : 0;
+    if (next_ < tail)
+    {
+        dropped_ += tail - next_;
+        next_ = tail;
+    }
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(max, h1 - next_));
+    if (n == 0)
+        return 0;
+
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = ring_->loadSlot(next_ + i);
+
+    // Order the copy loads before the h2 probe: an acquire load only
+    // stops LATER accesses from moving up, so without the fence the
+    // copies could sink past it and tear undetected.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::uint64_t h2 = ring_->recorded(); // acquire
+    // While we copied, the producer advanced to h2; writing sequence
+    // number h2 scribbles over the slot of h2 - cap, so every copied
+    // sequence number ≤ h2 - cap may be torn. Discard exactly those.
+    const std::uint64_t invalid_below = h2 >= cap ? h2 - cap + 1 : 0;
+    std::size_t skip = 0;
+    if (invalid_below > next_)
+        skip = static_cast<std::size_t>(
+            std::min<std::uint64_t>(invalid_below - next_, n));
+    if (skip)
+    {
+        std::memmove(out, out + skip, (n - skip) * sizeof(TraceEvent));
+        dropped_ += skip;
+    }
+    next_ += n;
+    delivered_ += n - skip;
+    return n - skip;
+}
+
+TraceStreamer::TraceStreamer(const TraceBuffer &buf, std::size_t chunk_events)
+    : buf_(&buf), chunk_(chunk_events == 0 ? 1 : chunk_events)
+{
+    scratch_.resize(chunk_);
+    ensureReaders();
+}
+
+void TraceStreamer::ensureReaders()
+{
+    const std::size_t n = buf_->ringCount();
+    while (readers_.size() < n)
+    {
+        readers_.emplace_back(&buf_->ring(readers_.size()));
+        announced_.push_back(0);
+    }
+}
+
+bool TraceStreamer::openFile(const std::string &path)
+{
+    return writer_.open(path);
+}
+
+std::size_t TraceStreamer::flush()
+{
+    if (!writer_.isOpen())
+        return 0;
+    ensureReaders();
+    const std::size_t n_rings = readers_.size();
+
+    if (!have_t0_)
+    {
+        // First flush: buffer each ring's backlog so the time base
+        // can be fixed at the earliest drained event BEFORE anything
+        // is written — later chunks reuse it, keeping timestamps
+        // consistent across the whole file. On a quiesced buffer this
+        // path reproduces writeChromeTrace() byte for byte.
+        std::vector<std::vector<TraceEvent>> backlog(n_rings);
+        double t0 = std::numeric_limits<double>::infinity();
+        std::size_t total = 0;
+        for (std::size_t r = 0; r < n_rings; ++r)
+        {
+            std::size_t got;
+            while ((got = readers_[r].read(scratch_.data(), chunk_)) > 0)
+            {
+                backlog[r].insert(backlog[r].end(), scratch_.begin(),
+                                  scratch_.begin() + static_cast<long>(got));
+                total += got;
+            }
+            for (const TraceEvent &ev : backlog[r])
+                if (ev.t_us < t0)
+                    t0 = ev.t_us;
+        }
+        if (total == 0)
+            return 0; // nothing yet; try to fix the base next flush
+        writer_.setTimeBaseUs(std::isfinite(t0) ? t0 : 0.0);
+        have_t0_ = true;
+        for (std::size_t r = 0; r < n_rings; ++r)
+        {
+            if (!announced_[r])
+            {
+                writer_.threadName(r, buf_->ring(r).name());
+                announced_[r] = 1;
+            }
+            for (const TraceEvent &ev : backlog[r])
+                writer_.event(ev, r);
+        }
+        return total;
+    }
+
+    std::size_t total = 0;
+    for (std::size_t r = 0; r < n_rings; ++r)
+    {
+        std::size_t got;
+        while ((got = readers_[r].read(scratch_.data(), chunk_)) > 0)
+        {
+            if (!announced_[r])
+            {
+                writer_.threadName(r, buf_->ring(r).name());
+                announced_[r] = 1;
+            }
+            for (std::size_t i = 0; i < got; ++i)
+                writer_.event(scratch_[i], r);
+            total += got;
+        }
+    }
+    return total;
+}
+
+bool TraceStreamer::closeFile()
+{
+    if (!writer_.isOpen())
+        return false;
+    return writer_.close(dropped());
+}
+
+std::uint64_t TraceStreamer::delivered() const
+{
+    std::uint64_t n = 0;
+    for (const TraceReader &r : readers_)
+        n += r.delivered();
+    return n;
+}
+
+std::uint64_t TraceStreamer::dropped() const
+{
+    std::uint64_t n = 0;
+    for (const TraceReader &r : readers_)
+        n += r.dropped();
+    return n;
+}
+
+} // namespace dadu::runtime::obs

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Live trace streaming: drain TraceRings WHILE their producers are
+ * recording.
+ *
+ * TraceReader is the cursor-based reader protocol over one ring. The
+ * producer side is untouched — still wait-free, allocation-free, one
+ * release store on the write index per event. The reader:
+ *
+ *   1. acquires the write index (h1) — every event below h1 has its
+ *      word stores published;
+ *   2. skips its cursor past the drop-oldest window [0, h1 - cap):
+ *      those events are gone, counted into dropped();
+ *   3. copies out up to `max` slots with relaxed word loads;
+ *   4. fences, re-acquires the write index (h2), and discards the
+ *      copied prefix with sequence number ≤ h2 - cap: the producer
+ *      advancing to h2 may have been mid-overwrite of exactly those
+ *      slots, so they are the only possibly-torn copies. Discards
+ *      also count into dropped().
+ *
+ * The accounting is exact: once the producer quiesces and the reader
+ * drains to empty, delivered() + dropped() == ring.recorded(), every
+ * delivered event is intact, and delivery is in recording order with
+ * gaps only where dropped() says so.
+ *
+ * TraceStreamer fans a TraceBuffer's rings (including client rings
+ * claimed mid-run) through one TraceReader each and appends the
+ * drained chunks to a ChromeTraceWriter. The time base is fixed at
+ * the first flush and reused for every later chunk, so timestamps
+ * are consistent across the whole streamed file; on a quiesced
+ * buffer a single flush() produces byte-identical output to
+ * writeChromeTrace().
+ */
+
+#ifndef DADU_RUNTIME_OBS_STREAM_H
+#define DADU_RUNTIME_OBS_STREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "runtime/obs/export.h"
+#include "runtime/obs/trace.h"
+
+namespace dadu::runtime::obs {
+
+/**
+ * Streaming cursor over one TraceRing. Single reader thread per
+ * reader (the aggregator); the ring's producer keeps recording.
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const TraceRing *ring) : ring_(ring) {}
+
+    /**
+     * Copy out up to @p max events the cursor has not yet seen,
+     * oldest first. Returns the number delivered into @p out (0 when
+     * caught up). Never blocks, never spins: one acquire load before
+     * the copy, one after.
+     */
+    std::size_t read(TraceEvent *out, std::size_t max);
+
+    /** Events handed out via read(), all of them intact. */
+    std::uint64_t delivered() const { return delivered_; }
+
+    /**
+     * Events this cursor will never deliver: lost to drop-oldest
+     * wraparound before the cursor reached them, or discarded because
+     * the producer raced into the copied window (overrun).
+     */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Next sequence number to read (== delivered + dropped). */
+    std::uint64_t cursor() const { return next_; }
+
+    const TraceRing *ring() const { return ring_; }
+
+  private:
+    const TraceRing *ring_;
+    std::uint64_t next_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+/**
+ * Chunked streaming of a whole TraceBuffer into a Chrome-trace file.
+ * Owned and driven by one thread (the ObsAggregator's); flush() is
+ * called periodically during the run and once more after quiesce.
+ */
+class TraceStreamer
+{
+  public:
+    explicit TraceStreamer(const TraceBuffer &buf,
+                           std::size_t chunk_events = 4096);
+
+    /** Open the output file (header written immediately). */
+    bool openFile(const std::string &path);
+    bool fileOpen() const { return writer_.isOpen(); }
+
+    /**
+     * Drain every ring once (readers for newly claimed rings are
+     * added on the fly) and append the events to the file, if open.
+     * The first flush that sees any event fixes the time base at the
+     * earliest drained timestamp. Returns events delivered this call.
+     */
+    std::size_t flush();
+
+    /** Write the footer (total dropped count) and close the file. */
+    bool closeFile();
+
+    /** Totals across all ring cursors. */
+    std::uint64_t delivered() const;
+    std::uint64_t dropped() const;
+
+  private:
+    void ensureReaders();
+
+    const TraceBuffer *buf_;
+    std::size_t chunk_;
+    std::deque<TraceReader> readers_;        ///< readers_[i] over buf_->ring(i)
+    std::vector<TraceEvent> scratch_;        ///< chunk copy-out buffer
+    std::vector<char> announced_;            ///< thread_name emitted per tid
+    ChromeTraceWriter writer_;
+    bool have_t0_ = false;
+};
+
+} // namespace dadu::runtime::obs
+
+#endif // DADU_RUNTIME_OBS_STREAM_H

@@ -63,6 +63,12 @@ std::size_t TraceBuffer::ringCount() const
     return rings_.size();
 }
 
+const TraceRing &TraceBuffer::ring(std::size_t i) const
+{
+    std::lock_guard<std::mutex> lk(claim_mu_);
+    return rings_[i];
+}
+
 std::uint64_t TraceBuffer::totalDropped() const
 {
     std::lock_guard<std::mutex> lk(claim_mu_);

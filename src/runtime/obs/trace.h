@@ -7,8 +7,15 @@
  * requeue-on-lane-death → completed/failed — plus client-side spans
  * (MPC ticks, iLQR iterations) and injected faults.
  *
- * Concurrency contract. Each TraceRing is SPSC: ONE producer thread
- * at a time, any number of readers once the producer has quiesced.
+ * Concurrency contract. Each TraceRing is SPSC on the producer side:
+ * ONE producer thread at a time. Readers come in two flavors — the
+ * quiesced kind (at()/retained(), valid once the producer stopped)
+ * and the LIVE kind: stream.h's TraceReader drains a ring through
+ * recorded()/loadSlot() while the producer keeps recording, using
+ * the write index as a published cursor and discarding the window a
+ * racing writer may have overwritten. Slots are stored as arrays of
+ * relaxed atomic words so the racing reads are defined behavior (a
+ * torn event is possible but detectable, a data race is not).
  * The server's ring layout leans on its existing serialization:
  *
  *  - ring i < lanes: events of lane i, recorded only by "the thread
@@ -91,12 +98,17 @@ struct TraceEvent
 static_assert(sizeof(TraceEvent) <= 32, "TraceEvent must stay one cache line per pair");
 
 /**
- * Fixed-capacity drop-oldest event ring. Single producer; read only
- * after the producer has quiesced (server idle / client finished).
+ * Fixed-capacity drop-oldest event ring. Single producer; quiesced
+ * reads via at(), live streaming reads via stream.h's TraceReader
+ * (recorded() + loadSlot() + the overwrite-window discard protocol).
  */
 class TraceRing
 {
   public:
+    /** 64-bit words per slot; a TraceEvent is stored as kSlotWords atomics. */
+    static constexpr std::size_t kSlotWords =
+        (sizeof(TraceEvent) + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t);
+
     TraceRing(std::size_t capacity, const char *name);
 
     // The ring is addressed by pointer from hot paths; never moved.
@@ -107,7 +119,13 @@ class TraceRing
     void record(const TraceEvent &ev)
     {
         const std::uint64_t h = head_.load(std::memory_order_relaxed);
-        slots_[h % slots_.size()] = ev;
+        Slot &s = slots_[h % slots_.size()];
+        std::uint64_t w[kSlotWords] = {};
+        std::memcpy(w, &ev, sizeof(ev));
+        // Relaxed word stores: plain movs on x86. The release head
+        // bump below publishes them to any acquire reader of head_.
+        for (std::size_t i = 0; i < kSlotWords; ++i)
+            s.w[i].store(w[i], std::memory_order_relaxed);
         head_.store(h + 1, std::memory_order_release);
     }
 
@@ -142,17 +160,41 @@ class TraceRing
     std::uint64_t dropped() const { return recorded() - retained(); }
 
     /** i-th retained event, oldest first. Producer must be quiesced. */
-    const TraceEvent &at(std::size_t i) const
+    TraceEvent at(std::size_t i) const
     {
         const std::uint64_t h = recorded();
         const std::uint64_t oldest = h < slots_.size() ? 0 : h - slots_.size();
-        return slots_[(oldest + i) % slots_.size()];
+        return loadSlot(oldest + i);
+    }
+
+    /**
+     * Raw copy of the slot currently holding sequence number @p seq
+     * (relaxed word loads — never a data race, but the result may be
+     * TORN if the producer is overwriting that slot concurrently).
+     * stream.h's TraceReader makes this safe: it re-reads recorded()
+     * after copying and discards every sequence number the producer
+     * could have reached into, so a torn event is never delivered.
+     */
+    TraceEvent loadSlot(std::uint64_t seq) const
+    {
+        const Slot &s = slots_[seq % slots_.size()];
+        std::uint64_t w[kSlotWords];
+        for (std::size_t i = 0; i < kSlotWords; ++i)
+            w[i] = s.w[i].load(std::memory_order_relaxed);
+        TraceEvent ev;
+        std::memcpy(&ev, w, sizeof(ev));
+        return ev;
     }
 
     const char *name() const { return name_; }
 
   private:
-    std::vector<TraceEvent> slots_;
+    struct Slot
+    {
+        std::atomic<std::uint64_t> w[kSlotWords];
+    };
+
+    std::vector<Slot> slots_;
     std::atomic<std::uint64_t> head_{0};
     char name_[24] = {0};
 };
@@ -187,7 +229,13 @@ class TraceBuffer
 
     int lanes() const { return lanes_; }
     std::size_t ringCount() const;
-    const TraceRing &ring(std::size_t i) const { return rings_[i]; }
+    /**
+     * Ring @p i (i < a ringCount() you already observed). Takes the
+     * claim lock: client threads may be appending rings concurrently
+     * and deque indexing walks internal state their push mutates.
+     * The returned reference itself is stable for the buffer's life.
+     */
+    const TraceRing &ring(std::size_t i) const;
 
     /** Sum of dropped() across all rings. */
     std::uint64_t totalDropped() const;

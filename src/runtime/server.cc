@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "perf/timing.h"
+#include "runtime/obs/aggregate.h"
+#include "runtime/obs/endpoint.h"
 
 namespace dadu::runtime {
 
@@ -46,6 +48,10 @@ DynamicsServer::reconfigureObs()
     // Idle-only (asserted by every caller): safe to drop and rebuild.
     // Enabling needs at least one lane; addBackend re-runs this, so a
     // setPolicy() before the first addBackend() still ends up traced.
+    // The live plane goes too — the aggregator's streamer holds ring
+    // cursors into the buffer being dropped. start() rebuilds it.
+    endpoint_.reset();
+    aggregator_.reset();
     trace_.reset();
     metrics_.reset();
     const int n = backendCount();
@@ -1356,6 +1362,25 @@ DynamicsServer::laneHealthy(int lane) const
     if (lane < 0 || lane >= static_cast<int>(lanes_.size()))
         return false;
     return lanes_[lane].healthy;
+}
+
+std::size_t
+DynamicsServer::laneQueueDepth(int lane) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (lane < 0 || lane >= static_cast<int>(lanes_.size()))
+        return 0;
+    return lanes_[lane].work.size();
+}
+
+bool
+DynamicsServer::metricsSnapshot(obs::MetricsRegistry &out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!metrics_)
+        return false;
+    out = *metrics_;
+    return true;
 }
 
 } // namespace dadu::runtime

@@ -87,6 +87,11 @@
 #include "runtime/sched/admission.h"
 #include "runtime/sched/policy.h"
 
+namespace dadu::runtime::obs {
+class ObsAggregator;  // aggregate.h
+class StatsEndpoint;  // endpoint.h
+} // namespace dadu::runtime::obs
+
 namespace dadu::runtime {
 
 /** Aggregate accounting of one drain() interval. */
@@ -340,12 +345,41 @@ class DynamicsServer
     /**
      * The metrics registry (histograms / counters / gauges), or null
      * when SchedConfig::obs.metrics is off. Mutated under the server
-     * lock; snapshot (copy) it while the server is idle.
+     * lock; snapshot (copy) it while the server is idle — or at any
+     * time via metricsSnapshot(), which copies under the lock.
      */
     const obs::MetricsRegistry *metricsRegistry() const
     {
         return metrics_.get();
     }
+
+    /**
+     * Copy the live registry into @p out under the server lock —
+     * safe while the workers are serving (unlike metricsRegistry(),
+     * this is the aggregator's read path). Returns false (leaving
+     * @p out untouched) when metrics are off.
+     */
+    bool metricsSnapshot(obs::MetricsRegistry &out) const;
+
+    /** Work items queued on @p lane right now (thread-safe). */
+    std::size_t laneQueueDepth(int lane) const;
+
+    /**
+     * The live-telemetry aggregator, or null when SchedConfig::obs
+     * requests none (no aggregate_interval_ms, stats_port, or
+     * stream_trace_path). Created by start(); survives stop() — its
+     * final tick and the streamed-trace totals stay readable until
+     * the next setPolicy()/addBackend()/start().
+     */
+    obs::ObsAggregator *aggregator() { return aggregator_.get(); }
+    const obs::ObsAggregator *aggregator() const { return aggregator_.get(); }
+
+    /**
+     * The embedded stats endpoint (live while running), or null when
+     * SchedConfig::obs.stats_port < 0. Its port() resolves ephemeral
+     * binds (stats_port = 0).
+     */
+    obs::StatsEndpoint *statsEndpoint() { return endpoint_.get(); }
 
   private:
     struct Job
@@ -482,6 +516,10 @@ class DynamicsServer
     double competingWeightLocked(const Job &job, int lane) const;
     /** Rebuild trace_/metrics_ to match sched_cfg_.obs and lane count. */
     void reconfigureObs();
+    /** Create + start aggregator/endpoint per sched_cfg_.obs (from start()). */
+    void startObsPlane();
+    /** Final aggregator tick + endpoint shutdown (from stop()). */
+    void stopObsPlane();
     /**
      * Quarantine @p lane after an unrecoverable fault: requeue its
      * queued and picked items onto healthy siblings (serial-stage
@@ -552,6 +590,14 @@ class DynamicsServer
      */
     std::unique_ptr<obs::TraceBuffer> trace_;
     std::unique_ptr<obs::MetricsRegistry> metrics_;
+    /**
+     * Live telemetry plane: built by start() when sched_cfg_.obs asks
+     * for any of it, torn down (endpoint) / finalized (aggregator) by
+     * stop(). The aggregator object outlives stop() so its totals and
+     * time-series stay readable; reconfigureObs() destroys both.
+     */
+    std::unique_ptr<obs::ObsAggregator> aggregator_;
+    std::unique_ptr<obs::StatsEndpoint> endpoint_;
     QueueAdapter view_{this};
 };
 

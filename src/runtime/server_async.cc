@@ -13,7 +13,49 @@
 
 #include "runtime/server.h"
 
+#include "runtime/obs/aggregate.h"
+#include "runtime/obs/endpoint.h"
+
 namespace dadu::runtime {
+
+void
+DynamicsServer::startObsPlane()
+{
+    const obs::ServerObsConfig &o = sched_cfg_.obs;
+    const bool stream = o.trace && !o.stream_trace_path.empty();
+    if (o.aggregate_interval_ms <= 0 && o.stats_port < 0 && !stream)
+        return;
+    // Rebuild from scratch: a previous run's aggregator holds cursors
+    // positioned at that run's end (and maybe a finalized file).
+    endpoint_.reset();
+    aggregator_.reset();
+    obs::AggregatorConfig acfg;
+    acfg.interval_ms = o.aggregate_interval_ms > 0 ? o.aggregate_interval_ms : 100;
+    acfg.history = o.aggregate_history;
+    if (stream)
+        acfg.stream_path = o.stream_trace_path;
+    aggregator_ = std::make_unique<obs::ObsAggregator>(*this, acfg);
+    aggregator_->start();
+    if (o.stats_port >= 0)
+    {
+        endpoint_ = std::make_unique<obs::StatsEndpoint>(*aggregator_,
+                                                         o.stats_port);
+        endpoint_->start();
+    }
+}
+
+void
+DynamicsServer::stopObsPlane()
+{
+    // Endpoint first: it reads the aggregator's snapshots. The
+    // aggregator then takes its final tick over the quiesced server
+    // (tail events reach the streamed file) and finalizes it. Both
+    // objects stay readable until reconfiguration or restart.
+    if (endpoint_)
+        endpoint_->stop();
+    if (aggregator_)
+        aggregator_->stop();
+}
 
 void
 DynamicsServer::start()
@@ -32,6 +74,7 @@ DynamicsServer::start()
     workers_.reserve(lanes_.size());
     for (int i = 0; i < static_cast<int>(lanes_.size()); ++i)
         workers_.emplace_back([this, i] { workerLoop(i); });
+    startObsPlane();
 }
 
 void
@@ -58,6 +101,7 @@ DynamicsServer::stop()
     // instead of blocking on a cv nobody will signal.
     running_.store(false, std::memory_order_release);
     serveAllSync();
+    stopObsPlane();
 }
 
 void
